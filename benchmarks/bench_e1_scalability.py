@@ -1,0 +1,73 @@
+"""E1 — the Applications claim: a repository of 30,000 filtered schemas.
+
+Reproduces the corpus pipeline at 1k / 5k / 30k raw schemas: the paper's
+filter accounting, index build cost, index size, and query latency
+scaling.  The headline benchmark times a query over the full 30k-scale
+index.
+"""
+
+import time
+
+import pytest
+
+from repro.index.documents import document_from_schema
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+
+from benchmarks.helpers import generated_corpus, report
+
+SIZES = (1000, 5000, 30000)
+QUERY = ["patient", "height", "gender", "diagnosis"]
+
+
+def build_index(kept) -> InvertedIndex:
+    index = InvertedIndex()
+    for i, generated in enumerate(kept, start=1):
+        if generated.schema.schema_id is None:
+            generated.schema.schema_id = i
+        index.add(document_from_schema(generated.schema))
+    return index
+
+
+def test_e1_report(benchmark):
+    # Keep report generation alive under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "E1: corpus filter + index scaling (paper: 30,000 public schemas "
+        "filtered from a 10M-table crawl)",
+        "",
+        f"{'raw':>7} {'kept':>7} {'nonalpha':>9} {'single':>7} "
+        f"{'trivial':>8} {'index_s':>8} {'terms':>8} {'query_ms':>9}",
+    ]
+    for size in SIZES:
+        (stats,) = generated_corpus(size)
+        start = time.perf_counter()
+        index = build_index(stats.kept)
+        build_seconds = time.perf_counter() - start
+        searcher = IndexSearcher(index)
+        start = time.perf_counter()
+        for _ in range(10):
+            searcher.search(QUERY, top_n=50)
+        query_ms = (time.perf_counter() - start) / 10 * 1000
+        lines.append(
+            f"{stats.total:>7} {stats.kept_count:>7} "
+            f"{stats.dropped_nonalpha:>9} {stats.dropped_singleton:>7} "
+            f"{stats.dropped_trivial:>8} {build_seconds:>8.2f} "
+            f"{index.term_count:>8} {query_ms:>9.2f}")
+    report("e1_scalability", "\n".join(lines))
+
+
+def test_e1_query_at_30k_benchmark(benchmark):
+    (stats,) = generated_corpus(30000)
+    index = build_index(stats.kept)
+    searcher = IndexSearcher(index)
+    hits = benchmark(searcher.search, QUERY, 50)
+    assert hits
+
+
+@pytest.mark.parametrize("size", [1000, 5000])
+def test_e1_index_build_benchmark(benchmark, size):
+    (stats,) = generated_corpus(size)
+    index = benchmark.pedantic(build_index, args=(stats.kept,),
+                               rounds=1, iterations=1)
+    assert index.document_count == stats.kept_count

@@ -1,0 +1,177 @@
+"""E3 — ablations of the design choices DESIGN.md calls out.
+
+1. coordination factor on/off (phase-1 reward for matching more terms);
+2. tightness-of-fit on/off (structure-aware vs flat aggregation);
+3. sum vs mean aggregation (the paper's formula vs its prose);
+4. penalty magnitude sweep;
+5. uniform vs learned ensemble weights (meta-learner on recorded
+   search history).
+"""
+
+from repro.core.config import SchemrConfig
+from repro.eval.runner import EvaluationReport, evaluate_engine
+from repro.matching.ensemble import MatcherEnsemble
+from repro.matching.learner import TrainingExample, WeightLearner
+from repro.model.query import QueryGraph
+from repro.scoring.tightness import PenaltyPolicy
+
+from benchmarks.helpers import corpus_repository, report, sampler_for
+
+CORPUS_SIZE = 2000
+QUERY_COUNT = 25
+
+
+def _queries(corpus, channel="clean"):
+    return sampler_for(corpus, seed=29).sample(QUERY_COUNT,
+                                               channel=channel)
+
+
+def test_e3_pipeline_ablations_report(benchmark):
+    # Keep report generation alive under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    queries = _queries(corpus) + _queries(corpus, channel="abbreviated")
+    configs = [
+        ("full (sum, coord on)", SchemrConfig()),
+        ("no coordination", SchemrConfig(use_coordination=False)),
+        ("no tightness", SchemrConfig(use_tightness=False)),
+        ("mean aggregation", SchemrConfig(
+            penalties=PenaltyPolicy(aggregation="mean"))),
+        ("zero penalties", SchemrConfig(penalties=PenaltyPolicy(
+            neighborhood_penalty=0.0, unrelated_penalty=0.0))),
+        ("harsh penalties", SchemrConfig(penalties=PenaltyPolicy(
+            neighborhood_penalty=0.3, unrelated_penalty=0.8))),
+    ]
+    lines = [
+        "E3a: pipeline ablations (50 mixed clean+abbreviated queries)",
+        "",
+        EvaluationReport.header(),
+    ]
+    results = {}
+    for label, config in configs:
+        rep = evaluate_engine(repo.engine(config=config), queries,
+                              label=label)
+        results[label] = rep
+        lines.append(rep.row())
+    # Significance of the headline comparison (sum vs mean), paired by
+    # query on reciprocal rank.
+    from repro.eval.metrics import reciprocal_rank
+    from repro.eval.significance import paired_bootstrap, per_query_scores
+
+    def ranker(config):
+        engine = repo.engine(config=config)
+        return lambda keywords, top_n: [
+            r.schema_id
+            for r in engine.search(keywords=keywords, top_n=top_n)]
+
+    sum_scores = per_query_scores(ranker(SchemrConfig()), queries,
+                                  reciprocal_rank)
+    mean_scores = per_query_scores(
+        ranker(SchemrConfig(penalties=PenaltyPolicy(aggregation="mean"))),
+        queries, reciprocal_rank)
+    comparison = paired_bootstrap(sum_scores, mean_scores,
+                                  iterations=3000)
+    lines.append("")
+    lines.append("sum vs mean aggregation, paired bootstrap on MRR: "
+                 + comparison.summary())
+    report("e3_ablation_pipeline", "\n".join(lines))
+    # Shapes: structural scoring must not hurt, and the sum form must
+    # beat the mean form (it rewards breadth of match).
+    assert results["full (sum, coord on)"].mrr >= \
+        results["mean aggregation"].mrr - 0.05
+    assert results["full (sum, coord on)"].map_score >= \
+        results["no tightness"].map_score - 0.05
+    assert comparison.delta >= 0
+
+
+def _record_history(repo, corpus, engine) -> list[TrainingExample]:
+    """Simulated usage: clicks land on exact-template results."""
+    import random
+    rng = random.Random(53)
+    examples = []
+    all_ids = [g.schema.schema_id for g in corpus]
+    for query in sampler_for(corpus, seed=31).sample(30):
+        graph = QueryGraph.build(keywords=query.keywords)
+        shown = [r.schema_id
+                 for r in engine.search(keywords=query.keywords, top_n=5)]
+        # Off-topic impressions the user scrolled past without clicking:
+        # the negative class of real click logs.
+        negatives = [schema_id for schema_id in rng.sample(all_ids, 8)
+                     if schema_id not in query.relevant_ids][:5]
+        for schema_id in shown + negatives:
+            schema = repo.get_schema(schema_id)
+            per_matcher = engine.ensemble.match(graph, schema).per_matcher
+            features = {name: float(matrix.values.max())
+                        for name, matrix in per_matcher.items()}
+            examples.append(TrainingExample(
+                features=features,
+                relevant=schema_id in query.exact_ids))
+    return examples
+
+
+def test_e3_learned_weights_report(benchmark):
+    # Keep report generation alive under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    uniform_engine = repo.engine()
+    examples = _record_history(repo, corpus, uniform_engine)
+    learner = WeightLearner(uniform_engine.ensemble.matcher_names)
+    learner.fit(examples)
+    learned = learner.weights()
+
+    queries = _queries(corpus, channel="abbreviated")
+    uniform_report = evaluate_engine(repo.engine(), queries,
+                                     label="uniform weights")
+    learned_ensemble = MatcherEnsemble.default()
+    learned_ensemble.set_weights(learned)
+    learned_report = evaluate_engine(
+        repo.engine(ensemble=learned_ensemble), queries,
+        label="learned weights")
+
+    lines = [
+        "E3b: uniform vs learned ensemble weights "
+        "(logistic regression over simulated search history)",
+        f"training examples: {len(examples)} "
+        f"(relevant: {sum(e.relevant for e in examples)})",
+        f"learned weights: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in learned.items()),
+        f"training accuracy: {learner.accuracy(examples):.3f}",
+        "",
+        EvaluationReport.header(),
+        uniform_report.row(),
+        learned_report.row(),
+    ]
+    report("e3_ablation_weights", "\n".join(lines))
+    assert learned_report.mrr >= uniform_report.mrr - 0.1
+
+
+def test_e3_fuzzy_expansion_report(benchmark):
+    """The fuzzy-expansion extension vs the paper's plain phase one, on
+    the typo channel (query noise the corpus never contains)."""
+    # Keep report generation alive under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    queries = _queries(corpus, channel="typo")
+    plain = evaluate_engine(repo.engine(), queries,
+                            label="plain phase 1")
+    fuzzy = evaluate_engine(
+        repo.engine(config=SchemrConfig(use_fuzzy_expansion=True)),
+        queries, label="fuzzy expansion")
+    lines = [
+        "E3c: fuzzy query-term expansion (extension) on typo queries",
+        "",
+        EvaluationReport.header(),
+        plain.row(),
+        fuzzy.row(),
+    ]
+    report("e3_ablation_fuzzy", "\n".join(lines))
+    assert fuzzy.mrr >= plain.mrr
+    assert fuzzy.precision_at_5 >= plain.precision_at_5
+
+
+def test_e3_full_engine_benchmark(benchmark):
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    engine = repo.engine()
+    query = _queries(corpus)[0]
+    results = benchmark(engine.search, query.keywords, None, 10)
+    assert results is not None

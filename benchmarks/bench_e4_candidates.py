@@ -1,0 +1,119 @@
+"""E4 — candidate extraction as a "fast and scalable filter".
+
+Two claims to quantify:
+
+* recall preservation — how often the best (grade-2) schema survives
+  into the top-n candidate pool, as n shrinks;
+* the latency win — full fine-grained matching over every schema in the
+  repository vs the filtered pipeline.
+"""
+
+import time
+
+from repro.core.config import SchemrConfig
+from repro.index.searcher import IndexSearcher
+from repro.matching.ensemble import MatcherEnsemble
+from repro.model.query import QueryGraph
+from repro.scoring.tightness import TightnessScorer
+
+from benchmarks.helpers import corpus_repository, report, sampler_for
+
+CORPUS_SIZE = 2000
+POOL_SIZES = (5, 10, 25, 50, 100, 200)
+QUERY_COUNT = 30
+
+
+def test_e4_candidate_recall_report(benchmark):
+    # Keep report generation alive under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    searcher = IndexSearcher(repo.indexer().index)
+    queries = sampler_for(corpus, seed=37).sample(QUERY_COUNT)
+    lines = [
+        "E4a: recall of grade-2 schemas in the candidate pool vs n",
+        f"({QUERY_COUNT} clean queries over {repo.schema_count} schemas)",
+        "",
+        f"{'pool n':>7} {'any-exact recall':>17} {'exact coverage':>15}",
+    ]
+    recall_at = {}
+    for n in POOL_SIZES:
+        any_hit = 0
+        coverage = 0.0
+        for query in queries:
+            pool = {hit.doc_id
+                    for hit in searcher.search(query.keywords, top_n=n)}
+            exact = query.exact_ids
+            if pool & exact:
+                any_hit += 1
+            coverage += len(pool & exact) / len(exact)
+        recall_at[n] = any_hit / QUERY_COUNT
+        lines.append(f"{n:>7} {any_hit / QUERY_COUNT:>17.3f} "
+                     f"{coverage / QUERY_COUNT:>15.3f}")
+    report("e4_candidate_recall", "\n".join(lines))
+    # Recall must be monotone non-decreasing in n and high at n=50+.
+    assert recall_at[200] >= recall_at[5]
+    assert recall_at[50] >= 0.8
+
+
+def _match_everything(repo, corpus, query_keywords) -> list[int]:
+    """The no-filter pipeline: ensemble + tightness on EVERY schema."""
+    ensemble = MatcherEnsemble.default()
+    scorer = TightnessScorer()
+    graph = QueryGraph.build(keywords=query_keywords)
+    scored = []
+    for generated in corpus:
+        schema = generated.schema
+        combined = ensemble.match(graph, schema).combined
+        result = scorer.score(schema, combined.max_per_column())
+        scored.append((result.score, schema.schema_id))
+    scored.sort(reverse=True)
+    return [schema_id for _score, schema_id in scored[:10]]
+
+
+def test_e4_latency_report(benchmark):
+    # Keep report generation alive under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    query = sampler_for(corpus, seed=41).sample(1)[0]
+
+    engine = repo.engine(config=SchemrConfig(candidate_pool=50))
+    start = time.perf_counter()
+    filtered_results = engine.search(keywords=query.keywords, top_n=10)
+    filtered_seconds = time.perf_counter() - start
+
+    # Match-everything on a subsample, extrapolated, to keep the bench
+    # fast; the per-schema cost is constant so this is fair.
+    sample = corpus[:200]
+    start = time.perf_counter()
+    _match_everything(repo, sample, query.keywords)
+    sample_seconds = time.perf_counter() - start
+    projected = sample_seconds * (len(corpus) / len(sample))
+
+    lines = [
+        "E4b: filtered pipeline vs fine-grained matching of every schema",
+        "",
+        f"filtered (pool=50) end-to-end: {filtered_seconds * 1000:9.1f} ms",
+        f"match-everything projected:    {projected * 1000:9.1f} ms "
+        f"(measured {sample_seconds * 1000:.1f} ms over "
+        f"{len(sample)}/{len(corpus)} schemas)",
+        f"speedup: {projected / filtered_seconds:8.1f}x",
+    ]
+    report("e4_latency", "\n".join(lines))
+    assert filtered_results
+    assert projected > filtered_seconds  # filtering must pay off
+
+
+def test_e4_pipeline_pool50_benchmark(benchmark):
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    engine = repo.engine(config=SchemrConfig(candidate_pool=50))
+    query = sampler_for(corpus, seed=43).sample(1)[0]
+    results = benchmark(engine.search, query.keywords, None, 10)
+    assert results is not None
+
+
+def test_e4_pipeline_pool200_benchmark(benchmark):
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    engine = repo.engine(config=SchemrConfig(candidate_pool=200))
+    query = sampler_for(corpus, seed=43).sample(1)[0]
+    results = benchmark(engine.search, query.keywords, None, 10)
+    assert results is not None

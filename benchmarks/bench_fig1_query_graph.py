@@ -1,0 +1,50 @@
+"""F1 — Figure 1: the query graph.
+
+Regenerates the paper's example: a query graph that is a forest of (A) a
+schema fragment and (B) a keyword, and benchmarks query-graph
+construction (parse DDL + assemble the forest).
+"""
+
+from repro.model.query import QueryItemKind
+from repro.parsers.query_parser import parse_query
+
+from benchmarks.helpers import PAPER_FRAGMENT, report
+
+
+def describe_query_graph() -> str:
+    graph = parse_query("diagnosis", fragment=PAPER_FRAGMENT)
+    lines = ["Figure 1: query graph (forest of trees)", ""]
+    for i, item in enumerate(graph.items):
+        if item.kind is QueryItemKind.KEYWORD:
+            lines.append(f"tree {i}: (B) keyword graph of one item: "
+                         f"{item.keyword!r}")
+        else:
+            fragment = item.fragment
+            assert fragment is not None
+            lines.append(f"tree {i}: (A) schema fragment "
+                         f"{fragment.name!r}:")
+            for entity in fragment.entities.values():
+                lines.append(f"  entity {entity.name}")
+                for attr in entity.attributes:
+                    lines.append(f"    attribute {attr.name} "
+                                 f": {attr.data_type}")
+    lines.append("")
+    lines.append(f"flattened for candidate extraction: {graph.flatten()}")
+    lines.append(f"query elements (matrix rows): {graph.element_labels()}")
+    return "\n".join(lines)
+
+
+def test_fig1_report(benchmark):
+    """Regenerate the Figure 1 inventory (non-timed)."""
+    # Keep report generation alive under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = describe_query_graph()
+    report("fig1_query_graph", text)
+    assert "keyword graph of one item: 'diagnosis'" in text
+    assert "entity patient" in text
+
+
+def test_fig1_query_parse_benchmark(benchmark):
+    """Time query-graph construction from raw user input."""
+    graph = benchmark(parse_query, "diagnosis", PAPER_FRAGMENT)
+    assert len(graph.items) == 2

@@ -1,0 +1,76 @@
+"""F5 — Figure 5: system architecture round trips.
+
+Exercises the full request path of the architecture diagram — GUI ->
+Search Service -> candidate filter -> Match Engine -> XML response, and
+the visualization request (schema id -> GraphML) — over real HTTP, plus
+the offline indexer refresh cycle.
+"""
+
+import pytest
+
+from repro.service.client import SchemrClient
+from repro.service.server import SchemrServer
+
+from benchmarks.helpers import PAPER_KEYWORDS, corpus_repository, report
+
+CORPUS_SIZE = 2000
+
+
+@pytest.fixture(scope="module")
+def server_and_client():
+    repo, _corpus = corpus_repository(CORPUS_SIZE)
+    server = SchemrServer(repo)
+    server.start()
+    yield server, SchemrClient(server.base_url)
+    server.stop()
+
+
+def test_fig5_report(benchmark, server_and_client):
+    # Keep report generation alive under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    server, client = server_and_client
+    results = client.search(PAPER_KEYWORDS, top_n=5)
+    graph = client.schema_graph(results[0].schema_id,
+                                match_scores=results[0].element_scores)
+    repo, _ = corpus_repository(CORPUS_SIZE)
+    applied = repo.reindex()  # scheduled-indexer path: nothing pending
+    lines = [
+        "Figure 5: architecture round trips",
+        f"service at {server.base_url}",
+        "",
+        f"search request -> XML response: {len(results)} results, "
+        f"top = {results[0].name!r} (score {results[0].score:.4f})",
+        f"visualization request -> GraphML: {graph.number_of_nodes()} "
+        f"nodes, {graph.number_of_edges()} edges",
+        f"offline indexer refresh with no pending changes applied "
+        f"{applied} operations",
+    ]
+    report("fig5_architecture", "\n".join(lines))
+    assert results
+    assert graph.number_of_nodes() > 1
+
+
+def test_fig5_http_search_benchmark(benchmark, server_and_client):
+    _server, client = server_and_client
+    results = benchmark(client.search, PAPER_KEYWORDS, None, 10)
+    assert results
+
+
+def test_fig5_http_graphml_benchmark(benchmark, server_and_client):
+    _server, client = server_and_client
+    schema_id = client.search(PAPER_KEYWORDS, top_n=1)[0].schema_id
+    graph = benchmark(client.schema_graph, schema_id)
+    assert graph.number_of_nodes() > 1
+
+
+def test_fig5_indexer_refresh_benchmark(benchmark):
+    """Cost of an incremental refresh after one schema changes."""
+    repo, corpus = corpus_repository(CORPUS_SIZE)
+    schema = repo.get_schema(corpus[0].schema.schema_id)
+
+    def change_and_refresh():
+        repo.update_schema(schema)
+        return repo.reindex()
+
+    applied = benchmark(change_and_refresh)
+    assert applied == 1

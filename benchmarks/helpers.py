@@ -1,0 +1,70 @@
+"""Shared machinery for the benchmark harness.
+
+Each bench regenerates one paper artefact (figure) or implied
+measurement (E1-E4).  Expensive fixtures (generated corpora, populated
+repositories) are cached per process so the files can share them, and
+every bench writes its report — the paper-style rows — to
+``benchmarks/out/<name>.txt`` in addition to printing, so the numbers in
+EXPERIMENTS.md are regenerable artifacts.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.corpus.domains import DOMAINS
+from repro.corpus.filters import FilterStats, paper_filter
+from repro.corpus.generator import CorpusGenerator, GeneratedSchema
+from repro.corpus.groundtruth import QuerySampler
+from repro.repository.store import SchemaRepository
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: The paper's running example query (Section 1 / Figure 2).
+PAPER_KEYWORDS = "patient, height, gender, diagnosis"
+
+#: The DDL fragment a designer would paste next to those keywords.
+PAPER_FRAGMENT = """
+CREATE TABLE patient (
+  id INTEGER PRIMARY KEY,
+  height DECIMAL(5,2),
+  gender CHAR(1)
+);
+"""
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+@lru_cache(maxsize=4)
+def generated_corpus(count: int, seed: int = 42) -> tuple[FilterStats, ...]:
+    """Raw stream of ``count`` schemas pushed through the paper filter.
+
+    Returned as a 1-tuple so lru_cache has a hashable value to hold.
+    """
+    generator = CorpusGenerator(seed=seed)
+    stats = paper_filter(generator.generate_raw_stream(count))
+    return (stats,)
+
+
+@lru_cache(maxsize=4)
+def corpus_repository(count: int, seed: int = 42) \
+        -> tuple[SchemaRepository, tuple[GeneratedSchema, ...]]:
+    """A repository populated and indexed with a filtered corpus."""
+    (stats,) = generated_corpus(count, seed)
+    repo = SchemaRepository.in_memory()
+    for generated in stats.kept:
+        repo.add_schema(generated.schema)
+    repo.reindex()
+    return repo, tuple(stats.kept)
+
+
+def sampler_for(corpus: tuple[GeneratedSchema, ...],
+                seed: int = 17) -> QuerySampler:
+    return QuerySampler(list(corpus), DOMAINS, seed=seed)

@@ -1,0 +1,170 @@
+"""The paper's motivating scenario: a rural health system's database
+administrator designs a new table with Schemr's help.
+
+She is modeling patient intake for a district clinic.  Instead of
+starting from a blank page, she searches the shared repository — seeded
+by partner organizations — with keywords AND her partial design, then
+drills into the best hit, leaves a comment, and adopts elements she was
+missing.
+
+Run:  python examples/health_clinic.py
+"""
+
+from repro import SchemaRepository, format_result_table
+from repro.model.graph import schema_to_networkx
+from repro.repository.collab import (
+    add_comment,
+    average_rating,
+    comments_for,
+    rate_schema,
+    record_click,
+    record_impressions,
+)
+from repro.viz.ascii_art import render_ascii_tree
+from repro.viz.drill import drill_in
+
+#: Schemas contributed by partner organizations (regional programs,
+#: ministries of health, NGOs) — each with its own naming conventions.
+PARTNER_SCHEMAS = {
+    "tanzania_hiv_program": """
+    CREATE TABLE patient (
+      patient_id INTEGER PRIMARY KEY,
+      fname VARCHAR(60),
+      lname VARCHAR(60),
+      dob DATE,
+      gender CHAR(1),
+      height DECIMAL(5,2),
+      weight DECIMAL(5,2),
+      village VARCHAR(80)
+    );
+    CREATE TABLE visit (
+      visit_id INTEGER PRIMARY KEY,
+      patient_id INTEGER REFERENCES patient(patient_id),
+      visit_date DATE,
+      cd4_count INTEGER,
+      who_stage SMALLINT,
+      regimen VARCHAR(40)
+    );
+    CREATE TABLE clinic (
+      clinic_id INTEGER PRIMARY KEY,
+      clinic_name VARCHAR(100),
+      district VARCHAR(60)
+    );
+    """,
+    "district_hospital_emr": """
+    CREATE TABLE Patients (
+      ID INTEGER PRIMARY KEY,
+      FullName VARCHAR(120),
+      Sex CHAR(1),
+      BirthDate DATE,
+      PhoneNumber VARCHAR(20)
+    );
+    CREATE TABLE Encounters (
+      EncounterID INTEGER PRIMARY KEY,
+      PatientID INTEGER REFERENCES Patients(ID),
+      Diagnosis TEXT,
+      Outcome VARCHAR(30),
+      EncounterDate DATE
+    );
+    """,
+    "community_health_workers": """
+    CREATE TABLE chw (
+      chw_id INTEGER PRIMARY KEY,
+      name VARCHAR(80),
+      catchment_area VARCHAR(80),
+      phone VARCHAR(20)
+    );
+    CREATE TABLE household_visit (
+      id INTEGER PRIMARY KEY,
+      chw_id INTEGER REFERENCES chw(chw_id),
+      visit_date DATE,
+      household_size INTEGER,
+      bednets INTEGER,
+      referrals INTEGER
+    );
+    """,
+    "national_hmis_export": """
+    CREATE TABLE facility (
+      facility_code VARCHAR(12) PRIMARY KEY,
+      facility_name VARCHAR(120),
+      region VARCHAR(60),
+      district VARCHAR(60),
+      facility_type VARCHAR(30)
+    );
+    CREATE TABLE monthly_report (
+      report_id INTEGER PRIMARY KEY,
+      facility_code VARCHAR(12) REFERENCES facility(facility_code),
+      period CHAR(7),
+      opd_attendance INTEGER,
+      malaria_cases INTEGER,
+      anc_visits INTEGER
+    );
+    """,
+}
+
+#: Her partially designed intake table so far.
+DRAFT = """
+CREATE TABLE patient_intake (
+  intake_id INTEGER PRIMARY KEY,
+  patient_name VARCHAR(100),
+  gender CHAR(1),
+  height DECIMAL(5,2)
+);
+"""
+
+
+def main() -> None:
+    repo = SchemaRepository.in_memory()
+    for name, ddl in PARTNER_SCHEMAS.items():
+        repo.import_ddl(ddl, name=name,
+                        description=f"shared by {name.replace('_', ' ')}")
+
+    engine = repo.engine()
+
+    print("=" * 70)
+    print("Search: keywords 'patient, height, gender, diagnosis'"
+          " + the draft table")
+    print("=" * 70)
+    results = engine.search("patient, height, gender, diagnosis",
+                            fragment=DRAFT)
+    print(format_result_table(results))
+    record_impressions(repo, [r.schema_id for r in results])
+
+    # She clicks the top result to inspect it.
+    top = results[0]
+    record_click(repo, top.schema_id)
+    schema = repo.get_schema(top.schema_id)
+    graph = schema_to_networkx(schema)
+    for path, score in top.element_scores.items():
+        if graph.has_node(path):
+            graph.nodes[path]["match_score"] = score
+
+    print(f"\ndrill-in on {top.name!r} (anchor entity: "
+          f"{top.best_anchor}):\n")
+    print(render_ascii_tree(drill_in(graph, top.best_anchor or "patient")))
+
+    # Collaboration: she rates the schema and leaves a comment for the
+    # partner organization.
+    rate_schema(repo, top.schema_id, "clinic_dba", 5)
+    add_comment(repo, top.schema_id, "clinic_dba",
+                "Adopting your patient demographics block; consider "
+                "adding units to height (cm?).")
+    print(f"\nrating now: {average_rating(repo, top.schema_id):.1f} stars")
+    for comment in comments_for(repo, top.schema_id):
+        print(f"comment by {comment.user}: {comment.body}")
+
+    # She extends her draft with what she learned and searches again —
+    # the iterative model development process the paper sketches.
+    refined = DRAFT.replace(
+        "height DECIMAL(5,2)",
+        "height DECIMAL(5,2),\n  weight DECIMAL(5,2),\n  dob DATE")
+    print("\nrefined draft (adopted weight + dob) — new search:")
+    for result in engine.search(fragment=refined, top_n=3):
+        print(f"  {result.name:<28} score={result.score:.4f} "
+              f"matches={result.match_count}")
+
+    repo.close()
+
+
+if __name__ == "__main__":
+    main()

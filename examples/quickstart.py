@@ -1,0 +1,106 @@
+"""Quickstart: import schemas, search, and visualize — in two minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SchemaRepository, format_result_table
+from repro.model.graph import schema_to_networkx
+from repro.viz.ascii_art import render_ascii_tree
+from repro.viz.drill import display_subgraph
+
+CLINIC_DDL = """
+CREATE TABLE patient (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR(100) NOT NULL,
+  height DECIMAL(5,2),
+  gender CHAR(1)
+);
+CREATE TABLE doctor (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR(100),
+  gender CHAR(1),
+  specialty VARCHAR(50)
+);
+CREATE TABLE "case" (
+  id INTEGER PRIMARY KEY,
+  patient_id INTEGER REFERENCES patient(id),
+  doctor_id INTEGER REFERENCES doctor(id),
+  diagnosis TEXT
+);
+"""
+
+HR_DDL = """
+CREATE TABLE employee (
+  id INTEGER PRIMARY KEY,
+  fname VARCHAR(50),
+  lname VARCHAR(50),
+  sal DECIMAL(10,2),
+  dept_id INTEGER REFERENCES department(id)
+);
+CREATE TABLE department (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR(50)
+);
+"""
+
+ECO_XSD = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+ <xs:element name="site">
+  <xs:complexType>
+   <xs:sequence>
+    <xs:element name="site_name" type="xs:string"/>
+    <xs:element name="latitude" type="xs:decimal"/>
+    <xs:element name="longitude" type="xs:decimal"/>
+    <xs:element name="observation">
+     <xs:complexType>
+      <xs:sequence>
+       <xs:element name="species" type="xs:string"/>
+       <xs:element name="obs_date" type="xs:date"/>
+       <xs:element name="count" type="xs:integer"/>
+      </xs:sequence>
+     </xs:complexType>
+    </xs:element>
+   </xs:sequence>
+  </xs:complexType>
+ </xs:element>
+</xs:schema>"""
+
+
+def main() -> None:
+    # 1. A repository holds schemas; imports parse DDL or XSD.
+    repo = SchemaRepository.in_memory()
+    repo.import_ddl(CLINIC_DDL, name="clinic_emr",
+                    description="health clinic records")
+    repo.import_ddl(HR_DDL, name="hr_payroll",
+                    description="employee payroll")
+    repo.import_xsd(ECO_XSD, name="conservation_monitoring",
+                    description="species observations")
+
+    # 2. engine() refreshes the text index and returns the 3-phase
+    #    search engine (candidates -> matching -> tightness-of-fit).
+    engine = repo.engine()
+    print("keyword search: patient, height, gender, diagnosis\n")
+    results = engine.search("patient, height, gender, diagnosis")
+    print(format_result_table(results))
+
+    # 3. Queries can also carry a partially designed schema fragment.
+    print("\nquery by example (DDL fragment):\n")
+    fragment = "CREATE TABLE patient (height DECIMAL, gender CHAR(1));"
+    for result in engine.search(fragment=fragment, top_n=3):
+        print(f"  {result.name:<28} score={result.score:.4f} "
+              f"anchor={result.best_anchor}")
+
+    # 4. Drill into the top result (the GUI tree view, in your terminal).
+    top = results[0]
+    schema = repo.get_schema(top.schema_id)
+    graph = schema_to_networkx(schema)
+    for path, score in top.element_scores.items():
+        if graph.has_node(path):
+            graph.nodes[path]["match_score"] = score
+    print(f"\ntop result {top.name!r} with match scores:\n")
+    print(render_ascii_tree(display_subgraph(graph)))
+
+    repo.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Search-as-you-design with a learning loop.
+
+The paper's OpenII integration sketch: "integrating Schemr with a schema
+editor would allow for a new model development process, in which search
+results are iteratively used to augment a schema", while recorded search
+histories train the matcher weighting scheme.
+
+This example simulates that loop: a designer grows a retail 'order'
+schema over three iterations, clicking the results that helped; the
+recorded history then trains the logistic-regression meta-learner and
+the learned weights replace the uniform scheme.
+
+Run:  python examples/schema_design_assistant.py
+"""
+
+from repro import MatcherEnsemble, SchemaRepository
+from repro.corpus.filters import paper_filter
+from repro.corpus.generator import CorpusGenerator
+from repro.matching.learner import WeightLearner
+from repro.model.query import QueryGraph
+from repro.repository.history import build_training_set, record_search
+
+CORPUS_SIZE = 1500
+
+ITERATIONS = [
+    # (draft DDL, what the designer is looking for this round)
+    ("""CREATE TABLE "order" (
+          order_id INTEGER PRIMARY KEY,
+          order_date DATE
+        );""",
+     "order status amount"),
+    ("""CREATE TABLE "order" (
+          order_id INTEGER PRIMARY KEY,
+          order_date DATE,
+          status VARCHAR(20),
+          total_amount DECIMAL(10,2)
+        );""",
+     "customer shipping address"),
+    ("""CREATE TABLE "order" (
+          order_id INTEGER PRIMARY KEY,
+          order_date DATE,
+          status VARCHAR(20),
+          total_amount DECIMAL(10,2),
+          customer_id INTEGER,
+          shipping_cost DECIMAL(8,2)
+        );""",
+     "order item quantity unit price"),
+]
+
+
+def main() -> None:
+    generator = CorpusGenerator(seed=7)
+    stats = paper_filter(generator.generate_raw_stream(CORPUS_SIZE))
+    repo = SchemaRepository.in_memory()
+    for generated in stats.kept:
+        repo.add_schema(generated.schema)
+    engine = repo.engine()
+    print(f"repository: {repo.schema_count} schemas\n")
+
+    # --- the design loop, recording history as the designer clicks ----
+    for round_number, (draft, keywords) in enumerate(ITERATIONS, start=1):
+        print(f"iteration {round_number}: draft has "
+              f"{draft.count(',') + 1} columns; searching "
+              f"{keywords!r} + draft")
+        results = engine.search(keywords=keywords, fragment=draft,
+                                top_n=5)
+        graph = QueryGraph.build(keywords=keywords.split())
+        for rank, result in enumerate(results, start=1):
+            schema = repo.get_schema(result.schema_id)
+            per_matcher = engine.ensemble.match(graph, schema).per_matcher
+            features = {name: float(matrix.values.max())
+                        for name, matrix in per_matcher.items()}
+            # The designer clicks helpful results near the top; deep
+            # results she scrolled past count as implicit negatives.
+            clicked = rank <= 2 and "retail" in result.name
+            record_search(repo, keywords, result.schema_id, clicked,
+                          features)
+            marker = "*" if clicked else " "
+            print(f"   {marker} {result.name:<40} "
+                  f"score={result.score:.4f}")
+        print()
+
+    # --- train the meta-learner on what was recorded ------------------
+    examples = build_training_set(repo)
+    positives = sum(example.relevant for example in examples)
+    print(f"recorded history: {len(examples)} examples "
+          f"({positives} clicks)")
+    if positives == 0 or positives == len(examples):
+        print("history has a single class; keeping uniform weights")
+        repo.close()
+        return
+
+    learner = WeightLearner(engine.ensemble.matcher_names)
+    learner.fit(examples)
+    weights = learner.weights()
+    print("learned weights: "
+          + ", ".join(f"{name}={value:.3f}"
+                      for name, value in weights.items()))
+    print(f"training accuracy: {learner.accuracy(examples):.3f}\n")
+
+    # --- the next session starts with the learned scheme --------------
+    tuned = MatcherEnsemble.default()
+    tuned.set_weights(weights)
+    tuned_engine = repo.engine(ensemble=tuned)
+    final_draft, final_keywords = ITERATIONS[-1]
+    print("re-running the last query with learned weights:")
+    for result in tuned_engine.search(keywords=final_keywords,
+                                      fragment=final_draft, top_n=3):
+        print(f"   {result.name:<40} score={result.score:.4f}")
+    repo.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,399 @@
+"""The ``schemr`` command-line interface.
+
+Subcommands cover the full lifecycle::
+
+    schemr init repo.db
+    schemr import repo.db clinic.sql --name clinic
+    schemr generate repo.db --count 1000 --seed 7
+    schemr index repo.db
+    schemr search repo.db --keywords "patient height gender" --top 10
+    schemr show repo.db 3 --layout tree --depth 3
+    schemr export repo.db 3 --format graphml
+    schemr serve repo.db --port 8080
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.results import format_result_table
+from repro.corpus.filters import paper_filter
+from repro.corpus.generator import CorpusGenerator
+from repro.errors import SchemrError
+from repro.repository.store import SchemaRepository
+from repro.service.graphml import graphml_for_schema
+from repro.service.server import SchemrServer
+from repro.viz.ascii_art import render_ascii_tree
+from repro.viz.drill import display_subgraph
+from repro.viz.radial import radial_layout
+from repro.viz.svg import render_svg
+from repro.viz.tree import tree_layout
+
+from repro.model.graph import schema_to_networkx
+
+
+def _open_repository(path: str, must_exist: bool = True) -> SchemaRepository:
+    if must_exist and not Path(path).exists():
+        raise SchemrError(
+            f"repository {path} does not exist; run `schemr init {path}`")
+    return SchemaRepository(path)
+
+
+# -- subcommand implementations ---------------------------------------------
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    if Path(args.db).exists():
+        raise SchemrError(f"{args.db} already exists")
+    repo = SchemaRepository(args.db)
+    repo.close()
+    print(f"initialized empty schema repository at {args.db}")
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    text = Path(args.file).read_text(encoding="utf-8")
+    with _open_repository(args.db) as repo:
+        name = args.name or Path(args.file).stem
+        if args.format == "xsd" or (args.format == "auto"
+                                    and text.lstrip().startswith("<")):
+            schema_id = repo.import_xsd(text, name=name,
+                                        description=args.description)
+        else:
+            schema_id = repo.import_ddl(text, name=name,
+                                        description=args.description)
+        schema = repo.get_schema(schema_id)
+        print(f"imported {schema.name!r} as schema {schema_id} "
+              f"({schema.entity_count} entities, "
+              f"{schema.attribute_count} attributes)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = CorpusGenerator(seed=args.seed)
+    raw = generator.generate_raw_stream(args.count)
+    stats = paper_filter(raw)
+    with _open_repository(args.db) as repo:
+        for generated in stats.kept:
+            repo.add_schema(generated.schema)
+    print(stats.summary())
+    print(f"stored {stats.kept_count} schemas in {args.db}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    with _open_repository(args.db) as repo:
+        applied = repo.reindex()
+        indexer = repo.indexer()
+        if args.save:
+            indexer.save(args.save)
+            print(f"saved index segment to {args.save}")
+        print(f"applied {applied} index operations; index now holds "
+              f"{indexer.index.document_count} documents, "
+              f"{indexer.index.term_count} terms")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    fragment = None
+    if args.fragment:
+        fragment = Path(args.fragment).read_text(encoding="utf-8")
+    with _open_repository(args.db) as repo:
+        engine = repo.engine()
+        results = engine.search(keywords=args.keywords, fragment=fragment,
+                                top_n=args.top)
+        if args.dedup:
+            from repro.core.dedup import collapse_duplicates, format_deduped
+            print(format_deduped(collapse_duplicates(results, repo)))
+        else:
+            print(format_result_table(results))
+        if args.trace and engine.last_trace is not None:
+            print()
+            print(engine.last_trace.summary())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    with _open_repository(args.db) as repo:
+        schema = repo.get_schema(args.schema_id)
+    graph = schema_to_networkx(schema)
+    display = display_subgraph(graph, focus=args.focus, max_depth=args.depth)
+    if args.layout == "ascii":
+        print(render_ascii_tree(display))
+        return 0
+    layout = (radial_layout(display) if args.layout == "radial"
+              else tree_layout(display))
+    svg = render_svg(layout, title=schema.name)
+    if args.out:
+        Path(args.out).write_text(svg, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(svg)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.repository.exporter import export_ddl, export_xsd
+    with _open_repository(args.db) as repo:
+        schema = repo.get_schema(args.schema_id)
+    if args.format == "json":
+        output = json.dumps(schema.to_dict(), indent=2)
+    elif args.format == "ddl":
+        output = export_ddl(schema)
+    elif args.format == "xsd":
+        output = export_xsd(schema)
+    else:
+        output = graphml_for_schema(schema)
+    if args.out:
+        Path(args.out).write_text(output, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.viz.summarize import summarize_schema
+    with _open_repository(args.db) as repo:
+        schema = repo.get_schema(args.schema_id)
+    summary = summarize_schema(schema, k=args.k)
+    print(f"summary of {schema.name!r}: kept {len(summary.entities)} of "
+          f"{schema.entity_count} entities "
+          f"({summary.dropped} collapsed)")
+    for name in summary.entities:
+        print(f"  {name:<30} importance={summary.importance[name]:.3f}")
+    for edge in summary.edges:
+        kind = "fk" if edge.direct else f"via {edge.via_count} dropped"
+        print(f"  {edge.source} -- {edge.target}  ({kind})")
+    if args.out:
+        graph = summary.to_networkx(schema)
+        layout = tree_layout(display_subgraph(graph))
+        Path(args.out).write_text(render_svg(layout, title=f"{schema.name}"
+                                             " (summary)"),
+                                  encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    from repro.codebook.annotate import annotate_schema
+    with _open_repository(args.db) as repo:
+        schema = repo.get_schema(args.schema_id)
+    annotated = annotate_schema(schema)
+    print(f"codebook annotations for {schema.name!r} "
+          f"(coverage {annotated.coverage:.0%}):")
+    for category, paths in annotated.by_category().items():
+        print(f"  [{category}]")
+        for path in paths:
+            annotation = annotated.annotations[path]
+            unit = annotation.concept.canonical_unit
+            unit_note = f" ({unit})" if unit else ""
+            print(f"    {path:<36} -> {annotation.concept.name}"
+                  f"{unit_note}")
+    return 0
+
+
+def _cmd_backup(args: argparse.Namespace) -> int:
+    from repro.repository.backup import backup_repository
+    with _open_repository(args.db) as repo:
+        count = backup_repository(repo, args.destination)
+    print(f"backed up {count} schema(s) to {args.destination}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.mapping.diff import diff_schemas
+    with _open_repository(args.db) as repo:
+        old = repo.get_schema(args.old_id)
+        new = repo.get_schema(args.new_id)
+    print(diff_schemas(old, new).summary())
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.instances.sampler import generate_instances
+    from repro.instances.store import save_instances
+    with _open_repository(args.db) as repo:
+        schema = repo.get_schema(args.schema_id)
+        tables = generate_instances(schema, rows=args.rows, seed=args.seed)
+        save_instances(repo, args.schema_id, tables)
+        total = sum(t.row_count * len(t.columns) for t in tables.values())
+        print(f"sampled {args.rows} example rows per entity for "
+              f"{schema.name!r} ({total} values stored)")
+    return 0
+
+
+def _cmd_examples(args: argparse.Namespace) -> int:
+    from repro.instances.store import load_instances
+    with _open_repository(args.db) as repo:
+        schema = repo.get_schema(args.schema_id)
+        tables = load_instances(repo, args.schema_id)
+    if not tables:
+        print(f"no data examples stored for schema {args.schema_id}; "
+              f"run `schemr sample` first")
+        return 1
+    for entity, table in tables.items():
+        columns = list(table.columns)
+        print(f"{schema.name}.{entity} ({table.row_count} rows)")
+        print("  " + " | ".join(columns))
+        for row in table.rows()[:args.rows]:
+            print("  " + " | ".join(row))
+        print()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    repo = _open_repository(args.db)
+    server = SchemrServer(repo, host=args.host, port=args.port)
+    print(f"schemr service listening on {server.base_url}")
+    server.start()
+    try:
+        server_thread = getattr(server, "_thread")
+        while server_thread is not None and server_thread.is_alive():
+            server_thread.join(timeout=1.0)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+        repo.close()
+    return 0
+
+
+# -- argument parsing --------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="schemr",
+        description="Search and visualize schema repositories.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create an empty repository")
+    p.add_argument("db")
+    p.set_defaults(func=_cmd_init)
+
+    p = sub.add_parser("import", help="import a DDL or XSD file")
+    p.add_argument("db")
+    p.add_argument("file")
+    p.add_argument("--name", default=None)
+    p.add_argument("--description", default="")
+    p.add_argument("--format", choices=("auto", "ddl", "xsd"),
+                   default="auto")
+    p.set_defaults(func=_cmd_import)
+
+    p = sub.add_parser("generate",
+                       help="populate with a synthetic WebTables corpus")
+    p.add_argument("db")
+    p.add_argument("--count", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("index", help="refresh the text index")
+    p.add_argument("db")
+    p.add_argument("--save", default=None,
+                   help="also persist the index segment to this path")
+    p.set_defaults(func=_cmd_index)
+
+    p = sub.add_parser("search", help="search the repository")
+    p.add_argument("db")
+    p.add_argument("--keywords", default=None)
+    p.add_argument("--fragment", default=None,
+                   help="path to a DDL/XSD fragment file")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--trace", action="store_true",
+                   help="print the per-phase pipeline trace")
+    p.add_argument("--dedup", action="store_true",
+                   help="collapse near-duplicate schemas in the results")
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("show", help="visualize one schema")
+    p.add_argument("db")
+    p.add_argument("schema_id", type=int)
+    p.add_argument("--layout", choices=("ascii", "tree", "radial"),
+                   default="ascii")
+    p.add_argument("--depth", type=int, default=3)
+    p.add_argument("--focus", default=None,
+                   help="drill in on this element path")
+    p.add_argument("--out", default=None, help="write SVG here")
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser("export", help="export one schema")
+    p.add_argument("db")
+    p.add_argument("schema_id", type=int)
+    p.add_argument("--format", choices=("json", "graphml", "ddl", "xsd"),
+                   default="json")
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("summarize",
+                       help="size-k structural summary of one schema")
+    p.add_argument("db")
+    p.add_argument("schema_id", type=int)
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--out", default=None, help="write summary SVG here")
+    p.set_defaults(func=_cmd_summarize)
+
+    p = sub.add_parser("annotate",
+                       help="codebook concept annotations for one schema")
+    p.add_argument("db")
+    p.add_argument("schema_id", type=int)
+    p.set_defaults(func=_cmd_annotate)
+
+    p = sub.add_parser("backup", help="online backup of the repository")
+    p.add_argument("db")
+    p.add_argument("destination")
+    p.set_defaults(func=_cmd_backup)
+
+    p = sub.add_parser("diff",
+                       help="structural diff between two stored schemas")
+    p.add_argument("db")
+    p.add_argument("old_id", type=int)
+    p.add_argument("new_id", type=int)
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("sample",
+                       help="generate and store data examples for a schema")
+    p.add_argument("db")
+    p.add_argument("schema_id", type=int)
+    p.add_argument("--rows", type=int, default=20)
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=_cmd_sample)
+
+    p = sub.add_parser("examples",
+                       help="show stored data examples for a schema")
+    p.add_argument("db")
+    p.add_argument("schema_id", type=int)
+    p.add_argument("--rows", type=int, default=5)
+    p.set_defaults(func=_cmd_examples)
+
+    p = sub.add_parser("serve", help="run the HTTP service")
+    p.add_argument("db")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.set_defaults(func=_cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SchemrError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like
+        # well-behaved unix tools do.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

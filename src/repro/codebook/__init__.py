@@ -1,0 +1,38 @@
+"""The codebook: standardized data-type concepts for schema elements.
+
+The paper's OpenII sketch: "integrating Schemr's search functionality
+with a codebook that contains data types like units, date/time, and
+geographic location, would encourage a deeper standardization of data
+types alongside schema search results."
+
+This package provides:
+
+* :mod:`~repro.codebook.concepts` — the concept catalog: units of
+  measure, date/time shapes, geographic coordinates/areas, identifiers,
+  monetary amounts, contact info;
+* :mod:`~repro.codebook.annotate` — a rule-based recognizer that maps
+  schema attributes to concepts from their names and declared types;
+* :mod:`~repro.codebook.matcher` — a :class:`CodebookMatcher` for the
+  ensemble: two attributes annotated with the same concept (or
+  compatible concepts, e.g. two different length units) are likely
+  semantic matches even when their names share nothing.
+"""
+
+from repro.codebook.annotate import AnnotatedSchema, annotate_schema
+from repro.codebook.concepts import (
+    CONCEPTS,
+    Concept,
+    ConceptCategory,
+    concept_by_name,
+)
+from repro.codebook.matcher import CodebookMatcher
+
+__all__ = [
+    "AnnotatedSchema",
+    "CONCEPTS",
+    "CodebookMatcher",
+    "Concept",
+    "ConceptCategory",
+    "annotate_schema",
+    "concept_by_name",
+]

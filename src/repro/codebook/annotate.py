@@ -1,0 +1,101 @@
+"""Rule-based concept recognition for schema attributes.
+
+An attribute is annotated with the concept whose name cues best match
+the attribute's (split + abbreviation-expanded) words, subject to
+type-family consistency with the declared SQL type.  Scoring is simple
+and auditable: one point per cue word present, a half-point penalty when
+the declared type family contradicts the concept's allowed families,
+winner takes the annotation if its score clears 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codebook.concepts import CONCEPTS, Concept
+from repro.matching.datatype import type_family
+from repro.matching.normalize import normalize_words
+from repro.model.schema import Schema
+
+
+@dataclass(frozen=True, slots=True)
+class Annotation:
+    """One attribute's recognized concept."""
+
+    element_path: str
+    concept: Concept
+    score: float
+
+
+@dataclass(slots=True)
+class AnnotatedSchema:
+    """A schema plus its concept annotations, keyed by element path."""
+
+    schema: Schema
+    annotations: dict[str, Annotation] = field(default_factory=dict)
+
+    def concept_of(self, element_path: str) -> Concept | None:
+        annotation = self.annotations.get(element_path)
+        return None if annotation is None else annotation.concept
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of attributes that received an annotation."""
+        total = self.schema.attribute_count
+        if total == 0:
+            return 0.0
+        return len(self.annotations) / total
+
+    def by_category(self) -> dict[str, list[str]]:
+        """element paths grouped by concept category (for reports)."""
+        groups: dict[str, list[str]] = {}
+        for path, annotation in sorted(self.annotations.items()):
+            groups.setdefault(
+                annotation.concept.category.value, []).append(path)
+        return groups
+
+
+def _score_concept(concept: Concept, words: list[str],
+                   family: str | None) -> float:
+    cue_hits = sum(1 for word in words if word in concept.name_cues)
+    if cue_hits == 0:
+        return 0.0
+    score = float(cue_hits)
+    if concept.type_families and family is not None \
+            and family not in concept.type_families:
+        score -= 0.5
+    return score
+
+
+def annotate_attribute(name: str, data_type: str = "") -> Annotation | None:
+    """Recognize the concept of one attribute, or None.
+
+    Standalone helper for callers outside full-schema annotation (e.g.
+    annotating query keywords).
+    """
+    words = normalize_words(name)
+    family = type_family(data_type)
+    best: tuple[float, Concept] | None = None
+    for concept in CONCEPTS:
+        score = _score_concept(concept, words, family)
+        if score >= 1.0 and (best is None or score > best[0]):
+            best = (score, concept)
+    if best is None:
+        return None
+    return Annotation(element_path=name, concept=best[1], score=best[0])
+
+
+def annotate_schema(schema: Schema) -> AnnotatedSchema:
+    """Annotate every attribute of ``schema`` that a rule recognizes."""
+    annotated = AnnotatedSchema(schema=schema)
+    for entity in schema.entities.values():
+        for attr in entity.attributes:
+            annotation = annotate_attribute(attr.name, attr.data_type)
+            if annotation is not None:
+                path = f"{entity.name}.{attr.name}"
+                annotated.annotations[path] = Annotation(
+                    element_path=path,
+                    concept=annotation.concept,
+                    score=annotation.score,
+                )
+    return annotated

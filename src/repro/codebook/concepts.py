@@ -1,0 +1,138 @@
+"""The concept catalog.
+
+A :class:`Concept` is a standardized data-type notion — "length in
+centimeters", "calendar date", "latitude" — grouped into categories.
+Concepts carry the name cues and SQL-type families the recognizer uses,
+plus an optional canonical unit so downstream tooling can standardize.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ConceptCategory(enum.Enum):
+    """Top-level grouping (the paper names the first three)."""
+
+    UNIT = "unit"
+    DATETIME = "datetime"
+    GEOGRAPHIC = "geographic"
+    IDENTIFIER = "identifier"
+    MONETARY = "monetary"
+    CONTACT = "contact"
+    TEXT = "text"
+
+
+@dataclass(frozen=True, slots=True)
+class Concept:
+    """One standardized data-type concept."""
+
+    name: str
+    category: ConceptCategory
+    #: Lowercase words whose presence in an attribute name suggests this
+    #: concept (matched against split, abbreviation-expanded words).
+    name_cues: tuple[str, ...]
+    #: Type families (see repro.matching.datatype) that are consistent
+    #: with the concept; empty means any.
+    type_families: tuple[str, ...] = ()
+    canonical_unit: str = ""
+    description: str = ""
+
+
+CONCEPTS: tuple[Concept, ...] = (
+    # -- units of measure ---------------------------------------------------
+    Concept("length", ConceptCategory.UNIT,
+            ("height", "width", "length", "depth", "distance", "elevation",
+             "stature"),
+            type_families=("numeric",), canonical_unit="m",
+            description="linear measure"),
+    Concept("mass", ConceptCategory.UNIT,
+            ("weight", "mass"), type_families=("numeric",),
+            canonical_unit="kg"),
+    Concept("temperature", ConceptCategory.UNIT,
+            ("temperature",), type_families=("numeric",),
+            canonical_unit="celsius"),
+    Concept("pressure", ConceptCategory.UNIT,
+            ("pressure",), type_families=("numeric",),
+            canonical_unit="hPa"),
+    Concept("speed", ConceptCategory.UNIT,
+            ("speed", "velocity"), type_families=("numeric",),
+            canonical_unit="m/s"),
+    Concept("area", ConceptCategory.UNIT,
+            ("area", "acreage"), type_families=("numeric",),
+            canonical_unit="m^2"),
+    Concept("duration", ConceptCategory.UNIT,
+            ("duration", "elapsed"), type_families=("numeric", "temporal"),
+            canonical_unit="s"),
+    Concept("count", ConceptCategory.UNIT,
+            ("count", "quantity", "number", "capacity", "attendance",
+             "passengers", "stock", "pages"),
+            type_families=("numeric",), canonical_unit="1"),
+    Concept("percentage", ConceptCategory.UNIT,
+            ("percent", "percentage", "rate", "ratio", "humidity"),
+            type_families=("numeric",), canonical_unit="%"),
+    # -- date/time -----------------------------------------------------------
+    Concept("calendar_date", ConceptCategory.DATETIME,
+            ("date", "day", "birthday"), type_families=("temporal", "text"),
+            description="a calendar date"),
+    Concept("timestamp", ConceptCategory.DATETIME,
+            ("time", "timestamp", "datetime"),
+            type_families=("temporal", "text")),
+    Concept("year", ConceptCategory.DATETIME,
+            ("year",), type_families=("temporal", "numeric")),
+    Concept("period", ConceptCategory.DATETIME,
+            ("period", "semester", "term", "quarter", "month"),
+            type_families=("temporal", "text", "numeric")),
+    # -- geographic ------------------------------------------------------------
+    Concept("latitude", ConceptCategory.GEOGRAPHIC,
+            ("latitude", "lat"), type_families=("numeric",),
+            canonical_unit="deg"),
+    Concept("longitude", ConceptCategory.GEOGRAPHIC,
+            ("longitude", "lon", "lng"), type_families=("numeric",),
+            canonical_unit="deg"),
+    Concept("postal_address", ConceptCategory.GEOGRAPHIC,
+            ("address", "street", "residence")),
+    Concept("city", ConceptCategory.GEOGRAPHIC,
+            ("city", "town", "municipality", "village")),
+    Concept("region", ConceptCategory.GEOGRAPHIC,
+            ("region", "state", "province", "district", "county")),
+    Concept("country", ConceptCategory.GEOGRAPHIC,
+            ("country", "nation")),
+    Concept("postal_code", ConceptCategory.GEOGRAPHIC,
+            ("zip", "zipcode", "postcode", "postal")),
+    # -- identifiers ------------------------------------------------------------
+    Concept("surrogate_key", ConceptCategory.IDENTIFIER,
+            ("id", "key", "code", "uuid"),
+            type_families=("identifier", "numeric", "text")),
+    Concept("national_id", ConceptCategory.IDENTIFIER,
+            ("ssn", "social", "tax", "license", "passport", "isbn",
+             "plate")),
+    # -- monetary -----------------------------------------------------------------
+    Concept("money", ConceptCategory.MONETARY,
+            ("price", "cost", "amount", "salary", "wage", "pay", "fee",
+             "fare", "fine", "budget", "balance", "principal", "total"),
+            type_families=("numeric",), canonical_unit="currency"),
+    Concept("currency_code", ConceptCategory.MONETARY,
+            ("currency",), type_families=("text",)),
+    Concept("interest_rate", ConceptCategory.MONETARY,
+            ("interest",), type_families=("numeric",), canonical_unit="%"),
+    # -- contact --------------------------------------------------------------------
+    Concept("email_address", ConceptCategory.CONTACT,
+            ("email", "mail")),
+    Concept("phone_number", ConceptCategory.CONTACT,
+            ("phone", "telephone", "mobile", "fax")),
+    # -- text ------------------------------------------------------------------------
+    Concept("person_name", ConceptCategory.TEXT,
+            ("name", "fname", "lname", "surname", "firstname", "lastname")),
+    Concept("free_text", ConceptCategory.TEXT,
+            ("description", "notes", "comment", "remarks", "summary")),
+)
+
+
+def concept_by_name(name: str) -> Concept:
+    """Look up a concept; raises :class:`KeyError` when absent."""
+    for concept in CONCEPTS:
+        if concept.name == name:
+            return concept
+    raise KeyError(f"no concept named {name!r}")

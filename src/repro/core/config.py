@@ -1,0 +1,38 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.scoring.tightness import PenaltyPolicy
+
+
+@dataclass(slots=True)
+class SchemrConfig:
+    """Tunable knobs of the three-phase pipeline.
+
+    ``candidate_pool`` is the n of the paper's "top n candidate results"
+    from phase one — how many schemas survive into fine-grained
+    matching.  ``use_coordination`` and ``use_tightness`` exist for the
+    E3/E4 ablation benches; with ``use_tightness`` off, ranking falls
+    back to the aggregate of per-element max scores without structural
+    penalties.
+
+    ``use_fuzzy_expansion`` enables the extension of
+    :mod:`repro.index.fuzzy`: abbreviation expansion plus trigram
+    suggestion for query terms missing from the term dictionary.  Off by
+    default because the paper's phase one does not do this; the E3
+    ablation measures its effect on noisy queries.
+    """
+
+    candidate_pool: int = 50
+    use_coordination: bool = True
+    use_tightness: bool = True
+    use_fuzzy_expansion: bool = False
+    penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)
+
+    def __post_init__(self) -> None:
+        if self.candidate_pool <= 0:
+            raise QueryError(
+                f"candidate_pool must be positive, got {self.candidate_pool}")

@@ -1,0 +1,211 @@
+"""The Schemr search engine: all three phases behind one call."""
+
+from __future__ import annotations
+
+import logging
+
+from typing import Protocol
+
+from repro.core.config import SchemrConfig
+from repro.core.pipeline import (
+    PHASE_CANDIDATES,
+    PHASE_MATCHING,
+    PHASE_PARSE,
+    PHASE_TIGHTNESS,
+    PipelineTrace,
+    timed_phase,
+)
+from repro.core.results import ElementMatch, SearchResult
+from repro.errors import QueryError
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+from repro.matching.ensemble import MatcherEnsemble
+from repro.model.query import QueryGraph
+from repro.model.schema import Schema
+from repro.parsers.query_parser import parse_query
+from repro.scoring.tightness import TightnessScorer
+
+logger = logging.getLogger(__name__)
+
+
+class SchemaSource(Protocol):
+    """Where the engine fetches full schemas for candidate ids.
+
+    The repository implements this; tests can use
+    :class:`DictSchemaSource`.
+    """
+
+    def get_schema(self, schema_id: int) -> Schema:  # pragma: no cover
+        """Return the schema stored under ``schema_id``."""
+        ...
+
+
+class DictSchemaSource:
+    """In-memory :class:`SchemaSource` over a dict (tests, examples)."""
+
+    def __init__(self, schemas: dict[int, Schema]) -> None:
+        self._schemas = dict(schemas)
+
+    def get_schema(self, schema_id: int) -> Schema:
+        try:
+            return self._schemas[schema_id]
+        except KeyError:
+            raise QueryError(f"unknown schema id {schema_id}") from None
+
+
+class SchemrEngine:
+    """Executes the three-phase schema search of Figure 3.
+
+    Parameters
+    ----------
+    index:
+        The inverted index over the schema corpus (phase one).
+    source:
+        Resolver from candidate ids to full :class:`Schema` objects
+        (needed by phases two and three).
+    ensemble:
+        Fine-grained matcher ensemble; defaults to the paper's
+        name + context pair with uniform weights.
+    config:
+        Pipeline knobs; see :class:`SchemrConfig`.
+    """
+
+    def __init__(self, index: InvertedIndex, source: SchemaSource,
+                 ensemble: MatcherEnsemble | None = None,
+                 config: SchemrConfig | None = None) -> None:
+        self._config = config or SchemrConfig()
+        fuzzy = None
+        if self._config.use_fuzzy_expansion:
+            from repro.index.fuzzy import TrigramIndex
+            fuzzy = TrigramIndex.from_terms(index.vocabulary())
+        self._searcher = IndexSearcher(
+            index, use_coordination=self._config.use_coordination,
+            fuzzy=fuzzy)
+        self._source = source
+        self._ensemble = ensemble or MatcherEnsemble.default()
+        self._tightness = TightnessScorer(self._config.penalties)
+        self.last_trace: PipelineTrace | None = None
+
+    @property
+    def ensemble(self) -> MatcherEnsemble:
+        return self._ensemble
+
+    @property
+    def config(self) -> SchemrConfig:
+        return self._config
+
+    @property
+    def searcher(self) -> IndexSearcher:
+        return self._searcher
+
+    # -- public API ----------------------------------------------------
+
+    def search(self, keywords: str | list[str] | None = None,
+               fragment: "str | Schema | list[str | Schema] | None" = None,
+               top_n: int = 10, offset: int = 0) -> list[SearchResult]:
+        """Search with raw user input (parses the query graph first).
+
+        ``fragment`` accepts DDL/XSD text, a :class:`Schema`, or a list
+        of either (the query graph is a forest).  ``offset`` pages
+        through the ranking: the user "can ... ask for the next n
+        schemas" (offset=top_n gets page two).
+        """
+        trace = PipelineTrace()
+        with timed_phase(trace, PHASE_PARSE) as phase:
+            query = parse_query(keywords=keywords, fragment=fragment)
+            phase.items_out = len(query)
+        results = self._run(query, top_n, trace, offset)
+        self.last_trace = trace
+        return results
+
+    def search_graph(self, query: QueryGraph, top_n: int = 10,
+                     offset: int = 0) -> list[SearchResult]:
+        """Search with a pre-built query graph."""
+        if query.is_empty():
+            raise QueryError("query graph is empty")
+        trace = PipelineTrace()
+        results = self._run(query, top_n, trace, offset)
+        self.last_trace = trace
+        return results
+
+    # -- pipeline --------------------------------------------------------
+
+    def _run(self, query: QueryGraph, top_n: int,
+             trace: PipelineTrace, offset: int = 0) -> list[SearchResult]:
+        if top_n <= 0:
+            raise QueryError(f"top_n must be positive, got {top_n}")
+        if offset < 0:
+            raise QueryError(f"offset must be >= 0, got {offset}")
+
+        # Phase 1: candidate extraction over the document index.
+        with timed_phase(trace, PHASE_CANDIDATES) as phase:
+            flattened = query.flatten()
+            phase.items_in = len(flattened)
+            hits = self._searcher.search(
+                flattened, top_n=self._config.candidate_pool)
+            phase.items_out = len(hits)
+
+        # Phase 2: fine-grained matching of each candidate.
+        scored: list[SearchResult] = []
+        with timed_phase(trace, PHASE_MATCHING) as phase:
+            phase.items_in = len(hits)
+            matched = []
+            for hit in hits:
+                candidate = self._source.get_schema(hit.doc_id)
+                result = self._ensemble.match(query, candidate)
+                element_scores = result.combined.max_per_column()
+                matched.append((hit, candidate, result, element_scores))
+            phase.items_out = len(matched)
+
+        # Phase 3: tightness-of-fit scoring and final ranking.
+        with timed_phase(trace, PHASE_TIGHTNESS) as phase:
+            phase.items_in = len(matched)
+            for hit, candidate, ensemble_result, element_scores in matched:
+                scored.append(self._score_candidate(
+                    hit.score, candidate, ensemble_result, element_scores))
+            scored.sort(key=lambda r: (-r.score, -r.coarse_score, r.name))
+            scored = scored[offset:offset + top_n]
+            phase.items_out = len(scored)
+        logger.debug("search: %d candidate(s) -> %d result(s) in %.4fs",
+                     len(hits), len(scored), trace.total_seconds)
+        return scored
+
+    def _score_candidate(self, coarse_score: float, candidate: Schema,
+                         ensemble_result, element_scores: dict[str, float]
+                         ) -> SearchResult:
+        floor = self._config.penalties.match_floor
+        matched_scores = {path: value
+                          for path, value in element_scores.items()
+                          if value > floor}
+        if self._config.use_tightness:
+            tight = self._tightness.score(candidate, element_scores)
+            final_score = tight.score
+            best_anchor = tight.best_anchor
+        else:
+            # Ablation path: same aggregation, no structural penalties.
+            if matched_scores:
+                final_score = sum(matched_scores.values())
+                if self._config.penalties.aggregation == "mean":
+                    final_score /= len(matched_scores)
+            else:
+                final_score = 0.0
+            best_anchor = None
+        element_matches = [
+            ElementMatch(query_label=row, element_path=col, score=value)
+            for row, col, value in
+            ensemble_result.combined.nonzero_pairs(threshold=floor)
+        ]
+        assert candidate.schema_id is not None
+        return SearchResult(
+            schema_id=candidate.schema_id,
+            name=candidate.name,
+            score=final_score,
+            match_count=len(matched_scores),
+            entity_count=candidate.entity_count,
+            attribute_count=candidate.attribute_count,
+            description=candidate.description,
+            coarse_score=coarse_score,
+            best_anchor=best_anchor,
+            element_scores=matched_scores,
+            element_matches=element_matches,
+        )

@@ -1,0 +1,32 @@
+"""Synthetic WebTables-style corpus with known ground truth.
+
+The paper's repository held "over 30,000 public schemas ... [that] came
+[from] a collection of 10 million HTML tables, and were filtered by
+removing schemas containing non-alphabetical characters, schemas that
+only appeared once on the web, and trivial schemas with three or less
+elements."  That corpus is not redistributable, so this package
+generates the equivalent: multi-domain schemas rendered through the
+naming-noise phenomena the paper's matchers target (abbreviations,
+alternate grammatical forms, delimiter characters), with per-schema
+provenance kept so evaluation queries have exact relevance labels.
+"""
+
+from repro.corpus.domains import DOMAINS, Domain, EntityTemplate
+from repro.corpus.filters import FilterStats, paper_filter
+from repro.corpus.generator import CorpusGenerator, GeneratedSchema
+from repro.corpus.groundtruth import GroundTruthQuery, QuerySampler
+from repro.corpus.noise import NameStyler, pluralize
+
+__all__ = [
+    "DOMAINS",
+    "CorpusGenerator",
+    "Domain",
+    "EntityTemplate",
+    "FilterStats",
+    "GeneratedSchema",
+    "GroundTruthQuery",
+    "NameStyler",
+    "QuerySampler",
+    "paper_filter",
+    "pluralize",
+]

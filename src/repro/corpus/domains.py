@@ -1,0 +1,245 @@
+"""Domain templates: the canonical vocabulary schemas are generated from.
+
+Each :class:`Domain` holds entity templates with canonical attribute
+names; generated schemas render noisy variants of these, and ground
+truth is defined by which templates a schema was rendered from.  The
+domain set intentionally includes the paper's two motivating scenarios
+(a health system and conservation monitoring) among general-web
+domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class EntityTemplate:
+    """Canonical form of one entity."""
+
+    name: str
+    attributes: tuple[str, ...]
+    #: Names of templates this entity naturally references (FK targets).
+    references: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Domain:
+    """A topical group of entity templates."""
+
+    name: str
+    entities: tuple[EntityTemplate, ...] = field(default_factory=tuple)
+
+    def entity(self, name: str) -> EntityTemplate:
+        for template in self.entities:
+            if template.name == name:
+                return template
+        raise KeyError(f"domain {self.name!r} has no entity {name!r}")
+
+
+DOMAINS: tuple[Domain, ...] = (
+    Domain("healthcare", (
+        EntityTemplate("patient", (
+            "patient id", "first name", "last name", "birth date", "gender",
+            "height", "weight", "blood type", "phone", "address")),
+        EntityTemplate("doctor", (
+            "doctor id", "first name", "last name", "gender", "specialty",
+            "license number", "phone")),
+        EntityTemplate("case", (
+            "case id", "diagnosis", "severity", "onset date", "outcome",
+            "notes"), references=("patient", "doctor")),
+        EntityTemplate("visit", (
+            "visit id", "visit date", "reason", "blood pressure",
+            "temperature", "heart rate"), references=("patient", "doctor")),
+        EntityTemplate("medication", (
+            "medication id", "drug name", "dose", "frequency", "start date",
+            "end date"), references=("patient",)),
+        EntityTemplate("clinic", (
+            "clinic id", "clinic name", "district", "region", "capacity")),
+    )),
+    Domain("conservation", (
+        EntityTemplate("site", (
+            "site id", "site name", "latitude", "longitude", "habitat",
+            "protection status", "area")),
+        EntityTemplate("species", (
+            "species id", "common name", "scientific name", "family",
+            "conservation status", "population trend")),
+        EntityTemplate("observation", (
+            "observation id", "observation date", "count", "observer",
+            "weather", "notes"), references=("site", "species")),
+        EntityTemplate("water_sample", (
+            "sample id", "sample date", "ph", "dissolved oxygen",
+            "turbidity", "temperature"), references=("site",)),
+        EntityTemplate("volunteer", (
+            "volunteer id", "name", "email", "organization",
+            "training level")),
+    )),
+    Domain("education", (
+        EntityTemplate("student", (
+            "student id", "first name", "last name", "birth date", "gender",
+            "enrollment year", "email")),
+        EntityTemplate("teacher", (
+            "teacher id", "first name", "last name", "department", "email",
+            "hire date")),
+        EntityTemplate("course", (
+            "course id", "course name", "credits", "level", "semester"),
+            references=("teacher",)),
+        EntityTemplate("enrollment", (
+            "enrollment id", "grade", "status", "enrollment date"),
+            references=("student", "course")),
+    )),
+    Domain("retail", (
+        EntityTemplate("product", (
+            "product id", "product name", "category", "price", "stock",
+            "weight", "brand")),
+        EntityTemplate("customer", (
+            "customer id", "first name", "last name", "email", "phone",
+            "address", "city", "country")),
+        EntityTemplate("order", (
+            "order id", "order date", "status", "total amount",
+            "shipping cost"), references=("customer",)),
+        EntityTemplate("order_item", (
+            "item id", "quantity", "unit price", "discount"),
+            references=("order", "product")),
+    )),
+    Domain("finance", (
+        EntityTemplate("account", (
+            "account id", "account number", "account type", "balance",
+            "currency", "opened date")),
+        EntityTemplate("transaction", (
+            "transaction id", "transaction date", "amount", "currency",
+            "merchant", "category"), references=("account",)),
+        EntityTemplate("customer", (
+            "customer id", "name", "tax id", "risk score", "segment")),
+        EntityTemplate("loan", (
+            "loan id", "principal", "interest rate", "term", "start date",
+            "status"), references=("account", "customer")),
+    )),
+    Domain("human_resources", (
+        EntityTemplate("employee", (
+            "employee id", "first name", "last name", "salary", "hire date",
+            "job title", "email")),
+        EntityTemplate("department", (
+            "department id", "department name", "budget", "location",
+            "manager")),
+        EntityTemplate("assignment", (
+            "assignment id", "role", "start date", "end date",
+            "allocation"), references=("employee", "department")),
+        EntityTemplate("payroll", (
+            "payroll id", "period", "gross pay", "net pay", "tax",
+            "benefits"), references=("employee",)),
+    )),
+    Domain("library", (
+        EntityTemplate("book", (
+            "book id", "title", "author", "isbn", "publisher",
+            "publication year", "pages")),
+        EntityTemplate("member", (
+            "member id", "name", "email", "join date", "status")),
+        EntityTemplate("loan", (
+            "loan id", "loan date", "due date", "return date", "fine"),
+            references=("book", "member")),
+    )),
+    Domain("transport", (
+        EntityTemplate("vehicle", (
+            "vehicle id", "make", "model", "year", "license plate",
+            "capacity", "fuel type")),
+        EntityTemplate("driver", (
+            "driver id", "name", "license number", "hire date", "rating")),
+        EntityTemplate("route", (
+            "route id", "origin", "destination", "distance", "duration")),
+        EntityTemplate("trip", (
+            "trip id", "departure time", "arrival time", "passengers",
+            "fare"), references=("vehicle", "driver", "route")),
+    )),
+    Domain("real_estate", (
+        EntityTemplate("property", (
+            "property id", "address", "city", "price", "bedrooms",
+            "bathrooms", "area", "year built")),
+        EntityTemplate("agent", (
+            "agent id", "name", "agency", "phone", "email")),
+        EntityTemplate("listing", (
+            "listing id", "list date", "status", "asking price",
+            "days on market"), references=("property", "agent")),
+    )),
+    Domain("sports", (
+        EntityTemplate("team", (
+            "team id", "team name", "city", "founded", "stadium", "coach")),
+        EntityTemplate("player", (
+            "player id", "name", "position", "number", "height", "weight",
+            "birth date"), references=("team",)),
+        EntityTemplate("game", (
+            "game id", "game date", "home score", "away score",
+            "attendance"), references=("team",)),
+    )),
+    Domain("weather", (
+        EntityTemplate("station", (
+            "station id", "station name", "latitude", "longitude",
+            "elevation", "country")),
+        EntityTemplate("reading", (
+            "reading id", "reading time", "temperature", "humidity",
+            "pressure", "wind speed", "precipitation"),
+            references=("station",)),
+    )),
+    Domain("events", (
+        EntityTemplate("event", (
+            "event id", "event name", "event date", "venue", "capacity",
+            "category")),
+        EntityTemplate("attendee", (
+            "attendee id", "name", "email", "ticket type")),
+        EntityTemplate("registration", (
+            "registration id", "registration date", "price", "status"),
+            references=("event", "attendee")),
+    )),
+    Domain("government", (
+        EntityTemplate("agency", (
+            "agency id", "agency name", "jurisdiction", "budget",
+            "head count")),
+        EntityTemplate("permit", (
+            "permit id", "permit type", "issue date", "expiry date",
+            "fee", "status"), references=("agency",)),
+        EntityTemplate("inspection", (
+            "inspection id", "inspection date", "inspector", "outcome",
+            "violations"), references=("permit",)),
+    )),
+    Domain("energy", (
+        EntityTemplate("plant", (
+            "plant id", "plant name", "fuel type", "capacity",
+            "commission year", "latitude", "longitude")),
+        EntityTemplate("meter", (
+            "meter id", "customer name", "tariff", "install date"),
+            references=("plant",)),
+        EntityTemplate("meter_reading", (
+            "reading id", "reading date", "consumption", "peak demand"),
+            references=("meter",)),
+    )),
+    Domain("logistics", (
+        EntityTemplate("warehouse", (
+            "warehouse id", "warehouse name", "city", "capacity",
+            "manager")),
+        EntityTemplate("shipment", (
+            "shipment id", "ship date", "delivery date", "weight",
+            "freight cost", "carrier"), references=("warehouse",)),
+        EntityTemplate("parcel", (
+            "parcel id", "tracking number", "destination", "status"),
+            references=("shipment",)),
+    )),
+    Domain("social_media", (
+        EntityTemplate("user_account", (
+            "account id", "username", "email", "join date", "followers",
+            "verified")),
+        EntityTemplate("post", (
+            "post id", "post time", "content", "likes", "shares"),
+            references=("user_account",)),
+        EntityTemplate("comment", (
+            "comment id", "comment time", "body", "likes"),
+            references=("post", "user_account")),
+    )),
+)
+
+
+def domain_by_name(name: str) -> Domain:
+    """Look up a domain; raises :class:`KeyError` when absent."""
+    for domain in DOMAINS:
+        if domain.name == name:
+            return domain
+    raise KeyError(f"no domain named {name!r}")

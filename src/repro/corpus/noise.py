@@ -1,0 +1,120 @@
+"""Naming-noise models.
+
+The name matcher exists because real web schemas contain "abbreviated
+terms, alternate grammatical forms, and delimiter characters not in the
+original query".  :class:`NameStyler` renders canonical multi-word names
+through exactly those three noise channels, deterministically per seed,
+so benches can measure each channel in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+
+_VOWELS = set("aeiou")
+
+#: Words whose plural is irregular enough to matter in schema names.
+_IRREGULAR_PLURALS = {
+    "person": "people",
+    "child": "children",
+    "man": "men",
+    "woman": "women",
+    "foot": "feet",
+    "datum": "data",
+    "medium": "media",
+    "species": "species",
+    "status": "statuses",
+    "analysis": "analyses",
+    "diagnosis": "diagnoses",
+}
+
+
+def pluralize(word: str) -> str:
+    """English pluralization, good enough for schema vocabulary."""
+    if not word:
+        return word
+    irregular = _IRREGULAR_PLURALS.get(word.lower())
+    if irregular:
+        return irregular
+    if word.endswith(("s", "x", "z", "ch", "sh")):
+        return word + "es"
+    if word.endswith("y") and len(word) > 1 and word[-2] not in _VOWELS:
+        return word[:-1] + "ies"
+    if word.endswith("f"):
+        return word[:-1] + "ves"
+    if word.endswith("fe"):
+        return word[:-2] + "ves"
+    return word + "s"
+
+
+def abbreviate(word: str, min_keep: int = 3) -> str:
+    """Abbreviate one word the way schema authors do.
+
+    Strategy: drop interior vowels after the first letter; if that
+    changes nothing useful, truncate.  ``height -> hght``/``hei``,
+    ``quantity -> qnty``.  Words already at or below ``min_keep`` pass
+    through.
+    """
+    if len(word) <= min_keep:
+        return word
+    head, tail = word[0], word[1:]
+    squeezed = head + "".join(c for c in tail if c.lower() not in _VOWELS)
+    if len(squeezed) >= min_keep and squeezed != word:
+        return squeezed[:6]
+    return word[:min_keep]
+
+
+#: The rendering styles a generated schema can use.
+STYLES = ("snake", "camel", "pascal", "space", "dash", "dot", "squash",
+          "abbreviated")
+
+
+class NameStyler:
+    """Deterministic renderer of canonical names into one noisy style.
+
+    A styler is created per generated schema (one schema is internally
+    consistent in style, like real exports are) with its own seeded RNG
+    deciding per-name coin flips (pluralization, abbreviation extent).
+    """
+
+    def __init__(self, style: str, rng: random.Random,
+                 plural_probability: float = 0.2,
+                 abbreviate_probability: float = 0.6) -> None:
+        if style not in STYLES:
+            raise ValueError(f"unknown style {style!r}; one of {STYLES}")
+        self._style = style
+        self._rng = rng
+        self._plural_probability = plural_probability
+        self._abbreviate_probability = abbreviate_probability
+
+    @property
+    def style(self) -> str:
+        return self._style
+
+    def render(self, canonical: str, allow_plural: bool = True) -> str:
+        """Render a canonical lower-case multi-word name."""
+        words = canonical.split()
+        if allow_plural and words \
+                and self._rng.random() < self._plural_probability:
+            words[-1] = pluralize(words[-1])
+        if self._style == "abbreviated":
+            words = [
+                abbreviate(w)
+                if self._rng.random() < self._abbreviate_probability else w
+                for w in words
+            ]
+            return "_".join(words)
+        if self._style == "snake":
+            return "_".join(words)
+        if self._style == "camel":
+            return words[0] + "".join(w.capitalize() for w in words[1:])
+        if self._style == "pascal":
+            return "".join(w.capitalize() for w in words)
+        if self._style == "space":
+            return " ".join(words)
+        if self._style == "dash":
+            return "-".join(words)
+        if self._style == "dot":
+            return ".".join(words)
+        # squash: no delimiter at all, the hardest case for matchers.
+        return "".join(words)

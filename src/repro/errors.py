@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Schemr reproduction.
+
+All library errors derive from :class:`SchemrError` so that callers can
+catch every library failure with a single except clause while still being
+able to discriminate parse errors from index or repository errors.
+"""
+
+from __future__ import annotations
+
+
+class SchemrError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParseError(SchemrError):
+    """A schema or query source could not be parsed.
+
+    Carries the position of the offending token when known so the caller
+    can point a user at the problem.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}" + (
+                f", column {column})" if column is not None else ")")
+        super().__init__(message)
+
+
+class SchemaError(SchemrError):
+    """A schema object is structurally invalid (duplicate names, dangling
+    foreign keys, empty entities where elements are required, ...)."""
+
+
+class IndexError_(SchemrError):
+    """The inverted index was asked to do something it cannot
+    (unknown document id, corrupt persisted segment, ...).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class QueryError(SchemrError):
+    """A search query is empty or otherwise unusable."""
+
+
+class MatchError(SchemrError):
+    """A matcher was mis-configured or fed incompatible inputs."""
+
+
+class RepositoryError(SchemrError):
+    """The schema repository rejected an operation (missing schema id,
+    duplicate import, closed connection, ...)."""
+
+
+class ServiceError(SchemrError):
+    """The HTTP service layer failed to satisfy a request."""

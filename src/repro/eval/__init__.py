@@ -1,0 +1,31 @@
+"""Evaluation: IR quality metrics and the experiment runner."""
+
+from repro.eval.metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.runner import EvaluationReport, evaluate_engine, evaluate_ranker
+from repro.eval.significance import (
+    ComparisonResult,
+    paired_bootstrap,
+    per_query_scores,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "EvaluationReport",
+    "paired_bootstrap",
+    "per_query_scores",
+    "wilcoxon_signed_rank",
+    "average_precision",
+    "evaluate_engine",
+    "evaluate_ranker",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+]

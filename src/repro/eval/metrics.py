@@ -1,0 +1,74 @@
+"""Standard ranked-retrieval metrics.
+
+All functions take ``ranking`` — the returned ids, best first — plus
+either a relevant-id set (binary metrics) or a grade map (NDCG).  They
+are defensive about the degenerate cases (empty ranking, no relevant
+ids) because the benches sweep configurations that can produce both.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def precision_at_k(ranking: list[int], relevant: set[int], k: int) -> float:
+    """Fraction of the top k that is relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not ranking:
+        return 0.0
+    top = ranking[:k]
+    return sum(1 for doc in top if doc in relevant) / k
+
+
+def recall_at_k(ranking: list[int], relevant: set[int], k: int) -> float:
+    """Fraction of the relevant set found in the top k."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not relevant:
+        return 0.0
+    top = ranking[:k]
+    return sum(1 for doc in top if doc in relevant) / len(relevant)
+
+
+def reciprocal_rank(ranking: list[int], relevant: set[int]) -> float:
+    """1/rank of the first relevant result; 0 when none appears."""
+    for i, doc in enumerate(ranking, start=1):
+        if doc in relevant:
+            return 1.0 / i
+    return 0.0
+
+
+def average_precision(ranking: list[int], relevant: set[int]) -> float:
+    """AP over the full ranking (for MAP)."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for i, doc in enumerate(ranking, start=1):
+        if doc in relevant:
+            hits += 1
+            total += hits / i
+    return total / len(relevant)
+
+
+def ndcg_at_k(ranking: list[int], grades: dict[int, int], k: int) -> float:
+    """Normalized discounted cumulative gain with graded relevance.
+
+    Gain is ``2^grade - 1``; the ideal ordering is computed from the
+    grade map.  Returns 0 when no positive grades exist.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    dcg = 0.0
+    for i, doc in enumerate(ranking[:k], start=1):
+        grade = grades.get(doc, 0)
+        if grade > 0:
+            dcg += (2 ** grade - 1) / math.log2(i + 1)
+    ideal_grades = sorted((g for g in grades.values() if g > 0),
+                          reverse=True)[:k]
+    idcg = sum((2 ** grade - 1) / math.log2(i + 1)
+               for i, grade in enumerate(ideal_grades, start=1))
+    if idcg == 0.0:
+        return 0.0
+    return dcg / idcg

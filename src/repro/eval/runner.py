@@ -1,0 +1,98 @@
+"""The experiment runner: query sets through an engine, metrics out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.engine import SchemrEngine
+from repro.corpus.groundtruth import GroundTruthQuery
+from repro.errors import SchemrError
+from repro.eval.metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+@dataclass(slots=True)
+class EvaluationReport:
+    """Mean metrics over one query set for one engine configuration."""
+
+    label: str
+    query_count: int
+    precision_at_5: float
+    precision_at_10: float
+    recall_at_10: float
+    mrr: float
+    map_score: float
+    ndcg_at_10: float
+
+    def row(self) -> str:
+        """One fixed-width report line (header via :meth:`header`)."""
+        return (f"{self.label:<24} {self.query_count:>4} "
+                f"{self.precision_at_5:>7.3f} {self.precision_at_10:>7.3f} "
+                f"{self.recall_at_10:>7.3f} {self.mrr:>7.3f} "
+                f"{self.map_score:>7.3f} {self.ndcg_at_10:>8.3f}")
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'configuration':<24} {'q':>4} {'P@5':>7} {'P@10':>7} "
+                f"{'R@10':>7} {'MRR':>7} {'MAP':>7} {'NDCG@10':>8}")
+
+
+#: (keywords, top_n) -> ranked schema ids, best first.
+RankingFunction = Callable[[list[str], int], list[int]]
+
+
+def evaluate_ranker(rank: RankingFunction,
+                    queries: list[GroundTruthQuery],
+                    label: str = "ranker",
+                    top_n: int = 10,
+                    exact_only: bool = True) -> EvaluationReport:
+    """Evaluate any ranking function (baselines included).
+
+    ``rank(keywords, top_n)`` must return schema ids, best first.
+    ``exact_only`` scores against grade-2 (same template) ids for the
+    binary metrics; NDCG always uses the full grade map.
+    """
+    if not queries:
+        raise SchemrError("cannot evaluate an empty query set")
+    p5 = p10 = r10 = mrr = ap = ndcg = 0.0
+    for query in queries:
+        ranking = rank(query.keywords, top_n)
+        relevant = query.exact_ids if exact_only else query.relevant_ids
+        p5 += precision_at_k(ranking, relevant, 5)
+        p10 += precision_at_k(ranking, relevant, 10)
+        r10 += recall_at_k(ranking, relevant, 10)
+        mrr += reciprocal_rank(ranking, relevant)
+        ap += average_precision(ranking, relevant)
+        ndcg += ndcg_at_k(ranking, query.relevance, 10)
+    n = len(queries)
+    return EvaluationReport(
+        label=label,
+        query_count=n,
+        precision_at_5=p5 / n,
+        precision_at_10=p10 / n,
+        recall_at_10=r10 / n,
+        mrr=mrr / n,
+        map_score=ap / n,
+        ndcg_at_10=ndcg / n,
+    )
+
+
+def evaluate_engine(engine: SchemrEngine,
+                    queries: list[GroundTruthQuery],
+                    label: str = "engine",
+                    top_n: int = 10,
+                    exact_only: bool = True) -> EvaluationReport:
+    """Run every query through the full engine and average the metrics."""
+
+    def rank(keywords: list[str], n: int) -> list[int]:
+        return [result.schema_id
+                for result in engine.search(keywords=keywords, top_n=n)]
+
+    return evaluate_ranker(rank, queries, label=label, top_n=top_n,
+                           exact_only=exact_only)

@@ -1,0 +1,142 @@
+"""Statistical significance for configuration comparisons.
+
+The E2/E3 benches compare engine configurations on modest query samples;
+a difference in mean MRR can be noise.  This module provides the two
+standard paired tests for IR system comparison:
+
+* :func:`paired_bootstrap` — bootstrap resampling of per-query score
+  differences (Sakai's recommendation for IR evaluation);
+* :func:`wilcoxon_signed_rank` — the classic nonparametric paired test
+  (via scipy when available, exact small-sample fallback otherwise).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SchemrError
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonResult:
+    """Outcome of comparing system A against system B, paired by query."""
+
+    mean_a: float
+    mean_b: float
+    delta: float
+    p_value: float
+    method: str
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05."""
+        return self.p_value < 0.05
+
+    def summary(self) -> str:
+        marker = "*" if self.significant else " "
+        return (f"A={self.mean_a:.4f} B={self.mean_b:.4f} "
+                f"Δ={self.delta:+.4f} p={self.p_value:.4f}{marker} "
+                f"({self.method})")
+
+
+def _validate(scores_a: list[float], scores_b: list[float]) -> None:
+    if len(scores_a) != len(scores_b):
+        raise SchemrError(
+            f"paired comparison needs equal-length score lists, got "
+            f"{len(scores_a)} and {len(scores_b)}")
+    if len(scores_a) < 2:
+        raise SchemrError("need at least two paired observations")
+
+
+def paired_bootstrap(scores_a: list[float], scores_b: list[float],
+                     iterations: int = 10_000,
+                     seed: int = 1) -> ComparisonResult:
+    """Two-sided paired bootstrap test on per-query score differences.
+
+    Resamples the query set with replacement ``iterations`` times and
+    counts how often the resampled mean difference contradicts the
+    observed sign.  p-values are the usual two-sided estimate with
+    add-one smoothing.
+    """
+    _validate(scores_a, scores_b)
+    differences = [a - b for a, b in zip(scores_a, scores_b)]
+    n = len(differences)
+    observed = sum(differences) / n
+    if all(d == 0 for d in differences):
+        return ComparisonResult(
+            mean_a=sum(scores_a) / n, mean_b=sum(scores_b) / n,
+            delta=0.0, p_value=1.0, method="paired-bootstrap")
+    rng = random.Random(seed)
+    contradictions = 0
+    for _ in range(iterations):
+        resampled = [differences[rng.randrange(n)] for _ in range(n)]
+        mean = sum(resampled) / n
+        # Shift to the null (zero-mean) world: count samples at least as
+        # extreme on the opposite side of the observed effect.
+        if observed > 0:
+            contradictions += mean <= 0
+        else:
+            contradictions += mean >= 0
+    p_one_sided = (contradictions + 1) / (iterations + 1)
+    return ComparisonResult(
+        mean_a=sum(scores_a) / n,
+        mean_b=sum(scores_b) / n,
+        delta=observed,
+        p_value=min(1.0, 2.0 * p_one_sided),
+        method="paired-bootstrap",
+    )
+
+
+def wilcoxon_signed_rank(scores_a: list[float],
+                         scores_b: list[float]) -> ComparisonResult:
+    """Two-sided Wilcoxon signed-rank test on paired scores.
+
+    Ties (zero differences) are dropped per standard practice; when
+    every pair ties the result is p = 1.  Uses scipy when importable.
+    """
+    _validate(scores_a, scores_b)
+    n = len(scores_a)
+    mean_a = sum(scores_a) / n
+    mean_b = sum(scores_b) / n
+    differences = [a - b for a, b in zip(scores_a, scores_b)
+                   if a != b]
+    if not differences:
+        return ComparisonResult(mean_a=mean_a, mean_b=mean_b, delta=0.0,
+                                p_value=1.0, method="wilcoxon")
+    try:
+        from scipy import stats
+        statistic = stats.wilcoxon([a for a, b in zip(scores_a, scores_b)],
+                                   [b for a, b in zip(scores_a, scores_b)],
+                                   zero_method="wilcox")
+        p_value = float(statistic.pvalue)
+    except ImportError:  # pragma: no cover - scipy is a test dependency
+        # Exact sign-test fallback: binomial on the sign of differences.
+        import math
+        positives = sum(1 for d in differences if d > 0)
+        m = len(differences)
+        tail = sum(math.comb(m, k) for k in
+                   range(min(positives, m - positives) + 1)) / 2 ** m
+        p_value = min(1.0, 2.0 * tail)
+    return ComparisonResult(
+        mean_a=mean_a, mean_b=mean_b,
+        delta=mean_a - mean_b,
+        p_value=p_value,
+        method="wilcoxon",
+    )
+
+
+def per_query_scores(rank_fn, queries, metric, top_n: int = 10,
+                     exact_only: bool = True) -> list[float]:
+    """Per-query metric values for one ranking function.
+
+    ``rank_fn(keywords, top_n) -> ranked ids``; ``metric(ranking,
+    relevant) -> float``.  Returns one score per query, aligned with the
+    query list so two systems' outputs can be paired.
+    """
+    scores = []
+    for query in queries:
+        ranking = rank_fn(query.keywords, top_n)
+        relevant = query.exact_ids if exact_only else query.relevant_ids
+        scores.append(metric(ranking, relevant))
+    return scores

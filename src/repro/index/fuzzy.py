@@ -1,0 +1,113 @@
+"""Fuzzy query-term expansion: a recall net under candidate extraction.
+
+Our E2 measurement exposed a limitation of the paper's architecture:
+when the *query* contains abbreviated or misspelled terms the stemmed
+document index has never seen, candidate extraction returns nothing and
+no amount of downstream matching can recover.  This module is the
+natural extension: a character-trigram index over the term dictionary
+that expands unknown query terms to their closest indexed terms, each
+expansion discounted by its trigram similarity.
+
+It is off by default (``SchemrConfig.use_fuzzy_expansion``) because it
+is an extension beyond the paper; the E3 ablation quantifies its
+effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.matching.normalize import expand_abbreviations
+
+#: Padding marker so word boundaries contribute trigrams.
+_PAD = "$"
+
+
+def term_trigrams(term: str) -> set[str]:
+    """Padded character trigrams of a term (``pat`` -> ``$pa, pat, at$``).
+
+    Terms shorter than 2 characters have no trigram signal and yield
+    the empty set.
+    """
+    if len(term) < 2:
+        return set()
+    padded = f"{_PAD}{term}{_PAD}"
+    return {padded[i:i + 3] for i in range(len(padded) - 2)}
+
+
+@dataclass(frozen=True, slots=True)
+class Expansion:
+    """One suggested replacement for an unknown query term."""
+
+    term: str
+    similarity: float
+
+
+class TrigramIndex:
+    """Trigram -> vocabulary-term lookup for fuzzy suggestion."""
+
+    def __init__(self, min_similarity: float = 0.35,
+                 max_suggestions: int = 3) -> None:
+        if not 0.0 < min_similarity <= 1.0:
+            raise ValueError(
+                f"min_similarity must be in (0, 1], got {min_similarity}")
+        if max_suggestions <= 0:
+            raise ValueError(
+                f"max_suggestions must be positive, got {max_suggestions}")
+        self._min_similarity = min_similarity
+        self._max_suggestions = max_suggestions
+        self._by_trigram: dict[str, set[str]] = {}
+        self._term_sizes: dict[str, int] = {}
+
+    @classmethod
+    def from_terms(cls, terms: Iterable[str],
+                   min_similarity: float = 0.35,
+                   max_suggestions: int = 3) -> "TrigramIndex":
+        index = cls(min_similarity=min_similarity,
+                    max_suggestions=max_suggestions)
+        for term in terms:
+            index.add_term(term)
+        return index
+
+    def add_term(self, term: str) -> None:
+        grams = term_trigrams(term)
+        if not grams:
+            return
+        self._term_sizes[term] = len(grams)
+        for gram in grams:
+            self._by_trigram.setdefault(gram, set()).add(term)
+
+    def __len__(self) -> int:
+        return len(self._term_sizes)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._term_sizes
+
+    def suggest(self, term: str) -> list[Expansion]:
+        """Closest vocabulary terms by trigram Dice coefficient."""
+        grams = term_trigrams(term)
+        if not grams:
+            return []
+        overlap: dict[str, int] = {}
+        for gram in grams:
+            for candidate in self._by_trigram.get(gram, ()):
+                overlap[candidate] = overlap.get(candidate, 0) + 1
+        scored: list[Expansion] = []
+        for candidate, shared in overlap.items():
+            similarity = (2.0 * shared
+                          / (len(grams) + self._term_sizes[candidate]))
+            if similarity >= self._min_similarity and candidate != term:
+                scored.append(Expansion(candidate, similarity))
+        scored.sort(key=lambda e: (-e.similarity, e.term))
+        return scored[: self._max_suggestions]
+
+
+def expand_query_terms(raw_words: list[str]) -> list[str]:
+    """Abbreviation-expand raw query words before analysis.
+
+    ``['pat', 'ht']`` becomes ``['pat', 'height']`` — the same
+    normalization table the name matcher uses, applied where it can
+    still influence recall.
+    """
+    return expand_abbreviations([word.lower() for word in raw_words])

@@ -1,0 +1,115 @@
+"""The inverted index: term dictionary + document store + norms."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.errors import IndexError_
+from repro.index.documents import Document
+from repro.index.postings import PostingsList
+
+
+class InvertedIndex:
+    """Term dictionary with postings plus a document store.
+
+    Supports add / remove / replace so the repository's scheduled
+    indexer can apply incremental updates.  All statistics the scorer
+    needs (document frequency, term frequency, document count, length
+    norms) are served from here.
+    """
+
+    def __init__(self) -> None:
+        self._terms: dict[str, PostingsList] = {}
+        self._documents: dict[int, Document] = {}
+        self._norms: dict[int, float] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, document: Document) -> None:
+        """Index a document.  Re-adding an existing id is an error; use
+        :meth:`replace` for updates so stale postings are cleaned up."""
+        if document.doc_id in self._documents:
+            raise IndexError_(
+                f"document {document.doc_id} already indexed; use replace()")
+        self._documents[document.doc_id] = document
+        for position, term in enumerate(document.terms):
+            postings = self._terms.get(term)
+            if postings is None:
+                postings = self._terms[term] = PostingsList(term)
+            postings.add(document.doc_id, position)
+        # Lucene-classic length norm: 1/sqrt(numTerms).
+        length = max(document.length, 1)
+        self._norms[document.doc_id] = 1.0 / math.sqrt(length)
+
+    def remove(self, doc_id: int) -> None:
+        """Remove a document and every posting that references it."""
+        document = self._documents.pop(doc_id, None)
+        if document is None:
+            raise IndexError_(f"document {doc_id} is not indexed")
+        del self._norms[doc_id]
+        dead_terms = []
+        for term in set(document.terms):
+            postings = self._terms[term]
+            postings.remove_document(doc_id)
+            if not postings.postings:
+                dead_terms.append(term)
+        for term in dead_terms:
+            del self._terms[term]
+
+    def replace(self, document: Document) -> None:
+        """Update a document in place (remove + add)."""
+        if document.doc_id in self._documents:
+            self.remove(document.doc_id)
+        self.add(document)
+
+    def clear(self) -> None:
+        self._terms.clear()
+        self._documents.clear()
+        self._norms.clear()
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    @property
+    def term_count(self) -> int:
+        """Size of the term dictionary."""
+        return len(self._terms)
+
+    def has_document(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def document(self, doc_id: int) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise IndexError_(f"document {doc_id} is not indexed") from None
+
+    def documents(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def postings(self, term: str) -> PostingsList | None:
+        """Postings for an (already analyzed) term, or None."""
+        return self._terms.get(term)
+
+    def document_frequency(self, term: str) -> int:
+        postings = self._terms.get(term)
+        return 0 if postings is None else postings.document_frequency
+
+    def norm(self, doc_id: int) -> float:
+        try:
+            return self._norms[doc_id]
+        except KeyError:
+            raise IndexError_(f"document {doc_id} is not indexed") from None
+
+    def vocabulary(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._documents

@@ -1,0 +1,99 @@
+"""Postings: per-term occurrence data.
+
+A :class:`PostingsList` maps one dictionary term to the documents it
+occurs in; each :class:`Posting` records the term frequency and the
+token positions inside that document (the index's proximity data).
+Postings are kept sorted by ``doc_id`` so document-at-a-time merging
+stays an option for future query operators.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(slots=True)
+class Posting:
+    """Occurrences of one term in one document."""
+
+    doc_id: int
+    positions: list[int]
+
+    @property
+    def frequency(self) -> int:
+        return len(self.positions)
+
+
+@dataclass(slots=True)
+class PostingsList:
+    """All postings of one term, sorted by document id."""
+
+    term: str
+    postings: list[Posting] = field(default_factory=list)
+
+    @property
+    def document_frequency(self) -> int:
+        """Number of documents containing the term (df)."""
+        return len(self.postings)
+
+    @property
+    def collection_frequency(self) -> int:
+        """Total occurrences across all documents (cf)."""
+        return sum(p.frequency for p in self.postings)
+
+    def _find(self, doc_id: int) -> int | None:
+        """Index of the posting for ``doc_id``, or None."""
+        ids = [p.doc_id for p in self.postings]
+        i = bisect.bisect_left(ids, doc_id)
+        if i < len(ids) and ids[i] == doc_id:
+            return i
+        return None
+
+    def add(self, doc_id: int, position: int) -> None:
+        """Record one occurrence; creates the posting on first sight.
+
+        Appending in non-decreasing doc-id order (the bulk-indexing
+        pattern) is O(1); out-of-order insertion falls back to a binary
+        search.
+        """
+        if self.postings:
+            last = self.postings[-1]
+            if last.doc_id == doc_id:
+                last.positions.append(position)
+                return
+            if last.doc_id < doc_id:
+                self.postings.append(Posting(doc_id, [position]))
+                return
+        else:
+            self.postings.append(Posting(doc_id, [position]))
+            return
+        i = self._find(doc_id)
+        if i is not None:
+            self.postings[i].positions.append(position)
+            return
+        ids = [p.doc_id for p in self.postings]
+        self.postings.insert(bisect.bisect_left(ids, doc_id),
+                             Posting(doc_id, [position]))
+
+    def remove_document(self, doc_id: int) -> bool:
+        """Drop the posting for ``doc_id``; True when one existed."""
+        i = self._find(doc_id)
+        if i is None:
+            return False
+        del self.postings[i]
+        return True
+
+    def get(self, doc_id: int) -> Posting | None:
+        i = self._find(doc_id)
+        return None if i is None else self.postings[i]
+
+    def doc_ids(self) -> list[int]:
+        return [p.doc_id for p in self.postings]
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.postings)
+
+    def __len__(self) -> int:
+        return len(self.postings)

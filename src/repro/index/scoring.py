@@ -1,0 +1,73 @@
+"""Coarse-grain TF/IDF scoring with the paper's coordination factor.
+
+The paper: "We use a variant of standard TF/IDF to obtain an initial
+coarse-grain matching.  To preserve recall, the candidate extraction
+algorithm need not match all search terms; rather, match scores are
+computed independently for each search term and summed ...  A
+coordination factor, defined as the number of terms matched divided by
+the number of terms in the query, is multiplied into the coarse-grain
+score."
+
+The per-term formula follows Lucene's classic similarity:
+``sqrt(tf) * idf^2 * norm(d)`` with ``idf = 1 + ln(N / (df + 1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.index.inverted import InvertedIndex
+
+
+@dataclass(frozen=True, slots=True)
+class TfIdfScorer:
+    """Scores one document against a bag of analyzed query terms.
+
+    ``use_coordination`` exists so the ablation bench (E3) can switch
+    the coordination factor off.
+    """
+
+    index: InvertedIndex
+    use_coordination: bool = True
+
+    def idf(self, term: str) -> float:
+        """Inverse document frequency; 0 for unknown terms."""
+        df = self.index.document_frequency(term)
+        if df == 0:
+            return 0.0
+        n = self.index.document_count
+        return 1.0 + math.log(n / (df + 1.0))
+
+    def term_score(self, term: str, doc_id: int) -> float:
+        """Independent score of one query term against one document."""
+        postings = self.index.postings(term)
+        if postings is None:
+            return 0.0
+        posting = postings.get(doc_id)
+        if posting is None:
+            return 0.0
+        tf_part = math.sqrt(posting.frequency)
+        return tf_part * self.idf(term) ** 2 * self.index.norm(doc_id)
+
+    def score(self, terms: list[str], doc_id: int) -> float:
+        """Summed per-term scores times the coordination factor."""
+        if not terms:
+            return 0.0
+        total = 0.0
+        matched = 0
+        for term in terms:
+            part = self.term_score(term, doc_id)
+            if part > 0.0:
+                matched += 1
+            total += part
+        if self.use_coordination:
+            total *= matched / len(terms)
+        return total
+
+    def coordination(self, terms: list[str], doc_id: int) -> float:
+        """The coordination factor alone: matched terms / query terms."""
+        if not terms:
+            return 0.0
+        matched = sum(1 for t in terms if self.term_score(t, doc_id) > 0.0)
+        return matched / len(terms)

@@ -1,0 +1,136 @@
+"""Top-n retrieval over the inverted index (candidate extraction).
+
+The searcher is term-at-a-time: it walks the postings of each query
+term, accumulates per-document score contributions in a dictionary, then
+selects the top n with a heap.  This is the "fast and scalable filter
+for relevant candidate schemas" of phase one.
+
+An optional :class:`~repro.index.fuzzy.TrigramIndex` widens recall for
+query terms absent from the term dictionary (see
+:mod:`repro.index.fuzzy`); each expansion's contribution is discounted
+by its trigram similarity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.index.fuzzy import TrigramIndex, expand_query_terms
+from repro.index.inverted import InvertedIndex
+from repro.index.scoring import TfIdfScorer
+from repro.text.analysis import SCHEMA_ANALYZER, Analyzer
+
+
+@dataclass(frozen=True, slots=True)
+class IndexHit:
+    """One candidate: document id, coarse score, matched-term count."""
+
+    doc_id: int
+    score: float
+    matched_terms: int
+    title: str = ""
+
+
+#: One query term group: the analyzed term plus weighted variants
+#: (itself at weight 1, fuzzy expansions at their similarity).
+_TermGroup = list[tuple[str, float]]
+
+
+class IndexSearcher:
+    """Executes analyzed keyword queries against an :class:`InvertedIndex`."""
+
+    def __init__(self, index: InvertedIndex,
+                 analyzer: Analyzer = SCHEMA_ANALYZER,
+                 use_coordination: bool = True,
+                 fuzzy: TrigramIndex | None = None) -> None:
+        self._index = index
+        self._analyzer = analyzer
+        self._scorer = TfIdfScorer(index, use_coordination=use_coordination)
+        self._fuzzy = fuzzy
+
+    @property
+    def index(self) -> InvertedIndex:
+        return self._index
+
+    @property
+    def scorer(self) -> TfIdfScorer:
+        return self._scorer
+
+    @property
+    def fuzzy(self) -> TrigramIndex | None:
+        return self._fuzzy
+
+    def analyze_query(self, raw_terms: list[str]) -> list[str]:
+        """Run the flattened query words through the analyzer chain.
+
+        With fuzzy expansion enabled, known abbreviations are expanded
+        first so ``ht`` reaches the index as ``height``.
+        """
+        if self._fuzzy is not None:
+            raw_terms = expand_query_terms(raw_terms)
+        return self._analyzer.analyze_all(raw_terms)
+
+    def search(self, raw_terms: list[str], top_n: int = 10) -> list[IndexHit]:
+        """Return the ``top_n`` highest-scoring candidates.
+
+        ``raw_terms`` is the flattened query graph (keywords + fragment
+        element names); analysis happens here so callers hand over raw
+        user words.  Raises :class:`QueryError` when nothing survives
+        analysis (an all-stopword query is unanswerable).
+        """
+        if top_n <= 0:
+            raise QueryError(f"top_n must be positive, got {top_n}")
+        terms = self.analyze_query(raw_terms)
+        if not terms:
+            raise QueryError(
+                "query is empty after analysis; supply at least one "
+                "non-stopword term")
+        return self._search_analyzed(terms, top_n)
+
+    def _term_groups(self, terms: list[str]) -> list[_TermGroup]:
+        """Each analyzed term with its weighted variants."""
+        groups: list[_TermGroup] = []
+        for term in terms:
+            group: _TermGroup = [(term, 1.0)]
+            if (self._fuzzy is not None
+                    and self._index.document_frequency(term) == 0):
+                group.extend((e.term, e.similarity)
+                             for e in self._fuzzy.suggest(term))
+            groups.append(group)
+        return groups
+
+    def _search_analyzed(self, terms: list[str], top_n: int) -> list[IndexHit]:
+        # Term-at-a-time accumulation: scores[doc] = sum of per-term
+        # parts; a document "matches" a query term when any variant of
+        # its group hit.
+        scores: dict[int, float] = {}
+        matched: dict[int, int] = {}
+        for group in self._term_groups(terms):
+            group_docs: set[int] = set()
+            for term, weight in group:
+                postings = self._index.postings(term)
+                if postings is None:
+                    continue
+                idf_sq = self._scorer.idf(term) ** 2
+                for posting in postings:
+                    part = (weight * (posting.frequency ** 0.5) * idf_sq
+                            * self._index.norm(posting.doc_id))
+                    scores[posting.doc_id] = \
+                        scores.get(posting.doc_id, 0.0) + part
+                    group_docs.add(posting.doc_id)
+            for doc_id in group_docs:
+                matched[doc_id] = matched.get(doc_id, 0) + 1
+        if self._scorer.use_coordination and terms:
+            total_terms = len(terms)
+            for doc_id in scores:
+                scores[doc_id] *= matched[doc_id] / total_terms
+        best = heapq.nlargest(top_n, scores.items(),
+                              key=lambda item: (item[1], -item[0]))
+        return [
+            IndexHit(doc_id=doc_id, score=score,
+                     matched_terms=matched[doc_id],
+                     title=self._index.document(doc_id).title)
+            for doc_id, score in best
+        ]

@@ -1,0 +1,83 @@
+"""Index persistence: JSON-lines segments on disk.
+
+Format: line 1 is a header (format version, document count, term count);
+every following line is one document (id, title, summary, analyzed
+terms).  Postings are rebuilt on load — at repository scale (tens of
+thousands of schema documents) a rebuild is linear in total tokens and
+far cheaper than maintaining a mutable on-disk postings format, while
+the stored analyzed terms keep load independent of analyzer changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import IndexError_
+from repro.index.documents import Document
+from repro.index.inverted import InvertedIndex
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: InvertedIndex, path: str | Path) -> None:
+    """Write the index to ``path`` atomically (write-then-rename)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    header = {
+        "format": FORMAT_VERSION,
+        "documents": index.document_count,
+        "terms": index.term_count,
+    }
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for document in index.documents():
+            record = {
+                "doc_id": document.doc_id,
+                "title": document.title,
+                "summary": document.summary,
+                "terms": document.terms,
+            }
+            handle.write(json.dumps(record) + "\n")
+    tmp.replace(path)
+
+
+def load_index(path: str | Path) -> InvertedIndex:
+    """Read an index written by :func:`save_index`, validating the header."""
+    path = Path(path)
+    if not path.exists():
+        raise IndexError_(f"index file {path} does not exist")
+    index = InvertedIndex()
+    with open(path, encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise IndexError_(f"index file {path} is empty")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise IndexError_(f"index file {path} has a corrupt header") from exc
+        if header.get("format") != FORMAT_VERSION:
+            raise IndexError_(
+                f"index file {path} has unsupported format "
+                f"{header.get('format')!r}; expected {FORMAT_VERSION}")
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                document = Document(
+                    doc_id=record["doc_id"],
+                    title=record["title"],
+                    summary=record.get("summary", ""),
+                    terms=list(record["terms"]),
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise IndexError_(
+                    f"index file {path} is corrupt at line {line_number}") from exc
+            index.add(document)
+    expected = header.get("documents")
+    if expected is not None and expected != index.document_count:
+        raise IndexError_(
+            f"index file {path} is truncated: header says {expected} "
+            f"documents, found {index.document_count}")
+    return index

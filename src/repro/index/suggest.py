@@ -1,0 +1,53 @@
+"""Prefix suggestion over the term dictionary (search-box autocomplete).
+
+A catalog GUI wants completions as the user types.  Suggestions come
+straight from the index's term dictionary ranked by document frequency,
+so they always lead to non-empty result pages.  The structure is a
+sorted snapshot of the vocabulary with binary-searched prefix ranges —
+rebuilt from the index on demand and cheap enough to refresh with it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.index.inverted import InvertedIndex
+
+
+@dataclass(frozen=True, slots=True)
+class Suggestion:
+    """One completion: the indexed term and its document frequency."""
+
+    term: str
+    document_frequency: int
+
+
+class PrefixSuggester:
+    """Sorted-vocabulary prefix lookup."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self._index = index
+        self._terms = sorted(index.vocabulary())
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def suggest(self, prefix: str, limit: int = 8) -> list[Suggestion]:
+        """Terms starting with ``prefix``, most frequent first.
+
+        The prefix is lowercased to match the analyzed vocabulary.
+        Empty prefixes return nothing (completing over the whole
+        dictionary is never what a search box wants).
+        """
+        prefix = prefix.strip().lower()
+        if not prefix or limit <= 0:
+            return []
+        lo = bisect.bisect_left(self._terms, prefix)
+        hi = bisect.bisect_right(self._terms, prefix + "￿")
+        matches = self._terms[lo:hi]
+        ranked = sorted(
+            (Suggestion(term, self._index.document_frequency(term))
+             for term in matches),
+            key=lambda s: (-s.document_frequency, s.term))
+        return ranked[:limit]

@@ -1,0 +1,35 @@
+"""Data examples: instance generation, storage and instance-based matching.
+
+The paper's designer "wants to search for related schemas and data
+examples", and the cited multistrategy learning work (Doan et al.)
+matches on instance data as well as names.  This package supplies the
+substrate:
+
+* :mod:`~repro.instances.values` — deterministic value generators per
+  codebook concept (names, dates, coordinates, money, ...) with
+  SQL-type-family fallbacks;
+* :mod:`~repro.instances.sampler` — sample instance tables for any
+  schema;
+* :mod:`~repro.instances.store` — persist data examples alongside
+  schemas in the repository;
+* :mod:`~repro.instances.features` — column featurization (length,
+  character-class, numeric statistics);
+* :mod:`~repro.instances.matcher` — an :class:`InstanceMatcher` that
+  scores attribute pairs by feature-vector similarity of their example
+  values.
+"""
+
+from repro.instances.features import column_features, feature_similarity
+from repro.instances.matcher import InstanceMatcher
+from repro.instances.sampler import InstanceTable, generate_instances
+from repro.instances.store import load_instances, save_instances
+
+__all__ = [
+    "InstanceMatcher",
+    "InstanceTable",
+    "column_features",
+    "feature_similarity",
+    "generate_instances",
+    "load_instances",
+    "save_instances",
+]

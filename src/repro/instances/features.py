@@ -1,0 +1,122 @@
+"""Column featurization for instance-based matching.
+
+A column of example values is summarized into a fixed-length numeric
+feature vector capturing the signals instance matchers classically use
+(Doan et al.'s multistrategy learners): value length, character-class
+composition, numeric distribution, distinctness and format shape.
+Similarity between two columns is a bounded distance over these
+vectors.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import numpy as np
+
+#: Order of features in the vector (kept stable for tests).
+FEATURE_NAMES = (
+    "mean_length",
+    "std_length",
+    "digit_ratio",
+    "alpha_ratio",
+    "space_ratio",
+    "punct_ratio",
+    "numeric_fraction",
+    "numeric_mean_log",
+    "numeric_std_log",
+    "distinct_ratio",
+    "mean_tokens",
+)
+
+
+def _char_ratios(values: list[str]) -> tuple[float, float, float, float]:
+    digits = alphas = spaces = puncts = total = 0
+    for value in values:
+        for ch in value:
+            total += 1
+            if ch.isdigit():
+                digits += 1
+            elif ch.isalpha():
+                alphas += 1
+            elif ch.isspace():
+                spaces += 1
+            else:
+                puncts += 1
+    if total == 0:
+        return (0.0, 0.0, 0.0, 0.0)
+    return (digits / total, alphas / total, spaces / total, puncts / total)
+
+
+def _numeric_stats(values: list[str]) -> tuple[float, float, float]:
+    numbers = []
+    for value in values:
+        try:
+            numbers.append(float(value))
+        except ValueError:
+            continue
+    if not numbers:
+        return (0.0, 0.0, 0.0)
+    fraction = len(numbers) / len(values)
+    logs = [math.log10(abs(n) + 1.0) for n in numbers]
+    mean_log = statistics.fmean(logs)
+    std_log = statistics.pstdev(logs) if len(logs) > 1 else 0.0
+    return (fraction, mean_log, std_log)
+
+
+def column_features(values: list[str]) -> np.ndarray:
+    """The feature vector of one column; zero vector for no values."""
+    if not values:
+        return np.zeros(len(FEATURE_NAMES))
+    lengths = [len(value) for value in values]
+    mean_length = statistics.fmean(lengths)
+    std_length = statistics.pstdev(lengths) if len(lengths) > 1 else 0.0
+    digit_ratio, alpha_ratio, space_ratio, punct_ratio = \
+        _char_ratios(values)
+    numeric_fraction, numeric_mean_log, numeric_std_log = \
+        _numeric_stats(values)
+    distinct_ratio = len(set(values)) / len(values)
+    mean_tokens = statistics.fmean(
+        [len(value.split()) for value in values])
+    return np.array([
+        mean_length,
+        std_length,
+        digit_ratio,
+        alpha_ratio,
+        space_ratio,
+        punct_ratio,
+        numeric_fraction,
+        numeric_mean_log,
+        numeric_std_log,
+        distinct_ratio,
+        mean_tokens,
+    ])
+
+
+#: Per-feature scales used to normalize absolute differences into [0, 1].
+_FEATURE_SCALES = np.array([
+    20.0,   # mean_length
+    10.0,   # std_length
+    1.0,    # digit_ratio
+    1.0,    # alpha_ratio
+    1.0,    # space_ratio
+    1.0,    # punct_ratio
+    1.0,    # numeric_fraction
+    4.0,    # numeric_mean_log
+    2.0,    # numeric_std_log
+    1.0,    # distinct_ratio
+    4.0,    # mean_tokens
+])
+
+
+def feature_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Similarity of two feature vectors in [0, 1].
+
+    Mean of per-feature agreements, where each agreement is
+    ``1 - min(|Δ| / scale, 1)``.  Zero vectors (no data) score 0.
+    """
+    if not a.any() and not b.any():
+        return 0.0
+    deltas = np.minimum(np.abs(a - b) / _FEATURE_SCALES, 1.0)
+    return float(1.0 - deltas.mean())

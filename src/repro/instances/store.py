@@ -1,0 +1,63 @@
+"""Persisting data examples alongside schemas in the repository."""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import RepositoryError
+from repro.instances.sampler import InstanceTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.repository.store import SchemaRepository
+
+_INSTANCES_SQL = """
+CREATE TABLE IF NOT EXISTS instance_tables (
+    schema_id  INTEGER NOT NULL,
+    entity     TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    sampled_at REAL NOT NULL,
+    PRIMARY KEY (schema_id, entity)
+);
+"""
+
+
+def _ensure_tables(repository: "SchemaRepository") -> None:
+    repository.connection.executescript(_INSTANCES_SQL)
+    repository.connection.commit()
+
+
+def save_instances(repository: "SchemaRepository", schema_id: int,
+                   tables: dict[str, InstanceTable]) -> None:
+    """Store (or replace) the data examples of one schema."""
+    _ensure_tables(repository)
+    if not repository.has_schema(schema_id):
+        raise RepositoryError(
+            f"schema {schema_id} is not in the repository")
+    now = time.time()
+    for entity, table in tables.items():
+        repository.connection.execute(
+            "INSERT INTO instance_tables (schema_id, entity, payload, "
+            "sampled_at) VALUES (?, ?, ?, ?) "
+            "ON CONFLICT (schema_id, entity) DO UPDATE SET "
+            "payload = excluded.payload, sampled_at = excluded.sampled_at",
+            (schema_id, entity, json.dumps(table.columns), now))
+    repository.connection.commit()
+
+
+def load_instances(repository: "SchemaRepository",
+                   schema_id: int) -> dict[str, InstanceTable]:
+    """The stored data examples of one schema (empty dict when none)."""
+    _ensure_tables(repository)
+    rows = repository.connection.execute(
+        "SELECT entity, payload FROM instance_tables WHERE schema_id = ? "
+        "ORDER BY entity", (schema_id,)).fetchall()
+    tables: dict[str, InstanceTable] = {}
+    for row in rows:
+        tables[row["entity"]] = InstanceTable(
+            entity=row["entity"],
+            columns={column: list(values)
+                     for column, values in json.loads(row["payload"])
+                     .items()})
+    return tables

@@ -1,0 +1,173 @@
+"""Deterministic example-value generators.
+
+Each codebook concept gets a generator producing realistic strings; a
+type-family fallback covers unannotated attributes.  All generators
+draw from the caller's ``random.Random`` so instance tables are
+reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+_FIRST_NAMES = ("amina", "john", "grace", "david", "fatuma", "peter",
+                "mary", "joseph", "neema", "samuel", "esther", "paul")
+_LAST_NAMES = ("mushi", "smith", "kimaro", "johnson", "massawe", "brown",
+               "mwakyusa", "davis", "shayo", "wilson")
+_CITIES = ("dar es salaam", "arusha", "dodoma", "mwanza", "mbeya",
+           "springfield", "riverside", "fairview", "georgetown")
+_STREETS = ("main st", "market rd", "station ave", "hill lane",
+            "garden blvd", "lake drive")
+_WORDS = ("routine", "follow", "up", "stable", "improved", "referred",
+          "observed", "sample", "normal", "elevated", "noted", "pending")
+_DOMAINS = ("example.org", "mail.com", "health.tz", "data.net")
+
+
+ValueGenerator = Callable[[random.Random], str]
+
+
+def _person_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def _calendar_date(rng: random.Random) -> str:
+    return (f"{rng.randint(1990, 2024):04d}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}")
+
+
+def _timestamp(rng: random.Random) -> str:
+    return (f"{_calendar_date(rng)} {rng.randint(0, 23):02d}:"
+            f"{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}")
+
+
+def _year(rng: random.Random) -> str:
+    return str(rng.randint(1950, 2024))
+
+
+def _latitude(rng: random.Random) -> str:
+    return f"{rng.uniform(-90, 90):.5f}"
+
+
+def _longitude(rng: random.Random) -> str:
+    return f"{rng.uniform(-180, 180):.5f}"
+
+
+def _length(rng: random.Random) -> str:
+    return f"{rng.uniform(40, 210):.1f}"
+
+
+def _mass(rng: random.Random) -> str:
+    return f"{rng.uniform(2, 150):.1f}"
+
+
+def _temperature(rng: random.Random) -> str:
+    return f"{rng.uniform(34, 42):.1f}"
+
+
+def _money(rng: random.Random) -> str:
+    return f"{rng.uniform(1, 100000):.2f}"
+
+
+def _percentage(rng: random.Random) -> str:
+    return f"{rng.uniform(0, 100):.1f}"
+
+
+def _count(rng: random.Random) -> str:
+    return str(rng.randint(0, 5000))
+
+
+def _surrogate_key(rng: random.Random) -> str:
+    return str(rng.randint(1, 10_000_000))
+
+
+def _email(rng: random.Random) -> str:
+    user = rng.choice(_FIRST_NAMES)
+    return f"{user}{rng.randint(1, 99)}@{rng.choice(_DOMAINS)}"
+
+
+def _phone(rng: random.Random) -> str:
+    return (f"+{rng.randint(1, 255)} {rng.randint(100, 999)} "
+            f"{rng.randint(100, 999)} {rng.randint(100, 999)}")
+
+
+def _postal_address(rng: random.Random) -> str:
+    return f"{rng.randint(1, 999)} {rng.choice(_STREETS)}"
+
+
+def _city(rng: random.Random) -> str:
+    return rng.choice(_CITIES)
+
+
+def _postal_code(rng: random.Random) -> str:
+    return f"{rng.randint(10000, 99999)}"
+
+
+def _free_text(rng: random.Random) -> str:
+    return " ".join(rng.choice(_WORDS)
+                    for _ in range(rng.randint(3, 8)))
+
+
+def _national_id(rng: random.Random) -> str:
+    return (f"{rng.randint(100, 999)}-{rng.randint(10, 99)}-"
+            f"{rng.randint(1000, 9999)}")
+
+
+def _currency_code(rng: random.Random) -> str:
+    return rng.choice(("USD", "TZS", "EUR", "KES", "GBP"))
+
+
+#: concept name -> generator.
+CONCEPT_GENERATORS: dict[str, ValueGenerator] = {
+    "person_name": _person_name,
+    "calendar_date": _calendar_date,
+    "timestamp": _timestamp,
+    "year": _year,
+    "period": _calendar_date,
+    "latitude": _latitude,
+    "longitude": _longitude,
+    "length": _length,
+    "mass": _mass,
+    "temperature": _temperature,
+    "pressure": _percentage,
+    "speed": _length,
+    "area": _money,
+    "duration": _count,
+    "count": _count,
+    "percentage": _percentage,
+    "money": _money,
+    "interest_rate": _percentage,
+    "currency_code": _currency_code,
+    "surrogate_key": _surrogate_key,
+    "national_id": _national_id,
+    "email_address": _email,
+    "phone_number": _phone,
+    "postal_address": _postal_address,
+    "city": _city,
+    "region": _city,
+    "country": _city,
+    "postal_code": _postal_code,
+    "free_text": _free_text,
+}
+
+#: type family -> fallback generator for unannotated attributes.
+FAMILY_GENERATORS: dict[str, ValueGenerator] = {
+    "numeric": _money,
+    "temporal": _calendar_date,
+    "boolean": lambda rng: rng.choice(("0", "1")),
+    "binary": lambda rng: "0x" + "".join(
+        rng.choice("0123456789abcdef") for _ in range(12)),
+    "identifier": _surrogate_key,
+    "text": _free_text,
+}
+
+
+def generator_for(concept_name: str | None,
+                  type_family_name: str | None) -> ValueGenerator:
+    """Pick the generator for one attribute; text fallback last."""
+    if concept_name is not None and concept_name in CONCEPT_GENERATORS:
+        return CONCEPT_GENERATORS[concept_name]
+    if type_family_name is not None and type_family_name in \
+            FAMILY_GENERATORS:
+        return FAMILY_GENERATORS[type_family_name]
+    return _free_text

@@ -1,0 +1,38 @@
+"""Mapping capture: the by-product the paper wants from schema search.
+
+"In this process, we can also capture implicit semantic mappings
+between schema elements, information on schema re-use, and the
+provenance of new schema entities."
+
+* :mod:`~repro.mapping.derive` — turn a search result's combined
+  similarity matrix into a 1:1 element mapping (greedy best-first
+  assignment with a confidence threshold);
+* :mod:`~repro.mapping.store` — persist mappings, schema re-use events
+  and element provenance in the repository database, and report reuse
+  statistics.
+"""
+
+from repro.mapping.derive import ElementMapping, derive_mapping
+from repro.mapping.diff import Rename, SchemaDiff, diff_schemas
+from repro.mapping.store import (
+    ProvenanceRecord,
+    load_mappings,
+    record_provenance,
+    provenance_of,
+    reuse_statistics,
+    save_mapping,
+)
+
+__all__ = [
+    "ElementMapping",
+    "Rename",
+    "SchemaDiff",
+    "diff_schemas",
+    "ProvenanceRecord",
+    "derive_mapping",
+    "load_mappings",
+    "provenance_of",
+    "record_provenance",
+    "reuse_statistics",
+    "save_mapping",
+]

@@ -1,0 +1,82 @@
+"""Deriving element mappings from similarity matrices.
+
+Schema search diverges from classical matching in phase three ("rather
+than generating mappings between elements..."), but once a user adopts
+a result, the classical output becomes valuable again: a set of
+(query element, result element) correspondences.  This module recovers
+them from the combined similarity matrix with greedy best-first 1:1
+assignment — the standard extraction step after matrix-producing
+matchers (Rahm & Bernstein's "selection" phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MatchError
+from repro.matching.base import SimilarityMatrix
+
+
+@dataclass(frozen=True, slots=True)
+class Correspondence:
+    """One mapped element pair."""
+
+    source_element: str
+    target_element: str
+    confidence: float
+
+
+@dataclass(slots=True)
+class ElementMapping:
+    """A 1:1 mapping between a source (query/draft) and target schema."""
+
+    source_name: str
+    target_name: str
+    correspondences: list[Correspondence] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.correspondences)
+
+    def target_of(self, source_element: str) -> str | None:
+        for correspondence in self.correspondences:
+            if correspondence.source_element == source_element:
+                return correspondence.target_element
+        return None
+
+    def mean_confidence(self) -> float:
+        if not self.correspondences:
+            return 0.0
+        return (sum(c.confidence for c in self.correspondences)
+                / len(self.correspondences))
+
+
+def derive_mapping(matrix: SimilarityMatrix,
+                   source_name: str = "query",
+                   target_name: str = "candidate",
+                   threshold: float = 0.5) -> ElementMapping:
+    """Greedy best-first 1:1 assignment over the similarity matrix.
+
+    Pairs are taken in descending similarity; each row and column is
+    used at most once; pairs below ``threshold`` are discarded.  Greedy
+    assignment is the standard, auditable choice here — an optimal
+    (Hungarian) assignment changes almost nothing at matching-quality
+    thresholds but is much harder to explain to a user reviewing the
+    mapping.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise MatchError(f"threshold must be in (0, 1], got {threshold}")
+    mapping = ElementMapping(source_name=source_name,
+                             target_name=target_name)
+    used_rows: set[str] = set()
+    used_cols: set[str] = set()
+    for row, col, value in matrix.nonzero_pairs():
+        if value < threshold:
+            break  # pairs arrive best-first
+        if row in used_rows or col in used_cols:
+            continue
+        used_rows.add(row)
+        used_cols.add(col)
+        mapping.correspondences.append(Correspondence(
+            source_element=row, target_element=col, confidence=value))
+    return mapping

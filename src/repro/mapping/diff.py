@@ -1,0 +1,119 @@
+"""Schema diff: what changed between two versions of a schema.
+
+The paper's "new model development process" iterates a design through
+search and adoption; a diff between iterations (or between a draft and
+an adopted reference schema) is the natural review artifact.  Beyond
+set differences, the name matcher detects *renames*: an element removed
+on one side and added on the other with high name similarity is
+reported as a rename rather than a drop + add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.matching.name import name_similarity
+from repro.matching.normalize import normalize_words
+from repro.model.schema import Schema
+
+#: Minimum name similarity for a removed/added pair to count as a rename.
+RENAME_THRESHOLD = 0.6
+
+
+@dataclass(frozen=True, slots=True)
+class Rename:
+    """One detected rename (old path -> new path)."""
+
+    old_path: str
+    new_path: str
+    similarity: float
+
+
+@dataclass(slots=True)
+class SchemaDiff:
+    """The difference between an old and a new schema version."""
+
+    old_name: str
+    new_name: str
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    renamed: list[Rename] = field(default_factory=list)
+    type_changed: list[tuple[str, str, str]] = field(default_factory=list)
+    """(path, old type, new type) for attributes whose type changed."""
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.renamed
+                    or self.type_changed)
+
+    def summary(self) -> str:
+        if self.is_empty:
+            return (f"{self.old_name} -> {self.new_name}: no structural "
+                    f"changes")
+        lines = [f"{self.old_name} -> {self.new_name}:"]
+        for path in self.added:
+            lines.append(f"  + {path}")
+        for path in self.removed:
+            lines.append(f"  - {path}")
+        for rename in self.renamed:
+            lines.append(f"  ~ {rename.old_path} -> {rename.new_path} "
+                         f"(similarity {rename.similarity:.2f})")
+        for path, old_type, new_type in self.type_changed:
+            lines.append(f"  : {path} type {old_type or '?'} -> "
+                         f"{new_type or '?'}")
+        return "\n".join(lines)
+
+
+def _attribute_types(schema: Schema) -> dict[str, str]:
+    out = {}
+    for entity in schema.entities.values():
+        for attr in entity.attributes:
+            out[f"{entity.name}.{attr.name}"] = attr.data_type
+    return out
+
+
+def diff_schemas(old: Schema, new: Schema) -> SchemaDiff:
+    """Structural diff of two schemas, with rename detection."""
+    old_paths = {ref.path for ref in old.elements()}
+    new_paths = {ref.path for ref in new.elements()}
+    removed = sorted(old_paths - new_paths)
+    added = sorted(new_paths - old_paths)
+
+    # Rename detection: greedy best-first over name similarity of
+    # removed x added pairs, scoped to element kind (entity vs attr).
+    candidates = []
+    for old_path in removed:
+        old_words = tuple(normalize_words(old_path.rsplit(".", 1)[-1]))
+        for new_path in added:
+            if ("." in old_path) != ("." in new_path):
+                continue  # entity cannot rename into attribute
+            new_words = tuple(normalize_words(new_path.rsplit(".", 1)[-1]))
+            score = name_similarity(old_words, new_words)
+            if score >= RENAME_THRESHOLD:
+                candidates.append((score, old_path, new_path))
+    candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+    renamed: list[Rename] = []
+    used_old: set[str] = set()
+    used_new: set[str] = set()
+    for score, old_path, new_path in candidates:
+        if old_path in used_old or new_path in used_new:
+            continue
+        used_old.add(old_path)
+        used_new.add(new_path)
+        renamed.append(Rename(old_path, new_path, score))
+
+    diff = SchemaDiff(
+        old_name=old.name,
+        new_name=new.name,
+        added=[path for path in added if path not in used_new],
+        removed=[path for path in removed if path not in used_old],
+        renamed=renamed,
+    )
+    # Type changes on surviving attributes.
+    old_types = _attribute_types(old)
+    new_types = _attribute_types(new)
+    for path in sorted(old_paths & new_paths):
+        if path in old_types and old_types[path] != new_types.get(path):
+            diff.type_changed.append(
+                (path, old_types[path], new_types.get(path, "")))
+    return diff

@@ -1,0 +1,139 @@
+"""Persisting mappings, re-use events and provenance in the repository.
+
+Tables are created lazily on first use so the core repository schema
+stays unchanged for deployments that never capture mappings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import RepositoryError
+from repro.mapping.derive import Correspondence, ElementMapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.repository.store import SchemaRepository
+
+_MAPPING_SQL = """
+CREATE TABLE IF NOT EXISTS mappings (
+    mapping_id   INTEGER PRIMARY KEY AUTOINCREMENT,
+    source_name  TEXT NOT NULL,
+    target_schema_id INTEGER NOT NULL,
+    payload      TEXT NOT NULL,
+    created_at   REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS provenance (
+    provenance_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    schema_id    INTEGER NOT NULL,
+    element_path TEXT NOT NULL,
+    origin_schema_id INTEGER NOT NULL,
+    origin_element TEXT NOT NULL,
+    adopted_at   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_provenance_origin
+    ON provenance (origin_schema_id);
+"""
+
+
+def _ensure_tables(repository: "SchemaRepository") -> None:
+    repository.connection.executescript(_MAPPING_SQL)
+    repository.connection.commit()
+
+
+def save_mapping(repository: "SchemaRepository", mapping: ElementMapping,
+                 target_schema_id: int) -> int:
+    """Persist one derived mapping against a stored schema."""
+    _ensure_tables(repository)
+    if not repository.has_schema(target_schema_id):
+        raise RepositoryError(
+            f"schema {target_schema_id} is not in the repository")
+    payload = json.dumps([
+        {"source": c.source_element, "target": c.target_element,
+         "confidence": c.confidence}
+        for c in mapping.correspondences
+    ])
+    cursor = repository.connection.execute(
+        "INSERT INTO mappings (source_name, target_schema_id, payload, "
+        "created_at) VALUES (?, ?, ?, ?)",
+        (mapping.source_name, target_schema_id, payload, time.time()))
+    repository.connection.commit()
+    mapping_id = cursor.lastrowid
+    assert mapping_id is not None
+    return mapping_id
+
+
+def load_mappings(repository: "SchemaRepository",
+                  target_schema_id: int) -> list[ElementMapping]:
+    """Every stored mapping whose target is ``target_schema_id``."""
+    _ensure_tables(repository)
+    rows = repository.connection.execute(
+        "SELECT source_name, target_schema_id, payload FROM mappings "
+        "WHERE target_schema_id = ? ORDER BY mapping_id",
+        (target_schema_id,)).fetchall()
+    out = []
+    for row in rows:
+        mapping = ElementMapping(
+            source_name=row["source_name"],
+            target_name=str(row["target_schema_id"]))
+        for entry in json.loads(row["payload"]):
+            mapping.correspondences.append(Correspondence(
+                source_element=entry["source"],
+                target_element=entry["target"],
+                confidence=entry["confidence"]))
+        out.append(mapping)
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class ProvenanceRecord:
+    """Where one schema element came from."""
+
+    schema_id: int
+    element_path: str
+    origin_schema_id: int
+    origin_element: str
+
+
+def record_provenance(repository: "SchemaRepository", schema_id: int,
+                      element_path: str, origin_schema_id: int,
+                      origin_element: str) -> None:
+    """Record that ``schema_id.element_path`` was adopted from
+    ``origin_schema_id.origin_element`` via search."""
+    _ensure_tables(repository)
+    for required in (schema_id, origin_schema_id):
+        if not repository.has_schema(required):
+            raise RepositoryError(
+                f"schema {required} is not in the repository")
+    repository.connection.execute(
+        "INSERT INTO provenance (schema_id, element_path, "
+        "origin_schema_id, origin_element, adopted_at) "
+        "VALUES (?, ?, ?, ?, ?)",
+        (schema_id, element_path, origin_schema_id, origin_element,
+         time.time()))
+    repository.connection.commit()
+
+
+def provenance_of(repository: "SchemaRepository",
+                  schema_id: int) -> list[ProvenanceRecord]:
+    """Provenance records for elements of ``schema_id``."""
+    _ensure_tables(repository)
+    rows = repository.connection.execute(
+        "SELECT schema_id, element_path, origin_schema_id, origin_element "
+        "FROM provenance WHERE schema_id = ? ORDER BY provenance_id",
+        (schema_id,)).fetchall()
+    return [ProvenanceRecord(row["schema_id"], row["element_path"],
+                             row["origin_schema_id"],
+                             row["origin_element"]) for row in rows]
+
+
+def reuse_statistics(repository: "SchemaRepository") -> dict[int, int]:
+    """How often each schema's elements were adopted elsewhere —
+    the "information on schema re-use" the paper wants to surface."""
+    _ensure_tables(repository)
+    rows = repository.connection.execute(
+        "SELECT origin_schema_id, COUNT(*) AS n FROM provenance "
+        "GROUP BY origin_schema_id ORDER BY n DESC").fetchall()
+    return {row["origin_schema_id"]: row["n"] for row in rows}

@@ -1,0 +1,121 @@
+"""Data-type matcher: type-family compatibility for attribute pairs.
+
+Schemr's OpenII integration sketch mentions "a codebook that contains
+data types like units, date/time, and geographic location".  This
+matcher implements the data-type leg: declared SQL/XSD types are mapped
+into families (numeric, text, temporal, boolean, binary, identifier)
+and attribute pairs are scored by a family-compatibility table.  Pairs
+where either side lacks a declared type, and any pair involving an
+entity, score 0 — the matcher abstains rather than guessing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.matching.base import Matcher, SimilarityMatrix
+from repro.model.elements import ElementKind, ElementRef
+from repro.model.query import QueryGraph, QueryItemKind
+from repro.model.schema import Schema
+
+#: type-name (lowercased, parameters stripped) -> family
+_TYPE_FAMILIES: dict[str, str] = {
+    # numeric
+    "int": "numeric", "integer": "numeric", "smallint": "numeric",
+    "bigint": "numeric", "tinyint": "numeric", "decimal": "numeric",
+    "numeric": "numeric", "float": "numeric", "real": "numeric",
+    "double": "numeric", "double precision": "numeric", "number": "numeric",
+    "byte": "numeric", "short": "numeric", "long": "numeric",
+    # text
+    "char": "text", "varchar": "text", "text": "text", "string": "text",
+    "clob": "text", "nvarchar": "text", "nchar": "text", "token": "text",
+    "normalizedstring": "text",
+    # temporal
+    "date": "temporal", "time": "temporal", "datetime": "temporal",
+    "timestamp": "temporal", "year": "temporal", "duration": "temporal",
+    "gyear": "temporal", "gmonth": "temporal", "gday": "temporal",
+    # boolean
+    "bool": "boolean", "boolean": "boolean", "bit": "boolean",
+    # binary
+    "blob": "binary", "binary": "binary", "varbinary": "binary",
+    "bytea": "binary", "base64binary": "binary", "hexbinary": "binary",
+    # identifiers
+    "id": "identifier", "idref": "identifier", "uuid": "identifier",
+    "serial": "identifier", "bigserial": "identifier",
+}
+
+#: (family, family) -> score; symmetric, same-family pairs handled apart.
+_CROSS_FAMILY: dict[frozenset[str], float] = {
+    frozenset({"numeric", "identifier"}): 0.6,
+    frozenset({"text", "identifier"}): 0.4,
+    frozenset({"numeric", "temporal"}): 0.2,
+    frozenset({"text", "temporal"}): 0.2,
+    frozenset({"numeric", "boolean"}): 0.2,
+}
+
+_PARAMS = re.compile(r"\(.*\)$")
+
+
+def type_family(declared: str) -> str | None:
+    """Map a declared type string to its family, or None when unknown."""
+    cleaned = _PARAMS.sub("", declared.strip().lower()).strip()
+    if not cleaned:
+        return None
+    return _TYPE_FAMILIES.get(cleaned)
+
+
+def family_similarity(a: str | None, b: str | None) -> float:
+    """Compatibility score between two type families."""
+    if a is None or b is None:
+        return 0.0
+    if a == b:
+        return 1.0
+    return _CROSS_FAMILY.get(frozenset({a, b}), 0.0)
+
+
+class DataTypeMatcher(Matcher):
+    """Scores attribute pairs by declared-type family compatibility.
+
+    Only fragment attributes carry declared types on the query side, so
+    keyword rows always stay 0 — this matcher refines fragment queries
+    and abstains otherwise, which is the behaviour the ensemble
+    weighting expects.
+    """
+
+    name = "datatype"
+
+    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate)
+        candidate_families = self._attribute_families(candidate)
+        labels = iter(query.element_labels())
+        for item in query.items:
+            if item.kind is QueryItemKind.KEYWORD:
+                next(labels)  # keywords have no declared type
+                continue
+            assert item.fragment is not None
+            for ref in item.fragment.elements():
+                label = next(labels)
+                family = self._ref_family(item.fragment, ref)
+                if family is None:
+                    continue
+                for path, cand_family in candidate_families:
+                    score = family_similarity(family, cand_family)
+                    if score > 0.0:
+                        matrix.set(label, path, score)
+        return matrix
+
+    @staticmethod
+    def _ref_family(schema: Schema, ref: ElementRef) -> str | None:
+        if ref.kind is ElementKind.ENTITY:
+            return None
+        attribute = schema.entity(ref.entity).attribute(ref.attribute or "")
+        return type_family(attribute.data_type)
+
+    @staticmethod
+    def _attribute_families(schema: Schema) -> list[tuple[str, str | None]]:
+        out: list[tuple[str, str | None]] = []
+        for entity in schema.entities.values():
+            for attr in entity.attributes:
+                out.append((f"{entity.name}.{attr.name}",
+                            type_family(attr.data_type)))
+        return out

@@ -1,0 +1,92 @@
+"""Matcher ensemble: run every matcher, combine with a weighting scheme.
+
+"For every candidate schema, the similarity matrices of the different
+matchers are combined into a single matrix containing total similarity
+scores.  We combine the scores from each matcher with a weighting
+scheme, which is initially uniform."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MatchError
+from repro.matching.base import Matcher, SimilarityMatrix
+from repro.matching.context import ContextMatcher
+from repro.matching.name import NameMatcher
+from repro.model.query import QueryGraph
+from repro.model.schema import Schema
+
+
+@dataclass(slots=True)
+class EnsembleResult:
+    """Combined matrix plus the per-matcher matrices that produced it."""
+
+    combined: SimilarityMatrix
+    per_matcher: dict[str, SimilarityMatrix] = field(default_factory=dict)
+
+
+class MatcherEnsemble:
+    """A weighted set of matchers applied to (query, candidate) pairs."""
+
+    def __init__(self, matchers: list[Matcher] | None = None,
+                 weights: dict[str, float] | None = None) -> None:
+        if matchers is None:
+            matchers = [NameMatcher(), ContextMatcher()]
+        if not matchers:
+            raise MatchError("ensemble needs at least one matcher")
+        names = [m.name for m in matchers]
+        if len(set(names)) != len(names):
+            raise MatchError(f"duplicate matcher names: {names}")
+        self._matchers = list(matchers)
+        self._weights = {m.name: 1.0 for m in matchers}
+        if weights:
+            self.set_weights(weights)
+
+    @classmethod
+    def default(cls) -> "MatcherEnsemble":
+        """The paper's configuration: name + context, uniform weights."""
+        return cls()
+
+    @property
+    def matchers(self) -> list[Matcher]:
+        return list(self._matchers)
+
+    @property
+    def matcher_names(self) -> list[str]:
+        return [m.name for m in self._matchers]
+
+    @property
+    def weights(self) -> dict[str, float]:
+        return dict(self._weights)
+
+    def set_weights(self, weights: dict[str, float]) -> None:
+        """Replace the weighting scheme (e.g. with learned weights).
+
+        Unknown matcher names are rejected; missing names keep their
+        current weight.
+        """
+        known = set(self._weights)
+        unknown = set(weights) - known
+        if unknown:
+            raise MatchError(
+                f"weights name unknown matchers: {sorted(unknown)}")
+        for name, weight in weights.items():
+            if weight < 0:
+                raise MatchError(f"weight for {name!r} must be >= 0")
+            self._weights[name] = weight
+        if all(w == 0 for w in self._weights.values()):
+            raise MatchError("at least one matcher weight must be positive")
+
+    def match(self, query: QueryGraph, candidate: Schema) -> EnsembleResult:
+        """Run every matcher and combine into the total-similarity matrix."""
+        per_matcher: dict[str, SimilarityMatrix] = {}
+        matrices: list[SimilarityMatrix] = []
+        weight_list: list[float] = []
+        for matcher in self._matchers:
+            matrix = matcher.match(query, candidate)
+            per_matcher[matcher.name] = matrix
+            matrices.append(matrix)
+            weight_list.append(self._weights[matcher.name])
+        combined = SimilarityMatrix.combine(matrices, weight_list)
+        return EnsembleResult(combined=combined, per_matcher=per_matcher)

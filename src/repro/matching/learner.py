@@ -1,0 +1,120 @@
+"""Meta-learner: logistic regression over recorded search history.
+
+"As Schemr is utilized in practice, we can record search histories to
+create a training set of search-term to schema-fragment matches.  With
+such a training set, we may then determine an appropriate weighting
+scheme.  For instance, Madhavan et al use a meta-learner to compute a
+logistic regression over a training set of schemas."
+
+Each training example carries the per-matcher evidence for one
+(query, schema) pair — here, the max combined-matrix cell each matcher
+produced — and a binary relevance label (the user clicked / marked the
+result).  The learner fits w via regularized logistic regression
+(batch gradient descent, numpy) and exposes the positive part of w,
+normalized, as the ensemble weighting scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MatchError
+
+
+@dataclass(frozen=True, slots=True)
+class TrainingExample:
+    """Per-matcher evidence for one (query, schema) pair, plus the label."""
+
+    features: dict[str, float]
+    relevant: bool
+
+
+class WeightLearner:
+    """Fits matcher weights from labelled search history."""
+
+    def __init__(self, matcher_names: list[str], learning_rate: float = 0.5,
+                 iterations: int = 500, l2: float = 1e-3) -> None:
+        if not matcher_names:
+            raise MatchError("learner needs at least one matcher name")
+        self._names = list(matcher_names)
+        self._learning_rate = learning_rate
+        self._iterations = iterations
+        self._l2 = l2
+        self._coefficients: np.ndarray | None = None
+        self._bias = 0.0
+
+    @property
+    def matcher_names(self) -> list[str]:
+        return list(self._names)
+
+    def _design_matrix(self, examples: list[TrainingExample]) \
+            -> tuple[np.ndarray, np.ndarray]:
+        x = np.zeros((len(examples), len(self._names)))
+        y = np.zeros(len(examples))
+        for i, example in enumerate(examples):
+            for j, name in enumerate(self._names):
+                x[i, j] = example.features.get(name, 0.0)
+            y[i] = 1.0 if example.relevant else 0.0
+        return x, y
+
+    def fit(self, examples: list[TrainingExample]) -> None:
+        """Train on labelled history; needs both classes present."""
+        if len(examples) < 2:
+            raise MatchError("need at least two training examples")
+        x, y = self._design_matrix(examples)
+        if y.min() == y.max():
+            raise MatchError(
+                "training set needs both relevant and irrelevant examples")
+        n, d = x.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self._iterations):
+            z = x @ w + b
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+            gradient_w = x.T @ (p - y) / n + self._l2 * w
+            gradient_b = float(np.mean(p - y))
+            w -= self._learning_rate * gradient_w
+            b -= self._learning_rate * gradient_b
+        self._coefficients = w
+        self._bias = b
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coefficients is not None
+
+    def predict_probability(self, features: dict[str, float]) -> float:
+        """P(relevant) for one feature vector."""
+        if self._coefficients is None:
+            raise MatchError("learner is not fitted")
+        x = np.array([features.get(name, 0.0) for name in self._names])
+        z = float(x @ self._coefficients + self._bias)
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+    def weights(self, floor: float = 0.05) -> dict[str, float]:
+        """The learned weighting scheme for the ensemble.
+
+        Negative coefficients are clamped to ``floor`` (a matcher that
+        anti-correlates with relevance on a small history sample should
+        be down-weighted, not inverted) and the result is normalized to
+        sum to 1.
+        """
+        if self._coefficients is None:
+            raise MatchError("learner is not fitted")
+        raw = np.maximum(self._coefficients, floor)
+        total = float(raw.sum())
+        if total <= 0:
+            raise MatchError("all learned weights are zero")
+        return {name: float(value / total)
+                for name, value in zip(self._names, raw)}
+
+    def accuracy(self, examples: list[TrainingExample]) -> float:
+        """Fraction of examples classified correctly at threshold 0.5."""
+        if not examples:
+            raise MatchError("no examples to evaluate")
+        correct = 0
+        for example in examples:
+            predicted = self.predict_probability(example.features) >= 0.5
+            correct += int(predicted == example.relevant)
+        return correct / len(examples)

@@ -1,0 +1,88 @@
+"""Structural matcher: entity-shape similarity for fragment queries.
+
+When the query contains a schema fragment, its *entities* carry
+structural signal beyond their names: how many attributes they have and
+how their attribute names distribute.  This matcher scores
+entity/entity pairs by combining child-name overlap (Jaccard over
+normalized attribute words) with an attribute-count ratio, and assigns
+attribute/attribute pairs the score of their parent entity pair scaled
+down — a cheap stand-in for the propagation step of similarity-flooding
+style algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.matching.base import Matcher, SimilarityMatrix
+from repro.matching.normalize import normalize_words
+from repro.model.elements import Entity
+from repro.model.query import QueryGraph, QueryItemKind
+from repro.model.schema import Schema
+
+#: Attribute pairs inherit this fraction of their entities' score.
+_CHILD_PROPAGATION = 0.5
+
+
+def _entity_word_set(entity: Entity) -> set[str]:
+    words: set[str] = set()
+    for attr in entity.attributes:
+        words.update(normalize_words(attr.name))
+    return words
+
+
+def entity_shape_similarity(a: Entity, b: Entity) -> float:
+    """Structural similarity of two entities in [0, 1].
+
+    0.7 * child-name Jaccard + 0.3 * attribute-count ratio.  Entities
+    with no attributes score 0 (no structure to compare).
+    """
+    if not a.attributes or not b.attributes:
+        return 0.0
+    words_a = _entity_word_set(a)
+    words_b = _entity_word_set(b)
+    union = words_a | words_b
+    name_overlap = len(words_a & words_b) / len(union) if union else 0.0
+    count_ratio = (min(len(a.attributes), len(b.attributes))
+                   / max(len(a.attributes), len(b.attributes)))
+    return 0.7 * name_overlap + 0.3 * count_ratio
+
+
+class StructureMatcher(Matcher):
+    """Scores entity pairs by shape; propagates a fraction to children."""
+
+    name = "structure"
+
+    def __init__(self, threshold: float = 0.1) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+        self._threshold = threshold
+
+    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate)
+        labels = iter(query.element_labels())
+        for item in query.items:
+            if item.kind is QueryItemKind.KEYWORD:
+                next(labels)
+                continue
+            assert item.fragment is not None
+            # Collect this fragment's labels keyed by element path.
+            fragment_labels: dict[str, str] = {}
+            for ref in item.fragment.elements():
+                fragment_labels[ref.path] = next(labels)
+            for query_entity in item.fragment.entities.values():
+                entity_label = fragment_labels[query_entity.name]
+                for cand_entity in candidate.entities.values():
+                    score = entity_shape_similarity(query_entity, cand_entity)
+                    if score < self._threshold:
+                        continue
+                    matrix.set(entity_label, cand_entity.name, score)
+                    child_score = score * _CHILD_PROPAGATION
+                    if child_score < self._threshold:
+                        continue
+                    for q_attr in query_entity.attributes:
+                        q_label = fragment_labels[
+                            f"{query_entity.name}.{q_attr.name}"]
+                        for c_attr in cand_entity.attributes:
+                            col = f"{cand_entity.name}.{c_attr.name}"
+                            if matrix.get(q_label, col) < child_score:
+                                matrix.set(q_label, col, child_score)
+        return matrix

@@ -1,0 +1,102 @@
+"""Synonym matcher: thesaurus lookup over normalized names.
+
+The built-in thesaurus covers vocabulary from the paper's motivating
+domains (health data, conservation monitoring) plus generic business
+terms.  Matching is by synonym *set*: two names score 1.0 when they
+normalize into the same set, and a partial score when multi-word names
+share synonyms word-wise.  Callers can extend or replace the thesaurus
+(e.g. with the OpenII "codebook" integration the paper sketches).
+"""
+
+from __future__ import annotations
+
+from repro.matching.base import Matcher, SimilarityMatrix
+from repro.matching.normalize import normalize_words
+from repro.model.query import QueryGraph
+from repro.model.schema import Schema
+
+#: Each inner tuple is one synonym set.
+DEFAULT_THESAURUS: tuple[tuple[str, ...], ...] = (
+    ("doctor", "physician", "clinician", "provider"),
+    ("patient", "subject", "client"),
+    ("gender", "sex"),
+    ("diagnosis", "condition", "disease", "illness"),
+    ("medication", "drug", "medicine", "prescription"),
+    ("visit", "encounter", "appointment"),
+    ("height", "stature"),
+    ("weight", "mass"),
+    ("birth", "born"),
+    ("death", "deceased", "mortality"),
+    ("species", "taxon", "organism"),
+    ("site", "location", "place", "station"),
+    ("observation", "sighting", "record", "measurement"),
+    ("date", "day", "time"),
+    ("area", "region", "zone"),
+    ("salary", "wage", "pay", "compensation"),
+    ("employee", "worker", "staff"),
+    ("company", "firm", "organization", "employer"),
+    ("customer", "client", "buyer"),
+    ("price", "cost", "amount"),
+    ("product", "item", "good"),
+    ("order", "purchase"),
+    ("address", "residence"),
+    ("phone", "telephone", "mobile"),
+    ("email", "mail"),
+    ("country", "nation"),
+    ("city", "town", "municipality"),
+    ("identifier", "id", "key", "code"),
+    ("name", "title", "label"),
+    ("quantity", "count", "number"),
+    ("begin", "start"),
+    ("end", "finish", "stop"),
+    ("teacher", "instructor", "professor"),
+    ("student", "pupil", "learner"),
+    ("course", "class", "subject"),
+    ("grade", "mark", "score"),
+    ("author", "writer", "creator"),
+    ("vehicle", "car", "automobile"),
+)
+
+
+class SynonymMatcher(Matcher):
+    """Scores pairs by word-level synonym overlap."""
+
+    name = "synonym"
+
+    def __init__(self,
+                 thesaurus: tuple[tuple[str, ...], ...] = DEFAULT_THESAURUS
+                 ) -> None:
+        # A word may appear in several sets ("client" is a synonym of
+        # both patient and customer), so membership is a set of set-ids.
+        self._memberships: dict[str, set[int]] = {}
+        for set_id, synonym_set in enumerate(thesaurus):
+            for word in synonym_set:
+                self._memberships.setdefault(word, set()).add(set_id)
+
+    def _word_sets(self, name: str) -> set[int]:
+        """Ids of every synonym set touched by the words of ``name``."""
+        sets: set[int] = set()
+        for word in normalize_words(name):
+            sets.update(self._memberships.get(word, ()))
+        return sets
+
+    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate)
+        candidate_sets = [
+            (path, self._word_sets(name), len(normalize_words(name)))
+            for path, name, _kind in self.candidate_elements(candidate)
+        ]
+        for label, name in self.query_elements(query):
+            query_sets = self._word_sets(name)
+            if not query_sets:
+                continue
+            query_word_count = max(len(normalize_words(name)), 1)
+            for path, cand_sets, cand_word_count in candidate_sets:
+                shared = len(query_sets & cand_sets)
+                if shared == 0:
+                    continue
+                # Fraction of the longer name's words that found a
+                # synonym partner; single-word synonym hits score 1.0.
+                denom = max(query_word_count, cand_word_count, 1)
+                matrix.set(label, path, min(1.0, shared / denom))
+        return matrix

@@ -1,0 +1,35 @@
+"""Data model for schemas and queries.
+
+The model is deliberately small and relational-flavoured: a
+:class:`~repro.model.schema.Schema` is a set of named
+:class:`~repro.model.elements.Entity` objects (tables / XSD complex
+elements), each holding :class:`~repro.model.elements.Attribute` objects
+(columns / leaf elements), linked by
+:class:`~repro.model.elements.ForeignKey` edges.  Hierarchical sources
+(XSD) are normalized into this model by the parsers: nesting becomes a
+foreign key from child entity to parent entity, which is exactly the
+"entity neighborhood (transitive closure on foreign key)" structure the
+tightness-of-fit scorer needs.
+
+Queries are a *forest*: a :class:`~repro.model.query.QueryGraph` holds any
+number of schema fragments plus bare keywords, each keyword being "a graph
+of one item" as the paper puts it.
+"""
+
+from repro.model.elements import Attribute, ElementKind, ElementRef, Entity, ForeignKey
+from repro.model.graph import entity_adjacency, schema_to_networkx
+from repro.model.query import QueryGraph, QueryItem
+from repro.model.schema import Schema
+
+__all__ = [
+    "Attribute",
+    "ElementKind",
+    "ElementRef",
+    "Entity",
+    "ForeignKey",
+    "QueryGraph",
+    "QueryItem",
+    "Schema",
+    "entity_adjacency",
+    "schema_to_networkx",
+]

@@ -1,0 +1,148 @@
+"""Schema building blocks: attributes, entities, foreign keys, element refs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class ElementKind(enum.Enum):
+    """What a schema element is; drives node coloring in visualizations."""
+
+    ENTITY = "entity"
+    ATTRIBUTE = "attribute"
+
+
+@dataclass(frozen=True, slots=True)
+class ElementRef:
+    """Stable address of a schema element.
+
+    ``ElementRef("patient")`` names the *patient* entity;
+    ``ElementRef("patient", "height")`` names the *height* attribute of
+    that entity.  The string form (``patient`` / ``patient.height``) is
+    used as row/column labels in similarity matrices and as node ids in
+    exported GraphML.
+    """
+
+    entity: str
+    attribute: str | None = None
+
+    @property
+    def kind(self) -> ElementKind:
+        if self.attribute is None:
+            return ElementKind.ENTITY
+        return ElementKind.ATTRIBUTE
+
+    @property
+    def path(self) -> str:
+        if self.attribute is None:
+            return self.entity
+        return f"{self.entity}.{self.attribute}"
+
+    @property
+    def local_name(self) -> str:
+        """The element's own name: attribute name for attributes,
+        entity name for entities."""
+        if self.attribute is None:
+            return self.entity
+        return self.attribute
+
+    @classmethod
+    def parse(cls, path: str) -> "ElementRef":
+        """Invert :attr:`path`.  Raises :class:`SchemaError` on garbage."""
+        if not path:
+            raise SchemaError("empty element path")
+        entity, _, attribute = path.partition(".")
+        if not entity:
+            raise SchemaError(f"element path {path!r} has no entity part")
+        return cls(entity, attribute or None)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.path
+
+
+@dataclass(slots=True)
+class Attribute:
+    """A column of a table (or a leaf element of an XSD complex type)."""
+
+    name: str
+    data_type: str = ""
+    description: str = ""
+    nullable: bool = True
+    primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+
+@dataclass(slots=True)
+class Entity:
+    """A table (or XSD complex type) with named attributes."""
+
+    name: str
+    attributes: list[Attribute] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("entity name must be non-empty")
+        seen: set[str] = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"entity {self.name!r} has duplicate attribute {attr.name!r}")
+            seen.add(attr.name)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name; raises :class:`SchemaError` if absent."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"entity {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(attr.name == name for attr in self.attributes)
+
+    def add_attribute(self, attribute: Attribute) -> None:
+        """Append an attribute, rejecting duplicates."""
+        if self.has_attribute(attribute.name):
+            raise SchemaError(
+                f"entity {self.name!r} already has attribute {attribute.name!r}")
+        self.attributes.append(attribute)
+
+    def refs(self) -> list[ElementRef]:
+        """The entity ref followed by one ref per attribute."""
+        out = [ElementRef(self.name)]
+        out.extend(ElementRef(self.name, attr.name) for attr in self.attributes)
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """A directed reference ``source.source_attribute -> target.target_attribute``.
+
+    Only entity-level connectivity matters for tightness-of-fit, but the
+    attribute endpoints are kept for export and display.
+    """
+
+    source_entity: str
+    source_attribute: str
+    target_entity: str
+    target_attribute: str
+
+    def __post_init__(self) -> None:
+        for part in (self.source_entity, self.source_attribute,
+                     self.target_entity, self.target_attribute):
+            if not part:
+                raise SchemaError("foreign key endpoints must be non-empty")
+
+    @property
+    def entity_pair(self) -> tuple[str, str]:
+        return (self.source_entity, self.target_entity)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (f"{self.source_entity}.{self.source_attribute} -> "
+                f"{self.target_entity}.{self.target_attribute}")

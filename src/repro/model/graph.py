@@ -1,0 +1,66 @@
+"""Graph views of a schema.
+
+Two views are needed downstream:
+
+* an *entity adjacency* map (undirected, entity level) feeding the
+  foreign-key transitive closure in :mod:`repro.scoring.neighborhood`;
+* a full *networkx* graph (schema -> entities -> attributes, plus FK
+  edges) feeding layout and GraphML export in :mod:`repro.viz` and
+  :mod:`repro.service.graphml`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.model.schema import Schema
+
+#: Node attribute values for the ``kind`` key in exported graphs.
+KIND_SCHEMA = "schema"
+KIND_ENTITY = "entity"
+KIND_ATTRIBUTE = "attribute"
+
+#: Edge attribute values for the ``relation`` key.
+REL_CONTAINS = "contains"
+REL_FOREIGN_KEY = "foreign_key"
+
+
+def entity_adjacency(schema: Schema) -> dict[str, set[str]]:
+    """Undirected entity-level adjacency induced by foreign keys.
+
+    Every entity appears as a key even when isolated, so callers can
+    treat absence from a neighborhood as "unrelated entity" without
+    special-casing.
+    """
+    adjacency: dict[str, set[str]] = {name: set() for name in schema.entities}
+    for fk in schema.foreign_keys:
+        if fk.source_entity == fk.target_entity:
+            continue  # self-references do not change neighborhoods
+        adjacency[fk.source_entity].add(fk.target_entity)
+        adjacency[fk.target_entity].add(fk.source_entity)
+    return adjacency
+
+
+def schema_to_networkx(schema: Schema) -> nx.DiGraph:
+    """Full containment + FK graph with display metadata on every node.
+
+    Node ids are element paths (``patient``, ``patient.height``) plus a
+    synthetic root ``schema:<name>`` node, matching what the GraphML
+    endpoint serves to the GUI.
+    """
+    graph = nx.DiGraph(name=schema.name)
+    root = f"schema:{schema.name}"
+    graph.add_node(root, kind=KIND_SCHEMA, label=schema.name)
+    for entity in schema.entities.values():
+        graph.add_node(entity.name, kind=KIND_ENTITY, label=entity.name)
+        graph.add_edge(root, entity.name, relation=REL_CONTAINS)
+        for attr in entity.attributes:
+            path = f"{entity.name}.{attr.name}"
+            graph.add_node(path, kind=KIND_ATTRIBUTE, label=attr.name,
+                           data_type=attr.data_type)
+            graph.add_edge(entity.name, path, relation=REL_CONTAINS)
+    for fk in schema.foreign_keys:
+        source = f"{fk.source_entity}.{fk.source_attribute}"
+        target = f"{fk.target_entity}.{fk.target_attribute}"
+        graph.add_edge(source, target, relation=REL_FOREIGN_KEY)
+    return graph

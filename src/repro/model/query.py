@@ -1,0 +1,147 @@
+"""The query graph: a forest of schema fragments and keywords.
+
+Figure 1 of the paper shows a query graph holding (A) a schema fragment
+and (B) a bare keyword; "each keyword is represented as a graph of one
+item".  :class:`QueryGraph` models exactly that: an ordered list of
+:class:`QueryItem` trees, each either a fragment rooted at a schema or a
+single keyword node.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.model.elements import ElementRef
+from repro.model.schema import Schema
+
+
+class QueryItemKind(enum.Enum):
+    KEYWORD = "keyword"
+    FRAGMENT = "fragment"
+
+
+@dataclass(slots=True)
+class QueryItem:
+    """One tree of the query forest.
+
+    Exactly one of ``keyword`` / ``fragment`` is set, according to
+    ``kind``.
+    """
+
+    kind: QueryItemKind
+    keyword: str | None = None
+    fragment: Schema | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is QueryItemKind.KEYWORD:
+            if not self.keyword or self.fragment is not None:
+                raise QueryError("keyword item must carry a keyword only")
+        else:
+            if self.fragment is None or self.keyword is not None:
+                raise QueryError("fragment item must carry a fragment only")
+
+
+@dataclass(slots=True)
+class QueryGraph:
+    """The forest of trees the search pipeline consumes.
+
+    Query *elements* — the rows of every similarity matrix — are
+    the keywords plus every element ref of every fragment.
+    """
+
+    items: list[QueryItem] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, keywords: list[str] | None = None,
+              fragments: list[Schema] | None = None) -> "QueryGraph":
+        """Convenience constructor from plain keyword and fragment lists."""
+        graph = cls()
+        for word in keywords or []:
+            graph.add_keyword(word)
+        for fragment in fragments or []:
+            graph.add_fragment(fragment)
+        return graph
+
+    def add_keyword(self, keyword: str) -> None:
+        keyword = keyword.strip()
+        if not keyword:
+            raise QueryError("keyword must be non-empty")
+        self.items.append(QueryItem(QueryItemKind.KEYWORD, keyword=keyword))
+
+    def add_fragment(self, fragment: Schema) -> None:
+        self.items.append(QueryItem(QueryItemKind.FRAGMENT, fragment=fragment))
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def keywords(self) -> list[str]:
+        return [item.keyword for item in self.items
+                if item.kind is QueryItemKind.KEYWORD and item.keyword]
+
+    @property
+    def fragments(self) -> list[Schema]:
+        return [item.fragment for item in self.items
+                if item.kind is QueryItemKind.FRAGMENT and item.fragment]
+
+    def is_empty(self) -> bool:
+        return not self.items
+
+    def element_labels(self) -> list[str]:
+        """Unique labels of every query element, in forest order.
+
+        Labels are namespaced by their tree so that a keyword and a
+        fragment element with the same name never collide as similarity
+        matrix rows: keyword *patient* becomes ``kw:patient``; the
+        *height* attribute of the first fragment's *patient* entity
+        becomes ``f0:patient.height``.
+        """
+        labels: list[str] = []
+        fragment_ordinal = 0
+        for item in self.items:
+            if item.kind is QueryItemKind.KEYWORD:
+                labels.append(f"kw:{item.keyword}")
+            else:
+                assert item.fragment is not None
+                prefix = f"f{fragment_ordinal}"
+                fragment_ordinal += 1
+                labels.extend(f"{prefix}:{ref.path}"
+                              for ref in item.fragment.elements())
+        # Repeated identical keywords still collide; disambiguate with
+        # their position.
+        seen: dict[str, int] = {}
+        unique: list[str] = []
+        for label in labels:
+            count = seen.get(label, 0)
+            seen[label] = count + 1
+            unique.append(label if count == 0 else f"{label}#{count + 1}")
+        return unique
+
+    def element_names(self) -> list[str]:
+        """The *name* of every query element (keyword text, entity name or
+        attribute local name).  Matchers compare names, not paths."""
+        names: list[str] = []
+        for item in self.items:
+            if item.kind is QueryItemKind.KEYWORD:
+                names.append(item.keyword)  # type: ignore[arg-type]
+            else:
+                assert item.fragment is not None
+                names.extend(ref.local_name for ref in item.fragment.elements())
+        return names
+
+    def fragment_refs(self) -> Iterator[tuple[Schema, ElementRef]]:
+        """Pairs of (owning fragment, element ref) for fragment elements."""
+        for fragment in self.fragments:
+            for ref in fragment.elements():
+                yield fragment, ref
+
+    def flatten(self) -> list[str]:
+        """Candidate-extraction view: every keyword plus every fragment
+        element name, in order.  This is the list handed to the document
+        index in phase one."""
+        return self.element_names()
+
+    def __len__(self) -> int:
+        return len(self.element_labels())

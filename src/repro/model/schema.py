@@ -1,0 +1,209 @@
+"""The :class:`Schema` aggregate: entities + foreign keys + metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SchemaError
+from repro.model.elements import Attribute, ElementRef, Entity, ForeignKey
+
+
+@dataclass(slots=True)
+class Schema:
+    """A database schema: named entities connected by foreign keys.
+
+    ``schema_id`` is assigned by the repository on import and is ``None``
+    for schemas that only live in memory (e.g. query fragments).
+    """
+
+    name: str
+    entities: dict[str, Entity] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    description: str = ""
+    source: str = ""
+    schema_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("schema name must be non-empty")
+        for key, entity in self.entities.items():
+            if key != entity.name:
+                raise SchemaError(
+                    f"entity dict key {key!r} does not match entity name "
+                    f"{entity.name!r}")
+        for fk in self.foreign_keys:
+            self._check_fk(fk)
+
+    # -- construction ------------------------------------------------------
+
+    def add_entity(self, entity: Entity) -> Entity:
+        """Register an entity; rejects duplicate names."""
+        if entity.name in self.entities:
+            raise SchemaError(
+                f"schema {self.name!r} already has entity {entity.name!r}")
+        self.entities[entity.name] = entity
+        return entity
+
+    def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
+        """Register a foreign key after validating both endpoints exist."""
+        self._check_fk(fk)
+        self.foreign_keys.append(fk)
+        return fk
+
+    def _check_fk(self, fk: ForeignKey) -> None:
+        for entity_name, attr_name in (
+                (fk.source_entity, fk.source_attribute),
+                (fk.target_entity, fk.target_attribute)):
+            entity = self.entities.get(entity_name)
+            if entity is None:
+                raise SchemaError(
+                    f"foreign key {fk} references unknown entity "
+                    f"{entity_name!r}")
+            if not entity.has_attribute(attr_name):
+                raise SchemaError(
+                    f"foreign key {fk} references unknown attribute "
+                    f"{entity_name}.{attr_name}")
+
+    # -- inspection --------------------------------------------------------
+
+    def entity(self, name: str) -> Entity:
+        try:
+            return self.entities[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no entity {name!r}") from None
+
+    def element(self, ref: ElementRef) -> Entity | Attribute:
+        """Resolve a ref to its Entity or Attribute object."""
+        entity = self.entity(ref.entity)
+        if ref.attribute is None:
+            return entity
+        return entity.attribute(ref.attribute)
+
+    def has_element(self, ref: ElementRef) -> bool:
+        entity = self.entities.get(ref.entity)
+        if entity is None:
+            return False
+        if ref.attribute is None:
+            return True
+        return entity.has_attribute(ref.attribute)
+
+    def elements(self) -> Iterator[ElementRef]:
+        """All element refs: each entity followed by its attributes."""
+        for entity in self.entities.values():
+            yield from entity.refs()
+
+    def attribute_refs(self) -> Iterator[ElementRef]:
+        """Only attribute-level refs (the rows Figure 4 scores)."""
+        for entity in self.entities.values():
+            for attr in entity.attributes:
+                yield ElementRef(entity.name, attr.name)
+
+    @property
+    def entity_count(self) -> int:
+        return len(self.entities)
+
+    @property
+    def attribute_count(self) -> int:
+        return sum(len(e.attributes) for e in self.entities.values())
+
+    @property
+    def element_count(self) -> int:
+        """Entities plus attributes; the paper's trivial-schema filter
+        drops schemas with three or fewer elements."""
+        return self.entity_count + self.attribute_count
+
+    def terms(self) -> list[str]:
+        """Raw name terms of every element, in schema order.
+
+        This is the "flattened representation" stored per schema document
+        in the inverted index.
+        """
+        out: list[str] = []
+        for entity in self.entities.values():
+            out.append(entity.name)
+            out.extend(attr.name for attr in entity.attributes)
+        return out
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form used by the repository store and the service."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "source": self.source,
+            "schema_id": self.schema_id,
+            "entities": [
+                {
+                    "name": entity.name,
+                    "description": entity.description,
+                    "attributes": [
+                        {
+                            "name": attr.name,
+                            "data_type": attr.data_type,
+                            "description": attr.description,
+                            "nullable": attr.nullable,
+                            "primary_key": attr.primary_key,
+                        }
+                        for attr in entity.attributes
+                    ],
+                }
+                for entity in self.entities.values()
+            ],
+            "foreign_keys": [
+                {
+                    "source_entity": fk.source_entity,
+                    "source_attribute": fk.source_attribute,
+                    "target_entity": fk.target_entity,
+                    "target_attribute": fk.target_attribute,
+                }
+                for fk in self.foreign_keys
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        """Inverse of :meth:`to_dict`; validates as it builds."""
+        try:
+            schema = cls(
+                name=data["name"],
+                description=data.get("description", ""),
+                source=data.get("source", ""),
+                schema_id=data.get("schema_id"),
+            )
+            for entity_data in data.get("entities", []):
+                entity = Entity(
+                    name=entity_data["name"],
+                    description=entity_data.get("description", ""),
+                    attributes=[
+                        Attribute(
+                            name=attr["name"],
+                            data_type=attr.get("data_type", ""),
+                            description=attr.get("description", ""),
+                            nullable=attr.get("nullable", True),
+                            primary_key=attr.get("primary_key", False),
+                        )
+                        for attr in entity_data.get("attributes", [])
+                    ],
+                )
+                schema.add_entity(entity)
+            for fk_data in data.get("foreign_keys", []):
+                schema.add_foreign_key(ForeignKey(
+                    source_entity=fk_data["source_entity"],
+                    source_attribute=fk_data["source_attribute"],
+                    target_entity=fk_data["target_entity"],
+                    target_attribute=fk_data["target_attribute"],
+                ))
+        except KeyError as exc:
+            raise SchemaError(f"schema dict missing key {exc}") from exc
+        return schema
+
+    def copy(self) -> "Schema":
+        """Deep, independent copy (used by the repository cache)."""
+        return Schema.from_dict(self.to_dict())
+
+    def __str__(self) -> str:  # pragma: no cover - display only
+        return (f"Schema({self.name!r}, {self.entity_count} entities, "
+                f"{self.attribute_count} attributes)")

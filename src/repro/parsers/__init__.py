@@ -1,0 +1,21 @@
+"""Parsers: DDL, XSD and WebTable sources into the schema model, plus the
+query parser that builds query graphs from mixed user input.
+
+Supported inputs mirror the paper: "A partially designed schema can be
+specified by uploading a DDL (Data Definition Language) or XSD (XML
+Schema Definition)", and the corpus itself comes from WebTables-style
+header rows.
+"""
+
+from repro.parsers.ddl import parse_ddl
+from repro.parsers.query_parser import detect_format, parse_query
+from repro.parsers.webtable import schema_from_webtable
+from repro.parsers.xsd import parse_xsd
+
+__all__ = [
+    "detect_format",
+    "parse_ddl",
+    "parse_query",
+    "parse_xsd",
+    "schema_from_webtable",
+]

@@ -1,0 +1,86 @@
+"""Query parsing: user input -> :class:`~repro.model.query.QueryGraph`.
+
+"Prior to executing a search, the query parser creates a query-graph
+from the keyword terms and schema fragments given by user input."
+
+Users supply any mix of plain keywords and pasted/uploaded fragments;
+fragment format (DDL vs XSD) is auto-detected.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError, QueryError
+from repro.model.query import QueryGraph
+from repro.model.schema import Schema
+from repro.parsers.ddl import parse_ddl
+from repro.parsers.xsd import parse_xsd
+
+
+def detect_format(text: str) -> str:
+    """Best-effort fragment format sniffing: ``"ddl"``, ``"xsd"`` or
+    ``"keywords"``."""
+    stripped = text.strip()
+    if not stripped:
+        return "keywords"
+    lowered = stripped.lower()
+    if stripped.startswith("<") and ("schema" in lowered
+                                     or "element" in lowered):
+        return "xsd"
+    if "create" in lowered and "table" in lowered:
+        return "ddl"
+    return "keywords"
+
+
+def parse_fragment(text: str, name: str = "query_fragment") -> Schema:
+    """Parse one fragment, dispatching on the detected format."""
+    fmt = detect_format(text)
+    if fmt == "xsd":
+        return parse_xsd(text, schema_name=name)
+    if fmt == "ddl":
+        return parse_ddl(text, schema_name=name)
+    raise ParseError(
+        "fragment is neither DDL (CREATE TABLE ...) nor XSD (<xs:schema>)")
+
+
+def parse_query(keywords: str | list[str] | None = None,
+                fragment: "str | Schema | list[str | Schema] | None" = None
+                ) -> QueryGraph:
+    """Build the query graph from raw user input.
+
+    ``keywords`` may be one comma/whitespace-separated string or an
+    already-split list.  ``fragment`` may be raw DDL/XSD text, an
+    in-memory :class:`Schema` (e.g. from a schema editor integration),
+    or a list mixing both — the query graph is a *forest*, so several
+    fragments are first-class.  Raises :class:`QueryError` when
+    everything is empty.
+    """
+    graph = QueryGraph()
+    for word in _split_keywords(keywords):
+        graph.add_keyword(word)
+    fragments: list[str | Schema]
+    if fragment is None:
+        fragments = []
+    elif isinstance(fragment, list):
+        fragments = fragment
+    else:
+        fragments = [fragment]
+    for index, item in enumerate(fragments):
+        if isinstance(item, Schema):
+            graph.add_fragment(item)
+        elif item.strip():
+            name = ("query_fragment" if len(fragments) == 1
+                    else f"query_fragment_{index}")
+            graph.add_fragment(parse_fragment(item, name=name))
+    if graph.is_empty():
+        raise QueryError("query needs at least one keyword or fragment")
+    return graph
+
+
+def _split_keywords(keywords: str | list[str] | None) -> list[str]:
+    if keywords is None:
+        return []
+    if isinstance(keywords, str):
+        pieces = keywords.replace(",", " ").split()
+    else:
+        pieces = [k for raw in keywords for k in raw.replace(",", " ").split()]
+    return [piece for piece in pieces if piece]

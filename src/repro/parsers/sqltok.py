@@ -1,0 +1,133 @@
+"""A small SQL tokenizer for the DDL parser.
+
+Handles bare and quoted identifiers (``"x"``, `` `x` ``, ``[x]``),
+numbers, single-quoted strings, punctuation, and both comment styles
+(``-- ...`` and ``/* ... */``).  Keywords are recognized by the parser,
+not the tokenizer, so identifiers that collide with keywords still work
+as column names where the grammar allows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *keywords: str) -> bool:
+        """Case-insensitive keyword test; only meaningful for IDENT."""
+        return (self.type is TokenType.IDENT
+                and self.value.upper() in keywords)
+
+
+_PUNCT_CHARS = set("(),;.*=<>+-/")
+_QUOTE_PAIRS = {'"': '"', "`": "`", "[": "]"}
+
+
+def tokenize_sql(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on malformed input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column(pos: int) -> int:
+        return pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        # line comment
+        if ch == "-" and text[i:i + 2] == "--":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        # block comment
+        if ch == "/" and text[i:i + 2] == "/*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise ParseError("unterminated block comment",
+                                 line=line, column=column(i))
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        # quoted identifier
+        if ch in _QUOTE_PAIRS:
+            closing = _QUOTE_PAIRS[ch]
+            end = text.find(closing, i + 1)
+            if end == -1:
+                raise ParseError(f"unterminated quoted identifier {ch}...",
+                                 line=line, column=column(i))
+            tokens.append(Token(TokenType.IDENT, text[i + 1:end],
+                                line, column(i)))
+            i = end + 1
+            continue
+        # string literal (doubled '' escapes)
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                end = text.find("'", j)
+                if end == -1:
+                    raise ParseError("unterminated string literal",
+                                     line=line, column=column(i))
+                parts.append(text[j:end])
+                if text[end:end + 2] == "''":
+                    parts.append("'")
+                    j = end + 2
+                    continue
+                j = end + 1
+                break
+            tokens.append(Token(TokenType.STRING, "".join(parts),
+                                line, column(i)))
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        # number
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], line, column(i)))
+            i = j
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_$"):
+                j += 1
+            tokens.append(Token(TokenType.IDENT, text[i:j], line, column(i)))
+            i = j
+            continue
+        if ch in _PUNCT_CHARS:
+            tokens.append(Token(TokenType.PUNCT, ch, line, column(i)))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}",
+                         line=line, column=column(i))
+    tokens.append(Token(TokenType.EOF, "", line, column(i)))
+    return tokens

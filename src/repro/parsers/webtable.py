@@ -1,0 +1,46 @@
+"""WebTables-style importer.
+
+The paper's 30,000-schema repository "came [from] a collection of 10
+million HTML tables" (Cafarella et al.'s WebTables).  A WebTable schema
+is just a header row: a table name (or page title) plus column labels.
+This importer turns such a header into a single-entity schema.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.model.elements import Attribute, Entity
+from repro.model.schema import Schema
+
+
+def schema_from_webtable(title: str, columns: list[str],
+                         description: str = "") -> Schema:
+    """Build a one-entity schema from an HTML-table header row.
+
+    ``title`` names both the schema and its sole entity; ``columns``
+    become attributes in order.  Duplicate or empty column labels are
+    disambiguated / dropped the way a crawler post-processor would.
+    """
+    title = title.strip()
+    if not title:
+        raise ParseError("webtable title must be non-empty")
+    cleaned: list[str] = []
+    seen: set[str] = set()
+    for raw in columns:
+        label = raw.strip()
+        if not label:
+            continue
+        candidate = label
+        suffix = 2
+        while candidate in seen:
+            candidate = f"{label}_{suffix}"
+            suffix += 1
+        seen.add(candidate)
+        cleaned.append(candidate)
+    if not cleaned:
+        raise ParseError(
+            f"webtable {title!r} has no usable column labels")
+    entity = Entity(name=title, attributes=[
+        Attribute(name=label) for label in cleaned])
+    return Schema(name=title, entities={title: entity},
+                  description=description, source="webtable")

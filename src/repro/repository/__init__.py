@@ -1,0 +1,53 @@
+"""The schema repository: Schemr's storage substrate.
+
+The original system sits on Yggdrasil, OpenII's schema repository; this
+package provides the equivalent on SQLite: durable schema storage with
+a change log, an offline indexer that refreshes the text index "at
+scheduled intervals" from that change log, recorded search history (the
+meta-learner's training data), and the collaborative features the paper
+plans (ratings, comments, usage statistics).
+"""
+
+from repro.repository.collab import (
+    Comment,
+    Rating,
+    UsageStats,
+    add_comment,
+    average_rating,
+    comments_for,
+    rate_schema,
+    record_click,
+    record_impressions,
+    usage_stats,
+)
+from repro.repository.history import (
+    HistoryEntry,
+    build_training_set,
+    load_history,
+    record_search,
+)
+from repro.repository.exporter import export_ddl, export_entity_ddl, export_xsd
+from repro.repository.indexer import RepositoryIndexer
+from repro.repository.store import SchemaRepository
+
+__all__ = [
+    "export_ddl",
+    "export_entity_ddl",
+    "export_xsd",
+    "Comment",
+    "HistoryEntry",
+    "Rating",
+    "RepositoryIndexer",
+    "SchemaRepository",
+    "UsageStats",
+    "add_comment",
+    "average_rating",
+    "build_training_set",
+    "comments_for",
+    "load_history",
+    "rate_schema",
+    "record_click",
+    "record_impressions",
+    "record_search",
+    "usage_stats",
+]

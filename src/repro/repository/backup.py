@@ -1,0 +1,61 @@
+"""Repository backup and maintenance (SQLite online backup API)."""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import RepositoryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.repository.store import SchemaRepository
+
+
+def backup_repository(repository: "SchemaRepository",
+                      destination: str | Path) -> int:
+    """Online backup of the repository database to ``destination``.
+
+    Safe while the repository is in use (SQLite's backup API snapshots
+    consistently).  Returns the number of schemas in the backup.
+    Refuses to clobber an existing file — backups must be explicit about
+    overwriting.
+    """
+    destination = Path(destination)
+    if destination.exists():
+        raise RepositoryError(
+            f"backup destination {destination} already exists")
+    target = sqlite3.connect(destination)
+    try:
+        with target:
+            repository.connection.backup(target)
+        row = target.execute("SELECT COUNT(*) AS n FROM schemas").fetchone()
+        return int(row[0])
+    finally:
+        target.close()
+
+
+def restore_repository(source: str | Path,
+                       destination: str | Path) -> "SchemaRepository":
+    """Open a backup as a working repository at ``destination``.
+
+    Copies the backup file so the original stays pristine, then opens
+    it through the normal constructor (which validates/migrates the
+    schema objects lazily on access).
+    """
+    from repro.repository.store import SchemaRepository
+    source = Path(source)
+    destination = Path(destination)
+    if not source.exists():
+        raise RepositoryError(f"backup {source} does not exist")
+    if destination.exists():
+        raise RepositoryError(
+            f"restore destination {destination} already exists")
+    destination.write_bytes(source.read_bytes())
+    return SchemaRepository(destination)
+
+
+def vacuum_repository(repository: "SchemaRepository") -> None:
+    """Reclaim space after bulk deletions."""
+    repository.connection.execute("VACUUM")
+    repository.connection.commit()

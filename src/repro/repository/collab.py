@@ -1,0 +1,141 @@
+"""Collaboration features the paper plans for the public deployment.
+
+"...collaboration functionality that provides usage statistics and
+comments on schemas would improve schema search results" / "mechanisms
+for users to leave ratings and comments on schemas".
+
+Ratings are one-per-user-per-schema (re-rating overwrites); comments
+accumulate; usage statistics count impressions (schema shown in a
+result list) and clicks (schema opened for drill-in).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import RepositoryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.repository.store import SchemaRepository
+
+
+@dataclass(frozen=True, slots=True)
+class Rating:
+    schema_id: int
+    user: str
+    stars: int
+
+
+@dataclass(frozen=True, slots=True)
+class Comment:
+    comment_id: int
+    schema_id: int
+    user: str
+    body: str
+    commented_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class UsageStats:
+    schema_id: int
+    impressions: int
+    clicks: int
+
+    @property
+    def click_through_rate(self) -> float:
+        if self.impressions == 0:
+            return 0.0
+        return self.clicks / self.impressions
+
+
+def _require_schema(repository: "SchemaRepository", schema_id: int) -> None:
+    if not repository.has_schema(schema_id):
+        raise RepositoryError(f"schema {schema_id} is not in the repository")
+
+
+def rate_schema(repository: "SchemaRepository", schema_id: int,
+                user: str, stars: int) -> None:
+    """Record (or overwrite) one user's star rating."""
+    _require_schema(repository, schema_id)
+    if not 1 <= stars <= 5:
+        raise RepositoryError(f"stars must be 1..5, got {stars}")
+    if not user.strip():
+        raise RepositoryError("user must be non-empty")
+    repository.connection.execute(
+        "INSERT INTO ratings (schema_id, user, stars, rated_at) "
+        "VALUES (?, ?, ?, ?) "
+        "ON CONFLICT (schema_id, user) DO UPDATE SET stars = excluded.stars, "
+        "rated_at = excluded.rated_at",
+        (schema_id, user, stars, time.time()))
+    repository.connection.commit()
+
+
+def average_rating(repository: "SchemaRepository",
+                   schema_id: int) -> float | None:
+    """Mean stars, or None when unrated."""
+    _require_schema(repository, schema_id)
+    row = repository.connection.execute(
+        "SELECT AVG(stars) AS avg_stars FROM ratings WHERE schema_id = ?",
+        (schema_id,)).fetchone()
+    return None if row["avg_stars"] is None else float(row["avg_stars"])
+
+
+def add_comment(repository: "SchemaRepository", schema_id: int,
+                user: str, body: str) -> int:
+    """Append a comment; returns its id."""
+    _require_schema(repository, schema_id)
+    if not body.strip():
+        raise RepositoryError("comment body must be non-empty")
+    cursor = repository.connection.execute(
+        "INSERT INTO comments (schema_id, user, body, commented_at) "
+        "VALUES (?, ?, ?, ?)", (schema_id, user, body, time.time()))
+    repository.connection.commit()
+    comment_id = cursor.lastrowid
+    assert comment_id is not None
+    return comment_id
+
+
+def comments_for(repository: "SchemaRepository",
+                 schema_id: int) -> list[Comment]:
+    _require_schema(repository, schema_id)
+    rows = repository.connection.execute(
+        "SELECT comment_id, schema_id, user, body, commented_at "
+        "FROM comments WHERE schema_id = ? ORDER BY comment_id",
+        (schema_id,)).fetchall()
+    return [Comment(row["comment_id"], row["schema_id"], row["user"],
+                    row["body"], row["commented_at"]) for row in rows]
+
+
+def record_impressions(repository: "SchemaRepository",
+                       schema_ids: list[int]) -> None:
+    """Count each schema as shown once in a result list."""
+    for schema_id in schema_ids:
+        repository.connection.execute(
+            "INSERT INTO usage_stats (schema_id, impressions, clicks) "
+            "VALUES (?, 1, 0) "
+            "ON CONFLICT (schema_id) DO UPDATE SET "
+            "impressions = impressions + 1", (schema_id,))
+    repository.connection.commit()
+
+
+def record_click(repository: "SchemaRepository", schema_id: int) -> None:
+    """Count one drill-in click."""
+    repository.connection.execute(
+        "INSERT INTO usage_stats (schema_id, impressions, clicks) "
+        "VALUES (?, 0, 1) "
+        "ON CONFLICT (schema_id) DO UPDATE SET clicks = clicks + 1",
+        (schema_id,))
+    repository.connection.commit()
+
+
+def usage_stats(repository: "SchemaRepository",
+                schema_id: int) -> UsageStats:
+    row = repository.connection.execute(
+        "SELECT impressions, clicks FROM usage_stats WHERE schema_id = ?",
+        (schema_id,)).fetchone()
+    if row is None:
+        return UsageStats(schema_id=schema_id, impressions=0, clicks=0)
+    return UsageStats(schema_id=schema_id, impressions=row["impressions"],
+                      clicks=row["clicks"])

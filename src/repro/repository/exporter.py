@@ -1,0 +1,141 @@
+"""Schema exporters: the model back to DDL and XSD text.
+
+"Integrating Schemr with schema import and export functionality gives
+users motivation to build metadata repositories."  These exporters close
+the loop with the parsers: ``parse_ddl(export_ddl(s))`` reconstructs the
+same structure (entity names, attributes, types, nullability, primary
+and foreign keys), which the round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.model.elements import Attribute, Entity
+from repro.model.schema import Schema
+
+_BARE_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: SQL keywords that must be quoted even when they look bare.
+_RESERVED = frozenset({
+    "case", "order", "table", "select", "from", "where", "group", "index",
+    "key", "primary", "foreign", "references", "not", "null", "unique",
+    "check", "default", "create", "constraint", "user",
+})
+
+
+def _quote_identifier(name: str) -> str:
+    if _BARE_IDENTIFIER.match(name) and name.lower() not in _RESERVED:
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _column_ddl(attribute: Attribute) -> str:
+    parts = [_quote_identifier(attribute.name)]
+    if attribute.data_type:
+        parts.append(attribute.data_type)
+    if attribute.primary_key:
+        parts.append("PRIMARY KEY")
+    elif not attribute.nullable:
+        parts.append("NOT NULL")
+    return " ".join(parts)
+
+
+def export_ddl(schema: Schema) -> str:
+    """Render a schema as executable CREATE TABLE statements.
+
+    Tables are emitted in stored order; table-level FOREIGN KEY clauses
+    are attached to their source tables.  Multi-column primary keys are
+    emitted per-column (the model tracks the flag per attribute).
+    """
+    fks_by_source: dict[str, list[str]] = {}
+    for fk in schema.foreign_keys:
+        clause = (f"FOREIGN KEY ({_quote_identifier(fk.source_attribute)}) "
+                  f"REFERENCES {_quote_identifier(fk.target_entity)}"
+                  f"({_quote_identifier(fk.target_attribute)})")
+        fks_by_source.setdefault(fk.source_entity, []).append(clause)
+
+    statements: list[str] = []
+    if schema.description:
+        statements.append(f"-- {schema.description}")
+    for entity in schema.entities.values():
+        lines = [_column_ddl(attr) for attr in entity.attributes]
+        lines.extend(fks_by_source.get(entity.name, []))
+        body = ",\n  ".join(lines)
+        comment = f"-- {entity.description}\n" if entity.description else ""
+        statements.append(
+            f"{comment}CREATE TABLE {_quote_identifier(entity.name)} (\n"
+            f"  {body}\n);")
+    return "\n\n".join(statements) + "\n"
+
+
+_XSD_TYPES = {
+    "numeric": "xs:decimal",
+    "temporal": "xs:date",
+    "boolean": "xs:boolean",
+    "binary": "xs:base64Binary",
+    "identifier": "xs:ID",
+}
+
+
+def _xsd_type(attribute: Attribute) -> str:
+    from repro.matching.datatype import type_family
+    family = type_family(attribute.data_type)
+    if family is None:
+        return "xs:string"
+    return _XSD_TYPES.get(family, "xs:string")
+
+
+def _xml_escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def export_xsd(schema: Schema) -> str:
+    """Render a schema as an XSD document.
+
+    Each entity becomes a top-level element with an anonymous complex
+    type; attributes become leaf elements typed by their SQL type's
+    family.  Foreign-key structure cannot be expressed hierarchically
+    without duplicating entities, so FK edges are recorded as
+    ``xs:annotation/xs:appinfo`` entries that :func:`repro.parsers.xsd`
+    consumers can read back.
+    """
+    lines = ['<?xml version="1.0" encoding="UTF-8"?>',
+             '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">']
+    if schema.foreign_keys:
+        lines.append("  <xs:annotation><xs:appinfo>")
+        for fk in schema.foreign_keys:
+            lines.append(
+                f'    <foreignKey source="{_xml_escape(fk.source_entity)}.'
+                f'{_xml_escape(fk.source_attribute)}" '
+                f'target="{_xml_escape(fk.target_entity)}.'
+                f'{_xml_escape(fk.target_attribute)}"/>')
+        lines.append("  </xs:appinfo></xs:annotation>")
+    for entity in schema.entities.values():
+        lines.append(f'  <xs:element name="{_xml_escape(entity.name)}">')
+        lines.append("    <xs:complexType>")
+        if entity.description:
+            lines.append("      <xs:annotation>")
+            lines.append(f"        <xs:documentation>"
+                         f"{_xml_escape(entity.description)}"
+                         f"</xs:documentation>")
+            lines.append("      </xs:annotation>")
+        lines.append("      <xs:sequence>")
+        for attr in entity.attributes:
+            min_occurs = "" if not attr.nullable else ' minOccurs="0"'
+            lines.append(
+                f'        <xs:element name="{_xml_escape(attr.name)}" '
+                f'type="{_xsd_type(attr)}"{min_occurs}/>')
+        lines.append("      </xs:sequence>")
+        lines.append("    </xs:complexType>")
+        lines.append("  </xs:element>")
+    lines.append("</xs:schema>")
+    return "\n".join(lines) + "\n"
+
+
+def export_entity_ddl(entity: Entity) -> str:
+    """One entity as a standalone CREATE TABLE (for fragment pasting)."""
+    single = Schema(name=entity.name, entities={entity.name: entity})
+    return export_ddl(single)

@@ -1,0 +1,88 @@
+"""Search history: the meta-learner's training data.
+
+"As Schemr is utilized in practice, we can record search histories to
+create a training set of search-term to schema-fragment matches."
+
+Each entry records the query, the schema shown, whether the user judged
+it relevant (clicked / marked), and the per-matcher feature scores at
+the time of the search — exactly what
+:class:`~repro.matching.learner.WeightLearner` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import RepositoryError
+from repro.matching.learner import TrainingExample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.repository.store import SchemaRepository
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryEntry:
+    """One recorded (query, schema, judgement) event."""
+
+    entry_id: int
+    query_terms: str
+    schema_id: int
+    relevant: bool
+    features: dict[str, float]
+    searched_at: float
+
+
+def record_search(repository: "SchemaRepository", query_terms: str,
+                  schema_id: int, relevant: bool,
+                  features: dict[str, float] | None = None) -> int:
+    """Append one history entry; returns its id."""
+    if not query_terms.strip():
+        raise RepositoryError("query_terms must be non-empty")
+    if not repository.has_schema(schema_id):
+        raise RepositoryError(
+            f"schema {schema_id} is not in the repository")
+    cursor = repository.connection.execute(
+        "INSERT INTO search_history (query_terms, schema_id, relevant, "
+        "features, searched_at) VALUES (?, ?, ?, ?, ?)",
+        (query_terms, schema_id, int(relevant),
+         json.dumps(features or {}), time.time()))
+    repository.connection.commit()
+    entry_id = cursor.lastrowid
+    assert entry_id is not None
+    return entry_id
+
+
+def load_history(repository: "SchemaRepository",
+                 limit: int | None = None) -> list[HistoryEntry]:
+    """History entries, oldest first."""
+    sql = ("SELECT entry_id, query_terms, schema_id, relevant, features, "
+           "searched_at FROM search_history ORDER BY entry_id")
+    if limit is not None:
+        sql += f" LIMIT {int(limit)}"
+    rows = repository.connection.execute(sql).fetchall()
+    return [
+        HistoryEntry(
+            entry_id=row["entry_id"],
+            query_terms=row["query_terms"],
+            schema_id=row["schema_id"],
+            relevant=bool(row["relevant"]),
+            features=json.loads(row["features"]),
+            searched_at=row["searched_at"],
+        )
+        for row in rows
+    ]
+
+
+def build_training_set(repository: "SchemaRepository",
+                       limit: int | None = None) -> list[TrainingExample]:
+    """History -> learner examples (entries without features are skipped:
+    there is nothing for the learner to weigh)."""
+    examples = []
+    for entry in load_history(repository, limit=limit):
+        if entry.features:
+            examples.append(TrainingExample(features=entry.features,
+                                            relevant=entry.relevant))
+    return examples

@@ -1,0 +1,261 @@
+"""SQLite-backed schema repository.
+
+Schemas are stored as validated JSON payloads with searchable metadata
+columns, and every mutation is appended to a change log so the offline
+indexer can refresh incrementally.  The repository is the integration
+point of the whole system: it owns the inverted index (via
+:class:`~repro.repository.indexer.RepositoryIndexer`) and hands out
+ready-to-use :class:`~repro.core.engine.SchemrEngine` instances.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.config import SchemrConfig
+from repro.core.engine import SchemrEngine
+from repro.errors import RepositoryError, SchemaError
+from repro.matching.ensemble import MatcherEnsemble
+from repro.model.schema import Schema
+from repro.parsers.ddl import parse_ddl
+from repro.parsers.webtable import schema_from_webtable
+from repro.parsers.xsd import parse_xsd
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS schemas (
+    schema_id   INTEGER PRIMARY KEY AUTOINCREMENT,
+    name        TEXT NOT NULL,
+    description TEXT NOT NULL DEFAULT '',
+    source      TEXT NOT NULL DEFAULT '',
+    payload     TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    updated_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS changelog (
+    change_id   INTEGER PRIMARY KEY AUTOINCREMENT,
+    schema_id   INTEGER NOT NULL,
+    op          TEXT NOT NULL CHECK (op IN ('add', 'update', 'delete')),
+    changed_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS search_history (
+    entry_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+    query_terms TEXT NOT NULL,
+    schema_id   INTEGER NOT NULL,
+    relevant    INTEGER NOT NULL,
+    features    TEXT NOT NULL DEFAULT '{}',
+    searched_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS ratings (
+    rating_id   INTEGER PRIMARY KEY AUTOINCREMENT,
+    schema_id   INTEGER NOT NULL,
+    user        TEXT NOT NULL,
+    stars       INTEGER NOT NULL CHECK (stars BETWEEN 1 AND 5),
+    rated_at    REAL NOT NULL,
+    UNIQUE (schema_id, user)
+);
+CREATE TABLE IF NOT EXISTS comments (
+    comment_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+    schema_id   INTEGER NOT NULL,
+    user        TEXT NOT NULL,
+    body        TEXT NOT NULL,
+    commented_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS usage_stats (
+    schema_id   INTEGER PRIMARY KEY,
+    impressions INTEGER NOT NULL DEFAULT 0,
+    clicks      INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_changelog_change ON changelog (change_id);
+CREATE INDEX IF NOT EXISTS idx_history_schema ON search_history (schema_id);
+"""
+
+
+class SchemaRepository:
+    """Durable store of schemas plus the system integration points."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._path = str(path)
+        # The HTTP service and the scheduled indexer touch the repository
+        # from worker threads; Python's sqlite3 is compiled serialized
+        # (threadsafety == 3), so sharing one connection is safe, and the
+        # lock below keeps multi-statement operations atomic.
+        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
+        self._conn.executescript(_SCHEMA_SQL)
+        self._conn.commit()
+        self._indexer: "RepositoryIndexer | None" = None
+
+    @classmethod
+    def in_memory(cls) -> "SchemaRepository":
+        """A throwaway repository for tests, examples and benches."""
+        return cls(":memory:")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SchemaRepository":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- schema CRUD -------------------------------------------------------
+
+    def add_schema(self, schema: Schema) -> int:
+        """Store a schema; returns the assigned id (also set on the object)."""
+        now = time.time()
+        payload = json.dumps(schema.to_dict())
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO schemas (name, description, source, payload, "
+                "created_at, updated_at) VALUES (?, ?, ?, ?, ?, ?)",
+                (schema.name, schema.description, schema.source, payload,
+                 now, now))
+            schema_id = cursor.lastrowid
+            assert schema_id is not None
+            schema.schema_id = schema_id
+            # Rewrite payload so the stored copy knows its own id.
+            self._conn.execute(
+                "UPDATE schemas SET payload = ? WHERE schema_id = ?",
+                (json.dumps(schema.to_dict()), schema_id))
+            self._log_change(schema_id, "add", now)
+            self._conn.commit()
+        return schema_id
+
+    def update_schema(self, schema: Schema) -> None:
+        """Replace a stored schema (id must be set and present)."""
+        if schema.schema_id is None:
+            raise RepositoryError("schema has no id; use add_schema")
+        now = time.time()
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE schemas SET name = ?, description = ?, source = ?, "
+                "payload = ?, updated_at = ? WHERE schema_id = ?",
+                (schema.name, schema.description, schema.source,
+                 json.dumps(schema.to_dict()), now, schema.schema_id))
+            if cursor.rowcount == 0:
+                raise RepositoryError(
+                    f"schema {schema.schema_id} is not in the repository")
+            self._log_change(schema.schema_id, "update", now)
+            self._conn.commit()
+
+    def delete_schema(self, schema_id: int) -> None:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM schemas WHERE schema_id = ?", (schema_id,))
+            if cursor.rowcount == 0:
+                raise RepositoryError(
+                    f"schema {schema_id} is not in the repository")
+            self._log_change(schema_id, "delete", time.time())
+            self._conn.commit()
+
+    def get_schema(self, schema_id: int) -> Schema:
+        row = self._conn.execute(
+            "SELECT payload FROM schemas WHERE schema_id = ?",
+            (schema_id,)).fetchone()
+        if row is None:
+            raise RepositoryError(
+                f"schema {schema_id} is not in the repository")
+        try:
+            return Schema.from_dict(json.loads(row["payload"]))
+        except (json.JSONDecodeError, SchemaError) as exc:
+            raise RepositoryError(
+                f"stored payload of schema {schema_id} is corrupt: "
+                f"{exc}") from exc
+
+    def has_schema(self, schema_id: int) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM schemas WHERE schema_id = ?",
+            (schema_id,)).fetchone()
+        return row is not None
+
+    def iter_schemas(self) -> Iterator[Schema]:
+        """All schemas, id order.  Streams rather than materializing."""
+        cursor = self._conn.execute(
+            "SELECT payload FROM schemas ORDER BY schema_id")
+        for row in cursor:
+            yield Schema.from_dict(json.loads(row["payload"]))
+
+    def list_schema_ids(self) -> list[int]:
+        cursor = self._conn.execute(
+            "SELECT schema_id FROM schemas ORDER BY schema_id")
+        return [row["schema_id"] for row in cursor]
+
+    @property
+    def schema_count(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) AS n FROM schemas")
+        return int(row.fetchone()["n"])
+
+    def _log_change(self, schema_id: int, op: str, when: float) -> None:
+        self._conn.execute(
+            "INSERT INTO changelog (schema_id, op, changed_at) "
+            "VALUES (?, ?, ?)", (schema_id, op, when))
+
+    def changes_since(self, change_id: int) -> list[tuple[int, int, str]]:
+        """(change_id, schema_id, op) rows after ``change_id``."""
+        cursor = self._conn.execute(
+            "SELECT change_id, schema_id, op FROM changelog "
+            "WHERE change_id > ? ORDER BY change_id", (change_id,))
+        return [(row["change_id"], row["schema_id"], row["op"])
+                for row in cursor]
+
+    # -- imports -----------------------------------------------------------
+
+    def import_ddl(self, text: str, name: str = "ddl_schema",
+                   description: str = "") -> int:
+        """Parse DDL text and store the schema; returns its id."""
+        schema = parse_ddl(text, schema_name=name)
+        schema.description = description
+        return self.add_schema(schema)
+
+    def import_xsd(self, text: str, name: str = "xsd_schema",
+                   description: str = "") -> int:
+        schema = parse_xsd(text, schema_name=name)
+        schema.description = description
+        return self.add_schema(schema)
+
+    def import_webtable(self, title: str, columns: list[str],
+                        description: str = "") -> int:
+        schema = schema_from_webtable(title, columns,
+                                      description=description)
+        return self.add_schema(schema)
+
+    # -- search integration --------------------------------------------
+
+    def indexer(self) -> "RepositoryIndexer":
+        """The repository's (lazily created) offline indexer."""
+        from repro.repository.indexer import RepositoryIndexer
+        if self._indexer is None:
+            self._indexer = RepositoryIndexer(self)
+        return self._indexer
+
+    def reindex(self) -> int:
+        """Refresh the text index from the change log; returns the number
+        of index operations applied."""
+        return self.indexer().refresh()
+
+    def engine(self, ensemble: MatcherEnsemble | None = None,
+               config: SchemrConfig | None = None) -> SchemrEngine:
+        """A search engine over this repository's current index.
+
+        Refreshes the index first so results never trail the stored
+        schemas.
+        """
+        indexer = self.indexer()
+        indexer.refresh()
+        return SchemrEngine(index=indexer.index, source=self,
+                            ensemble=ensemble, config=config)
+
+    # -- history / collaboration (thin wrappers; logic in submodules) ---
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection, for the submodules that extend the
+        repository (history, collaboration).  Treat as internal."""
+        return self._conn

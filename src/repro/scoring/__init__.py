@@ -1,0 +1,24 @@
+"""Structure-aware scoring: phase three of the Schemr pipeline.
+
+:mod:`repro.scoring.neighborhood` computes entity neighborhoods — the
+transitive closure of the foreign-key graph — and
+:mod:`repro.scoring.tightness` implements the tightness-of-fit measure
+``t_max = max_A mean(S - P_A)`` over all anchor entities A.
+"""
+
+from repro.scoring.neighborhood import NeighborhoodIndex, entity_components
+from repro.scoring.tightness import (
+    AnchorScore,
+    PenaltyPolicy,
+    TightnessResult,
+    TightnessScorer,
+)
+
+__all__ = [
+    "AnchorScore",
+    "NeighborhoodIndex",
+    "PenaltyPolicy",
+    "TightnessResult",
+    "TightnessScorer",
+    "entity_components",
+]

@@ -1,0 +1,26 @@
+"""The HTTP service of Figure 5.
+
+Two endpoints, same wire contract as the original system:
+
+* ``GET /search?keywords=...`` (optionally ``POST`` with a DDL/XSD
+  fragment body) — runs the engine and returns the ranked list as XML;
+* ``GET /schema/<id>`` — returns the schema's graph as GraphML for the
+  visualization client.
+
+:class:`~repro.service.client.SchemrClient` is the matching thin client
+used by the examples and integration tests.
+"""
+
+from repro.service.client import SchemrClient
+from repro.service.graphml import graphml_for_schema, parse_graphml
+from repro.service.server import SchemrServer
+from repro.service.xmlresponse import parse_results_xml, results_to_xml
+
+__all__ = [
+    "SchemrClient",
+    "SchemrServer",
+    "graphml_for_schema",
+    "parse_graphml",
+    "parse_results_xml",
+    "results_to_xml",
+]

@@ -1,0 +1,84 @@
+"""Thin HTTP client for the Schemr service.
+
+Mirrors the GUI's two request types: asynchronous search requests and
+schema-visualization (GraphML) requests.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import networkx as nx
+
+from repro.core.results import SearchResult
+from repro.errors import ServiceError
+from repro.service.graphml import parse_graphml
+from repro.service.xmlresponse import parse_results_xml
+
+
+class SchemrClient:
+    """Talks to a running :class:`~repro.service.server.SchemrServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+
+    def _request(self, path: str, body: bytes | None = None) -> str:
+        url = f"{self._base_url}{path}"
+        request = urllib.request.Request(
+            url, data=body, method="POST" if body is not None else "GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self._timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            raise ServiceError(
+                f"server returned {exc.code} for {path}: {detail}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+
+    def health(self) -> bool:
+        """True when the server answers its liveness probe."""
+        try:
+            self._request("/health")
+        except ServiceError:
+            return False
+        return True
+
+    def search(self, keywords: str = "", fragment: str | None = None,
+               top_n: int = 10, offset: int = 0) -> list[SearchResult]:
+        """Run a search; ``fragment`` is raw DDL/XSD text when present.
+
+        ``offset`` requests the next page of the ranking ("ask for the
+        next n schemas").
+        """
+        params = urllib.parse.urlencode(
+            {"keywords": keywords, "top": top_n, "offset": offset})
+        body = fragment.encode("utf-8") if fragment else None
+        return parse_results_xml(self._request(f"/search?{params}", body))
+
+    def suggest(self, prefix: str, limit: int = 8) -> list[tuple[str, int]]:
+        """Completion terms for a search-box prefix: (term, df) pairs."""
+        import xml.etree.ElementTree as ET
+        params = urllib.parse.urlencode({"prefix": prefix, "limit": limit})
+        text = self._request(f"/suggest?{params}")
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ServiceError(f"malformed suggestions XML: {exc}") from exc
+        return [(node.get("term", ""), int(node.get("df", "0")))
+                for node in root.findall("suggestion")]
+
+    def schema_graph(self, schema_id: int,
+                     match_scores: dict[str, float] | None = None
+                     ) -> nx.DiGraph:
+        """Fetch a schema's GraphML and parse it into a graph."""
+        path = f"/schema/{schema_id}"
+        if match_scores:
+            blob = ",".join(f"{element}:{score:.6f}"
+                            for element, score in match_scores.items())
+            path += "?" + urllib.parse.urlencode({"scores": blob})
+        return parse_graphml(self._request(path))

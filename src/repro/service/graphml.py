@@ -1,0 +1,111 @@
+"""GraphML serialization of schema graphs.
+
+"The server performs a lookup of this ID in the schema repository and
+returns a graphical representation of the schema to the client as a
+GraphML response."  Node attributes carry what the GUI encodes visually:
+element kind (node color), label, data type, and — when the request came
+from a search result — the element's match score.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import networkx as nx
+
+from repro.errors import ServiceError
+from repro.model.graph import schema_to_networkx
+from repro.model.schema import Schema
+
+_GRAPHML_NS = "http://graphml.graphdrawing.org/xmlns"
+
+#: (key id, attribute name, GraphML type) for node data.
+_NODE_KEYS = (
+    ("d_kind", "kind", "string"),
+    ("d_label", "label", "string"),
+    ("d_type", "data_type", "string"),
+    ("d_score", "match_score", "double"),
+)
+_EDGE_KEYS = (
+    ("d_rel", "relation", "string"),
+)
+
+
+def graphml_for_schema(schema: Schema,
+                       match_scores: dict[str, float] | None = None) -> str:
+    """Serialize a schema's graph (with optional match scores) to GraphML."""
+    graph = schema_to_networkx(schema)
+    if match_scores:
+        for path, score in match_scores.items():
+            if graph.has_node(path):
+                graph.nodes[path]["match_score"] = score
+    root = ET.Element("graphml", attrib={"xmlns": _GRAPHML_NS})
+    for key_id, name, attr_type in _NODE_KEYS:
+        ET.SubElement(root, "key", attrib={
+            "id": key_id, "for": "node", "attr.name": name,
+            "attr.type": attr_type})
+    for key_id, name, attr_type in _EDGE_KEYS:
+        ET.SubElement(root, "key", attrib={
+            "id": key_id, "for": "edge", "attr.name": name,
+            "attr.type": attr_type})
+    graph_node = ET.SubElement(root, "graph", attrib={
+        "id": schema.name, "edgedefault": "directed"})
+    for node_id, data in graph.nodes(data=True):
+        node = ET.SubElement(graph_node, "node", attrib={"id": node_id})
+        for key_id, name, _type in _NODE_KEYS:
+            if name in data and data[name] != "":
+                value = data[name]
+                entry = ET.SubElement(node, "data", attrib={"key": key_id})
+                entry.text = (f"{value:.6f}" if isinstance(value, float)
+                              else str(value))
+    for source, target, data in graph.edges(data=True):
+        edge = ET.SubElement(graph_node, "edge", attrib={
+            "source": source, "target": target})
+        for key_id, name, _type in _EDGE_KEYS:
+            if name in data:
+                entry = ET.SubElement(edge, "data", attrib={"key": key_id})
+                entry.text = str(data[name])
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def parse_graphml(text: str) -> nx.DiGraph:
+    """Client-side GraphML reader; returns the schema graph with the same
+    node/edge attributes :func:`graphml_for_schema` wrote."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ServiceError(f"malformed GraphML: {exc}") from exc
+    ns = {"g": _GRAPHML_NS}
+    if root.tag != f"{{{_GRAPHML_NS}}}graphml":
+        raise ServiceError(f"unexpected root element {root.tag!r}")
+    key_names: dict[str, tuple[str, str]] = {}
+    for key in root.findall("g:key", ns):
+        key_names[key.get("id", "")] = (
+            key.get("attr.name", ""), key.get("attr.type", "string"))
+    graph_node = root.find("g:graph", ns)
+    if graph_node is None:
+        raise ServiceError("GraphML has no <graph> element")
+    graph = nx.DiGraph(name=graph_node.get("id", ""))
+    for node in graph_node.findall("g:node", ns):
+        node_id = node.get("id")
+        if node_id is None:
+            raise ServiceError("GraphML node without id")
+        attrs = {}
+        for data in node.findall("g:data", ns):
+            name, attr_type = key_names.get(data.get("key", ""), ("", ""))
+            if name:
+                text_value = data.text or ""
+                attrs[name] = (float(text_value) if attr_type == "double"
+                               else text_value)
+        graph.add_node(node_id, **attrs)
+    for edge in graph_node.findall("g:edge", ns):
+        source, target = edge.get("source"), edge.get("target")
+        if source is None or target is None:
+            raise ServiceError("GraphML edge without endpoints")
+        attrs = {}
+        for data in edge.findall("g:data", ns):
+            name, _attr_type = key_names.get(data.get("key", ""), ("", ""))
+            if name:
+                attrs[name] = data.text or ""
+        graph.add_edge(source, target, **attrs)
+    return graph

@@ -1,0 +1,129 @@
+"""Server-rendered HTML GUI.
+
+The original client is Adobe Flex/Flare; its algorithmic content
+(layouts, encodings, drill-in) lives in :mod:`repro.viz`.  This module
+provides the thin presentation layer on top so a deployment is
+demoable in any browser without Flash: a two-panel page — search form
+plus tabular results on the left, schema visualization on the right —
+mirroring Figure 2's layout, all rendered server-side.
+
+Routes (wired up in :mod:`repro.service.server`):
+
+* ``GET /``                       — search form (+ results when queried)
+* ``GET /schema/<id>/svg``        — rendered visualization
+  (``?layout=tree|radial&depth=3&focus=<path>&scores=...``)
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+
+from repro.core.results import SearchResult
+from repro.model.graph import schema_to_networkx
+from repro.model.schema import Schema
+from repro.viz.drill import display_subgraph
+from repro.viz.radial import radial_layout
+from repro.viz.svg import render_svg
+from repro.viz.tree import tree_layout
+
+_PAGE_STYLE = """
+body { font-family: sans-serif; margin: 1.5em; color: #222; }
+h1 { font-size: 1.4em; }
+form { margin-bottom: 1em; }
+input[type=text] { width: 28em; }
+textarea { width: 40em; height: 6em; font-family: monospace; }
+table { border-collapse: collapse; margin-top: 1em; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.6em; font-size: 0.9em; }
+th { background: #f0f0f0; text-align: left; }
+.score { text-align: right; font-variant-numeric: tabular-nums; }
+.hint { color: #777; font-size: 0.85em; }
+"""
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _scores_blob(result: SearchResult) -> str:
+    return ",".join(f"{path}:{score:.4f}"
+                    for path, score in result.element_scores.items())
+
+
+def render_search_page(keywords: str = "", fragment: str = "",
+                       results: list[SearchResult] | None = None,
+                       offset: int = 0, page_size: int = 10) -> str:
+    """The Figure 2 page: search panel plus ranked results.
+
+    A full page of results gets a "next n schemas" link (the paper's
+    paging interaction) carrying the query in the URL.
+    """
+    parts = [
+        "<!DOCTYPE html><html><head><title>Schemr</title>",
+        f"<style>{_PAGE_STYLE}</style></head><body>",
+        "<h1>Schemr &mdash; schema repository search</h1>",
+        '<form method="post" action="/">',
+        '<p>Keywords: <input type="text" name="keywords" '
+        f'value="{_escape(keywords)}"/></p>',
+        "<p>Schema fragment (DDL or XSD, optional):<br/>"
+        f'<textarea name="fragment">{_escape(fragment)}</textarea></p>',
+        '<p><input type="submit" value="Search"/> ',
+        '<span class="hint">e.g. patient, height, gender, diagnosis'
+        "</span></p></form>",
+    ]
+    if results is not None:
+        shown = (f"results {offset + 1}&ndash;{offset + len(results)}"
+                 if results and offset else f"{len(results)} result(s)")
+        parts.append(f"<p>{shown}</p>")
+        if results:
+            parts.append(
+                "<table><tr><th>#</th><th>Name</th><th>Score</th>"
+                "<th>Matches</th><th>Entities</th><th>Attributes</th>"
+                "<th>Description</th><th>View</th></tr>")
+            for rank, result in enumerate(results, start=1):
+                scores = urllib.parse.quote(_scores_blob(result))
+                view = (f'<a href="/schema/{result.schema_id}/svg'
+                        f'?layout=radial&amp;scores={scores}">radial</a> '
+                        f'<a href="/schema/{result.schema_id}/svg'
+                        f'?layout=tree&amp;scores={scores}">tree</a>')
+                parts.append(
+                    f"<tr><td>{rank}</td>"
+                    f"<td>{_escape(result.name)}</td>"
+                    f'<td class="score">{result.score:.4f}</td>'
+                    f"<td>{result.match_count}</td>"
+                    f"<td>{result.entity_count}</td>"
+                    f"<td>{result.attribute_count}</td>"
+                    f"<td>{_escape(result.description)}</td>"
+                    f"<td>{view}</td></tr>")
+            parts.append("</table>")
+            if len(results) == page_size:
+                next_query = urllib.parse.urlencode({
+                    "keywords": keywords,
+                    "offset": offset + page_size,
+                })
+                parts.append(
+                    f'<p><a href="/?{next_query}">next {page_size} '
+                    f"schemas &rarr;</a></p>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def render_schema_svg(schema: Schema, layout: str = "radial",
+                      depth: int = 3, focus: str | None = None,
+                      match_scores: dict[str, float] | None = None) -> str:
+    """The visualization panel: one schema as SVG.
+
+    ``focus`` re-centers the display (the drill-in double-click);
+    ``match_scores`` drives the similarity halos.
+    """
+    graph = schema_to_networkx(schema)
+    if match_scores:
+        for path, score in match_scores.items():
+            if graph.has_node(path):
+                graph.nodes[path]["match_score"] = score
+    display = display_subgraph(graph, focus=focus, max_depth=depth)
+    if layout == "tree":
+        positioned = tree_layout(display)
+    else:
+        positioned = radial_layout(display)
+    return render_svg(positioned, title=schema.name)

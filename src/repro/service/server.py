@@ -1,0 +1,255 @@
+"""The Schemr HTTP server (stdlib ``http.server``).
+
+Endpoints (mirroring the Figure 5 request flow):
+
+* ``GET /search?keywords=patient+height&top=10`` — XML result list;
+* ``POST /search?keywords=...`` with a DDL/XSD fragment as the request
+  body — keyword + fragment search;
+* ``GET /schema/<id>`` — GraphML for the visualization client
+  (``?scores=path:score,...`` attaches match scores for encoding);
+* ``GET /health`` — liveness probe.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.engine import SchemrEngine
+from repro.errors import RepositoryError, SchemrError
+from repro.repository.store import SchemaRepository
+from repro.service.graphml import graphml_for_schema
+from repro.service.xmlresponse import results_to_xml
+
+logger = logging.getLogger(__name__)
+
+
+class _SchemrRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the engine/repository held by the server."""
+
+    # Set by SchemrServer before serving.
+    engine: SchemrEngine
+    repository: SchemaRepository
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # tests and benches must not spam stderr
+
+    def _send(self, status: int, body: str,
+              content_type: str = "application/xml") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error_xml(self, status: int, message: str) -> None:
+        self._send(status,
+                   f'<?xml version="1.0"?><error status="{status}">'
+                   f"{_xml_escape(message)}</error>")
+
+    # -- routing ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle(body=None)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length).decode("utf-8") if length else ""
+        self._handle(body=body)
+
+    def _handle(self, body: str | None) -> None:
+        parsed = urllib.parse.urlparse(self.path)
+        try:
+            if parsed.path == "/health":
+                self._send(200, '<?xml version="1.0"?><ok/>')
+            elif parsed.path == "/":
+                self._handle_gui(parsed.query, body)
+            elif parsed.path == "/search":
+                self._handle_search(parsed.query, body)
+            elif parsed.path == "/suggest":
+                self._handle_suggest(parsed.query)
+            elif (parsed.path.startswith("/schema/")
+                    and parsed.path.endswith("/svg")):
+                self._handle_schema_svg(parsed.path, parsed.query)
+            elif parsed.path.startswith("/schema/"):
+                self._handle_schema(parsed.path, parsed.query)
+            else:
+                self._send_error_xml(404, f"no route for {parsed.path}")
+        except RepositoryError as exc:
+            self._send_error_xml(404, str(exc))
+        except SchemrError as exc:
+            self._send_error_xml(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            self._send_error_xml(500, f"internal error: {exc}")
+
+    def _handle_search(self, query_string: str, body: str | None) -> None:
+        params = urllib.parse.parse_qs(query_string)
+        keywords = " ".join(params.get("keywords", []))
+        top_n = int(params.get("top", ["10"])[0])
+        offset = int(params.get("offset", ["0"])[0])
+        fragment = body if body else None
+        results = self.engine.search(keywords=keywords or None,
+                                     fragment=fragment, top_n=top_n,
+                                     offset=offset)
+        self._send(200, results_to_xml(results, query=keywords))
+
+    def _handle_suggest(self, query_string: str) -> None:
+        from repro.index.suggest import PrefixSuggester
+        params = urllib.parse.parse_qs(query_string)
+        prefix = " ".join(params.get("prefix", [])).strip()
+        limit = int(params.get("limit", ["8"])[0])
+        suggester: PrefixSuggester = getattr(type(self), "suggester")
+        suggestions = suggester.suggest(prefix, limit=limit)
+        body = "".join(
+            f'<suggestion term="{_xml_escape(s.term)}" '
+            f'df="{s.document_frequency}"/>' for s in suggestions)
+        self._send(200, f'<?xml version="1.0"?>'
+                        f'<suggestions prefix="{_xml_escape(prefix)}">'
+                        f"{body}</suggestions>")
+
+    def _handle_gui(self, query_string: str, body: str | None) -> None:
+        from repro.service.gui import render_search_page
+        if body:
+            params = urllib.parse.parse_qs(body)
+        else:
+            params = urllib.parse.parse_qs(query_string)
+        keywords = " ".join(params.get("keywords", [])).strip()
+        fragment = "\n".join(params.get("fragment", [])).strip()
+        offset = int(params.get("offset", ["0"])[0])
+        results = None
+        if keywords or fragment:
+            results = self.engine.search(keywords=keywords or None,
+                                         fragment=fragment or None,
+                                         offset=offset)
+        self._send(200,
+                   render_search_page(keywords, fragment, results,
+                                      offset=offset),
+                   content_type="text/html")
+
+    def _parse_scores(self, params: dict[str, list[str]]) \
+            -> dict[str, float] | None:
+        """``scores=path:score,...`` -> dict; None signals a bad pair
+        (the caller has already sent the 400)."""
+        scores: dict[str, float] = {}
+        for blob in params.get("scores", []):
+            for pair in blob.split(","):
+                if not pair:
+                    continue
+                element_path, _, value = pair.rpartition(":")
+                try:
+                    scores[element_path] = float(value)
+                except ValueError:
+                    self._send_error_xml(400, f"bad score pair {pair!r}")
+                    return None
+        return scores
+
+    def _handle_schema_svg(self, path: str, query_string: str) -> None:
+        from repro.service.gui import render_schema_svg
+        id_part = path.removeprefix("/schema/").removesuffix("/svg")
+        try:
+            schema_id = int(id_part)
+        except ValueError:
+            self._send_error_xml(400, f"bad schema id {id_part!r}")
+            return
+        params = urllib.parse.parse_qs(query_string)
+        scores = self._parse_scores(params)
+        if scores is None:
+            return
+        layout = params.get("layout", ["radial"])[0]
+        depth = int(params.get("depth", ["3"])[0])
+        focus = params.get("focus", [None])[0]
+        schema = self.repository.get_schema(schema_id)
+        svg = render_schema_svg(schema, layout=layout, depth=depth,
+                                focus=focus, match_scores=scores)
+        self._send(200, svg, content_type="image/svg+xml")
+
+    def _handle_schema(self, path: str, query_string: str) -> None:
+        id_part = path.removeprefix("/schema/")
+        try:
+            schema_id = int(id_part)
+        except ValueError:
+            self._send_error_xml(400, f"bad schema id {id_part!r}")
+            return
+        params = urllib.parse.parse_qs(query_string)
+        scores = self._parse_scores(params)
+        if scores is None:
+            return
+        schema = self.repository.get_schema(schema_id)
+        self._send(200, graphml_for_schema(schema, match_scores=scores))
+
+
+def _xml_escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+class SchemrServer:
+    """Owns the HTTP server lifecycle around a repository.
+
+    Usage::
+
+        server = SchemrServer(repository)
+        with server.running() as base_url:
+            ...  # point SchemrClient at base_url
+    """
+
+    def __init__(self, repository: SchemaRepository,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        from repro.index.suggest import PrefixSuggester
+        self._repository = repository
+        self._engine = repository.engine()
+        handler = type("BoundHandler", (_SchemrRequestHandler,), {
+            "engine": self._engine,
+            "repository": self._repository,
+            "suggester": PrefixSuggester(self._engine.searcher.index),
+        })
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        logger.info("schemr service listening on %s", self.base_url)
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5)
+        self._httpd.server_close()
+        self._thread = None
+        logger.info("schemr service stopped")
+
+    def running(self) -> "_RunningServer":
+        """Context manager that starts/stops the server."""
+        return _RunningServer(self)
+
+
+class _RunningServer:
+    def __init__(self, server: SchemrServer) -> None:
+        self._server = server
+
+    def __enter__(self) -> str:
+        self._server.start()
+        return self._server.base_url
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._server.stop()

@@ -1,0 +1,85 @@
+"""XML serialization of search results.
+
+"This list of candidate schemas, along with their corresponding score,
+is finally sent as an XML response to the client."
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.results import ElementMatch, SearchResult
+from repro.errors import ServiceError
+
+
+def results_to_xml(results: list[SearchResult], query: str = "") -> str:
+    """Serialize a ranked result list to the service's XML format."""
+    root = ET.Element("searchResults", attrib={
+        "query": query,
+        "count": str(len(results)),
+    })
+    for rank, result in enumerate(results, start=1):
+        node = ET.SubElement(root, "result", attrib={
+            "rank": str(rank),
+            "schemaId": str(result.schema_id),
+            "name": result.name,
+            "score": f"{result.score:.6f}",
+            "coarseScore": f"{result.coarse_score:.6f}",
+            "matches": str(result.match_count),
+            "entities": str(result.entity_count),
+            "attributes": str(result.attribute_count),
+        })
+        if result.best_anchor:
+            node.set("anchor", result.best_anchor)
+        if result.description:
+            description = ET.SubElement(node, "description")
+            description.text = result.description
+        matches = ET.SubElement(node, "elementMatches")
+        for match in result.element_matches:
+            ET.SubElement(matches, "match", attrib={
+                "queryElement": match.query_label,
+                "schemaElement": match.element_path,
+                "score": f"{match.score:.6f}",
+            })
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def parse_results_xml(text: str) -> list[SearchResult]:
+    """Client-side inverse of :func:`results_to_xml`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ServiceError(f"malformed results XML: {exc}") from exc
+    if root.tag != "searchResults":
+        raise ServiceError(
+            f"unexpected root element {root.tag!r}; expected searchResults")
+    results: list[SearchResult] = []
+    for node in root.findall("result"):
+        try:
+            description_node = node.find("description")
+            element_matches = [
+                ElementMatch(
+                    query_label=match.get("queryElement", ""),
+                    element_path=match.get("schemaElement", ""),
+                    score=float(match.get("score", "0")),
+                )
+                for match in node.findall("elementMatches/match")
+            ]
+            results.append(SearchResult(
+                schema_id=int(node.get("schemaId", "")),
+                name=node.get("name", ""),
+                score=float(node.get("score", "0")),
+                match_count=int(node.get("matches", "0")),
+                entity_count=int(node.get("entities", "0")),
+                attribute_count=int(node.get("attributes", "0")),
+                description=(description_node.text or ""
+                             if description_node is not None else ""),
+                coarse_score=float(node.get("coarseScore", "0")),
+                best_anchor=node.get("anchor"),
+                element_scores={m.element_path: m.score
+                                for m in element_matches},
+                element_matches=element_matches,
+            ))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed result entry: {exc}") from exc
+    return results

@@ -1,0 +1,23 @@
+"""Text analysis: the analyzer chain feeding the inverted index.
+
+The index never sees raw element names.  They pass through an
+:class:`~repro.text.analysis.Analyzer`: word splitting (delimiters and
+camelCase), lowercasing, stopword removal, length filtering and Porter
+stemming — the same pipeline shape a stock Lucene ``StandardAnalyzer`` +
+``PorterStemFilter`` would apply in the original system.
+"""
+
+from repro.text.analysis import Analyzer, SCHEMA_ANALYZER, SIMPLE_ANALYZER
+from repro.text.splitter import split_identifier
+from repro.text.stemmer import porter_stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+__all__ = [
+    "Analyzer",
+    "SCHEMA_ANALYZER",
+    "SIMPLE_ANALYZER",
+    "STOPWORDS",
+    "is_stopword",
+    "porter_stem",
+    "split_identifier",
+]

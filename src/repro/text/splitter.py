@@ -1,0 +1,51 @@
+"""Identifier word splitting.
+
+Schema element names arrive as ``patient_height``, ``PatientHeight``,
+``patient-height``, ``patientHeight2``...  The splitter breaks them into
+word tokens at delimiter characters, camelCase humps and letter/digit
+boundaries, which is what lets the name matcher relate ``pat_ht`` to
+``patient height`` downstream.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Characters treated as hard word delimiters inside identifiers.
+_DELIMITERS = re.compile(r"[\s_\-./:,;|#@()\[\]{}'\"`~!?&*+=<>\\$%^]+")
+
+#: camelCase hump: lower-or-digit followed by upper.
+_CAMEL_HUMP = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+#: Acronym boundary: run of uppers followed by Upper+lower (``XMLFile``).
+_ACRONYM_BOUNDARY = re.compile(r"(?<=[A-Z])(?=[A-Z][a-z])")
+
+#: Letter/digit boundary in either direction (``addr2`` -> ``addr 2``).
+_ALNUM_BOUNDARY = re.compile(r"(?<=[A-Za-z])(?=[0-9])|(?<=[0-9])(?=[A-Za-z])")
+
+
+def split_identifier(identifier: str) -> list[str]:
+    """Split one identifier into word tokens, preserving original case.
+
+    >>> split_identifier("PatientHeight_cm")
+    ['Patient', 'Height', 'cm']
+    >>> split_identifier("XMLHttpRequest")
+    ['XML', 'Http', 'Request']
+    >>> split_identifier("addr2")
+    ['addr', '2']
+    """
+    pieces = _DELIMITERS.split(identifier)
+    words: list[str] = []
+    for piece in pieces:
+        if not piece:
+            continue
+        piece = _ACRONYM_BOUNDARY.sub(" ", piece)
+        piece = _CAMEL_HUMP.sub(" ", piece)
+        piece = _ALNUM_BOUNDARY.sub(" ", piece)
+        words.extend(w for w in piece.split(" ") if w)
+    return words
+
+
+def split_words_lower(identifier: str) -> list[str]:
+    """Split and lowercase in one step (the common caller need)."""
+    return [word.lower() for word in split_identifier(identifier)]

@@ -1,0 +1,30 @@
+"""English stopword list.
+
+The list mirrors Lucene's classic ``StandardAnalyzer`` English stop set,
+extended with a handful of words that are noise in schema names
+("table", "column", "field", ...).  Schema identifiers are short, so an
+aggressive list would destroy recall; this one only removes genuinely
+semantics-free tokens.
+"""
+
+from __future__ import annotations
+
+#: Lucene StandardAnalyzer's classic English stop set.
+_LUCENE_STOPWORDS = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if",
+    "in", "into", "is", "it", "no", "not", "of", "on", "or", "such", "that",
+    "the", "their", "then", "there", "these", "they", "this", "to", "was",
+    "will", "with",
+})
+
+#: Extra stopwords that carry no signal inside schema element names.
+_SCHEMA_STOPWORDS = frozenset({
+    "tbl", "col", "val", "rec",
+})
+
+STOPWORDS: frozenset[str] = _LUCENE_STOPWORDS | _SCHEMA_STOPWORDS
+
+
+def is_stopword(token: str) -> bool:
+    """True when ``token`` (already lowercased) is a stopword."""
+    return token in STOPWORDS

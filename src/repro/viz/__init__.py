@@ -1,0 +1,36 @@
+"""Visualization: the algorithmic content of the Schemr GUI.
+
+The original client renders schemas in Flash with the Flare toolkit;
+the visual encodings and layouts are what carry information, so this
+package computes them directly:
+
+* :mod:`~repro.viz.drill` — the depth-3 display cap and the drill-in /
+  re-center operation (double-click on a node);
+* :mod:`~repro.viz.tree` — hierarchical tree layout;
+* :mod:`~repro.viz.radial` — radial layout (the one shown in Figure 2);
+* :mod:`~repro.viz.svg` — SVG rendering with node color by element kind
+  and match-score encoding, including side-by-side comparison;
+* :mod:`~repro.viz.ascii_art` — terminal rendering for the CLI.
+"""
+
+from repro.viz.ascii_art import render_ascii_tree
+from repro.viz.drill import display_subgraph
+from repro.viz.layout import Layout, LayoutNode
+from repro.viz.radial import radial_layout
+from repro.viz.summarize import SchemaSummary, entity_importance, summarize_schema
+from repro.viz.svg import render_side_by_side, render_svg
+from repro.viz.tree import tree_layout
+
+__all__ = [
+    "Layout",
+    "LayoutNode",
+    "SchemaSummary",
+    "display_subgraph",
+    "entity_importance",
+    "radial_layout",
+    "render_ascii_tree",
+    "render_side_by_side",
+    "render_svg",
+    "summarize_schema",
+    "tree_layout",
+]

@@ -1,0 +1,55 @@
+"""Terminal rendering: the CLI's stand-in for the GUI tree view.
+
+Produces the familiar box-drawing tree with kind markers, data types,
+match scores, and the "+" affordance on collapsed (depth-capped) nodes::
+
+    clinic_emr [schema]
+    ├── case [entity]
+    │   ├── diagnosis : TEXT (match 0.64)
+    │   └── patient_id : INTEGER
+    └── patient [entity] +
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.viz.layout import containment_children, find_root
+
+_KIND_TAGS = {"schema": "[schema]", "entity": "[entity]", "attribute": ""}
+
+
+def _node_line(graph: nx.DiGraph, node: str) -> str:
+    data = graph.nodes[node]
+    label = data.get("label", node)
+    parts = [label]
+    tag = _KIND_TAGS.get(data.get("kind", "attribute"), "")
+    if tag:
+        parts.append(tag)
+    data_type = data.get("data_type", "")
+    if data_type:
+        parts[0] = f"{label} : {data_type}"
+    score = data.get("match_score")
+    if score is not None and score > 0:
+        parts.append(f"(match {score:.2f})")
+    if data.get("collapsed"):
+        parts.append("+")
+    return " ".join(parts)
+
+
+def render_ascii_tree(graph: nx.DiGraph, root: str | None = None) -> str:
+    """Render the containment tree of ``graph`` with box-drawing lines."""
+    if root is None:
+        root = find_root(graph)
+    lines = [_node_line(graph, root)]
+
+    def walk(node: str, prefix: str) -> None:
+        children = containment_children(graph, node)
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            branch = "└── " if last else "├── "
+            lines.append(prefix + branch + _node_line(graph, child))
+            walk(child, prefix + ("    " if last else "│   "))
+
+    walk(root, "")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Depth capping and drill-in.
+
+"To ensure Schemr scales to very large schemas, we cap the displayed
+graph depth to 3.  To drill in on a particular branch at a greater
+depth, users can simply double click on a node to view its descendants
+in further detail."  Double-clicking also "re-centers the layout of the
+graph such that the new node is in the center".
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import SchemrError
+from repro.viz.layout import containment_children, find_root
+
+#: The paper's display depth cap.
+DEFAULT_MAX_DEPTH = 3
+
+
+def display_subgraph(graph: nx.DiGraph, focus: str | None = None,
+                     max_depth: int = DEFAULT_MAX_DEPTH) -> nx.DiGraph:
+    """The displayable portion of ``graph``.
+
+    Starting from ``focus`` (default: the schema root), includes
+    containment descendants down to ``max_depth`` levels below the
+    focus.  Non-containment edges (foreign keys) are kept when both
+    endpoints are visible.  Every node carries a ``depth`` attribute
+    relative to the focus; nodes whose children were cut carry
+    ``collapsed=True`` so renderers can draw the expand affordance.
+    """
+    if max_depth < 0:
+        raise SchemrError(f"max_depth must be >= 0, got {max_depth}")
+    root = focus if focus is not None else find_root(graph)
+    if root not in graph:
+        raise SchemrError(f"focus node {root!r} is not in the graph")
+    visible: dict[str, int] = {root: 0}
+    frontier = [root]
+    while frontier:
+        next_frontier: list[str] = []
+        for node in frontier:
+            depth = visible[node]
+            if depth >= max_depth:
+                continue
+            for child in containment_children(graph, node):
+                if child not in visible:
+                    visible[child] = depth + 1
+                    next_frontier.append(child)
+        frontier = next_frontier
+    sub = nx.DiGraph(name=graph.graph.get("name", ""))
+    for node, depth in visible.items():
+        data = dict(graph.nodes[node])
+        data["depth"] = depth
+        data["collapsed"] = (depth == max_depth
+                             and bool(containment_children(graph, node)))
+        sub.add_node(node, **data)
+    for source, target, data in graph.edges(data=True):
+        if source in visible and target in visible:
+            sub.add_edge(source, target, **data)
+    return sub
+
+
+def drill_in(graph: nx.DiGraph, node: str,
+             max_depth: int = DEFAULT_MAX_DEPTH) -> nx.DiGraph:
+    """The double-click operation: re-center the display on ``node``."""
+    return display_subgraph(graph, focus=node, max_depth=max_depth)

@@ -1,0 +1,61 @@
+"""Shared layout data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import SchemrError
+from repro.model.graph import KIND_SCHEMA
+
+
+@dataclass(slots=True)
+class LayoutNode:
+    """One positioned node: coordinates plus the visual-encoding inputs."""
+
+    node_id: str
+    label: str
+    kind: str
+    x: float
+    y: float
+    depth: int
+    match_score: float | None = None
+
+
+@dataclass(slots=True)
+class Layout:
+    """A positioned graph ready for rendering."""
+
+    name: str
+    nodes: dict[str, LayoutNode] = field(default_factory=dict)
+    edges: list[tuple[str, str, str]] = field(default_factory=list)
+    width: float = 0.0
+    height: float = 0.0
+
+    def node(self, node_id: str) -> LayoutNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise SchemrError(f"layout has no node {node_id!r}") from None
+
+
+def find_root(graph: nx.DiGraph) -> str:
+    """The display root: the synthetic schema node when present, else any
+    node without incoming containment edges."""
+    for node, data in graph.nodes(data=True):
+        if data.get("kind") == KIND_SCHEMA:
+            return node
+    for node in graph.nodes:
+        if graph.in_degree(node) == 0:
+            return node
+    raise SchemrError("graph has no root node")
+
+
+def containment_children(graph: nx.DiGraph, node: str) -> list[str]:
+    """Children via containment edges only (FK edges are overlays)."""
+    children = []
+    for _source, target, data in graph.out_edges(node, data=True):
+        if data.get("relation", "contains") == "contains":
+            children.append(target)
+    return sorted(children)

@@ -1,0 +1,74 @@
+"""Radial layout — the view shown in Figure 2's results panel.
+
+The focus node sits at the center; each depth tier occupies a
+concentric ring; every subtree receives an angular wedge proportional
+to its leaf count, and nodes sit at the angular midpoint of their
+wedge.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.viz.layout import Layout, LayoutNode, containment_children, find_root
+
+RING_GAP = 110.0
+MARGIN = 60.0
+
+
+def _leaf_count(graph: nx.DiGraph, node: str) -> int:
+    children = containment_children(graph, node)
+    if not children:
+        return 1
+    return sum(_leaf_count(graph, child) for child in children)
+
+
+def radial_layout(graph: nx.DiGraph, root: str | None = None) -> Layout:
+    """Position ``graph`` on concentric rings around the root."""
+    if root is None:
+        root = find_root(graph)
+    layout = Layout(name=graph.graph.get("name", ""))
+    max_depth = 0
+
+    def place(node: str, depth: int, angle_start: float,
+              angle_end: float) -> None:
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        angle = (angle_start + angle_end) / 2.0
+        radius = depth * RING_GAP
+        data = graph.nodes[node]
+        layout.nodes[node] = LayoutNode(
+            node_id=node,
+            label=data.get("label", node),
+            kind=data.get("kind", "attribute"),
+            x=radius * math.cos(angle),
+            y=radius * math.sin(angle),
+            depth=depth,
+            match_score=data.get("match_score"),
+        )
+        children = containment_children(graph, node)
+        if not children:
+            return
+        total_leaves = sum(_leaf_count(graph, child) for child in children)
+        cursor = angle_start
+        for child in children:
+            span = ((angle_end - angle_start)
+                    * _leaf_count(graph, child) / total_leaves)
+            place(child, depth + 1, cursor, cursor + span)
+            cursor += span
+
+    place(root, 0, 0.0, 2.0 * math.pi)
+    for source, target, data in graph.edges(data=True):
+        if source in layout.nodes and target in layout.nodes:
+            layout.edges.append(
+                (source, target, data.get("relation", "contains")))
+    # Shift into positive coordinates for rendering.
+    extent = max_depth * RING_GAP + MARGIN
+    for node in layout.nodes.values():
+        node.x += extent
+        node.y += extent
+    layout.width = 2.0 * extent
+    layout.height = 2.0 * extent
+    return layout

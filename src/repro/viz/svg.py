@@ -1,0 +1,104 @@
+"""SVG rendering of layouts.
+
+Node color encodes the element kind (the paper: "Node color corresponds
+to schema element types (e.g. entity or attribute)"); a match-score
+halo encodes similarity; collapsed nodes get a "+" badge.  Multiple
+layouts can be rendered side by side for comparison, as in the Figure 2
+results panel.
+"""
+
+from __future__ import annotations
+
+from repro.viz.layout import Layout
+
+#: Element-kind color coding.
+KIND_COLORS = {
+    "schema": "#4c72b0",
+    "entity": "#dd8452",
+    "attribute": "#55a868",
+}
+_MATCH_HALO = "#c44e52"
+_NODE_RADIUS = 16.0
+_FONT_SIZE = 11
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _render_body(layout: Layout, offset_x: float = 0.0) -> list[str]:
+    parts: list[str] = []
+    for source, target, relation in layout.edges:
+        a = layout.nodes[source]
+        b = layout.nodes[target]
+        dash = ' stroke-dasharray="6,4"' if relation == "foreign_key" else ""
+        color = "#b03060" if relation == "foreign_key" else "#999999"
+        parts.append(
+            f'<line x1="{a.x + offset_x:.1f}" y1="{a.y:.1f}" '
+            f'x2="{b.x + offset_x:.1f}" y2="{b.y:.1f}" '
+            f'stroke="{color}" stroke-width="1.5"{dash}/>')
+    for node in layout.nodes.values():
+        color = KIND_COLORS.get(node.kind, "#888888")
+        x = node.x + offset_x
+        if node.match_score is not None and node.match_score > 0:
+            halo = _NODE_RADIUS + 4 + 6 * min(node.match_score, 1.0)
+            opacity = 0.25 + 0.6 * min(node.match_score, 1.0)
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{node.y:.1f}" r="{halo:.1f}" '
+                f'fill="{_MATCH_HALO}" fill-opacity="{opacity:.2f}"/>')
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{node.y:.1f}" r="{_NODE_RADIUS}" '
+            f'fill="{color}" stroke="#333333" stroke-width="1"/>')
+        parts.append(
+            f'<text x="{x:.1f}" y="{node.y + _NODE_RADIUS + _FONT_SIZE:.1f}" '
+            f'text-anchor="middle" font-size="{_FONT_SIZE}" '
+            f'font-family="sans-serif">{_escape(node.label)}</text>')
+        if node.match_score is not None and node.match_score > 0:
+            parts.append(
+                f'<text x="{x:.1f}" y="{node.y + 4:.1f}" '
+                f'text-anchor="middle" font-size="9" fill="#ffffff" '
+                f'font-family="sans-serif">{node.match_score:.2f}</text>')
+    return parts
+
+
+def render_svg(layout: Layout, title: str | None = None) -> str:
+    """One layout as a standalone SVG document."""
+    width = max(layout.width, 200.0)
+    height = max(layout.height, 200.0)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold" '
+            f'font-family="sans-serif">{_escape(title)}</text>')
+    parts.extend(_render_body(layout))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_side_by_side(layouts: list[Layout], gap: float = 60.0) -> str:
+    """Several layouts in one SVG, left to right, for visual comparison."""
+    if not layouts:
+        return render_svg(Layout(name="empty"))
+    total_width = sum(max(layout.width, 200.0) for layout in layouts)
+    total_width += gap * (len(layouts) - 1)
+    height = max(max(layout.height, 200.0) for layout in layouts)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{total_width:.0f}" '
+        f'height="{height:.0f}" '
+        f'viewBox="0 0 {total_width:.0f} {height:.0f}">',
+    ]
+    offset = 0.0
+    for layout in layouts:
+        parts.append(
+            f'<text x="{offset + max(layout.width, 200.0) / 2:.1f}" y="20" '
+            f'text-anchor="middle" font-size="14" font-weight="bold" '
+            f'font-family="sans-serif">{_escape(layout.name)}</text>')
+        parts.extend(_render_body(layout, offset_x=offset))
+        offset += max(layout.width, 200.0) + gap
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,63 @@
+"""Hierarchical tree layout.
+
+A compact Reingold–Tilford-style tiered layout: leaves take consecutive
+horizontal slots, parents center over their children, depth maps to the
+vertical axis.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.viz.layout import Layout, LayoutNode, containment_children, find_root
+
+#: Pixel spacing between sibling leaves and between depth tiers.
+H_SPACING = 120.0
+V_SPACING = 90.0
+MARGIN = 60.0
+
+
+def tree_layout(graph: nx.DiGraph, root: str | None = None) -> Layout:
+    """Position the containment tree of ``graph``.
+
+    ``graph`` is typically the output of
+    :func:`~repro.viz.drill.display_subgraph`.  Foreign-key edges are
+    carried through as overlay edges without affecting positions.
+    """
+    if root is None:
+        root = find_root(graph)
+    layout = Layout(name=graph.graph.get("name", ""))
+    next_slot = 0.0
+
+    def place(node: str, depth: int) -> float:
+        """Post-order placement; returns the node's x coordinate."""
+        nonlocal next_slot
+        children = containment_children(graph, node)
+        if children:
+            xs = [place(child, depth + 1) for child in children]
+            x = (min(xs) + max(xs)) / 2.0
+        else:
+            x = MARGIN + next_slot * H_SPACING
+            next_slot += 1.0
+        data = graph.nodes[node]
+        layout.nodes[node] = LayoutNode(
+            node_id=node,
+            label=data.get("label", node),
+            kind=data.get("kind", "attribute"),
+            x=x,
+            y=MARGIN + depth * V_SPACING,
+            depth=depth,
+            match_score=data.get("match_score"),
+        )
+        return x
+
+    place(root, 0)
+    for source, target, data in graph.edges(data=True):
+        if source in layout.nodes and target in layout.nodes:
+            layout.edges.append(
+                (source, target, data.get("relation", "contains")))
+    layout.width = max((n.x for n in layout.nodes.values()),
+                       default=0.0) + MARGIN
+    layout.height = max((n.y for n in layout.nodes.values()),
+                        default=0.0) + MARGIN
+    return layout

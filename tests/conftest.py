@@ -1,0 +1,116 @@
+"""Shared fixtures: the paper's worked-example schemas and small corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.elements import Attribute, Entity, ForeignKey
+from repro.model.schema import Schema
+from repro.repository.store import SchemaRepository
+
+
+def build_clinic_schema(name: str = "clinic_emr") -> Schema:
+    """The Figure 4 schema: case -> patient, case -> doctor.
+
+    ``case`` and ``patient`` are FK-connected through ``case``;
+    ``doctor`` connects to ``case`` too, so all three share one
+    neighborhood, while any added isolated entity is unrelated.
+    """
+    schema = Schema(name=name, description="health clinic records",
+                    source="test")
+    schema.add_entity(Entity("patient", [
+        Attribute("id", "INTEGER", primary_key=True, nullable=False),
+        Attribute("name", "VARCHAR(100)"),
+        Attribute("height", "DECIMAL(5,2)"),
+        Attribute("gender", "CHAR(1)"),
+    ]))
+    schema.add_entity(Entity("doctor", [
+        Attribute("id", "INTEGER", primary_key=True, nullable=False),
+        Attribute("name", "VARCHAR(100)"),
+        Attribute("gender", "CHAR(1)"),
+        Attribute("specialty", "VARCHAR(50)"),
+    ]))
+    schema.add_entity(Entity("case", [
+        Attribute("id", "INTEGER", primary_key=True, nullable=False),
+        Attribute("patient", "INTEGER"),
+        Attribute("doctor", "INTEGER"),
+        Attribute("diagnosis", "TEXT"),
+    ]))
+    schema.add_foreign_key(ForeignKey("case", "patient", "patient", "id"))
+    schema.add_foreign_key(ForeignKey("case", "doctor", "doctor", "id"))
+    return schema
+
+
+def build_hr_schema(name: str = "hr_payroll") -> Schema:
+    schema = Schema(name=name, description="employee payroll", source="test")
+    schema.add_entity(Entity("employee", [
+        Attribute("id", "INTEGER", primary_key=True, nullable=False),
+        Attribute("first_name", "VARCHAR(50)"),
+        Attribute("last_name", "VARCHAR(50)"),
+        Attribute("salary", "DECIMAL(10,2)"),
+        Attribute("dept_id", "INTEGER"),
+    ]))
+    schema.add_entity(Entity("department", [
+        Attribute("id", "INTEGER", primary_key=True, nullable=False),
+        Attribute("name", "VARCHAR(50)"),
+        Attribute("manager", "VARCHAR(50)"),
+    ]))
+    schema.add_foreign_key(
+        ForeignKey("employee", "dept_id", "department", "id"))
+    return schema
+
+
+def build_conservation_schema(name: str = "conservation_monitoring") -> Schema:
+    schema = Schema(name=name, description="species observations",
+                    source="test")
+    schema.add_entity(Entity("site", [
+        Attribute("id", "INTEGER", primary_key=True, nullable=False),
+        Attribute("site_name", "VARCHAR(80)"),
+        Attribute("latitude", "REAL"),
+        Attribute("longitude", "REAL"),
+    ]))
+    schema.add_entity(Entity("observation", [
+        Attribute("id", "INTEGER", primary_key=True, nullable=False),
+        Attribute("site_id", "INTEGER"),
+        Attribute("species", "VARCHAR(100)"),
+        Attribute("obs_date", "DATE"),
+        Attribute("count", "INTEGER"),
+    ]))
+    schema.add_foreign_key(ForeignKey("observation", "site_id", "site", "id"))
+    return schema
+
+
+@pytest.fixture
+def clinic_schema() -> Schema:
+    return build_clinic_schema()
+
+
+@pytest.fixture
+def hr_schema() -> Schema:
+    return build_hr_schema()
+
+
+@pytest.fixture
+def conservation_schema() -> Schema:
+    return build_conservation_schema()
+
+
+@pytest.fixture
+def small_repository() -> SchemaRepository:
+    """A repository holding the three fixture schemas, indexed."""
+    repo = SchemaRepository.in_memory()
+    repo.add_schema(build_clinic_schema())
+    repo.add_schema(build_hr_schema())
+    repo.add_schema(build_conservation_schema())
+    repo.reindex()
+    yield repo
+    repo.close()
+
+
+#: The paper's running query: "patient, height, gender, diagnosis".
+PAPER_KEYWORDS = ["patient", "height", "gender", "diagnosis"]
+
+
+@pytest.fixture
+def paper_keywords() -> list[str]:
+    return list(PAPER_KEYWORDS)

@@ -1,0 +1,113 @@
+"""Tests for the extended CLI commands: summarize, annotate, export
+formats."""
+
+import pytest
+
+from repro.cli import main
+
+WAREHOUSE_DDL = """
+CREATE TABLE patient (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR(100),
+  height DECIMAL(5,2),
+  birth_date DATE
+);
+CREATE TABLE visit (
+  id INTEGER PRIMARY KEY,
+  patient_id INTEGER REFERENCES patient(id),
+  visit_date DATE,
+  temperature REAL
+);
+CREATE TABLE clinic (
+  id INTEGER PRIMARY KEY,
+  clinic_name VARCHAR(80),
+  latitude REAL,
+  longitude REAL
+);
+"""
+
+
+@pytest.fixture
+def populated_db(tmp_path):
+    path = str(tmp_path / "repo.db")
+    assert main(["init", path]) == 0
+    ddl_file = tmp_path / "warehouse.sql"
+    ddl_file.write_text(WAREHOUSE_DDL)
+    assert main(["import", path, str(ddl_file), "--name", "warehouse"]) == 0
+    return path
+
+
+class TestSummarizeCommand:
+    def test_prints_importance_ranking(self, populated_db, capsys):
+        assert main(["summarize", populated_db, "1", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "kept 2 of 3 entities" in out
+        assert "importance=" in out
+
+    def test_summary_svg_written(self, populated_db, tmp_path, capsys):
+        out_file = tmp_path / "summary.svg"
+        assert main(["summarize", populated_db, "1", "-k", "2",
+                     "--out", str(out_file)]) == 0
+        assert out_file.read_text().startswith("<svg")
+
+    def test_missing_schema_fails(self, populated_db, capsys):
+        assert main(["summarize", populated_db, "99"]) == 1
+
+
+class TestAnnotateCommand:
+    def test_prints_concepts_by_category(self, populated_db, capsys):
+        assert main(["annotate", populated_db, "1"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "[geographic]" in out
+        assert "latitude" in out
+        assert "length (m)" in out
+
+
+class TestExportFormats:
+    def test_export_ddl_roundtrips(self, populated_db, tmp_path, capsys):
+        out_file = tmp_path / "export.sql"
+        assert main(["export", populated_db, "1", "--format", "ddl",
+                     "--out", str(out_file)]) == 0
+        from repro.parsers.ddl import parse_ddl
+        rebuilt = parse_ddl(out_file.read_text())
+        assert set(rebuilt.entities) == {"patient", "visit", "clinic"}
+
+    def test_export_xsd_parses(self, populated_db, tmp_path):
+        out_file = tmp_path / "export.xsd"
+        assert main(["export", populated_db, "1", "--format", "xsd",
+                     "--out", str(out_file)]) == 0
+        from repro.parsers.xsd import parse_xsd
+        rebuilt = parse_xsd(out_file.read_text())
+        assert "patient" in rebuilt.entities
+
+
+class TestSampleAndExamples:
+    def test_sample_then_show(self, populated_db, capsys):
+        assert main(["sample", populated_db, "1", "--rows", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled 6 example rows" in out
+        assert main(["examples", populated_db, "1", "--rows", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "warehouse.patient" in out
+        assert "|" in out
+
+    def test_examples_without_sample_fails(self, populated_db, capsys):
+        assert main(["examples", populated_db, "1"]) == 1
+        assert "no data examples" in capsys.readouterr().out
+
+    def test_sample_missing_schema(self, populated_db):
+        assert main(["sample", populated_db, "99"]) == 1
+
+
+class TestBackupAndDedup:
+    def test_backup_command(self, populated_db, tmp_path, capsys):
+        dest = str(tmp_path / "backup.db")
+        assert main(["backup", populated_db, dest]) == 0
+        assert "backed up 1 schema(s)" in capsys.readouterr().out
+
+    def test_search_dedup_flag(self, populated_db, capsys):
+        assert main(["search", populated_db, "--keywords",
+                     "patient height", "--dedup"]) == 0
+        out = capsys.readouterr().out
+        assert "warehouse" in out

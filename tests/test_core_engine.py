@@ -1,0 +1,195 @@
+"""Unit/integration tests for the three-phase SchemrEngine."""
+
+import pytest
+
+from repro.core.config import SchemrConfig
+from repro.core.engine import DictSchemaSource, SchemrEngine
+from repro.core.pipeline import ALL_PHASES
+from repro.errors import QueryError
+from repro.index.documents import document_from_schema
+from repro.index.inverted import InvertedIndex
+from repro.matching.ensemble import MatcherEnsemble
+from repro.model.query import QueryGraph
+from repro.scoring.tightness import PenaltyPolicy
+
+from tests.conftest import (
+    build_clinic_schema,
+    build_conservation_schema,
+    build_hr_schema,
+)
+
+
+@pytest.fixture
+def engine() -> SchemrEngine:
+    schemas = {}
+    index = InvertedIndex()
+    for i, builder in enumerate([build_clinic_schema, build_hr_schema,
+                                 build_conservation_schema], start=1):
+        schema = builder()
+        schema.schema_id = i
+        schemas[i] = schema
+        index.add(document_from_schema(schema))
+    return SchemrEngine(index=index, source=DictSchemaSource(schemas))
+
+
+class TestSearch:
+    def test_paper_query_ranks_clinic_first(self, engine, paper_keywords):
+        results = engine.search(keywords=paper_keywords)
+        assert results[0].name == "clinic_emr"
+        assert results[0].schema_id == 1
+
+    def test_result_row_fields(self, engine, paper_keywords):
+        result = engine.search(keywords=paper_keywords)[0]
+        assert result.entity_count == 3
+        assert result.attribute_count == 12
+        assert result.match_count > 0
+        assert result.description == "health clinic records"
+        assert result.coarse_score > 0
+        assert result.best_anchor is not None
+
+    def test_scores_descend(self, engine):
+        results = engine.search(keywords="name gender salary species")
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_n_respected(self, engine):
+        assert len(engine.search(keywords="name", top_n=2)) <= 2
+
+    def test_bad_top_n_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.search(keywords="name", top_n=0)
+
+    def test_empty_query_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.search()
+
+    def test_fragment_query(self, engine):
+        ddl = "CREATE TABLE patient (height DECIMAL, gender CHAR(1));"
+        results = engine.search(fragment=ddl)
+        assert results[0].name == "clinic_emr"
+
+    def test_keyword_plus_fragment(self, engine):
+        ddl = "CREATE TABLE patient (height DECIMAL);"
+        results = engine.search(keywords="diagnosis", fragment=ddl)
+        assert results[0].name == "clinic_emr"
+
+    def test_search_graph_prebuilt(self, engine, paper_keywords):
+        query = QueryGraph.build(keywords=paper_keywords)
+        results = engine.search_graph(query)
+        assert results[0].name == "clinic_emr"
+
+    def test_search_graph_empty_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.search_graph(QueryGraph())
+
+    def test_element_matches_exposed(self, engine, paper_keywords):
+        result = engine.search(keywords=paper_keywords)[0]
+        pairs = {(m.query_label, m.element_path)
+                 for m in result.element_matches}
+        assert ("kw:height", "patient.height") in pairs
+
+    def test_top_matches_sorted(self, engine, paper_keywords):
+        result = engine.search(keywords=paper_keywords)[0]
+        top = result.top_matches(3)
+        assert len(top) <= 3
+        scores = [m.score for m in top]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestTrace:
+    def test_all_phases_recorded(self, engine, paper_keywords):
+        engine.search(keywords=paper_keywords)
+        trace = engine.last_trace
+        assert trace is not None
+        assert [p.name for p in trace.phases] == list(ALL_PHASES)
+
+    def test_phase_counts_flow(self, engine, paper_keywords):
+        engine.search(keywords=paper_keywords)
+        trace = engine.last_trace
+        candidates = trace.phase("candidate_extraction")
+        matching = trace.phase("schema_matching")
+        assert candidates.items_in == 4  # four keywords
+        assert matching.items_in == candidates.items_out
+
+    def test_search_graph_has_no_parse_phase(self, engine, paper_keywords):
+        engine.search_graph(QueryGraph.build(keywords=paper_keywords))
+        names = [p.name for p in engine.last_trace.phases]
+        assert "query_parse" not in names
+
+    def test_trace_summary_renders(self, engine, paper_keywords):
+        engine.search(keywords=paper_keywords)
+        summary = engine.last_trace.summary()
+        assert "candidate_extraction" in summary
+        assert "total" in summary
+
+
+class TestConfiguration:
+    def test_candidate_pool_limits_matching(self, paper_keywords):
+        schemas = {}
+        index = InvertedIndex()
+        for i in range(1, 6):
+            schema = build_clinic_schema(name=f"clinic_{i}")
+            schema.schema_id = i
+            schemas[i] = schema
+            index.add(document_from_schema(schema))
+        engine = SchemrEngine(index=index, source=DictSchemaSource(schemas),
+                              config=SchemrConfig(candidate_pool=2))
+        engine.search(keywords=paper_keywords)
+        assert engine.last_trace.phase("schema_matching").items_in == 2
+
+    def test_invalid_candidate_pool(self):
+        with pytest.raises(QueryError):
+            SchemrConfig(candidate_pool=0)
+
+    def test_tightness_ablation_drops_anchor(self, paper_keywords):
+        schema = build_clinic_schema()
+        schema.schema_id = 1
+        index = InvertedIndex()
+        index.add(document_from_schema(schema))
+        engine = SchemrEngine(
+            index=index, source=DictSchemaSource({1: schema}),
+            config=SchemrConfig(use_tightness=False))
+        result = engine.search(keywords=paper_keywords)[0]
+        assert result.best_anchor is None
+        assert result.score > 0
+
+    def test_custom_ensemble_used(self, paper_keywords):
+        schema = build_clinic_schema()
+        schema.schema_id = 1
+        index = InvertedIndex()
+        index.add(document_from_schema(schema))
+        from repro.matching.name import NameMatcher
+        ensemble = MatcherEnsemble(matchers=[NameMatcher()])
+        engine = SchemrEngine(index=index,
+                              source=DictSchemaSource({1: schema}),
+                              ensemble=ensemble)
+        assert engine.ensemble.matcher_names == ["name"]
+        assert engine.search(keywords=paper_keywords)
+
+    def test_custom_penalties_flow_through(self, paper_keywords):
+        schema = build_clinic_schema()
+        schema.schema_id = 1
+        index = InvertedIndex()
+        index.add(document_from_schema(schema))
+        config = SchemrConfig(penalties=PenaltyPolicy(
+            neighborhood_penalty=0.0, unrelated_penalty=0.0))
+        engine = SchemrEngine(index=index,
+                              source=DictSchemaSource({1: schema}),
+                              config=config)
+        no_penalty_score = engine.search(keywords=paper_keywords)[0].score
+        default_engine = SchemrEngine(index=index,
+                                      source=DictSchemaSource({1: schema}))
+        default_score = default_engine.search(
+            keywords=paper_keywords)[0].score
+        assert no_penalty_score >= default_score
+
+
+class TestDictSchemaSource:
+    def test_lookup(self, clinic_schema):
+        clinic_schema.schema_id = 1
+        source = DictSchemaSource({1: clinic_schema})
+        assert source.get_schema(1) is clinic_schema
+
+    def test_missing_raises(self):
+        with pytest.raises(QueryError):
+            DictSchemaSource({}).get_schema(9)

@@ -1,0 +1,241 @@
+"""Unit tests for the corpus package: noise, generator, filters,
+ground truth."""
+
+import random
+
+import pytest
+
+from repro.corpus.domains import DOMAINS, domain_by_name
+from repro.corpus.filters import (
+    TRIVIAL_ELEMENT_THRESHOLD,
+    has_clean_names,
+    is_trivial,
+    paper_filter,
+)
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.groundtruth import QUERY_CHANNELS, QuerySampler
+from repro.corpus.noise import STYLES, NameStyler, abbreviate, pluralize
+from repro.errors import SchemrError
+from repro.model.elements import Attribute, Entity
+from repro.model.schema import Schema
+
+
+class TestDomains:
+    def test_paper_domains_present(self):
+        names = {d.name for d in DOMAINS}
+        assert "healthcare" in names      # the Tanzania HIV program
+        assert "conservation" in names    # the Nature Conservancy
+
+    def test_domain_lookup(self):
+        assert domain_by_name("healthcare").name == "healthcare"
+        with pytest.raises(KeyError):
+            domain_by_name("ghost")
+
+    def test_references_resolve_within_domain(self):
+        for domain in DOMAINS:
+            names = {t.name for t in domain.entities}
+            for template in domain.entities:
+                for ref in template.references:
+                    assert ref in names, \
+                        f"{domain.name}.{template.name} references {ref}"
+
+    def test_attribute_vocabulary_is_lowercase_words(self):
+        for domain in DOMAINS:
+            for template in domain.entities:
+                for attr in template.attributes:
+                    assert attr == attr.lower()
+                    assert attr.strip() == attr
+
+
+class TestNoise:
+    @pytest.mark.parametrize("word,plural", [
+        ("patient", "patients"),
+        ("diagnosis", "diagnoses"),
+        ("category", "categories"),
+        ("status", "statuses"),
+        ("species", "species"),
+        ("address", "addresses"),
+        ("day", "days"),
+        ("leaf", "leaves"),
+    ])
+    def test_pluralize(self, word, plural):
+        assert pluralize(word) == plural
+
+    def test_abbreviate_drops_vowels(self):
+        assert "a" not in abbreviate("quantity")[1:]
+
+    def test_abbreviate_short_word_passthrough(self):
+        assert abbreviate("id") == "id"
+
+    def test_styles_render_distinctly(self):
+        rng = random.Random(1)
+        rendered = {}
+        for style in STYLES:
+            styler = NameStyler(style, rng, plural_probability=0.0,
+                                abbreviate_probability=1.0)
+            rendered[style] = styler.render("patient height",
+                                            allow_plural=False)
+        assert rendered["snake"] == "patient_height"
+        assert rendered["camel"] == "patientHeight"
+        assert rendered["pascal"] == "PatientHeight"
+        assert rendered["dash"] == "patient-height"
+        assert rendered["squash"] == "patientheight"
+        assert "_" in rendered["abbreviated"]
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            NameStyler("shouty", random.Random(1))
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = CorpusGenerator(seed=11).generate(10)
+        b = CorpusGenerator(seed=11).generate(10)
+        assert [g.schema.name for g in a] == [g.schema.name for g in b]
+        assert [g.schema.to_dict() for g in a] == \
+            [g.schema.to_dict() for g in b]
+
+    def test_different_seeds_differ(self):
+        a = CorpusGenerator(seed=1).generate(10)
+        b = CorpusGenerator(seed=2).generate(10)
+        assert [g.schema.name for g in a] != [g.schema.name for g in b]
+
+    def test_provenance_recorded(self):
+        generated = CorpusGenerator(seed=3).generate_one()
+        assert generated.domain in {d.name for d in DOMAINS}
+        assert generated.templates
+        assert generated.style in STYLES
+        for template_name in generated.templates:
+            assert template_name in generated.canonical_attributes
+
+    def test_element_map_points_at_real_elements(self):
+        generated = CorpusGenerator(seed=4).generate_one()
+        from repro.model.elements import ElementRef
+        for rendered_path in generated.element_map.values():
+            assert generated.schema.has_element(
+                ElementRef.parse(rendered_path))
+
+    def test_schemas_are_valid(self):
+        for generated in CorpusGenerator(seed=5).generate(25):
+            schema = generated.schema
+            # Round-tripping revalidates everything.
+            assert schema.to_dict() == \
+                type(schema).from_dict(schema.to_dict()).to_dict()
+
+    def test_pinned_templates(self):
+        generator = CorpusGenerator(seed=6)
+        domain = domain_by_name("healthcare")
+        generated = generator.generate_from_domain(
+            domain, template_names=("patient", "case"))
+        assert generated.templates == ("patient", "case")
+
+    def test_raw_stream_contains_junk(self):
+        raw = CorpusGenerator(seed=7, junk_fraction=0.3) \
+            .generate_raw_stream(100)
+        assert len(raw) == 100
+        junk = [g for g in raw if g.domain == "junk"]
+        assert len(junk) == 30
+
+    def test_bad_junk_fraction_rejected(self):
+        with pytest.raises(SchemrError):
+            CorpusGenerator(junk_fraction=1.0)
+
+
+class TestFilters:
+    def test_clean_names_accepts_normal_styles(self):
+        schema = Schema(name="patient-data", entities={
+            "t": Entity("t", [Attribute("first name"),
+                              Attribute("dob_2")])})
+        assert has_clean_names(schema)
+
+    def test_clean_names_rejects_crawl_junk(self):
+        schema = Schema(name="tbl_%7B3%7D", entities={
+            "t": Entity("t", [Attribute("x")])})
+        assert not has_clean_names(schema)
+
+    def test_trivial_threshold(self):
+        small = Schema(name="tiny", entities={
+            "t": Entity("t", [Attribute("a"), Attribute("b")])})
+        assert small.element_count == TRIVIAL_ELEMENT_THRESHOLD
+        assert is_trivial(small)
+        small.entity("t").add_attribute(Attribute("c"))
+        assert not is_trivial(small)
+
+    def test_paper_filter_accounting(self):
+        raw = CorpusGenerator(seed=8, junk_fraction=0.3) \
+            .generate_raw_stream(100)
+        stats = paper_filter(raw)
+        assert stats.total == 100
+        assert stats.kept_count + stats.dropped_count == 100
+        assert stats.dropped_nonalpha == 10
+        assert stats.dropped_singleton == 10
+        assert stats.dropped_trivial == 10
+
+    def test_kept_schemas_all_pass_criteria(self):
+        raw = CorpusGenerator(seed=9, junk_fraction=0.4) \
+            .generate_raw_stream(80)
+        for generated in paper_filter(raw).kept:
+            assert has_clean_names(generated.schema)
+            assert generated.web_frequency >= 2
+            assert not is_trivial(generated.schema)
+
+    def test_summary_renders(self):
+        stats = paper_filter([])
+        assert "filtered 0 raw schemas" in stats.summary()
+
+
+class TestGroundTruth:
+    @pytest.fixture
+    def stored_corpus(self):
+        corpus = CorpusGenerator(seed=10).generate(50)
+        for i, generated in enumerate(corpus, start=1):
+            generated.schema.schema_id = i
+        return corpus
+
+    def test_requires_stored_corpus(self):
+        corpus = CorpusGenerator(seed=11).generate(3)
+        with pytest.raises(SchemrError, match="no id"):
+            QuerySampler(corpus, DOMAINS)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(SchemrError):
+            QuerySampler([], DOMAINS)
+
+    def test_every_query_has_exact_answer(self, stored_corpus):
+        sampler = QuerySampler(stored_corpus, DOMAINS, seed=1)
+        for query in sampler.sample(10):
+            assert query.exact_ids
+            assert query.exact_ids <= query.relevant_ids
+
+    def test_grades_partition(self, stored_corpus):
+        sampler = QuerySampler(stored_corpus, DOMAINS, seed=2)
+        query = sampler.sample(1)[0]
+        for schema_id, grade in query.relevance.items():
+            assert grade in (1, 2)
+        by_id = {g.schema.schema_id: g for g in stored_corpus}
+        for schema_id in query.exact_ids:
+            generated = by_id[schema_id]
+            assert query.template in generated.templates
+            assert generated.domain == query.domain
+
+    def test_channels(self, stored_corpus):
+        sampler = QuerySampler(stored_corpus, DOMAINS, seed=3)
+        for channel in QUERY_CHANNELS:
+            queries = sampler.sample(3, channel=channel)
+            assert all(q.channel == channel for q in queries)
+
+    def test_unknown_channel_rejected(self, stored_corpus):
+        sampler = QuerySampler(stored_corpus, DOMAINS, seed=4)
+        with pytest.raises(SchemrError, match="unknown channel"):
+            sampler.sample(1, channel="shouting")
+
+    def test_delimiter_channel_renders_delimiters(self, stored_corpus):
+        sampler = QuerySampler(stored_corpus, DOMAINS, seed=5)
+        queries = sampler.sample(5, channel="delimiter")
+        joined = " ".join(k for q in queries for k in q.keywords)
+        assert any(c in joined for c in "-._")
+
+    def test_deterministic_sampling(self, stored_corpus):
+        a = QuerySampler(stored_corpus, DOMAINS, seed=6).sample(5)
+        b = QuerySampler(stored_corpus, DOMAINS, seed=6).sample(5)
+        assert [q.keywords for q in a] == [q.keywords for q in b]

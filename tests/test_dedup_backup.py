@@ -1,0 +1,152 @@
+"""Tests for result deduplication and repository backup."""
+
+import pytest
+
+from repro.core.dedup import (
+    collapse_duplicates,
+    fingerprint_overlap,
+    format_deduped,
+    schema_fingerprint,
+)
+from repro.errors import RepositoryError, SchemrError
+from repro.repository.backup import (
+    backup_repository,
+    restore_repository,
+    vacuum_repository,
+)
+from repro.repository.store import SchemaRepository
+
+from tests.conftest import build_clinic_schema, build_hr_schema
+
+
+class TestFingerprint:
+    def test_style_noise_washes_out(self):
+        from repro.parsers.ddl import parse_ddl
+        snake = parse_ddl(
+            "CREATE TABLE patient_record (first_name TEXT, "
+            "birth_date DATE);", "a")
+        camel = parse_ddl(
+            "CREATE TABLE PatientRecord (FirstName TEXT, "
+            "BirthDate DATE);", "b")
+        assert schema_fingerprint(snake) == schema_fingerprint(camel)
+
+    def test_different_schemas_differ(self, clinic_schema, hr_schema):
+        overlap = fingerprint_overlap(schema_fingerprint(clinic_schema),
+                                      schema_fingerprint(hr_schema))
+        assert overlap < 0.5
+
+    def test_empty_fingerprint_zero_overlap(self):
+        assert fingerprint_overlap(frozenset(), frozenset({"x"})) == 0.0
+
+
+class TestCollapseDuplicates:
+    @pytest.fixture
+    def repo_with_duplicates(self):
+        """Three renderings of the clinic schema + one HR schema."""
+        from repro.model.elements import Attribute, Entity
+        from repro.model.schema import Schema
+        repo = SchemaRepository.in_memory()
+        repo.add_schema(build_clinic_schema(name="clinic_a"))
+        repo.add_schema(build_clinic_schema(name="clinic_b"))
+        # A camelCase rendering of the same vocabulary.
+        variant = Schema(name="ClinicC")
+        for entity in build_clinic_schema().entities.values():
+            renamed = Entity("".join(
+                w.capitalize() for w in entity.name.split("_")))
+            for attr in entity.attributes:
+                renamed.add_attribute(Attribute(
+                    "".join(w.capitalize() for w in attr.name.split("_")),
+                    attr.data_type))
+            variant.add_entity(renamed)
+        repo.add_schema(variant)
+        repo.add_schema(build_hr_schema())
+        repo.reindex()
+        yield repo
+        repo.close()
+
+    def test_duplicates_collapsed(self, repo_with_duplicates,
+                                  paper_keywords):
+        engine = repo_with_duplicates.engine()
+        results = engine.search(keywords=paper_keywords, top_n=10)
+        assert len(results) >= 3
+        groups = collapse_duplicates(results, repo_with_duplicates)
+        clinic_groups = [g for g in groups
+                         if "linic" in g.representative.name]
+        assert len(clinic_groups) == 1
+        assert clinic_groups[0].similar_count == 2
+
+    def test_representative_is_best_ranked(self, repo_with_duplicates,
+                                           paper_keywords):
+        engine = repo_with_duplicates.engine()
+        results = engine.search(keywords=paper_keywords, top_n=10)
+        groups = collapse_duplicates(results, repo_with_duplicates)
+        assert groups[0].representative.schema_id == results[0].schema_id
+
+    def test_distinct_schemas_not_collapsed(self, repo_with_duplicates):
+        engine = repo_with_duplicates.engine()
+        results = engine.search(keywords="name gender salary", top_n=10)
+        groups = collapse_duplicates(results, repo_with_duplicates)
+        names = {g.representative.name for g in groups}
+        assert any("hr" in name for name in names)
+
+    def test_overlap_validation(self, repo_with_duplicates):
+        with pytest.raises(SchemrError):
+            collapse_duplicates([], repo_with_duplicates, overlap=0.0)
+
+    def test_format_shows_similar_counts(self, repo_with_duplicates,
+                                         paper_keywords):
+        engine = repo_with_duplicates.engine()
+        results = engine.search(keywords=paper_keywords, top_n=10)
+        text = format_deduped(
+            collapse_duplicates(results, repo_with_duplicates))
+        assert "+2 similar" in text
+
+
+class TestBackup:
+    def test_backup_and_restore_roundtrip(self, tmp_path):
+        repo = SchemaRepository(tmp_path / "live.db")
+        schema_id = repo.add_schema(build_clinic_schema())
+        count = backup_repository(repo, tmp_path / "backup.db")
+        assert count == 1
+        restored = restore_repository(tmp_path / "backup.db",
+                                      tmp_path / "restored.db")
+        assert restored.get_schema(schema_id).name == "clinic_emr"
+        restored.close()
+        repo.close()
+
+    def test_backup_refuses_overwrite(self, tmp_path):
+        repo = SchemaRepository.in_memory()
+        target = tmp_path / "backup.db"
+        target.write_text("precious")
+        with pytest.raises(RepositoryError, match="already exists"):
+            backup_repository(repo, target)
+        repo.close()
+
+    def test_restore_validations(self, tmp_path):
+        with pytest.raises(RepositoryError, match="does not exist"):
+            restore_repository(tmp_path / "ghost.db", tmp_path / "out.db")
+        source = tmp_path / "src.db"
+        repo = SchemaRepository(source)
+        repo.close()
+        existing = tmp_path / "exists.db"
+        existing.write_text("x")
+        with pytest.raises(RepositoryError, match="already exists"):
+            restore_repository(source, existing)
+
+    def test_backup_while_in_use(self, tmp_path):
+        """Online backup works mid-session with the index live."""
+        repo = SchemaRepository(tmp_path / "live.db")
+        repo.add_schema(build_clinic_schema())
+        engine = repo.engine()
+        assert engine.search(keywords="patient")
+        count = backup_repository(repo, tmp_path / "hot-backup.db")
+        assert count == 1
+        repo.close()
+
+    def test_vacuum_runs(self, tmp_path):
+        repo = SchemaRepository(tmp_path / "live.db")
+        schema_id = repo.add_schema(build_clinic_schema())
+        repo.delete_schema(schema_id)
+        vacuum_repository(repo)  # must not raise
+        assert repo.schema_count == 0
+        repo.close()

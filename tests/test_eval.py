@@ -1,0 +1,127 @@
+"""Unit tests for IR metrics and the evaluation runner."""
+
+import pytest
+
+from repro.errors import SchemrError
+from repro.eval.metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.runner import EvaluationReport, evaluate_engine
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        ranking = [1, 2, 3, 4, 5]
+        relevant = {1, 3, 9}
+        assert precision_at_k(ranking, relevant, 5) == pytest.approx(0.4)
+        assert precision_at_k(ranking, relevant, 1) == 1.0
+
+    def test_precision_counts_k_not_returned(self):
+        """P@10 over 3 returned results divides by 10 (standard IR)."""
+        assert precision_at_k([1], {1}, 10) == pytest.approx(0.1)
+
+    def test_recall_at_k(self):
+        ranking = [1, 2, 3]
+        relevant = {1, 3, 9, 10}
+        assert recall_at_k(ranking, relevant, 3) == pytest.approx(0.5)
+
+    def test_recall_no_relevant(self):
+        assert recall_at_k([1, 2], set(), 2) == 0.0
+
+    def test_empty_ranking(self):
+        assert precision_at_k([], {1}, 5) == 0.0
+        assert recall_at_k([], {1}, 5) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], {1}, 0)
+        with pytest.raises(ValueError):
+            recall_at_k([1], {1}, -1)
+
+
+class TestMrrMap:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank([5, 1, 2], {1}) == pytest.approx(0.5)
+        assert reciprocal_rank([1], {1}) == 1.0
+        assert reciprocal_rank([5, 6], {1}) == 0.0
+
+    def test_average_precision_perfect(self):
+        assert average_precision([1, 2], {1, 2}) == 1.0
+
+    def test_average_precision_interleaved(self):
+        # relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        assert average_precision([1, 9, 2], {1, 2}) == \
+            pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_average_precision_counts_missed(self):
+        # one of two relevant docs never returned
+        assert average_precision([1], {1, 2}) == pytest.approx(0.5)
+
+    def test_average_precision_no_relevant(self):
+        assert average_precision([1], set()) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ordering(self):
+        grades = {1: 2, 2: 1}
+        assert ndcg_at_k([1, 2], grades, 10) == pytest.approx(1.0)
+
+    def test_inverted_ordering_below_one(self):
+        grades = {1: 2, 2: 1}
+        assert ndcg_at_k([2, 1], grades, 10) < 1.0
+
+    def test_graded_gain(self):
+        """A grade-2 doc at rank 1 beats a grade-1 doc at rank 1."""
+        high = ndcg_at_k([1], {1: 2, 2: 1}, 1)
+        low = ndcg_at_k([2], {1: 2, 2: 1}, 1)
+        assert high > low
+
+    def test_no_positive_grades(self):
+        assert ndcg_at_k([1, 2], {}, 5) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k([1], {1: 1}, 0)
+
+
+class TestRunner:
+    def test_empty_query_set_rejected(self, small_repository):
+        engine = small_repository.engine()
+        with pytest.raises(SchemrError):
+            evaluate_engine(engine, [])
+
+    def test_report_on_synthetic_queries(self, small_repository):
+        from repro.corpus.groundtruth import GroundTruthQuery
+        engine = small_repository.engine()
+        queries = [
+            GroundTruthQuery(
+                keywords=["patient", "height", "gender", "diagnosis"],
+                canonical_keywords=["patient", "height", "gender",
+                                    "diagnosis"],
+                domain="healthcare", template="patient", channel="clean",
+                relevance={1: 2}),
+            GroundTruthQuery(
+                keywords=["employee", "salary"],
+                canonical_keywords=["employee", "salary"],
+                domain="human_resources", template="employee",
+                channel="clean", relevance={2: 2}),
+        ]
+        report = evaluate_engine(engine, queries, label="fixture")
+        assert report.query_count == 2
+        assert report.mrr == 1.0  # both fixtures rank their schema first
+        assert report.precision_at_5 == pytest.approx(0.2)
+
+    def test_report_rows_align_with_header(self, small_repository):
+        from repro.corpus.groundtruth import GroundTruthQuery
+        engine = small_repository.engine()
+        queries = [GroundTruthQuery(
+            keywords=["patient"], canonical_keywords=["patient"],
+            domain="healthcare", template="patient",
+            channel="clean", relevance={1: 2})]
+        report = evaluate_engine(engine, queries)
+        assert len(report.row()) > 0
+        assert "MRR" in EvaluationReport.header()

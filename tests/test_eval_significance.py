@@ -1,0 +1,111 @@
+"""Unit tests for the paired significance tests."""
+
+import random
+
+import pytest
+
+from repro.errors import SchemrError
+from repro.eval.significance import (
+    ComparisonResult,
+    paired_bootstrap,
+    per_query_scores,
+    wilcoxon_signed_rank,
+)
+
+
+def correlated_samples(n: int, effect: float, seed: int = 7):
+    """Paired scores where A = B + effect + noise."""
+    rng = random.Random(seed)
+    b = [rng.uniform(0.2, 0.8) for _ in range(n)]
+    a = [min(1.0, value + effect + rng.gauss(0, 0.02)) for value in b]
+    return a, b
+
+
+class TestPairedBootstrap:
+    def test_clear_effect_is_significant(self):
+        a, b = correlated_samples(40, effect=0.15)
+        result = paired_bootstrap(a, b, iterations=2000)
+        assert result.delta > 0.1
+        assert result.significant
+
+    def test_no_effect_is_not_significant(self):
+        a, b = correlated_samples(40, effect=0.0)
+        result = paired_bootstrap(a, b, iterations=2000)
+        assert not result.significant
+
+    def test_identical_scores_p_one(self):
+        scores = [0.5, 0.7, 0.9]
+        result = paired_bootstrap(scores, list(scores))
+        assert result.p_value == 1.0
+        assert result.delta == 0.0
+
+    def test_deterministic_per_seed(self):
+        a, b = correlated_samples(20, effect=0.05)
+        x = paired_bootstrap(a, b, iterations=500, seed=3)
+        y = paired_bootstrap(a, b, iterations=500, seed=3)
+        assert x.p_value == y.p_value
+
+    def test_negative_effect_detected(self):
+        a, b = correlated_samples(40, effect=-0.15)
+        result = paired_bootstrap(a, b, iterations=2000)
+        assert result.delta < 0
+        assert result.significant
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemrError):
+            paired_bootstrap([1.0], [1.0, 2.0])
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(SchemrError):
+            paired_bootstrap([1.0], [0.5])
+
+
+class TestWilcoxon:
+    def test_clear_effect_is_significant(self):
+        a, b = correlated_samples(40, effect=0.15)
+        assert wilcoxon_signed_rank(a, b).significant
+
+    def test_all_ties_p_one(self):
+        scores = [0.5] * 10
+        result = wilcoxon_signed_rank(scores, list(scores))
+        assert result.p_value == 1.0
+
+    def test_agrees_with_bootstrap_on_direction(self):
+        a, b = correlated_samples(30, effect=0.1)
+        bootstrap = paired_bootstrap(a, b, iterations=1000)
+        wilcoxon = wilcoxon_signed_rank(a, b)
+        assert (bootstrap.delta > 0) == (wilcoxon.delta > 0)
+
+
+class TestComparisonResult:
+    def test_summary_marks_significance(self):
+        significant = ComparisonResult(0.9, 0.5, 0.4, 0.001, "test")
+        insignificant = ComparisonResult(0.9, 0.89, 0.01, 0.4, "test")
+        assert "*" in significant.summary()
+        assert "*" not in insignificant.summary().split("(")[0][-2:]
+
+
+class TestPerQueryScores:
+    def test_aligned_with_queries(self, small_repository, paper_keywords):
+        from repro.corpus.groundtruth import GroundTruthQuery
+        from repro.eval.metrics import reciprocal_rank
+        engine = small_repository.engine()
+
+        def rank(keywords, top_n):
+            return [r.schema_id
+                    for r in engine.search(keywords=keywords, top_n=top_n)]
+
+        queries = [
+            GroundTruthQuery(
+                keywords=paper_keywords,
+                canonical_keywords=paper_keywords,
+                domain="healthcare", template="patient", channel="clean",
+                relevance={1: 2}),
+            GroundTruthQuery(
+                keywords=["employee", "salary"],
+                canonical_keywords=["employee", "salary"],
+                domain="hr", template="employee", channel="clean",
+                relevance={2: 2}),
+        ]
+        scores = per_query_scores(rank, queries, reciprocal_rank)
+        assert scores == [1.0, 1.0]

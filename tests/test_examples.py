@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Run as subprocesses so import side effects and __main__ guards are
+exercised exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300,
+        cwd=EXAMPLES_DIR.parent)
+
+
+def test_examples_directory_has_required_scripts():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3  # the deliverable floor
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # every example narrates its run
+
+
+def test_quickstart_shows_paper_query_results():
+    result = run_example("quickstart.py")
+    assert "clinic_emr" in result.stdout
+    assert "Score" in result.stdout
+
+
+def test_health_clinic_shows_collaboration():
+    result = run_example("health_clinic.py")
+    assert "stars" in result.stdout
+    assert "comment by" in result.stdout
+
+
+def test_metadata_standardization_captures_mapping():
+    result = run_example("metadata_standardization.py")
+    assert "stature" in result.stdout
+    assert "re-use statistics" in result.stdout

@@ -1,0 +1,125 @@
+"""Unit tests for repro.index.inverted and documents."""
+
+import math
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.documents import Document, document_from_schema
+from repro.index.inverted import InvertedIndex
+
+
+def make_doc(doc_id: int, terms: list[str], title: str = "t") -> Document:
+    return Document(doc_id=doc_id, title=title, terms=terms)
+
+
+class TestDocument:
+    def test_negative_id_rejected(self):
+        with pytest.raises(IndexError_):
+            Document(doc_id=-1, title="x")
+
+    def test_length(self):
+        assert make_doc(1, ["a", "b", "a"]).length == 3
+
+
+class TestDocumentFromSchema:
+    def test_requires_schema_id(self, clinic_schema):
+        with pytest.raises(IndexError_, match="no schema_id"):
+            document_from_schema(clinic_schema)
+
+    def test_flattens_title_description_and_elements(self, clinic_schema):
+        clinic_schema.schema_id = 7
+        doc = document_from_schema(clinic_schema)
+        assert doc.doc_id == 7
+        assert doc.title == "clinic_emr"
+        assert "patient" in doc.terms      # element name, stemmed form
+        assert "clinic" in doc.terms       # from title/description
+        assert "diagnosi" in doc.terms     # stemmed 'diagnosis'
+
+
+class TestInvertedIndex:
+    def test_add_and_stats(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["patient", "height"]))
+        index.add(make_doc(2, ["patient", "salary"]))
+        assert index.document_count == 2
+        assert index.document_frequency("patient") == 2
+        assert index.document_frequency("height") == 1
+        assert index.document_frequency("ghost") == 0
+        assert index.term_count == 3
+
+    def test_duplicate_add_rejected(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["a"]))
+        with pytest.raises(IndexError_, match="already indexed"):
+            index.add(make_doc(1, ["b"]))
+
+    def test_remove_cleans_postings(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["patient", "height"]))
+        index.add(make_doc(2, ["patient"]))
+        index.remove(1)
+        assert index.document_count == 1
+        assert index.document_frequency("height") == 0
+        assert index.document_frequency("patient") == 1
+        # 'height' postings list fully removed from the dictionary.
+        assert index.postings("height") is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(IndexError_):
+            InvertedIndex().remove(1)
+
+    def test_replace_updates_terms(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["old"]))
+        index.replace(make_doc(1, ["new"]))
+        assert index.document_frequency("old") == 0
+        assert index.document_frequency("new") == 1
+        assert index.document_count == 1
+
+    def test_replace_acts_as_add_when_absent(self):
+        index = InvertedIndex()
+        index.replace(make_doc(3, ["fresh"]))
+        assert index.document_count == 1
+
+    def test_norm_is_inverse_sqrt_length(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["a", "b", "c", "d"]))
+        assert index.norm(1) == pytest.approx(1.0 / math.sqrt(4))
+
+    def test_norm_of_empty_document(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, []))
+        assert index.norm(1) == 1.0
+
+    def test_positions_recorded(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["a", "b", "a"]))
+        posting = index.postings("a").get(1)
+        assert posting.positions == [0, 2]
+
+    def test_document_lookup(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["a"], title="first"))
+        assert index.document(1).title == "first"
+        with pytest.raises(IndexError_):
+            index.document(2)
+
+    def test_contains_and_len(self):
+        index = InvertedIndex()
+        index.add(make_doc(5, ["a"]))
+        assert 5 in index
+        assert 6 not in index
+        assert len(index) == 1
+
+    def test_clear(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["a"]))
+        index.clear()
+        assert index.document_count == 0
+        assert index.term_count == 0
+
+    def test_vocabulary(self):
+        index = InvertedIndex()
+        index.add(make_doc(1, ["b", "a"]))
+        assert set(index.vocabulary()) == {"a", "b"}

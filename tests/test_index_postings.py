@@ -1,0 +1,68 @@
+"""Unit tests for repro.index.postings."""
+
+from repro.index.postings import Posting, PostingsList
+
+
+class TestPosting:
+    def test_frequency_tracks_positions(self):
+        posting = Posting(doc_id=1, positions=[0, 4, 9])
+        assert posting.frequency == 3
+
+
+class TestPostingsList:
+    def test_in_order_appends(self):
+        plist = PostingsList("patient")
+        plist.add(1, 0)
+        plist.add(1, 5)
+        plist.add(3, 2)
+        assert plist.doc_ids() == [1, 3]
+        assert plist.get(1).frequency == 2
+        assert plist.get(3).frequency == 1
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        plist = PostingsList("patient")
+        plist.add(5, 0)
+        plist.add(2, 0)
+        plist.add(8, 0)
+        plist.add(2, 1)
+        assert plist.doc_ids() == [2, 5, 8]
+        assert plist.get(2).frequency == 2
+
+    def test_document_frequency(self):
+        plist = PostingsList("x")
+        for doc_id in (1, 2, 3):
+            plist.add(doc_id, 0)
+        assert plist.document_frequency == 3
+
+    def test_collection_frequency(self):
+        plist = PostingsList("x")
+        plist.add(1, 0)
+        plist.add(1, 1)
+        plist.add(2, 0)
+        assert plist.collection_frequency == 3
+
+    def test_remove_document(self):
+        plist = PostingsList("x")
+        plist.add(1, 0)
+        plist.add(2, 0)
+        assert plist.remove_document(1) is True
+        assert plist.doc_ids() == [2]
+        assert plist.remove_document(1) is False
+
+    def test_get_missing_returns_none(self):
+        plist = PostingsList("x")
+        plist.add(1, 0)
+        assert plist.get(99) is None
+
+    def test_iteration_and_len(self):
+        plist = PostingsList("x")
+        plist.add(1, 0)
+        plist.add(2, 0)
+        assert len(plist) == 2
+        assert [p.doc_id for p in plist] == [1, 2]
+
+    def test_positions_preserved_in_order(self):
+        plist = PostingsList("x")
+        for pos in (3, 7, 11):
+            plist.add(4, pos)
+        assert plist.get(4).positions == [3, 7, 11]

@@ -1,0 +1,90 @@
+"""Unit tests for repro.index.scoring (TF/IDF + coordination factor)."""
+
+import math
+
+import pytest
+
+from repro.index.documents import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.scoring import TfIdfScorer
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    idx = InvertedIndex()
+    idx.add(Document(1, "clinic", terms=["patient", "height", "gender"]))
+    idx.add(Document(2, "hr", terms=["employee", "salary", "gender"]))
+    idx.add(Document(3, "eco", terms=["site", "species", "count",
+                                      "patient"]))
+    return idx
+
+
+class TestIdf:
+    def test_rare_term_has_higher_idf(self, index):
+        scorer = TfIdfScorer(index)
+        assert scorer.idf("height") > scorer.idf("gender")
+
+    def test_unknown_term_idf_zero(self, index):
+        assert TfIdfScorer(index).idf("ghost") == 0.0
+
+    def test_idf_formula(self, index):
+        scorer = TfIdfScorer(index)
+        # df('gender') == 2, N == 3.
+        assert scorer.idf("gender") == pytest.approx(1.0 + math.log(3 / 3.0))
+
+
+class TestTermScore:
+    def test_zero_when_absent_from_document(self, index):
+        scorer = TfIdfScorer(index)
+        assert scorer.term_score("salary", 1) == 0.0
+
+    def test_positive_when_present(self, index):
+        scorer = TfIdfScorer(index)
+        assert scorer.term_score("height", 1) > 0.0
+
+    def test_higher_tf_scores_higher(self):
+        idx = InvertedIndex()
+        idx.add(Document(1, "a", terms=["x", "x", "y"]))
+        idx.add(Document(2, "b", terms=["x", "z", "y"]))
+        scorer = TfIdfScorer(idx)
+        assert scorer.term_score("x", 1) > scorer.term_score("x", 2)
+
+    def test_length_norm_penalizes_long_documents(self):
+        idx = InvertedIndex()
+        idx.add(Document(1, "short", terms=["x", "y"]))
+        idx.add(Document(2, "long", terms=["x"] + ["filler"] * 30))
+        scorer = TfIdfScorer(idx)
+        assert scorer.term_score("x", 1) > scorer.term_score("x", 2)
+
+
+class TestCoordination:
+    def test_coordination_fraction(self, index):
+        scorer = TfIdfScorer(index)
+        # Doc 1 matches patient+height+gender but not salary -> 3/4.
+        terms = ["patient", "height", "gender", "salary"]
+        assert scorer.coordination(terms, 1) == pytest.approx(0.75)
+
+    def test_score_multiplies_coordination(self, index):
+        with_coord = TfIdfScorer(index, use_coordination=True)
+        without = TfIdfScorer(index, use_coordination=False)
+        terms = ["patient", "height", "gender", "salary"]
+        assert with_coord.score(terms, 1) == \
+            pytest.approx(0.75 * without.score(terms, 1))
+
+    def test_full_match_unaffected_by_coordination(self, index):
+        with_coord = TfIdfScorer(index, use_coordination=True)
+        without = TfIdfScorer(index, use_coordination=False)
+        terms = ["patient", "height", "gender"]
+        assert with_coord.score(terms, 1) == \
+            pytest.approx(without.score(terms, 1))
+
+    def test_empty_query_scores_zero(self, index):
+        assert TfIdfScorer(index).score([], 1) == 0.0
+        assert TfIdfScorer(index).coordination([], 1) == 0.0
+
+    def test_coordination_rewards_broader_match(self, index):
+        """The paper's rationale: reward results matching more terms."""
+        scorer = TfIdfScorer(index)
+        # Doc 1 matches 3/3 of this query; doc 3 matches 1/3.
+        terms = ["height", "gender", "patient"]
+        assert scorer.score(terms, 1) > scorer.score(terms, 3)

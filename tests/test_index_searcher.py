@@ -1,0 +1,107 @@
+"""Unit tests for repro.index.searcher (candidate extraction)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index.documents import Document, document_from_schema
+from repro.index.inverted import InvertedIndex
+from repro.index.scoring import TfIdfScorer
+from repro.index.searcher import IndexSearcher
+
+from tests.conftest import (
+    build_clinic_schema,
+    build_conservation_schema,
+    build_hr_schema,
+)
+
+
+@pytest.fixture
+def corpus_index() -> InvertedIndex:
+    index = InvertedIndex()
+    for i, builder in enumerate([build_clinic_schema, build_hr_schema,
+                                 build_conservation_schema], start=1):
+        schema = builder()
+        schema.schema_id = i
+        index.add(document_from_schema(schema))
+    return index
+
+
+class TestSearch:
+    def test_relevant_document_ranks_first(self, corpus_index,
+                                           paper_keywords):
+        searcher = IndexSearcher(corpus_index)
+        hits = searcher.search(paper_keywords, top_n=3)
+        assert hits[0].doc_id == 1  # the clinic schema
+        assert hits[0].title == "clinic_emr"
+
+    def test_scores_descend(self, corpus_index, paper_keywords):
+        searcher = IndexSearcher(corpus_index)
+        hits = searcher.search(paper_keywords, top_n=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_n_caps_results(self, corpus_index):
+        searcher = IndexSearcher(corpus_index)
+        hits = searcher.search(["name"], top_n=1)
+        assert len(hits) == 1
+
+    def test_no_match_returns_empty(self, corpus_index):
+        searcher = IndexSearcher(corpus_index)
+        assert searcher.search(["zzzzz"], top_n=5) == []
+
+    def test_morphological_variant_matches(self, corpus_index):
+        """The index stems, so 'patients' finds 'patient'."""
+        searcher = IndexSearcher(corpus_index)
+        hits = searcher.search(["patients"], top_n=3)
+        assert hits and hits[0].doc_id == 1
+
+    def test_empty_query_raises(self, corpus_index):
+        searcher = IndexSearcher(corpus_index)
+        with pytest.raises(QueryError):
+            searcher.search([], top_n=5)
+
+    def test_stopword_only_query_raises(self, corpus_index):
+        searcher = IndexSearcher(corpus_index)
+        with pytest.raises(QueryError, match="empty after analysis"):
+            searcher.search(["the", "of"], top_n=5)
+
+    def test_bad_top_n_raises(self, corpus_index):
+        searcher = IndexSearcher(corpus_index)
+        with pytest.raises(QueryError):
+            searcher.search(["patient"], top_n=0)
+
+    def test_matched_terms_counted(self, corpus_index, paper_keywords):
+        searcher = IndexSearcher(corpus_index)
+        hits = searcher.search(paper_keywords, top_n=1)
+        assert hits[0].matched_terms == 4
+
+    def test_partial_match_preserves_recall(self, corpus_index):
+        """Candidate extraction must not be conjunctive: a document
+        matching only some terms still returns."""
+        searcher = IndexSearcher(corpus_index)
+        hits = searcher.search(["salary", "zzz_nonsense"], top_n=5)
+        assert any(hit.doc_id == 2 for hit in hits)
+
+    def test_coordination_changes_ranking(self):
+        """A doc matching both terms beats a doc matching one twice when
+        coordination is on."""
+        index = InvertedIndex()
+        index.add(Document(1, "both", terms=["alpha", "beta"]))
+        index.add(Document(2, "one", terms=["alpha", "alpha"]))
+        with_coord = IndexSearcher(index, use_coordination=True)
+        hits = with_coord.search(["alpha", "beta"], top_n=2)
+        assert hits[0].doc_id == 1
+
+    def test_searcher_exposes_scorer(self, corpus_index):
+        searcher = IndexSearcher(corpus_index)
+        assert isinstance(searcher.scorer, TfIdfScorer)
+        assert searcher.index is corpus_index
+
+    def test_search_agrees_with_scorer(self, corpus_index, paper_keywords):
+        """Heap-accumulated scores equal direct per-document scoring."""
+        searcher = IndexSearcher(corpus_index)
+        hits = searcher.search(paper_keywords, top_n=5)
+        analyzed = searcher.analyze_query(paper_keywords)
+        for hit in hits:
+            assert hit.score == pytest.approx(
+                searcher.scorer.score(analyzed, hit.doc_id))

@@ -1,0 +1,90 @@
+"""Unit tests for index persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.documents import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.store import load_index, save_index
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    idx = InvertedIndex()
+    idx.add(Document(1, "clinic", summary="health",
+                     terms=["patient", "height"]))
+    idx.add(Document(2, "hr", terms=["employee", "salary"]))
+    return idx
+
+
+class TestRoundtrip:
+    def test_documents_survive(self, index, tmp_path):
+        path = tmp_path / "segment.jsonl"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.document_count == 2
+        assert loaded.document(1).title == "clinic"
+        assert loaded.document(1).summary == "health"
+        assert loaded.document(2).terms == ["employee", "salary"]
+
+    def test_statistics_survive(self, index, tmp_path):
+        path = tmp_path / "segment.jsonl"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.document_frequency("patient") == \
+            index.document_frequency("patient")
+        assert loaded.norm(1) == index.norm(1)
+        assert loaded.term_count == index.term_count
+
+    def test_empty_index_roundtrips(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_index(InvertedIndex(), path)
+        assert load_index(path).document_count == 0
+
+    def test_atomic_write_leaves_no_tmp(self, index, tmp_path):
+        path = tmp_path / "segment.jsonl"
+        save_index(index, path)
+        assert not (tmp_path / "segment.jsonl.tmp").exists()
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IndexError_, match="does not exist"):
+            load_index(tmp_path / "ghost.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(IndexError_, match="empty"):
+            load_index(path)
+
+    def test_corrupt_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(IndexError_, match="corrupt header"):
+            load_index(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(json.dumps({"format": 99, "documents": 0}) + "\n")
+        with pytest.raises(IndexError_, match="unsupported format"):
+            load_index(path)
+
+    def test_corrupt_record(self, index, tmp_path):
+        path = tmp_path / "segment.jsonl"
+        save_index(index, path)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"doc_id": 1}'  # missing required keys
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(IndexError_, match="corrupt at line 2"):
+            load_index(path)
+
+    def test_truncated_file_detected(self, index, tmp_path):
+        path = tmp_path / "segment.jsonl"
+        save_index(index, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop last doc
+        with pytest.raises(IndexError_, match="truncated"):
+            load_index(path)

@@ -1,0 +1,236 @@
+"""Unit tests for the data-examples substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RepositoryError, SchemaError
+from repro.instances.features import (
+    FEATURE_NAMES,
+    column_features,
+    feature_similarity,
+)
+from repro.instances.matcher import InstanceMatcher
+from repro.instances.sampler import (
+    generate_instances,
+    instances_by_path,
+)
+from repro.instances.store import load_instances, save_instances
+from repro.model.elements import Attribute, Entity
+from repro.model.query import QueryGraph
+from repro.model.schema import Schema
+from repro.repository.store import SchemaRepository
+
+from tests.conftest import build_clinic_schema
+
+
+class TestSampler:
+    def test_every_attribute_gets_values(self, clinic_schema):
+        tables = generate_instances(clinic_schema, rows=10)
+        assert set(tables) == set(clinic_schema.entities)
+        for entity in clinic_schema.entities.values():
+            table = tables[entity.name]
+            assert set(table.columns) == \
+                {a.name for a in entity.attributes}
+            assert table.row_count == 10
+
+    def test_deterministic_per_seed(self, clinic_schema):
+        a = generate_instances(clinic_schema, rows=5, seed=3)
+        b = generate_instances(clinic_schema, rows=5, seed=3)
+        assert a["patient"].columns == b["patient"].columns
+
+    def test_concept_appropriate_values(self, clinic_schema):
+        tables = generate_instances(clinic_schema, rows=30)
+        heights = tables["patient"].columns["height"]
+        assert all(40 <= float(value) <= 210 for value in heights)
+        names = tables["patient"].columns["name"]
+        assert all(any(c.isalpha() for c in value) for value in names)
+
+    def test_rows_view(self, clinic_schema):
+        table = generate_instances(clinic_schema, rows=4)["patient"]
+        rows = table.rows()
+        assert len(rows) == 4
+        assert all(len(row) == len(table.columns) for row in rows)
+
+    def test_rows_validation(self, clinic_schema):
+        with pytest.raises(SchemaError):
+            generate_instances(clinic_schema, rows=0)
+
+    def test_instances_by_path(self, clinic_schema):
+        flat = instances_by_path(generate_instances(clinic_schema, rows=3))
+        assert "patient.height" in flat
+        assert len(flat["patient.height"]) == 3
+
+
+class TestFeatures:
+    def test_vector_length_matches_names(self):
+        assert len(column_features(["a", "b"])) == len(FEATURE_NAMES)
+
+    def test_empty_column_zero_vector(self):
+        assert not column_features([]).any()
+
+    def test_numeric_column_recognized(self):
+        features = column_features(["12.5", "99.1", "45.0"])
+        numeric_fraction = features[FEATURE_NAMES.index("numeric_fraction")]
+        assert numeric_fraction == 1.0
+
+    def test_text_column_alpha_heavy(self):
+        features = column_features(["alpha beta", "gamma delta"])
+        alpha_ratio = features[FEATURE_NAMES.index("alpha_ratio")]
+        assert alpha_ratio > 0.7
+
+    def test_similarity_bounds(self):
+        a = column_features(["12.5", "99.1"])
+        b = column_features(["150.2", "44.9"])
+        c = column_features(["alpha beta gamma", "delta epsilon"])
+        assert feature_similarity(a, a) == pytest.approx(1.0)
+        assert 0.0 <= feature_similarity(a, c) <= 1.0
+        assert feature_similarity(a, b) > feature_similarity(a, c)
+
+    def test_zero_vectors_score_zero(self):
+        zero = np.zeros(len(FEATURE_NAMES))
+        assert feature_similarity(zero, zero) == 0.0
+
+    def test_similar_distributions_score_high(self):
+        heights_a = [f"{v:.1f}" for v in (170.2, 165.8, 181.1, 158.9)]
+        heights_b = [f"{v:.1f}" for v in (172.4, 160.3, 175.7, 169.0)]
+        assert feature_similarity(column_features(heights_a),
+                                  column_features(heights_b)) > 0.9
+
+
+class TestStore:
+    def test_save_load_roundtrip(self, clinic_schema):
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(clinic_schema)
+            tables = generate_instances(clinic_schema, rows=5)
+            save_instances(repo, schema_id, tables)
+            loaded = load_instances(repo, schema_id)
+            assert set(loaded) == set(tables)
+            assert loaded["patient"].columns == tables["patient"].columns
+
+    def test_save_replaces(self, clinic_schema):
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(clinic_schema)
+            save_instances(repo, schema_id,
+                           generate_instances(clinic_schema, rows=3,
+                                              seed=1))
+            save_instances(repo, schema_id,
+                           generate_instances(clinic_schema, rows=7,
+                                              seed=2))
+            loaded = load_instances(repo, schema_id)
+            assert loaded["patient"].row_count == 7
+
+    def test_missing_schema_rejected(self, clinic_schema):
+        with SchemaRepository.in_memory() as repo:
+            with pytest.raises(RepositoryError):
+                save_instances(repo, 9,
+                               generate_instances(clinic_schema, rows=2))
+
+    def test_no_instances_empty_dict(self, clinic_schema):
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(clinic_schema)
+            assert load_instances(repo, schema_id) == {}
+
+
+class TestInstanceMatcher:
+    @pytest.fixture
+    def candidate(self) -> Schema:
+        """Attribute names share nothing with the draft; only the data
+        distributions connect them."""
+        schema = Schema(name="anonymized", schema_id=1)
+        schema.add_entity(Entity("t", [
+            Attribute("col_a", "DECIMAL(5,2)"),   # heights
+            Attribute("col_b", "VARCHAR(100)"),   # person names
+        ]))
+        return schema
+
+    @pytest.fixture
+    def provider(self, candidate):
+        values = {
+            "t.col_a": ["171.2", "164.9", "180.4", "158.8", "175.5"],
+            "t.col_b": ["amina mushi", "john smith", "grace kimaro",
+                        "peter brown", "mary wilson"],
+        }
+
+        def _provider(schema_id: int):
+            return values if schema_id == 1 else {}
+        return _provider
+
+    @pytest.fixture
+    def draft_query(self) -> tuple[QueryGraph, dict[str, list[str]]]:
+        draft = Schema(name="draft")
+        draft.add_entity(Entity("person", [
+            Attribute("height", "DECIMAL(5,2)"),
+            Attribute("full_name", "VARCHAR(100)"),
+        ]))
+        query = QueryGraph.build(fragments=[draft])
+        examples = {
+            "person.height": ["168.0", "177.3", "161.2", "183.9"],
+            "person.full_name": ["neema shayo", "david davis",
+                                 "esther massawe"],
+        }
+        return query, examples
+
+    def test_distribution_match_found(self, candidate, provider,
+                                      draft_query):
+        query, examples = draft_query
+        matcher = InstanceMatcher(provider, query_instances=examples)
+        matrix = matcher.match(query, candidate)
+        assert matrix.get("f0:person.height", "t.col_a") > 0.8
+        assert matrix.get("f0:person.full_name", "t.col_b") > 0.8
+
+    def test_cross_type_pairs_score_lower(self, candidate, provider,
+                                          draft_query):
+        query, examples = draft_query
+        matcher = InstanceMatcher(provider, query_instances=examples,
+                                  threshold=0.0)
+        matrix = matcher.match(query, candidate)
+        assert matrix.get("f0:person.height", "t.col_a") > \
+            matrix.get("f0:person.height", "t.col_b")
+
+    def test_abstains_without_candidate_instances(self, candidate,
+                                                  draft_query):
+        query, examples = draft_query
+        matcher = InstanceMatcher(lambda _id: {},
+                                  query_instances=examples)
+        assert matcher.match(query, candidate).values.max() == 0.0
+
+    def test_abstains_without_query_instances(self, candidate, provider):
+        query = QueryGraph.build(keywords=["height"])
+        matcher = InstanceMatcher(provider)
+        assert matcher.match(query, candidate).values.max() == 0.0
+
+    def test_threshold_validation(self, provider):
+        with pytest.raises(ValueError):
+            InstanceMatcher(provider, threshold=1.0)
+
+    def test_repository_backed_end_to_end(self, clinic_schema):
+        """Full loop: store examples, search with a draft + examples."""
+        from repro.instances.store import load_instances
+        from repro.instances.sampler import instances_by_path
+        from repro.matching.ensemble import MatcherEnsemble
+        from repro.matching.name import NameMatcher
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(clinic_schema)
+            save_instances(repo, schema_id,
+                           generate_instances(clinic_schema, rows=15))
+
+            def provider(sid: int):
+                return instances_by_path(load_instances(repo, sid))
+
+            draft = Schema(name="draft")
+            draft.add_entity(Entity("person", [
+                Attribute("stature_cm", "DECIMAL(5,2)")]))
+            draft_examples = {
+                "person.stature_cm": ["170.1", "166.4", "179.8",
+                                      "155.0", "172.2"]}
+            ensemble = MatcherEnsemble([
+                NameMatcher(),
+                InstanceMatcher(provider,
+                                query_instances=draft_examples)])
+            query = QueryGraph.build(fragments=[draft])
+            result = ensemble.match(query, repo.get_schema(schema_id))
+            instance_matrix = result.per_matcher["instance"]
+            # The data connects stature_cm to patient.height even though
+            # the name matcher sees little.
+            assert instance_matrix.get("f0:person.stature_cm",
+                                       "patient.height") > 0.5

@@ -1,0 +1,144 @@
+"""Unit tests for mapping derivation, storage and provenance."""
+
+import pytest
+
+from repro.errors import MatchError, RepositoryError
+from repro.mapping.derive import derive_mapping
+from repro.mapping.store import (
+    load_mappings,
+    provenance_of,
+    record_provenance,
+    reuse_statistics,
+    save_mapping,
+)
+from repro.matching.base import SimilarityMatrix
+from repro.repository.store import SchemaRepository
+
+from tests.conftest import build_clinic_schema, build_hr_schema
+
+
+def make_matrix() -> SimilarityMatrix:
+    matrix = SimilarityMatrix(
+        ["kw:height", "kw:gender", "kw:ghost"],
+        ["patient.height", "patient.gender", "doctor.gender"])
+    matrix.set("kw:height", "patient.height", 0.9)
+    matrix.set("kw:gender", "patient.gender", 0.8)
+    matrix.set("kw:gender", "doctor.gender", 0.7)
+    matrix.set("kw:ghost", "patient.height", 0.3)
+    return matrix
+
+
+class TestDeriveMapping:
+    def test_greedy_one_to_one(self):
+        mapping = derive_mapping(make_matrix())
+        assert mapping.size == 2
+        assert mapping.target_of("kw:height") == "patient.height"
+        assert mapping.target_of("kw:gender") == "patient.gender"
+
+    def test_each_column_used_once(self):
+        matrix = SimilarityMatrix(["a", "b"], ["x"])
+        matrix.set("a", "x", 0.9)
+        matrix.set("b", "x", 0.8)
+        mapping = derive_mapping(matrix)
+        assert mapping.size == 1
+        assert mapping.target_of("a") == "x"
+        assert mapping.target_of("b") is None
+
+    def test_threshold_filters_weak_pairs(self):
+        mapping = derive_mapping(make_matrix(), threshold=0.85)
+        assert mapping.size == 1
+
+    def test_confidence_recorded(self):
+        mapping = derive_mapping(make_matrix())
+        heights = [c for c in mapping.correspondences
+                   if c.source_element == "kw:height"]
+        assert heights[0].confidence == pytest.approx(0.9)
+        assert 0.8 < mapping.mean_confidence() <= 0.9
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(MatchError):
+            derive_mapping(make_matrix(), threshold=0.0)
+
+    def test_empty_matrix(self):
+        mapping = derive_mapping(SimilarityMatrix(["a"], ["x"]))
+        assert mapping.size == 0
+        assert mapping.mean_confidence() == 0.0
+
+    def test_from_real_search(self, small_repository, paper_keywords):
+        """End-to-end: derive the mapping from an actual search result's
+        matrix via the ensemble."""
+        from repro.matching.ensemble import MatcherEnsemble
+        from repro.model.query import QueryGraph
+        engine = small_repository.engine()
+        top = engine.search(keywords=paper_keywords)[0]
+        schema = small_repository.get_schema(top.schema_id)
+        query = QueryGraph.build(keywords=paper_keywords)
+        combined = MatcherEnsemble.default().match(query, schema).combined
+        mapping = derive_mapping(combined, source_name="paper-query",
+                                 target_name=schema.name)
+        assert mapping.target_of("kw:height") == "patient.height"
+        assert mapping.target_of("kw:diagnosis") == "case.diagnosis"
+
+
+class TestMappingStore:
+    @pytest.fixture
+    def repo(self):
+        repo = SchemaRepository.in_memory()
+        repo.add_schema(build_clinic_schema())
+        repo.add_schema(build_hr_schema())
+        yield repo
+        repo.close()
+
+    def test_save_load_roundtrip(self, repo):
+        mapping = derive_mapping(make_matrix(), source_name="draft")
+        mapping_id = save_mapping(repo, mapping, target_schema_id=1)
+        assert mapping_id >= 1
+        loaded = load_mappings(repo, target_schema_id=1)
+        assert len(loaded) == 1
+        assert loaded[0].source_name == "draft"
+        assert loaded[0].target_of("kw:height") == "patient.height"
+
+    def test_save_against_missing_schema_rejected(self, repo):
+        mapping = derive_mapping(make_matrix())
+        with pytest.raises(RepositoryError):
+            save_mapping(repo, mapping, target_schema_id=99)
+
+    def test_mappings_isolated_per_target(self, repo):
+        save_mapping(repo, derive_mapping(make_matrix()), 1)
+        assert load_mappings(repo, 2) == []
+
+
+class TestProvenance:
+    @pytest.fixture
+    def repo(self):
+        repo = SchemaRepository.in_memory()
+        repo.add_schema(build_clinic_schema())   # id 1 (origin)
+        repo.add_schema(build_hr_schema())       # id 2 (new design)
+        yield repo
+        repo.close()
+
+    def test_record_and_read(self, repo):
+        record_provenance(repo, schema_id=2,
+                          element_path="employee.first_name",
+                          origin_schema_id=1,
+                          origin_element="patient.name")
+        records = provenance_of(repo, 2)
+        assert len(records) == 1
+        assert records[0].origin_element == "patient.name"
+
+    def test_missing_schema_rejected(self, repo):
+        with pytest.raises(RepositoryError):
+            record_provenance(repo, 99, "x.y", 1, "patient.name")
+        with pytest.raises(RepositoryError):
+            record_provenance(repo, 2, "x.y", 99, "patient.name")
+
+    def test_reuse_statistics(self, repo):
+        for element in ("patient.name", "patient.gender",
+                        "patient.height"):
+            record_provenance(repo, 2, f"employee.{element.split('.')[1]}",
+                              1, element)
+        stats = reuse_statistics(repo)
+        assert stats == {1: 3}
+
+    def test_reuse_statistics_empty(self, repo):
+        assert reuse_statistics(repo) == {}

@@ -1,0 +1,143 @@
+"""Unit tests for SimilarityMatrix and the Matcher helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchError
+from repro.matching.base import Matcher, SimilarityMatrix
+from repro.model.query import QueryGraph
+
+
+class TestConstruction:
+    def test_zero_initialized(self):
+        matrix = SimilarityMatrix(["q1"], ["e1", "e2"])
+        assert matrix.shape == (1, 2)
+        assert matrix.get("q1", "e1") == 0.0
+
+    def test_duplicate_row_labels_rejected(self):
+        with pytest.raises(MatchError, match="duplicate row"):
+            SimilarityMatrix(["a", "a"], ["x"])
+
+    def test_duplicate_col_labels_rejected(self):
+        with pytest.raises(MatchError, match="duplicate column"):
+            SimilarityMatrix(["a"], ["x", "x"])
+
+    def test_explicit_values_shape_checked(self):
+        with pytest.raises(MatchError, match="shape"):
+            SimilarityMatrix(["a"], ["x"], np.zeros((2, 2)))
+
+
+class TestGetSet:
+    def test_set_and_get(self):
+        matrix = SimilarityMatrix(["q"], ["e"])
+        matrix.set("q", "e", 0.7)
+        assert matrix.get("q", "e") == pytest.approx(0.7)
+
+    def test_out_of_range_rejected(self):
+        matrix = SimilarityMatrix(["q"], ["e"])
+        with pytest.raises(MatchError, match=r"\[0, 1\]"):
+            matrix.set("q", "e", 1.5)
+        with pytest.raises(MatchError):
+            matrix.set("q", "e", -0.1)
+
+    def test_unknown_labels_raise(self):
+        matrix = SimilarityMatrix(["q"], ["e"])
+        with pytest.raises(KeyError):
+            matrix.get("ghost", "e")
+
+
+class TestReductions:
+    @pytest.fixture
+    def matrix(self) -> SimilarityMatrix:
+        m = SimilarityMatrix(["q1", "q2"], ["e1", "e2"])
+        m.set("q1", "e1", 0.9)
+        m.set("q2", "e1", 0.4)
+        m.set("q2", "e2", 0.6)
+        return m
+
+    def test_max_per_column(self, matrix):
+        assert matrix.max_per_column() == \
+            pytest.approx({"e1": 0.9, "e2": 0.6})
+
+    def test_max_per_row(self, matrix):
+        assert matrix.max_per_row() == \
+            pytest.approx({"q1": 0.9, "q2": 0.6})
+
+    def test_max_per_column_empty_rows(self):
+        matrix = SimilarityMatrix([], ["e1"])
+        assert matrix.max_per_column() == {"e1": 0.0}
+
+    def test_nonzero_pairs_sorted_descending(self, matrix):
+        pairs = list(matrix.nonzero_pairs())
+        assert pairs[0] == ("q1", "e1", pytest.approx(0.9))
+        scores = [p[2] for p in pairs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_nonzero_pairs_threshold(self, matrix):
+        pairs = list(matrix.nonzero_pairs(threshold=0.5))
+        assert len(pairs) == 2
+
+
+class TestCombine:
+    def test_uniform_average(self):
+        a = SimilarityMatrix(["q"], ["e"])
+        a.set("q", "e", 1.0)
+        b = SimilarityMatrix(["q"], ["e"])
+        combined = SimilarityMatrix.combine([a, b])
+        assert combined.get("q", "e") == pytest.approx(0.5)
+
+    def test_weighted_average(self):
+        a = SimilarityMatrix(["q"], ["e"])
+        a.set("q", "e", 1.0)
+        b = SimilarityMatrix(["q"], ["e"])
+        combined = SimilarityMatrix.combine([a, b], weights=[3.0, 1.0])
+        assert combined.get("q", "e") == pytest.approx(0.75)
+
+    def test_combined_stays_in_unit_interval(self):
+        a = SimilarityMatrix(["q"], ["e"])
+        a.set("q", "e", 1.0)
+        b = SimilarityMatrix(["q"], ["e"])
+        b.set("q", "e", 1.0)
+        assert SimilarityMatrix.combine([a, b]).get("q", "e") == \
+            pytest.approx(1.0)
+
+    def test_mismatched_labels_rejected(self):
+        a = SimilarityMatrix(["q"], ["e"])
+        b = SimilarityMatrix(["q"], ["other"])
+        with pytest.raises(MatchError, match="mismatched"):
+            SimilarityMatrix.combine([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(MatchError):
+            SimilarityMatrix.combine([])
+
+    def test_wrong_weight_count_rejected(self):
+        a = SimilarityMatrix(["q"], ["e"])
+        with pytest.raises(MatchError):
+            SimilarityMatrix.combine([a], weights=[1.0, 2.0])
+
+    def test_negative_weight_rejected(self):
+        a = SimilarityMatrix(["q"], ["e"])
+        with pytest.raises(MatchError):
+            SimilarityMatrix.combine([a], weights=[-1.0])
+
+    def test_zero_weights_rejected(self):
+        a = SimilarityMatrix(["q"], ["e"])
+        with pytest.raises(MatchError, match="sum to zero"):
+            SimilarityMatrix.combine([a], weights=[0.0])
+
+
+class TestMatcherHelpers:
+    def test_query_elements_pairs(self, clinic_schema):
+        query = QueryGraph.build(keywords=["height"],
+                                 fragments=[clinic_schema])
+        pairs = Matcher.query_elements(query)
+        assert pairs[0] == ("kw:height", "height")
+        assert ("f0:patient.height", "height") in pairs
+
+    def test_candidate_elements_triples(self, clinic_schema):
+        triples = Matcher.candidate_elements(clinic_schema)
+        paths = [t[0] for t in triples]
+        assert "patient" in paths
+        assert "patient.height" in paths
+        assert len(triples) == clinic_schema.element_count

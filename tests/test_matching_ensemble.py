@@ -1,0 +1,99 @@
+"""Unit tests for the matcher ensemble."""
+
+import pytest
+
+from repro.errors import MatchError
+from repro.matching.base import Matcher, SimilarityMatrix
+from repro.matching.ensemble import MatcherEnsemble
+from repro.matching.name import NameMatcher
+from repro.model.query import QueryGraph
+
+
+class _ConstantMatcher(Matcher):
+    """Fills the whole matrix with one value (test double)."""
+
+    def __init__(self, name: str, value: float) -> None:
+        self.name = name
+        self._value = value
+
+    def match(self, query, candidate) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate)
+        matrix.values[:] = self._value
+        return matrix
+
+
+@pytest.fixture
+def query(paper_keywords) -> QueryGraph:
+    return QueryGraph.build(keywords=paper_keywords)
+
+
+class TestConfiguration:
+    def test_default_is_name_plus_context(self):
+        ensemble = MatcherEnsemble.default()
+        assert ensemble.matcher_names == ["name", "context"]
+        assert set(ensemble.weights.values()) == {1.0}
+
+    def test_empty_matcher_list_rejected(self):
+        with pytest.raises(MatchError):
+            MatcherEnsemble(matchers=[])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MatchError, match="duplicate"):
+            MatcherEnsemble(matchers=[NameMatcher(), NameMatcher()])
+
+    def test_unknown_weight_name_rejected(self):
+        ensemble = MatcherEnsemble.default()
+        with pytest.raises(MatchError, match="unknown matchers"):
+            ensemble.set_weights({"ghost": 1.0})
+
+    def test_negative_weight_rejected(self):
+        ensemble = MatcherEnsemble.default()
+        with pytest.raises(MatchError):
+            ensemble.set_weights({"name": -1.0})
+
+    def test_all_zero_weights_rejected(self):
+        ensemble = MatcherEnsemble.default()
+        with pytest.raises(MatchError, match="positive"):
+            ensemble.set_weights({"name": 0.0, "context": 0.0})
+
+    def test_partial_weight_update_keeps_others(self):
+        ensemble = MatcherEnsemble.default()
+        ensemble.set_weights({"name": 3.0})
+        assert ensemble.weights == {"name": 3.0, "context": 1.0}
+
+
+class TestCombination:
+    def test_uniform_combination_is_average(self, query, clinic_schema):
+        ensemble = MatcherEnsemble(matchers=[
+            _ConstantMatcher("a", 1.0), _ConstantMatcher("b", 0.0)])
+        result = ensemble.match(query, clinic_schema)
+        assert result.combined.values.max() == pytest.approx(0.5)
+        assert result.combined.values.min() == pytest.approx(0.5)
+
+    def test_weighted_combination(self, query, clinic_schema):
+        ensemble = MatcherEnsemble(
+            matchers=[_ConstantMatcher("a", 1.0), _ConstantMatcher("b", 0.0)],
+            weights={"a": 3.0, "b": 1.0})
+        result = ensemble.match(query, clinic_schema)
+        assert result.combined.values.max() == pytest.approx(0.75)
+
+    def test_per_matcher_matrices_returned(self, query, clinic_schema):
+        ensemble = MatcherEnsemble.default()
+        result = ensemble.match(query, clinic_schema)
+        assert set(result.per_matcher) == {"name", "context"}
+
+    def test_zero_weight_matcher_ignored_in_combined(self, query,
+                                                     clinic_schema):
+        ensemble = MatcherEnsemble(
+            matchers=[_ConstantMatcher("a", 1.0), _ConstantMatcher("b", 0.4)],
+            weights={"a": 0.0, "b": 1.0})
+        result = ensemble.match(query, clinic_schema)
+        assert result.combined.values.max() == pytest.approx(0.4)
+
+    def test_default_ensemble_finds_paper_matches(self, query,
+                                                  clinic_schema):
+        result = MatcherEnsemble.default().match(query, clinic_schema)
+        best = result.combined.max_per_column()
+        assert best["patient.height"] > 0.4
+        assert best["patient.gender"] > 0.4
+        assert best["case.diagnosis"] > 0.3

@@ -1,0 +1,96 @@
+"""Unit tests for the logistic-regression weight learner."""
+
+import random
+
+import pytest
+
+from repro.errors import MatchError
+from repro.matching.learner import TrainingExample, WeightLearner
+
+
+def synthetic_history(n: int, seed: int = 5) -> list[TrainingExample]:
+    """History where 'name' evidence predicts relevance and 'noise'
+    evidence is random."""
+    rng = random.Random(seed)
+    examples = []
+    for _ in range(n):
+        relevant = rng.random() < 0.5
+        name_score = (rng.uniform(0.6, 1.0) if relevant
+                      else rng.uniform(0.0, 0.4))
+        noise_score = rng.uniform(0.0, 1.0)
+        examples.append(TrainingExample(
+            features={"name": name_score, "noise": noise_score},
+            relevant=relevant))
+    return examples
+
+
+class TestValidation:
+    def test_needs_matcher_names(self):
+        with pytest.raises(MatchError):
+            WeightLearner([])
+
+    def test_needs_two_examples(self):
+        learner = WeightLearner(["name"])
+        with pytest.raises(MatchError):
+            learner.fit([TrainingExample({"name": 1.0}, True)])
+
+    def test_needs_both_classes(self):
+        learner = WeightLearner(["name"])
+        examples = [TrainingExample({"name": 1.0}, True)] * 3
+        with pytest.raises(MatchError, match="both"):
+            learner.fit(examples)
+
+    def test_unfitted_predict_raises(self):
+        learner = WeightLearner(["name"])
+        with pytest.raises(MatchError, match="not fitted"):
+            learner.predict_probability({"name": 1.0})
+        with pytest.raises(MatchError):
+            learner.weights()
+
+
+class TestLearning:
+    def test_informative_feature_gets_higher_weight(self):
+        learner = WeightLearner(["name", "noise"])
+        learner.fit(synthetic_history(200))
+        weights = learner.weights()
+        assert weights["name"] > weights["noise"]
+
+    def test_weights_normalized(self):
+        learner = WeightLearner(["name", "noise"])
+        learner.fit(synthetic_history(100))
+        assert sum(learner.weights().values()) == pytest.approx(1.0)
+
+    def test_weights_floor_applied(self):
+        learner = WeightLearner(["name", "noise"])
+        learner.fit(synthetic_history(200))
+        assert all(w > 0 for w in learner.weights(floor=0.05).values())
+
+    def test_prediction_separates_classes(self):
+        learner = WeightLearner(["name", "noise"])
+        learner.fit(synthetic_history(200))
+        high = learner.predict_probability({"name": 0.9, "noise": 0.5})
+        low = learner.predict_probability({"name": 0.1, "noise": 0.5})
+        assert high > 0.5 > low
+
+    def test_accuracy_on_training_data(self):
+        learner = WeightLearner(["name", "noise"])
+        history = synthetic_history(200)
+        learner.fit(history)
+        assert learner.accuracy(history) > 0.9
+
+    def test_missing_feature_treated_as_zero(self):
+        learner = WeightLearner(["name", "noise"])
+        learner.fit(synthetic_history(100))
+        assert learner.predict_probability({}) < 0.5
+
+    def test_is_fitted_flag(self):
+        learner = WeightLearner(["name"])
+        assert not learner.is_fitted
+        learner.fit([TrainingExample({"name": 1.0}, True),
+                     TrainingExample({"name": 0.0}, False)])
+        assert learner.is_fitted
+
+    def test_accuracy_empty_raises(self):
+        learner = WeightLearner(["name"])
+        with pytest.raises(MatchError):
+            learner.accuracy([])

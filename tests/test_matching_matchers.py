@@ -1,0 +1,198 @@
+"""Unit tests for the individual matchers (name, context, exact, synonym,
+datatype, structure)."""
+
+import pytest
+
+from repro.matching.context import ContextMatcher, element_context
+from repro.matching.datatype import DataTypeMatcher, family_similarity, type_family
+from repro.matching.exact import ExactMatcher
+from repro.matching.name import NameMatcher
+from repro.matching.structure import StructureMatcher, entity_shape_similarity
+from repro.matching.synonym import SynonymMatcher
+from repro.model.elements import ElementRef
+from repro.model.query import QueryGraph
+
+from tests.conftest import build_clinic_schema
+
+
+@pytest.fixture
+def keyword_query(paper_keywords) -> QueryGraph:
+    return QueryGraph.build(keywords=paper_keywords)
+
+
+class TestNameMatcher:
+    def test_exact_name_scores_one(self, keyword_query, clinic_schema):
+        matrix = NameMatcher().match(keyword_query, clinic_schema)
+        assert matrix.get("kw:height", "patient.height") == 1.0
+
+    def test_abbreviated_element_matches(self, clinic_schema):
+        """'pat_ht' (abbreviated patient height) should find
+        patient.height; 'ht' expands via the abbreviation table."""
+        query = QueryGraph.build(keywords=["pat_ht"])
+        matrix = NameMatcher().match(query, clinic_schema)
+        assert matrix.get("kw:pat_ht", "patient.height") > 0.5
+
+    def test_delimiter_variants_match(self, clinic_schema):
+        query = QueryGraph.build(keywords=["patient-height"])
+        matrix = NameMatcher().match(query, clinic_schema)
+        # patient.height vs patient-height: only the path separator
+        # differs after normalization, but the query keyword matches the
+        # attribute name 'height' plus entity 'patient' partially.
+        assert matrix.get("kw:patient-height", "patient.height") >= 0.25
+
+    def test_threshold_suppresses_noise(self, clinic_schema):
+        query = QueryGraph.build(keywords=["zzzz"])
+        matrix = NameMatcher(threshold=0.25).match(query, clinic_schema)
+        assert matrix.values.max() == 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            NameMatcher(threshold=1.0)
+
+    def test_matrix_labels_canonical(self, keyword_query, clinic_schema):
+        matrix = NameMatcher().match(keyword_query, clinic_schema)
+        assert matrix.row_labels == keyword_query.element_labels()
+        assert len(matrix.col_labels) == clinic_schema.element_count
+
+
+class TestContextMatcher:
+    def test_element_context_attribute(self, clinic_schema):
+        context = element_context(clinic_schema,
+                                  ElementRef("patient", "height"))
+        assert "patient" in context
+        assert "gender" in context  # sibling
+
+    def test_element_context_entity_includes_fk_neighbors(self,
+                                                          clinic_schema):
+        context = element_context(clinic_schema, ElementRef("case"))
+        assert "patient" in context  # FK-adjacent entity name
+        assert "doctor" in context
+
+    def test_fragment_context_match(self, clinic_schema):
+        """A fragment whose entity shares neighborhood vocabulary with a
+        candidate entity scores above zero."""
+        fragment = build_clinic_schema(name="my_draft")
+        query = QueryGraph.build(fragments=[fragment])
+        matrix = ContextMatcher().match(query, clinic_schema)
+        assert matrix.get("f0:patient.height", "patient.height") > 0.5
+
+    def test_unrelated_entities_score_low(self, clinic_schema, hr_schema):
+        query = QueryGraph.build(fragments=[hr_schema])
+        matrix = ContextMatcher().match(query, clinic_schema)
+        assert matrix.get("f0:employee.salary", "patient.height") < 0.3
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ContextMatcher(threshold=-0.1)
+
+
+class TestExactMatcher:
+    def test_exact_hit(self, keyword_query, clinic_schema):
+        matrix = ExactMatcher().match(keyword_query, clinic_schema)
+        assert matrix.get("kw:gender", "patient.gender") == 1.0
+        assert matrix.get("kw:gender", "doctor.gender") == 1.0
+
+    def test_near_miss_scores_zero(self, clinic_schema):
+        query = QueryGraph.build(keywords=["heights"])
+        matrix = ExactMatcher().match(query, clinic_schema)
+        assert matrix.values.max() == 0.0
+
+    def test_normalization_applies(self, clinic_schema):
+        query = QueryGraph.build(keywords=["Patient_Height"])
+        matrix = ExactMatcher().match(query, clinic_schema)
+        # normalizes to 'patientheight'; candidate 'height' attribute is
+        # 'height' only, so no hit — but a camelCase variant of the same
+        # words hits an identically normalized name.
+        assert matrix.get("kw:Patient_Height", "patient.height") == 0.0
+
+    def test_abbreviation_expansion_enables_exact(self, clinic_schema):
+        query = QueryGraph.build(keywords=["ht"])
+        matrix = ExactMatcher().match(query, clinic_schema)
+        assert matrix.get("kw:ht", "patient.height") == 1.0
+
+
+class TestSynonymMatcher:
+    def test_synonym_hit(self, clinic_schema):
+        query = QueryGraph.build(keywords=["physician"])
+        matrix = SynonymMatcher().match(query, clinic_schema)
+        assert matrix.get("kw:physician", "doctor") == 1.0
+
+    def test_sex_gender(self, clinic_schema):
+        query = QueryGraph.build(keywords=["sex"])
+        matrix = SynonymMatcher().match(query, clinic_schema)
+        assert matrix.get("kw:sex", "patient.gender") == 1.0
+
+    def test_non_synonym_scores_zero(self, clinic_schema):
+        query = QueryGraph.build(keywords=["spaceship"])
+        matrix = SynonymMatcher().match(query, clinic_schema)
+        assert matrix.values.max() == 0.0
+
+    def test_multiword_partial_credit(self):
+        from repro.model.elements import Attribute, Entity
+        from repro.model.schema import Schema
+        schema = Schema(name="s", entities={"t": Entity("t", [
+            Attribute("visit_date")])})
+        query = QueryGraph.build(keywords=["encounter"])
+        matrix = SynonymMatcher().match(query, schema)
+        # 'encounter' is a synonym of 'visit'; 'visit_date' has 2 words.
+        assert matrix.get("kw:encounter", "t.visit_date") == \
+            pytest.approx(0.5)
+
+
+class TestDataTypeMatcher:
+    def test_type_families(self):
+        assert type_family("INTEGER") == "numeric"
+        assert type_family("VARCHAR(100)") == "text"
+        assert type_family("timestamp") == "temporal"
+        assert type_family("made_up_type") is None
+        assert type_family("") is None
+
+    def test_family_similarity(self):
+        assert family_similarity("numeric", "numeric") == 1.0
+        assert family_similarity("numeric", "identifier") == 0.6
+        assert family_similarity("temporal", "binary") == 0.0
+        assert family_similarity(None, "numeric") == 0.0
+
+    def test_fragment_types_matched(self, clinic_schema, hr_schema):
+        query = QueryGraph.build(fragments=[hr_schema])
+        matrix = DataTypeMatcher().match(query, clinic_schema)
+        # salary DECIMAL vs height DECIMAL -> same family.
+        assert matrix.get("f0:employee.salary", "patient.height") == 1.0
+
+    def test_keywords_score_zero(self, keyword_query, clinic_schema):
+        matrix = DataTypeMatcher().match(keyword_query, clinic_schema)
+        assert matrix.values.max() == 0.0
+
+    def test_entities_score_zero(self, clinic_schema, hr_schema):
+        query = QueryGraph.build(fragments=[hr_schema])
+        matrix = DataTypeMatcher().match(query, clinic_schema)
+        assert matrix.get("f0:employee", "patient") == 0.0
+
+
+class TestStructureMatcher:
+    def test_identical_entities_score_high(self, clinic_schema):
+        patient = clinic_schema.entity("patient")
+        assert entity_shape_similarity(patient, patient) == 1.0
+
+    def test_empty_entity_scores_zero(self, clinic_schema):
+        from repro.model.elements import Entity
+        assert entity_shape_similarity(clinic_schema.entity("patient"),
+                                       Entity("empty")) == 0.0
+
+    def test_similar_fragment_entity_matches(self, clinic_schema):
+        fragment = build_clinic_schema(name="draft")
+        query = QueryGraph.build(fragments=[fragment])
+        matrix = StructureMatcher().match(query, clinic_schema)
+        assert matrix.get("f0:patient", "patient") > 0.9
+
+    def test_child_propagation(self, clinic_schema):
+        fragment = build_clinic_schema(name="draft")
+        query = QueryGraph.build(fragments=[fragment])
+        matrix = StructureMatcher().match(query, clinic_schema)
+        entity_score = matrix.get("f0:patient", "patient")
+        child_score = matrix.get("f0:patient.height", "patient.height")
+        assert 0.0 < child_score <= entity_score
+
+    def test_keywords_ignored(self, keyword_query, clinic_schema):
+        matrix = StructureMatcher().match(keyword_query, clinic_schema)
+        assert matrix.values.max() == 0.0

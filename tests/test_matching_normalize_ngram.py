@@ -1,0 +1,106 @@
+"""Unit tests for normalization and the n-gram machinery."""
+
+import pytest
+
+from repro.matching.ngram import dice_similarity, ngrams, weighted_ngram_similarity
+from repro.matching.normalize import (
+    expand_abbreviations,
+    normalize_name,
+    normalize_words,
+)
+
+
+class TestNormalize:
+    def test_delimiters_removed(self):
+        assert normalize_name("Patient_Height") == "patientheight"
+        assert normalize_name("patient-height") == "patientheight"
+        assert normalize_name("patient.height") == "patientheight"
+
+    def test_camel_case_flattened(self):
+        assert normalize_name("patientHeight") == "patientheight"
+
+    def test_abbreviations_expanded(self):
+        assert normalize_name("qty") == "quantity"
+        assert normalize_name("pat_ht") == "patheight"
+        assert normalize_name("dob") == "dateofbirth"
+
+    def test_expansion_optional(self):
+        assert normalize_name("qty", expand=False) == "qty"
+
+    def test_normalize_words_keeps_word_list(self):
+        assert normalize_words("first_name") == ["first", "name"]
+        assert normalize_words("dob") == ["date", "of", "birth"]
+
+    def test_expand_abbreviations_passthrough(self):
+        assert expand_abbreviations(["patient", "ht"]) == \
+            ["patient", "height"]
+
+    def test_empty_name(self):
+        assert normalize_name("") == ""
+
+
+class TestNgrams:
+    def test_all_lengths_by_default(self):
+        grams = ngrams("abc")
+        assert grams == {"a", "b", "c", "ab", "bc", "abc"}
+
+    def test_bounded_lengths(self):
+        assert ngrams("abcd", min_n=2, max_n=2) == {"ab", "bc", "cd"}
+
+    def test_empty_string(self):
+        assert ngrams("") == set()
+
+    def test_min_n_validation(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", min_n=0)
+
+
+class TestDice:
+    def test_identical_sets(self):
+        grams = ngrams("abc")
+        assert dice_similarity(grams, grams) == 1.0
+
+    def test_disjoint_sets(self):
+        assert dice_similarity({"a"}, {"b"}) == 0.0
+
+    def test_empty_sets(self):
+        assert dice_similarity(set(), set()) == 0.0
+
+
+class TestWeightedNgramSimilarity:
+    def test_identical_strings(self):
+        assert weighted_ngram_similarity("patient", "patient") == 1.0
+
+    def test_disjoint_strings(self):
+        assert weighted_ngram_similarity("abc", "xyz") == 0.0
+
+    def test_empty_string(self):
+        assert weighted_ngram_similarity("", "abc") == 0.0
+
+    def test_symmetric(self):
+        a = weighted_ngram_similarity("patientheight", "patht")
+        b = weighted_ngram_similarity("patht", "patientheight")
+        assert a == pytest.approx(b)
+
+    def test_bounded(self):
+        score = weighted_ngram_similarity("patient", "patients")
+        assert 0.0 < score < 1.0
+
+    def test_abbreviation_scores_well(self):
+        """The paper's motivating case: abbreviated forms must score
+        meaningfully against the full form."""
+        full_vs_abbrev = weighted_ngram_similarity("patientheight", "patht")
+        full_vs_unrelated = weighted_ngram_similarity("patientheight",
+                                                      "salary")
+        assert full_vs_abbrev > 3 * full_vs_unrelated
+
+    def test_morphological_variant_scores_high(self):
+        assert weighted_ngram_similarity("observation",
+                                         "observations") > 0.85
+
+    def test_longer_shared_substrings_weighted_higher(self):
+        # 'diagnose'/'diagnosis' share a long prefix; 'sit'/'its' share
+        # only short grams.
+        long_shared = weighted_ngram_similarity("diagnose", "diagnosis")
+        short_shared = weighted_ngram_similarity("sit", "its")
+        assert long_shared > short_shared

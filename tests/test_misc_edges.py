@@ -1,0 +1,73 @@
+"""Edge-path tests for small utilities not covered elsewhere."""
+
+import networkx as nx
+import pytest
+
+from repro.core.dedup import format_deduped
+from repro.errors import ParseError, SchemrError
+from repro.viz.layout import Layout, find_root
+
+
+class TestParseErrorPositions:
+    def test_line_and_column_in_message(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_line_only(self):
+        error = ParseError("bad token", line=3)
+        assert str(error).endswith("(line 3)")
+
+    def test_no_position(self):
+        assert str(ParseError("bad token")) == "bad token"
+
+
+class TestFindRoot:
+    def test_prefers_schema_node(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", kind="entity")
+        graph.add_node("schema:s", kind="schema")
+        graph.add_edge("schema:s", "a")
+        assert find_root(graph) == "schema:s"
+
+    def test_falls_back_to_sourceless_node(self):
+        graph = nx.DiGraph()
+        graph.add_edge("root", "child")
+        assert find_root(graph) == "root"
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(SchemrError):
+            find_root(nx.DiGraph())
+
+
+class TestLayoutLookup:
+    def test_missing_node_raises(self):
+        layout = Layout(name="x")
+        with pytest.raises(SchemrError):
+            layout.node("ghost")
+
+
+class TestFormatDeduped:
+    def test_empty_groups(self):
+        assert format_deduped([]) == ""
+
+
+class TestErrorHierarchy:
+    def test_every_error_is_schemr_error(self):
+        from repro import errors
+        for name in ("ParseError", "SchemaError", "IndexError_",
+                     "QueryError", "MatchError", "RepositoryError",
+                     "ServiceError"):
+            assert issubclass(getattr(errors, name), errors.SchemrError)
+
+    def test_single_catch_covers_library(self, small_repository):
+        """One except SchemrError clause handles any library failure."""
+        from repro.errors import SchemrError as TopError
+        engine = small_repository.engine()
+        with pytest.raises(TopError):
+            engine.search()  # empty query
+
+    def test_version_exposed(self):
+        import repro
+        assert repro.__version__

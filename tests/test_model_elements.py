@@ -1,0 +1,108 @@
+"""Unit tests for repro.model.elements."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.elements import (
+    Attribute,
+    ElementKind,
+    ElementRef,
+    Entity,
+    ForeignKey,
+)
+
+
+class TestElementRef:
+    def test_entity_ref_kind_and_path(self):
+        ref = ElementRef("patient")
+        assert ref.kind is ElementKind.ENTITY
+        assert ref.path == "patient"
+        assert ref.local_name == "patient"
+
+    def test_attribute_ref_kind_and_path(self):
+        ref = ElementRef("patient", "height")
+        assert ref.kind is ElementKind.ATTRIBUTE
+        assert ref.path == "patient.height"
+        assert ref.local_name == "height"
+
+    def test_parse_roundtrip_entity(self):
+        assert ElementRef.parse("patient") == ElementRef("patient")
+
+    def test_parse_roundtrip_attribute(self):
+        assert ElementRef.parse("patient.height") == \
+            ElementRef("patient", "height")
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(SchemaError):
+            ElementRef.parse("")
+
+    def test_parse_dot_only_raises(self):
+        with pytest.raises(SchemaError):
+            ElementRef.parse(".height")
+
+    def test_refs_are_hashable_and_equal(self):
+        assert len({ElementRef("a", "b"), ElementRef("a", "b")}) == 1
+
+    def test_str_is_path(self):
+        assert str(ElementRef("case", "diagnosis")) == "case.diagnosis"
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attr = Attribute("height")
+        assert attr.data_type == ""
+        assert attr.nullable is True
+        assert attr.primary_key is False
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestEntity:
+    def test_duplicate_attribute_rejected_at_init(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Entity("patient", [Attribute("x"), Attribute("x")])
+
+    def test_add_attribute_rejects_duplicate(self):
+        entity = Entity("patient", [Attribute("x")])
+        with pytest.raises(SchemaError):
+            entity.add_attribute(Attribute("x"))
+
+    def test_attribute_lookup(self):
+        entity = Entity("patient", [Attribute("height")])
+        assert entity.attribute("height").name == "height"
+        assert entity.has_attribute("height")
+        assert not entity.has_attribute("weight")
+
+    def test_attribute_lookup_missing_raises(self):
+        with pytest.raises(SchemaError, match="no attribute"):
+            Entity("patient").attribute("height")
+
+    def test_refs_order_entity_first(self):
+        entity = Entity("patient", [Attribute("a"), Attribute("b")])
+        assert [r.path for r in entity.refs()] == \
+            ["patient", "patient.a", "patient.b"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Entity("")
+
+
+class TestForeignKey:
+    def test_entity_pair(self):
+        fk = ForeignKey("case", "patient", "patient", "id")
+        assert fk.entity_pair == ("case", "patient")
+
+    def test_str_format(self):
+        fk = ForeignKey("case", "patient", "patient", "id")
+        assert str(fk) == "case.patient -> patient.id"
+
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("case", "", "patient", "id")
+
+    def test_frozen(self):
+        fk = ForeignKey("a", "b", "c", "d")
+        with pytest.raises(AttributeError):
+            fk.source_entity = "x"  # type: ignore[misc]

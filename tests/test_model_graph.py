@@ -1,0 +1,66 @@
+"""Unit tests for repro.model.graph."""
+
+from repro.model.graph import (
+    KIND_ATTRIBUTE,
+    KIND_ENTITY,
+    KIND_SCHEMA,
+    REL_CONTAINS,
+    REL_FOREIGN_KEY,
+    entity_adjacency,
+    schema_to_networkx,
+)
+
+
+class TestEntityAdjacency:
+    def test_fk_edges_are_undirected(self, clinic_schema):
+        adjacency = entity_adjacency(clinic_schema)
+        assert "patient" in adjacency["case"]
+        assert "case" in adjacency["patient"]
+
+    def test_all_entities_present_even_isolated(self, clinic_schema):
+        from repro.model.elements import Attribute, Entity
+        clinic_schema.add_entity(Entity("island", [Attribute("x")]))
+        adjacency = entity_adjacency(clinic_schema)
+        assert adjacency["island"] == set()
+
+    def test_self_reference_ignored(self, hr_schema):
+        from repro.model.elements import ForeignKey
+        hr_schema.add_foreign_key(
+            ForeignKey("employee", "id", "employee", "id"))
+        adjacency = entity_adjacency(hr_schema)
+        assert "employee" not in adjacency["employee"]
+
+    def test_figure4_neighborhood(self, clinic_schema):
+        adjacency = entity_adjacency(clinic_schema)
+        # patient and doctor are not adjacent but share the case hub.
+        assert "doctor" not in adjacency["patient"]
+        assert adjacency["case"] == {"patient", "doctor"}
+
+
+class TestSchemaToNetworkx:
+    def test_node_kinds(self, clinic_schema):
+        graph = schema_to_networkx(clinic_schema)
+        kinds = {data["kind"] for _n, data in graph.nodes(data=True)}
+        assert kinds == {KIND_SCHEMA, KIND_ENTITY, KIND_ATTRIBUTE}
+
+    def test_root_contains_entities(self, clinic_schema):
+        graph = schema_to_networkx(clinic_schema)
+        root = f"schema:{clinic_schema.name}"
+        children = [t for _s, t in graph.out_edges(root)]
+        assert set(children) == {"patient", "doctor", "case"}
+
+    def test_containment_and_fk_edges_tagged(self, clinic_schema):
+        graph = schema_to_networkx(clinic_schema)
+        assert graph.edges["patient", "patient.height"]["relation"] == \
+            REL_CONTAINS
+        assert graph.edges["case.patient", "patient.id"]["relation"] == \
+            REL_FOREIGN_KEY
+
+    def test_attribute_nodes_carry_types(self, clinic_schema):
+        graph = schema_to_networkx(clinic_schema)
+        assert graph.nodes["patient.height"]["data_type"] == "DECIMAL(5,2)"
+
+    def test_node_count(self, clinic_schema):
+        graph = schema_to_networkx(clinic_schema)
+        # 1 schema root + 3 entities + 12 attributes
+        assert graph.number_of_nodes() == 16

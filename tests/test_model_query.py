@@ -1,0 +1,89 @@
+"""Unit tests for repro.model.query."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.model.query import QueryGraph, QueryItem, QueryItemKind
+
+
+class TestQueryItem:
+    def test_keyword_item_requires_keyword(self):
+        with pytest.raises(QueryError):
+            QueryItem(QueryItemKind.KEYWORD)
+
+    def test_fragment_item_requires_fragment(self):
+        with pytest.raises(QueryError):
+            QueryItem(QueryItemKind.FRAGMENT)
+
+    def test_keyword_item_rejects_fragment(self, clinic_schema):
+        with pytest.raises(QueryError):
+            QueryItem(QueryItemKind.KEYWORD, keyword="x",
+                      fragment=clinic_schema)
+
+
+class TestQueryGraph:
+    def test_build_mixes_keywords_and_fragments(self, clinic_schema):
+        graph = QueryGraph.build(keywords=["height"],
+                                 fragments=[clinic_schema])
+        assert graph.keywords == ["height"]
+        assert graph.fragments == [clinic_schema]
+        assert not graph.is_empty()
+
+    def test_empty_keyword_rejected(self):
+        graph = QueryGraph()
+        with pytest.raises(QueryError):
+            graph.add_keyword("   ")
+
+    def test_keyword_whitespace_stripped(self):
+        graph = QueryGraph()
+        graph.add_keyword("  height ")
+        assert graph.keywords == ["height"]
+
+    def test_element_labels_namespaced(self, clinic_schema):
+        graph = QueryGraph.build(keywords=["patient"],
+                                 fragments=[clinic_schema])
+        labels = graph.element_labels()
+        assert labels[0] == "kw:patient"
+        assert "f0:patient" in labels
+        assert "f0:patient.height" in labels
+
+    def test_labels_unique_with_duplicate_keywords(self):
+        graph = QueryGraph.build(keywords=["gender", "gender"])
+        labels = graph.element_labels()
+        assert len(labels) == len(set(labels)) == 2
+        assert labels == ["kw:gender", "kw:gender#2"]
+
+    def test_labels_unique_with_two_fragments(self, clinic_schema,
+                                              hr_schema):
+        graph = QueryGraph.build(fragments=[clinic_schema, hr_schema])
+        labels = graph.element_labels()
+        assert len(labels) == len(set(labels))
+        assert any(label.startswith("f0:") for label in labels)
+        assert any(label.startswith("f1:") for label in labels)
+
+    def test_element_names_use_local_names(self, clinic_schema):
+        graph = QueryGraph.build(fragments=[clinic_schema])
+        names = graph.element_names()
+        assert "height" in names
+        assert "patient" in names
+        # Paths never leak into names.
+        assert all("." not in name for name in names
+                   if name not in ("patient", "doctor", "case"))
+
+    def test_flatten_matches_keyword_plus_fragment(self, clinic_schema,
+                                                   paper_keywords):
+        graph = QueryGraph.build(keywords=paper_keywords,
+                                 fragments=[clinic_schema])
+        flattened = graph.flatten()
+        assert flattened[:4] == paper_keywords
+        assert len(flattened) == 4 + clinic_schema.element_count
+
+    def test_len_counts_elements(self, clinic_schema):
+        graph = QueryGraph.build(keywords=["a", "b"],
+                                 fragments=[clinic_schema])
+        assert len(graph) == 2 + clinic_schema.element_count
+
+    def test_labels_and_names_align(self, clinic_schema):
+        graph = QueryGraph.build(keywords=["height"],
+                                 fragments=[clinic_schema])
+        assert len(graph.element_labels()) == len(graph.element_names())

@@ -1,0 +1,105 @@
+"""Unit tests for repro.model.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.elements import Attribute, ElementRef, Entity, ForeignKey
+from repro.model.schema import Schema
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(name="")
+
+    def test_mismatched_entity_key_rejected(self):
+        with pytest.raises(SchemaError, match="does not match"):
+            Schema(name="s", entities={"wrong": Entity("right")})
+
+    def test_add_entity_rejects_duplicates(self, clinic_schema):
+        with pytest.raises(SchemaError, match="already has entity"):
+            clinic_schema.add_entity(Entity("patient"))
+
+    def test_foreign_key_unknown_entity_rejected(self, clinic_schema):
+        with pytest.raises(SchemaError, match="unknown entity"):
+            clinic_schema.add_foreign_key(
+                ForeignKey("case", "patient", "ghost", "id"))
+
+    def test_foreign_key_unknown_attribute_rejected(self, clinic_schema):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            clinic_schema.add_foreign_key(
+                ForeignKey("case", "patient", "patient", "ghost"))
+
+    def test_init_validates_preexisting_fks(self):
+        entity = Entity("a", [Attribute("x")])
+        with pytest.raises(SchemaError):
+            Schema(name="s", entities={"a": entity},
+                   foreign_keys=[ForeignKey("a", "x", "b", "y")])
+
+
+class TestInspection:
+    def test_counts(self, clinic_schema):
+        assert clinic_schema.entity_count == 3
+        assert clinic_schema.attribute_count == 12
+        assert clinic_schema.element_count == 15
+
+    def test_elements_order(self, clinic_schema):
+        paths = [ref.path for ref in clinic_schema.elements()]
+        assert paths[0] == "patient"
+        assert "patient.height" in paths
+        assert len(paths) == 15
+
+    def test_attribute_refs_only_attributes(self, clinic_schema):
+        refs = list(clinic_schema.attribute_refs())
+        assert all(ref.attribute is not None for ref in refs)
+        assert len(refs) == 12
+
+    def test_element_resolution(self, clinic_schema):
+        entity = clinic_schema.element(ElementRef("patient"))
+        assert isinstance(entity, Entity)
+        attr = clinic_schema.element(ElementRef("patient", "height"))
+        assert isinstance(attr, Attribute)
+
+    def test_has_element(self, clinic_schema):
+        assert clinic_schema.has_element(ElementRef("patient", "height"))
+        assert not clinic_schema.has_element(ElementRef("patient", "ghost"))
+        assert not clinic_schema.has_element(ElementRef("ghost"))
+
+    def test_entity_missing_raises(self, clinic_schema):
+        with pytest.raises(SchemaError, match="no entity"):
+            clinic_schema.entity("ghost")
+
+    def test_terms_cover_every_name(self, clinic_schema):
+        terms = clinic_schema.terms()
+        assert "patient" in terms
+        assert "diagnosis" in terms
+        assert len(terms) == clinic_schema.element_count
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self, clinic_schema):
+        clinic_schema.schema_id = 42
+        rebuilt = Schema.from_dict(clinic_schema.to_dict())
+        assert rebuilt.name == clinic_schema.name
+        assert rebuilt.schema_id == 42
+        assert rebuilt.entity_count == clinic_schema.entity_count
+        assert rebuilt.attribute_count == clinic_schema.attribute_count
+        assert len(rebuilt.foreign_keys) == len(clinic_schema.foreign_keys)
+        assert [r.path for r in rebuilt.elements()] == \
+            [r.path for r in clinic_schema.elements()]
+
+    def test_roundtrip_preserves_attribute_details(self, clinic_schema):
+        rebuilt = Schema.from_dict(clinic_schema.to_dict())
+        attr = rebuilt.entity("patient").attribute("id")
+        assert attr.primary_key is True
+        assert attr.nullable is False
+        assert attr.data_type == "INTEGER"
+
+    def test_from_dict_missing_key_raises(self):
+        with pytest.raises(SchemaError, match="missing key"):
+            Schema.from_dict({"description": "no name"})
+
+    def test_copy_is_independent(self, clinic_schema):
+        duplicate = clinic_schema.copy()
+        duplicate.entity("patient").add_attribute(Attribute("weight"))
+        assert not clinic_schema.entity("patient").has_attribute("weight")

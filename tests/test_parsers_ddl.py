@@ -1,0 +1,202 @@
+"""Unit tests for the DDL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.parsers.ddl import parse_ddl, parse_ddl_result
+
+CLINIC_DDL = """
+CREATE TABLE patient (
+  id INTEGER PRIMARY KEY,
+  name VARCHAR(100) NOT NULL,
+  height DECIMAL(5,2),
+  gender CHAR(1)
+);
+CREATE TABLE "case" (
+  id INTEGER PRIMARY KEY,
+  patient_id INTEGER REFERENCES patient(id),
+  diagnosis TEXT
+);
+"""
+
+
+class TestBasicParsing:
+    def test_two_tables(self):
+        schema = parse_ddl(CLINIC_DDL, "clinic")
+        assert schema.name == "clinic"
+        assert set(schema.entities) == {"patient", "case"}
+
+    def test_columns_in_order(self):
+        schema = parse_ddl(CLINIC_DDL)
+        names = [a.name for a in schema.entity("patient").attributes]
+        assert names == ["id", "name", "height", "gender"]
+
+    def test_types_with_parameters(self):
+        schema = parse_ddl(CLINIC_DDL)
+        assert schema.entity("patient").attribute("height").data_type == \
+            "DECIMAL(5,2)"
+        assert schema.entity("patient").attribute("name").data_type == \
+            "VARCHAR(100)"
+
+    def test_primary_key_flag(self):
+        schema = parse_ddl(CLINIC_DDL)
+        attr = schema.entity("patient").attribute("id")
+        assert attr.primary_key is True
+        assert attr.nullable is False
+
+    def test_not_null_flag(self):
+        schema = parse_ddl(CLINIC_DDL)
+        assert schema.entity("patient").attribute("name").nullable is False
+        assert schema.entity("patient").attribute("gender").nullable is True
+
+    def test_no_create_table_raises(self):
+        with pytest.raises(ParseError, match="no CREATE TABLE"):
+            parse_ddl("SELECT 1;")
+
+    def test_source_marked(self):
+        assert parse_ddl(CLINIC_DDL).source == "ddl"
+
+
+class TestForeignKeys:
+    def test_inline_references(self):
+        schema = parse_ddl(CLINIC_DDL)
+        assert len(schema.foreign_keys) == 1
+        fk = schema.foreign_keys[0]
+        assert str(fk) == "case.patient_id -> patient.id"
+
+    def test_table_level_foreign_key(self):
+        ddl = """
+        CREATE TABLE a (id INTEGER PRIMARY KEY);
+        CREATE TABLE b (
+          a_id INTEGER,
+          FOREIGN KEY (a_id) REFERENCES a(id)
+        );
+        """
+        schema = parse_ddl(ddl)
+        assert str(schema.foreign_keys[0]) == "b.a_id -> a.id"
+
+    def test_named_constraint_foreign_key(self):
+        ddl = """
+        CREATE TABLE a (id INTEGER PRIMARY KEY);
+        CREATE TABLE b (
+          a_id INTEGER,
+          CONSTRAINT fk_b_a FOREIGN KEY (a_id) REFERENCES a(id)
+        );
+        """
+        assert len(parse_ddl(ddl).foreign_keys) == 1
+
+    def test_references_without_column_uses_primary_key(self):
+        ddl = """
+        CREATE TABLE a (pk INTEGER PRIMARY KEY, other TEXT);
+        CREATE TABLE b (a_ref INTEGER REFERENCES a);
+        """
+        fk = parse_ddl(ddl).foreign_keys[0]
+        assert fk.target_attribute == "pk"
+
+    def test_dangling_fk_reported_not_fatal(self):
+        ddl = "CREATE TABLE b (x INTEGER REFERENCES ghost(id));"
+        result = parse_ddl_result(ddl)
+        assert result.schema.foreign_keys == []
+        assert len(result.dangling_foreign_keys) == 1
+        assert "ghost" in result.dangling_foreign_keys[0]
+
+    def test_on_delete_action_consumed(self):
+        ddl = """
+        CREATE TABLE a (id INTEGER PRIMARY KEY);
+        CREATE TABLE b (
+          a_id INTEGER REFERENCES a(id) ON DELETE CASCADE
+        );
+        """
+        assert len(parse_ddl(ddl).foreign_keys) == 1
+
+    def test_on_delete_set_null_consumed(self):
+        ddl = """
+        CREATE TABLE a (id INTEGER PRIMARY KEY);
+        CREATE TABLE b (
+          a_id INTEGER REFERENCES a(id) ON DELETE SET NULL,
+          note TEXT
+        );
+        """
+        schema = parse_ddl(ddl)
+        assert schema.entity("b").has_attribute("note")
+
+
+class TestDialectTolerance:
+    def test_if_not_exists(self):
+        schema = parse_ddl("CREATE TABLE IF NOT EXISTS t (x INTEGER);")
+        assert "t" in schema.entities
+
+    def test_schema_qualified_name(self):
+        schema = parse_ddl("CREATE TABLE public.users (id INTEGER);")
+        assert "users" in schema.entities
+
+    def test_multi_word_type(self):
+        schema = parse_ddl("CREATE TABLE t (x DOUBLE PRECISION);")
+        assert schema.entity("t").attribute("x").data_type == \
+            "DOUBLE PRECISION"
+
+    def test_default_values(self):
+        ddl = ("CREATE TABLE t (a INTEGER DEFAULT 0, "
+               "b TEXT DEFAULT 'none', c REAL DEFAULT -1.5);")
+        assert parse_ddl(ddl).entity("t").attribute("c").name == "c"
+
+    def test_default_function_call(self):
+        ddl = "CREATE TABLE t (ts TIMESTAMP DEFAULT now());"
+        assert "t" in parse_ddl(ddl).entities
+
+    def test_check_constraints_skipped(self):
+        ddl = ("CREATE TABLE t (age INTEGER CHECK (age > 0), "
+               "CHECK (age < 200));")
+        assert parse_ddl(ddl).entity("t").attribute("age").name == "age"
+
+    def test_table_level_primary_key(self):
+        ddl = "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b));"
+        entity = parse_ddl(ddl).entity("t")
+        assert entity.attribute("a").primary_key
+        assert entity.attribute("b").primary_key
+
+    def test_unique_and_index_clauses(self):
+        ddl = ("CREATE TABLE t (a INTEGER UNIQUE, b TEXT, "
+               "UNIQUE (a, b), KEY idx_b (b));")
+        assert len(parse_ddl(ddl).entity("t").attributes) == 2
+
+    def test_auto_increment(self):
+        ddl = "CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT);"
+        assert parse_ddl(ddl).entity("t").attribute("id").primary_key
+
+    def test_quoted_reserved_word_table(self):
+        schema = parse_ddl('CREATE TABLE "order" (id INTEGER);')
+        assert "order" in schema.entities
+
+    def test_comments_ignored(self):
+        ddl = """
+        -- the patient table
+        CREATE TABLE patient (
+          id INTEGER, /* surrogate key */
+          name TEXT
+        );
+        """
+        assert parse_ddl(ddl).entity("patient").has_attribute("name")
+
+    def test_other_statements_skipped(self):
+        ddl = """
+        DROP TABLE IF EXISTS old_stuff;
+        CREATE TABLE t (x INTEGER);
+        INSERT INTO t VALUES (1);
+        """
+        assert set(parse_ddl(ddl).entities) == {"t"}
+
+    def test_duplicate_table_keeps_first(self):
+        ddl = """
+        CREATE TABLE t (a INTEGER);
+        CREATE TABLE t (b INTEGER);
+        """
+        assert parse_ddl(ddl).entity("t").has_attribute("a")
+
+    def test_typeless_column(self):
+        schema = parse_ddl("CREATE TABLE t (x, y);")
+        assert schema.entity("t").attribute("x").data_type == ""
+
+    def test_malformed_column_raises(self):
+        with pytest.raises(ParseError):
+            parse_ddl("CREATE TABLE t (x INTEGER ???);")

@@ -1,0 +1,95 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.parsers.sqltok import Token, TokenType, tokenize_sql
+
+
+def kinds(text: str) -> list[tuple[TokenType, str]]:
+    return [(t.type, t.value) for t in tokenize_sql(text)
+            if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_identifiers_and_punct(self):
+        assert kinds("CREATE TABLE t (") == [
+            (TokenType.IDENT, "CREATE"),
+            (TokenType.IDENT, "TABLE"),
+            (TokenType.IDENT, "t"),
+            (TokenType.PUNCT, "("),
+        ]
+
+    def test_numbers(self):
+        assert kinds("5 2.5") == [
+            (TokenType.NUMBER, "5"), (TokenType.NUMBER, "2.5")]
+
+    def test_eof_always_last(self):
+        tokens = tokenize_sql("x")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        tokens = tokenize_sql("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+
+class TestQuoting:
+    def test_double_quoted_identifier(self):
+        assert kinds('"case"') == [(TokenType.IDENT, "case")]
+
+    def test_backtick_identifier(self):
+        assert kinds("`order table`") == [(TokenType.IDENT, "order table")]
+
+    def test_bracket_identifier(self):
+        assert kinds("[select]") == [(TokenType.IDENT, "select")]
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize_sql('"oops')
+
+    def test_string_literal(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            tokenize_sql("'oops")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("x -- comment\ny") == [
+            (TokenType.IDENT, "x"), (TokenType.IDENT, "y")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("x /* multi\nline */ y") == [
+            (TokenType.IDENT, "x"), (TokenType.IDENT, "y")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(ParseError, match="block comment"):
+            tokenize_sql("/* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracked(self):
+        tokens = tokenize_sql("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize_sql("a\n\x01")
+        assert excinfo.value.line == 2
+
+
+class TestKeywordHelper:
+    def test_is_keyword_case_insensitive(self):
+        token = Token(TokenType.IDENT, "create", 1, 1)
+        assert token.is_keyword("CREATE")
+        assert not token.is_keyword("TABLE")
+
+    def test_is_keyword_false_for_punct(self):
+        token = Token(TokenType.PUNCT, "(", 1, 1)
+        assert not token.is_keyword("(")

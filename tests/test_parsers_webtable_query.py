@@ -1,0 +1,145 @@
+"""Unit tests for the WebTable importer and the query parser."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.model.schema import Schema
+from repro.parsers.query_parser import detect_format, parse_fragment, parse_query
+from repro.parsers.webtable import schema_from_webtable
+
+
+class TestWebTable:
+    def test_single_entity_schema(self):
+        schema = schema_from_webtable("presidents",
+                                      ["name", "party", "term"])
+        assert set(schema.entities) == {"presidents"}
+        assert schema.attribute_count == 3
+        assert schema.source == "webtable"
+
+    def test_duplicate_columns_disambiguated(self):
+        schema = schema_from_webtable("t", ["x", "x", "x"])
+        names = [a.name for a in schema.entity("t").attributes]
+        assert names == ["x", "x_2", "x_3"]
+
+    def test_blank_columns_dropped(self):
+        schema = schema_from_webtable("t", ["a", "  ", "", "b"])
+        assert schema.attribute_count == 2
+
+    def test_empty_title_rejected(self):
+        with pytest.raises(ParseError):
+            schema_from_webtable("  ", ["a"])
+
+    def test_no_usable_columns_rejected(self):
+        with pytest.raises(ParseError, match="no usable"):
+            schema_from_webtable("t", ["", "  "])
+
+
+class TestDetectFormat:
+    def test_ddl(self):
+        assert detect_format("CREATE TABLE x (y INT);") == "ddl"
+
+    def test_ddl_case_insensitive(self):
+        assert detect_format("create table x (y int);") == "ddl"
+
+    def test_xsd(self):
+        assert detect_format('<xs:schema xmlns:xs="..."/>') == "xsd"
+
+    def test_keywords(self):
+        assert detect_format("patient height gender") == "keywords"
+
+    def test_empty(self):
+        assert detect_format("   ") == "keywords"
+
+
+class TestParseFragment:
+    def test_dispatches_to_ddl(self):
+        schema = parse_fragment("CREATE TABLE t (x INTEGER);")
+        assert "t" in schema.entities
+
+    def test_dispatches_to_xsd(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+         <xs:element name="a" type="xs:string"/></xs:schema>"""
+        assert "a" in parse_fragment(xsd).entities
+
+    def test_plain_text_rejected(self):
+        with pytest.raises(ParseError, match="neither DDL .* nor XSD"):
+            parse_fragment("just some words")
+
+
+class TestParseQuery:
+    def test_keywords_string_split_on_commas_and_spaces(self):
+        graph = parse_query("patient, height gender,diagnosis")
+        assert graph.keywords == ["patient", "height", "gender",
+                                  "diagnosis"]
+
+    def test_keywords_list(self):
+        graph = parse_query(["patient height", "gender"])
+        assert graph.keywords == ["patient", "height", "gender"]
+
+    def test_fragment_text(self):
+        graph = parse_query(fragment="CREATE TABLE t (x INTEGER);")
+        assert len(graph.fragments) == 1
+
+    def test_fragment_schema_object(self, clinic_schema):
+        graph = parse_query(fragment=clinic_schema)
+        assert graph.fragments == [clinic_schema]
+
+    def test_mixed_query(self, clinic_schema):
+        graph = parse_query("height", fragment=clinic_schema)
+        assert graph.keywords == ["height"]
+        assert len(graph.fragments) == 1
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError, match="at least one"):
+            parse_query()
+
+    def test_whitespace_fragment_ignored(self):
+        with pytest.raises(QueryError):
+            parse_query(fragment="   ")
+
+    def test_figure1_shape(self, clinic_schema):
+        """Figure 1: a query graph holding a fragment and a keyword is a
+        forest where the keyword is a one-item tree."""
+        graph = parse_query("diagnosis", fragment=clinic_schema)
+        assert len(graph.items) == 2
+        assert isinstance(graph.fragments[0], Schema)
+        assert graph.element_labels()[0] == "kw:diagnosis"
+
+
+class TestMultiFragmentQueries:
+    def test_list_of_fragment_texts(self):
+        graph = parse_query(fragment=[
+            "CREATE TABLE a (x INTEGER);",
+            "CREATE TABLE b (y INTEGER);",
+        ])
+        assert len(graph.fragments) == 2
+        names = [f.name for f in graph.fragments]
+        assert names == ["query_fragment_0", "query_fragment_1"]
+
+    def test_mixed_text_and_schema(self, clinic_schema):
+        graph = parse_query(fragment=[
+            clinic_schema, "CREATE TABLE b (y INTEGER);"])
+        assert len(graph.fragments) == 2
+        assert graph.fragments[0] is clinic_schema
+
+    def test_labels_stay_unique_across_fragments(self):
+        graph = parse_query(fragment=[
+            "CREATE TABLE t (x INTEGER);",
+            "CREATE TABLE t (x INTEGER);",
+        ])
+        labels = graph.element_labels()
+        assert len(labels) == len(set(labels))
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query(fragment=[])
+
+    def test_engine_accepts_multi_fragment(self, small_repository):
+        engine = small_repository.engine()
+        results = engine.search(fragment=[
+            "CREATE TABLE patient (height DECIMAL, gender CHAR(1));",
+            "CREATE TABLE site (latitude REAL, longitude REAL);",
+        ])
+        names = {r.name for r in results}
+        assert "clinic_emr" in names
+        assert "conservation_monitoring" in names

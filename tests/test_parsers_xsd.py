@@ -1,0 +1,168 @@
+"""Unit tests for the XSD parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.parsers.xsd import SYNTHETIC_KEY_NOTE, parse_xsd
+
+CLINIC_XSD = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+ <xs:element name="clinic">
+  <xs:complexType>
+   <xs:sequence>
+    <xs:element name="name" type="xs:string"/>
+    <xs:element name="district" type="xs:string"/>
+    <xs:element name="patient">
+     <xs:complexType>
+      <xs:sequence>
+       <xs:element name="height" type="xs:decimal"/>
+       <xs:element name="gender" type="xs:string"/>
+      </xs:sequence>
+      <xs:attribute name="mrn" type="xs:string"/>
+     </xs:complexType>
+    </xs:element>
+   </xs:sequence>
+  </xs:complexType>
+ </xs:element>
+</xs:schema>"""
+
+
+class TestBasicParsing:
+    def test_complex_elements_become_entities(self):
+        schema = parse_xsd(CLINIC_XSD)
+        assert set(schema.entities) == {"clinic", "patient"}
+
+    def test_leaf_elements_become_attributes(self):
+        schema = parse_xsd(CLINIC_XSD)
+        clinic = schema.entity("clinic")
+        assert clinic.has_attribute("name")
+        assert clinic.has_attribute("district")
+        patient = schema.entity("patient")
+        assert patient.has_attribute("height")
+        assert patient.has_attribute("gender")
+
+    def test_xsd_attributes_become_attributes(self):
+        schema = parse_xsd(CLINIC_XSD)
+        assert schema.entity("patient").has_attribute("mrn")
+
+    def test_types_localized(self):
+        schema = parse_xsd(CLINIC_XSD)
+        assert schema.entity("patient").attribute("height").data_type == \
+            "decimal"
+
+    def test_source_marked(self):
+        assert parse_xsd(CLINIC_XSD).source == "xsd"
+
+
+class TestContainmentNormalization:
+    def test_containment_becomes_fk(self):
+        schema = parse_xsd(CLINIC_XSD)
+        assert len(schema.foreign_keys) == 1
+        fk = schema.foreign_keys[0]
+        assert str(fk) == "patient.clinic_id -> clinic.id"
+
+    def test_synthetic_keys_tagged(self):
+        schema = parse_xsd(CLINIC_XSD)
+        parent_key = schema.entity("clinic").attribute("id")
+        child_ref = schema.entity("patient").attribute("clinic_id")
+        assert parent_key.description == SYNTHETIC_KEY_NOTE
+        assert child_ref.description == SYNTHETIC_KEY_NOTE
+        assert parent_key.primary_key is True
+
+
+class TestNamedTypes:
+    XSD = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+     <xs:complexType name="AddressType">
+      <xs:sequence>
+       <xs:element name="street" type="xs:string"/>
+       <xs:element name="city" type="xs:string"/>
+      </xs:sequence>
+     </xs:complexType>
+     <xs:element name="customer">
+      <xs:complexType>
+       <xs:sequence>
+        <xs:element name="name" type="xs:string"/>
+        <xs:element name="address" type="AddressType"/>
+       </xs:sequence>
+      </xs:complexType>
+     </xs:element>
+    </xs:schema>"""
+
+    def test_named_type_reference_resolved(self):
+        schema = parse_xsd(self.XSD)
+        assert "address" in schema.entities
+        assert schema.entity("address").has_attribute("street")
+
+    def test_orphan_named_type_still_indexed(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+         <xs:complexType name="Orphan">
+          <xs:sequence><xs:element name="x" type="xs:string"/></xs:sequence>
+         </xs:complexType>
+        </xs:schema>"""
+        schema = parse_xsd(xsd)
+        assert "Orphan" in schema.entities
+
+
+class TestEdgeCases:
+    def test_malformed_xml_raises(self):
+        with pytest.raises(ParseError, match="malformed XML"):
+            parse_xsd("<xs:schema>")
+
+    def test_non_xsd_root_raises(self):
+        with pytest.raises(ParseError, match="expected xs:schema"):
+            parse_xsd("<html/>")
+
+    def test_empty_xsd_raises(self):
+        with pytest.raises(ParseError, match="no elements"):
+            parse_xsd('<xs:schema '
+                      'xmlns:xs="http://www.w3.org/2001/XMLSchema"/>')
+
+    def test_top_level_scalar_element(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+         <xs:element name="temperature" type="xs:decimal"/>
+        </xs:schema>"""
+        schema = parse_xsd(xsd)
+        assert schema.entity("temperature").has_attribute("value")
+
+    def test_recursive_type_terminates(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+         <xs:complexType name="Node">
+          <xs:sequence>
+           <xs:element name="label" type="xs:string"/>
+           <xs:element name="child" type="Node"/>
+          </xs:sequence>
+         </xs:complexType>
+         <xs:element name="tree" type="Node"/>
+        </xs:schema>"""
+        schema = parse_xsd(xsd)
+        assert "tree" in schema.entities
+
+    def test_choice_and_all_groups(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+         <xs:element name="contact">
+          <xs:complexType>
+           <xs:choice>
+            <xs:element name="email" type="xs:string"/>
+            <xs:element name="phone" type="xs:string"/>
+           </xs:choice>
+          </xs:complexType>
+         </xs:element>
+        </xs:schema>"""
+        entity = parse_xsd(xsd).entity("contact")
+        assert entity.has_attribute("email")
+        assert entity.has_attribute("phone")
+
+    def test_documentation_captured(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+         <xs:element name="site">
+          <xs:complexType>
+           <xs:annotation>
+            <xs:documentation>A monitoring site.</xs:documentation>
+           </xs:annotation>
+           <xs:sequence>
+            <xs:element name="name" type="xs:string"/>
+           </xs:sequence>
+          </xs:complexType>
+         </xs:element>
+        </xs:schema>"""
+        assert parse_xsd(xsd).entity("site").description == \
+            "A monitoring site."

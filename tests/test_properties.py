@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.documents import Document
+from repro.index.inverted import InvertedIndex
+from repro.matching.base import SimilarityMatrix
+from repro.matching.name import name_similarity
+from repro.matching.ngram import ngrams, weighted_ngram_similarity
+from repro.model.elements import Attribute, Entity, ForeignKey
+from repro.model.schema import Schema
+from repro.scoring.neighborhood import entity_components
+from repro.scoring.tightness import PenaltyPolicy, TightnessScorer
+from repro.text.splitter import split_identifier
+from repro.text.stemmer import porter_stem
+
+# -- strategies --------------------------------------------------------------
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+identifiers = st.text(
+    alphabet=string.ascii_letters + string.digits + "_- .",
+    min_size=1, max_size=30)
+
+
+@st.composite
+def schemas(draw) -> Schema:
+    """Random valid schemas with optional FK edges."""
+    entity_count = draw(st.integers(min_value=1, max_value=5))
+    schema = Schema(name=draw(words))
+    for i in range(entity_count):
+        attr_count = draw(st.integers(min_value=1, max_value=5))
+        attributes = [Attribute(f"a{j}_{draw(words)}")
+                      for j in range(attr_count)]
+        schema.add_entity(Entity(f"e{i}", attributes))
+    entities = list(schema.entities.values())
+    fk_count = draw(st.integers(min_value=0, max_value=entity_count))
+    for _ in range(fk_count):
+        source = draw(st.sampled_from(entities))
+        target = draw(st.sampled_from(entities))
+        if source.name == target.name:
+            continue
+        schema.add_foreign_key(ForeignKey(
+            source.name, source.attributes[0].name,
+            target.name, target.attributes[0].name))
+    return schema
+
+
+# -- text --------------------------------------------------------------------
+
+class TestTextProperties:
+    @given(words)
+    def test_stemmer_never_grows_words(self, word):
+        assert len(porter_stem(word)) <= len(word)
+
+    @given(words)
+    def test_stemmer_total(self, word):
+        # Never raises, always returns a string.
+        assert isinstance(porter_stem(word), str)
+
+    @given(identifiers)
+    def test_splitter_preserves_alnum_content(self, identifier):
+        joined = "".join(split_identifier(identifier))
+        expected = "".join(c for c in identifier if c.isalnum())
+        assert joined == expected
+
+    @given(identifiers)
+    def test_splitter_tokens_nonempty(self, identifier):
+        assert all(token for token in split_identifier(identifier))
+
+
+# -- n-grams and name similarity ----------------------------------------------
+
+class TestSimilarityProperties:
+    @given(words, words)
+    def test_ngram_similarity_symmetric(self, a, b):
+        assert weighted_ngram_similarity(a, b) == \
+            weighted_ngram_similarity(b, a)
+
+    @given(words, words)
+    def test_ngram_similarity_bounded(self, a, b):
+        assert 0.0 <= weighted_ngram_similarity(a, b) <= 1.0
+
+    @given(words)
+    def test_ngram_similarity_identity(self, word):
+        assert weighted_ngram_similarity(word, word) == 1.0
+
+    @given(words, st.integers(min_value=1, max_value=5))
+    def test_ngram_count_bound(self, word, n):
+        grams = ngrams(word, min_n=n, max_n=n)
+        assert len(grams) <= max(len(word) - n + 1, 0)
+
+    @given(st.lists(words, min_size=1, max_size=4),
+           st.lists(words, min_size=1, max_size=4))
+    def test_name_similarity_bounded_and_symmetric(self, a, b):
+        a_t, b_t = tuple(a), tuple(b)
+        score = name_similarity(a_t, b_t)
+        assert 0.0 <= score <= 1.0
+        assert score == name_similarity(b_t, a_t)
+
+
+# -- schema model --------------------------------------------------------------
+
+class TestSchemaProperties:
+    @settings(max_examples=50)
+    @given(schemas())
+    def test_serialization_roundtrip(self, schema):
+        assert Schema.from_dict(schema.to_dict()).to_dict() == \
+            schema.to_dict()
+
+    @settings(max_examples=50)
+    @given(schemas())
+    def test_element_count_consistency(self, schema):
+        assert schema.element_count == \
+            sum(1 for _ in schema.elements())
+        assert schema.element_count == \
+            schema.entity_count + schema.attribute_count
+
+    @settings(max_examples=50)
+    @given(schemas())
+    def test_components_partition_entities(self, schema):
+        components = entity_components(schema)
+        seen: set[str] = set()
+        for component in components:
+            assert not (component & seen)
+            seen |= component
+        assert seen == set(schema.entities)
+
+
+# -- similarity matrix ----------------------------------------------------------
+
+class TestMatrixProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=2, max_size=6))
+    def test_combine_stays_bounded(self, values):
+        matrices = []
+        for value in values:
+            matrix = SimilarityMatrix(["q"], ["e"])
+            matrix.set("q", "e", value)
+            matrices.append(matrix)
+        combined = SimilarityMatrix.combine(matrices)
+        assert min(values) - 1e-9 <= combined.get("q", "e") <= \
+            max(values) + 1e-9
+
+
+# -- inverted index ---------------------------------------------------------------
+
+class TestIndexProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.lists(words, min_size=1, max_size=8),
+                    min_size=1, max_size=8))
+    def test_add_remove_returns_to_empty(self, term_lists):
+        index = InvertedIndex()
+        for i, terms in enumerate(term_lists):
+            index.add(Document(i, f"d{i}", terms=terms))
+        for i in range(len(term_lists)):
+            index.remove(i)
+        assert index.document_count == 0
+        assert index.term_count == 0
+
+    @settings(max_examples=50)
+    @given(st.lists(st.lists(words, min_size=1, max_size=8),
+                    min_size=1, max_size=8))
+    def test_df_never_exceeds_document_count(self, term_lists):
+        index = InvertedIndex()
+        for i, terms in enumerate(term_lists):
+            index.add(Document(i, f"d{i}", terms=terms))
+        for term in index.vocabulary():
+            assert 1 <= index.document_frequency(term) <= \
+                index.document_count
+
+
+# -- tightness-of-fit ------------------------------------------------------------
+
+class TestTightnessProperties:
+    @settings(max_examples=50)
+    @given(schemas(), st.data())
+    def test_score_bounded_by_matched_count(self, schema, data):
+        paths = [ref.path for ref in schema.elements()]
+        scores = {
+            path: data.draw(st.floats(min_value=0.0, max_value=1.0))
+            for path in paths
+        }
+        result = TightnessScorer().score(schema, scores)
+        # Sum aggregation: bounded by the number of matched elements.
+        assert 0.0 <= result.score <= len(result.matched_elements) + 1e-9
+
+    @settings(max_examples=50)
+    @given(schemas(), st.data())
+    def test_zero_penalties_recover_raw_aggregate(self, schema, data):
+        paths = [ref.path for ref in schema.elements()]
+        scores = {
+            path: data.draw(st.floats(min_value=0.3, max_value=1.0))
+            for path in paths
+        }
+        policy = PenaltyPolicy(neighborhood_penalty=0.0,
+                               unrelated_penalty=0.0)
+        result = TightnessScorer(policy).score(schema, scores)
+        expected = sum(result.matched_elements.values())
+        assert result.score == __import__("pytest").approx(expected)
+
+    @settings(max_examples=50)
+    @given(schemas(), st.data())
+    def test_larger_penalties_never_increase_score(self, schema, data):
+        paths = [ref.path for ref in schema.elements()]
+        scores = {
+            path: data.draw(st.floats(min_value=0.3, max_value=1.0))
+            for path in paths
+        }
+        gentle = TightnessScorer(PenaltyPolicy(
+            neighborhood_penalty=0.05, unrelated_penalty=0.1))
+        harsh = TightnessScorer(PenaltyPolicy(
+            neighborhood_penalty=0.2, unrelated_penalty=0.5))
+        assert harsh.score(schema, scores).score <= \
+            gentle.score(schema, scores).score + 1e-9
+
+    @settings(max_examples=50)
+    @given(schemas(), st.data())
+    def test_best_anchor_is_argmax(self, schema, data):
+        paths = [ref.path for ref in schema.elements()]
+        scores = {
+            path: data.draw(st.floats(min_value=0.3, max_value=1.0))
+            for path in paths
+        }
+        result = TightnessScorer().score(schema, scores)
+        if result.anchors:
+            assert result.score == max(a.score for a in result.anchors)

@@ -1,0 +1,154 @@
+"""Unit tests for the DDL/XSD exporters, including parser round trips."""
+
+import pytest
+
+from repro.parsers.ddl import parse_ddl
+from repro.parsers.xsd import parse_xsd
+from repro.repository.exporter import export_ddl, export_entity_ddl, export_xsd
+
+from tests.conftest import build_clinic_schema
+
+
+class TestExportDdl:
+    def test_roundtrip_structure(self, clinic_schema):
+        rebuilt = parse_ddl(export_ddl(clinic_schema), "clinic_emr")
+        assert set(rebuilt.entities) == set(clinic_schema.entities)
+        assert rebuilt.attribute_count == clinic_schema.attribute_count
+        assert len(rebuilt.foreign_keys) == len(clinic_schema.foreign_keys)
+
+    def test_roundtrip_types_and_flags(self, clinic_schema):
+        rebuilt = parse_ddl(export_ddl(clinic_schema))
+        original = clinic_schema.entity("patient").attribute("height")
+        exported = rebuilt.entity("patient").attribute("height")
+        assert exported.data_type == original.data_type
+        pk = rebuilt.entity("patient").attribute("id")
+        assert pk.primary_key and not pk.nullable
+
+    def test_reserved_words_quoted(self, clinic_schema):
+        ddl = export_ddl(clinic_schema)
+        assert '"case"' in ddl
+
+    def test_description_emitted_as_comment(self, clinic_schema):
+        assert "-- health clinic records" in export_ddl(clinic_schema)
+
+    def test_roundtrip_foreign_keys_exact(self, clinic_schema):
+        rebuilt = parse_ddl(export_ddl(clinic_schema))
+        assert {str(fk) for fk in rebuilt.foreign_keys} == \
+            {str(fk) for fk in clinic_schema.foreign_keys}
+
+    def test_export_entity_ddl_single_table(self, clinic_schema):
+        ddl = export_entity_ddl(clinic_schema.entity("patient"))
+        rebuilt = parse_ddl(ddl)
+        assert set(rebuilt.entities) == {"patient"}
+
+    def test_identifier_with_spaces_quoted(self):
+        from repro.model.elements import Attribute, Entity
+        from repro.model.schema import Schema
+        schema = Schema(name="s")
+        schema.add_entity(Entity("my table", [Attribute("first name")]))
+        ddl = export_ddl(schema)
+        assert '"my table"' in ddl
+        assert '"first name"' in ddl
+        rebuilt = parse_ddl(ddl)
+        assert "my table" in rebuilt.entities
+
+
+class TestExportXsd:
+    def test_roundtrip_entities_and_attributes(self, clinic_schema):
+        rebuilt = parse_xsd(export_xsd(clinic_schema))
+        assert set(rebuilt.entities) == set(clinic_schema.entities)
+        for entity in clinic_schema.entities.values():
+            for attr in entity.attributes:
+                assert rebuilt.entity(entity.name).has_attribute(attr.name)
+
+    def test_types_mapped_to_families(self, clinic_schema):
+        xsd = export_xsd(clinic_schema)
+        assert 'type="xs:decimal"' in xsd  # height DECIMAL
+        assert 'type="xs:string"' in xsd   # name VARCHAR
+
+    def test_fk_appinfo_recorded(self, clinic_schema):
+        xsd = export_xsd(clinic_schema)
+        assert 'source="case.patient"' in xsd
+        assert 'target="patient.id"' in xsd
+
+    def test_nullable_becomes_minoccurs(self, clinic_schema):
+        xsd = export_xsd(clinic_schema)
+        assert 'minOccurs="0"' in xsd
+
+    def test_valid_xml(self, clinic_schema):
+        import xml.etree.ElementTree as ET
+        ET.fromstring(export_xsd(clinic_schema))  # must not raise
+
+    def test_generated_corpus_exports_cleanly(self):
+        """Exporters must handle every naming style the generator emits."""
+        from repro.corpus.generator import CorpusGenerator
+        for generated in CorpusGenerator(seed=13).generate(20):
+            ddl = export_ddl(generated.schema)
+            rebuilt = parse_ddl(ddl)
+            assert rebuilt.entity_count == generated.schema.entity_count
+            assert rebuilt.attribute_count == \
+                generated.schema.attribute_count
+
+
+class TestPagination:
+    def test_offset_pages_without_overlap(self, small_repository):
+        engine = small_repository.engine()
+        page1 = engine.search(keywords="name gender id", top_n=2)
+        page2 = engine.search(keywords="name gender id", top_n=2, offset=2)
+        ids1 = {r.schema_id for r in page1}
+        ids2 = {r.schema_id for r in page2}
+        assert not ids1 & ids2
+
+    def test_pages_concatenate_to_full_ranking(self, small_repository):
+        engine = small_repository.engine()
+        full = [r.schema_id
+                for r in engine.search(keywords="name gender id", top_n=10)]
+        paged = []
+        for offset in range(0, 4, 2):
+            paged.extend(r.schema_id for r in engine.search(
+                keywords="name gender id", top_n=2, offset=offset))
+        assert paged == full[:len(paged)]
+
+    def test_negative_offset_rejected(self, small_repository):
+        import pytest as _pytest
+        from repro.errors import QueryError
+        engine = small_repository.engine()
+        with _pytest.raises(QueryError):
+            engine.search(keywords="name", offset=-1)
+
+    def test_offset_past_end_returns_empty(self, small_repository):
+        engine = small_repository.engine()
+        assert engine.search(keywords="name", top_n=5, offset=100) == []
+
+    def test_http_offset_parameter(self, small_repository):
+        from repro.service.client import SchemrClient
+        from repro.service.server import SchemrServer
+        server = SchemrServer(small_repository)
+        with server.running() as base_url:
+            client = SchemrClient(base_url)
+            page1 = client.search("name gender id", top_n=2)
+            page2 = client.search("name gender id", top_n=2, offset=2)
+            assert not ({r.schema_id for r in page1}
+                        & {r.schema_id for r in page2})
+
+
+class TestXsdFkRoundtrip:
+    def test_foreign_keys_survive_export_import(self, clinic_schema):
+        rebuilt = parse_xsd(export_xsd(clinic_schema))
+        assert {str(fk) for fk in rebuilt.foreign_keys} == \
+            {str(fk) for fk in clinic_schema.foreign_keys}
+
+    def test_bogus_appinfo_ignored(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+         <xs:annotation><xs:appinfo>
+          <foreignKey source="ghost.x" target="also.gone"/>
+          <foreignKey source="nodot" target="still.nodot"/>
+         </xs:appinfo></xs:annotation>
+         <xs:element name="t">
+          <xs:complexType><xs:sequence>
+           <xs:element name="a" type="xs:string"/>
+          </xs:sequence></xs:complexType>
+         </xs:element>
+        </xs:schema>"""
+        schema = parse_xsd(xsd)
+        assert schema.foreign_keys == []

@@ -1,0 +1,147 @@
+"""Unit tests for search history and collaboration features."""
+
+import pytest
+
+from repro.errors import RepositoryError
+from repro.matching.learner import WeightLearner
+from repro.repository.collab import (
+    add_comment,
+    average_rating,
+    comments_for,
+    rate_schema,
+    record_click,
+    record_impressions,
+    usage_stats,
+)
+from repro.repository.history import (
+    build_training_set,
+    load_history,
+    record_search,
+)
+from repro.repository.store import SchemaRepository
+
+from tests.conftest import build_clinic_schema
+
+
+@pytest.fixture
+def repo_with_schema():
+    repo = SchemaRepository.in_memory()
+    schema_id = repo.add_schema(build_clinic_schema())
+    yield repo, schema_id
+    repo.close()
+
+
+class TestHistory:
+    def test_record_and_load(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        entry_id = record_search(repo, "patient height", schema_id,
+                                 relevant=True,
+                                 features={"name": 0.9, "context": 0.4})
+        entries = load_history(repo)
+        assert len(entries) == 1
+        assert entries[0].entry_id == entry_id
+        assert entries[0].relevant is True
+        assert entries[0].features == {"name": 0.9, "context": 0.4}
+
+    def test_empty_query_rejected(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        with pytest.raises(RepositoryError):
+            record_search(repo, "  ", schema_id, relevant=True)
+
+    def test_unknown_schema_rejected(self, repo_with_schema):
+        repo, _ = repo_with_schema
+        with pytest.raises(RepositoryError):
+            record_search(repo, "x", 999, relevant=True)
+
+    def test_limit(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        for i in range(5):
+            record_search(repo, f"q{i}", schema_id, relevant=bool(i % 2))
+        assert len(load_history(repo, limit=3)) == 3
+
+    def test_training_set_skips_featureless(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        record_search(repo, "with", schema_id, relevant=True,
+                      features={"name": 0.9})
+        record_search(repo, "without", schema_id, relevant=False)
+        examples = build_training_set(repo)
+        assert len(examples) == 1
+
+    def test_history_feeds_learner(self, repo_with_schema):
+        """End-to-end: recorded history trains the weight learner."""
+        repo, schema_id = repo_with_schema
+        for i in range(40):
+            relevant = i % 2 == 0
+            record_search(repo, f"q{i}", schema_id, relevant=relevant,
+                          features={"name": 0.9 if relevant else 0.1,
+                                    "context": 0.5})
+        learner = WeightLearner(["name", "context"])
+        learner.fit(build_training_set(repo))
+        assert learner.weights()["name"] > learner.weights()["context"]
+
+
+class TestRatings:
+    def test_rate_and_average(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        rate_schema(repo, schema_id, "alice", 5)
+        rate_schema(repo, schema_id, "bob", 3)
+        assert average_rating(repo, schema_id) == pytest.approx(4.0)
+
+    def test_rerating_overwrites(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        rate_schema(repo, schema_id, "alice", 5)
+        rate_schema(repo, schema_id, "alice", 1)
+        assert average_rating(repo, schema_id) == pytest.approx(1.0)
+
+    def test_unrated_returns_none(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        assert average_rating(repo, schema_id) is None
+
+    def test_stars_range_enforced(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        with pytest.raises(RepositoryError):
+            rate_schema(repo, schema_id, "alice", 6)
+        with pytest.raises(RepositoryError):
+            rate_schema(repo, schema_id, "alice", 0)
+
+    def test_empty_user_rejected(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        with pytest.raises(RepositoryError):
+            rate_schema(repo, schema_id, " ", 3)
+
+    def test_unknown_schema_rejected(self, repo_with_schema):
+        repo, _ = repo_with_schema
+        with pytest.raises(RepositoryError):
+            rate_schema(repo, 999, "alice", 3)
+
+
+class TestComments:
+    def test_comments_accumulate_in_order(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        add_comment(repo, schema_id, "alice", "nice patient model")
+        add_comment(repo, schema_id, "bob", "needs units on height")
+        comments = comments_for(repo, schema_id)
+        assert [c.body for c in comments] == \
+            ["nice patient model", "needs units on height"]
+
+    def test_empty_body_rejected(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        with pytest.raises(RepositoryError):
+            add_comment(repo, schema_id, "alice", "   ")
+
+
+class TestUsageStats:
+    def test_impressions_and_clicks(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        record_impressions(repo, [schema_id, schema_id])
+        record_click(repo, schema_id)
+        stats = usage_stats(repo, schema_id)
+        assert stats.impressions == 2
+        assert stats.clicks == 1
+        assert stats.click_through_rate == pytest.approx(0.5)
+
+    def test_unseen_schema_zero_stats(self, repo_with_schema):
+        repo, schema_id = repo_with_schema
+        stats = usage_stats(repo, schema_id)
+        assert stats.impressions == 0
+        assert stats.click_through_rate == 0.0

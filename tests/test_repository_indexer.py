@@ -1,0 +1,122 @@
+"""Unit tests for the offline repository indexer."""
+
+import threading
+
+from repro.repository.indexer import RepositoryIndexer
+from repro.repository.store import SchemaRepository
+
+from tests.conftest import build_clinic_schema, build_hr_schema
+
+
+class TestRefresh:
+    def test_initial_refresh_indexes_everything(self):
+        with SchemaRepository.in_memory() as repo:
+            repo.add_schema(build_clinic_schema())
+            repo.add_schema(build_hr_schema())
+            indexer = RepositoryIndexer(repo)
+            applied = indexer.refresh()
+            assert applied == 2
+            assert indexer.index.document_count == 2
+
+    def test_refresh_is_incremental(self):
+        with SchemaRepository.in_memory() as repo:
+            repo.add_schema(build_clinic_schema())
+            indexer = RepositoryIndexer(repo)
+            indexer.refresh()
+            assert indexer.refresh() == 0  # nothing new
+            repo.add_schema(build_hr_schema())
+            assert indexer.refresh() == 1
+
+    def test_update_reindexes(self):
+        with SchemaRepository.in_memory() as repo:
+            schema = build_clinic_schema()
+            schema_id = repo.add_schema(schema)
+            indexer = RepositoryIndexer(repo)
+            indexer.refresh()
+            schema.name = "renamed_clinic"
+            repo.update_schema(schema)
+            indexer.refresh()
+            assert indexer.index.document(schema_id).title == \
+                "renamed_clinic"
+
+    def test_delete_removes_document(self):
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(build_clinic_schema())
+            indexer = RepositoryIndexer(repo)
+            indexer.refresh()
+            repo.delete_schema(schema_id)
+            indexer.refresh()
+            assert indexer.index.document_count == 0
+
+    def test_add_then_delete_between_refreshes_collapses(self):
+        with SchemaRepository.in_memory() as repo:
+            indexer = RepositoryIndexer(repo)
+            schema_id = repo.add_schema(build_clinic_schema())
+            repo.delete_schema(schema_id)
+            applied = indexer.refresh()
+            assert indexer.index.document_count == 0
+            assert applied == 0
+
+    def test_multiple_updates_collapse_to_one_operation(self):
+        with SchemaRepository.in_memory() as repo:
+            schema = build_clinic_schema()
+            repo.add_schema(schema)
+            indexer = RepositoryIndexer(repo)
+            indexer.refresh()
+            for name in ("a", "b", "c"):
+                schema.name = name
+                repo.update_schema(schema)
+            assert indexer.refresh() == 1
+            assert indexer.index.document(schema.schema_id).title == "c"
+
+
+class TestRebuild:
+    def test_rebuild_from_scratch(self):
+        with SchemaRepository.in_memory() as repo:
+            repo.add_schema(build_clinic_schema())
+            repo.add_schema(build_hr_schema())
+            indexer = RepositoryIndexer(repo)
+            count = indexer.rebuild()
+            assert count == 2
+            assert indexer.refresh() == 0  # cursor advanced by rebuild
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        with SchemaRepository.in_memory() as repo:
+            repo.add_schema(build_clinic_schema())
+            indexer = RepositoryIndexer(repo)
+            indexer.refresh()
+            path = tmp_path / "segment.jsonl"
+            indexer.save(path)
+
+            fresh = RepositoryIndexer(repo)
+            fresh.load(path)
+            assert fresh.index.document_count == 1
+            # Cursor advanced to head: no replay of old changes.
+            assert fresh.refresh() == 0
+            # New changes still picked up.
+            repo.add_schema(build_hr_schema())
+            assert fresh.refresh() == 1
+
+
+class TestScheduledRuns:
+    def test_run_scheduled_with_max_refreshes(self):
+        with SchemaRepository.in_memory() as repo:
+            repo.add_schema(build_clinic_schema())
+            indexer = RepositoryIndexer(repo)
+            total = indexer.run_scheduled(interval_seconds=0.001,
+                                          max_refreshes=3)
+            assert total == 1  # only the initial add existed
+
+    def test_stop_terminates_loop(self):
+        with SchemaRepository.in_memory() as repo:
+            repo.add_schema(build_clinic_schema())
+            indexer = RepositoryIndexer(repo)
+            thread = threading.Thread(
+                target=indexer.run_scheduled,
+                kwargs={"interval_seconds": 0.01})
+            thread.start()
+            indexer.stop()
+            thread.join(timeout=5)
+            assert not thread.is_alive()

@@ -1,0 +1,181 @@
+"""Robustness tests: failure injection, concurrency, large inputs."""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.errors import RepositoryError
+from repro.model.elements import Attribute, Entity
+from repro.model.schema import Schema
+from repro.repository.store import SchemaRepository
+from repro.service.client import SchemrClient
+from repro.service.server import SchemrServer
+
+from tests.conftest import build_clinic_schema, build_hr_schema
+
+
+class TestCorruptionInjection:
+    def test_corrupt_payload_surfaces_as_repository_error(self):
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(build_clinic_schema())
+            repo.connection.execute(
+                "UPDATE schemas SET payload = 'not json' "
+                "WHERE schema_id = ?", (schema_id,))
+            repo.connection.commit()
+            with pytest.raises(RepositoryError, match="corrupt"):
+                repo.get_schema(schema_id)
+
+    def test_structurally_invalid_payload_detected(self):
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(build_clinic_schema())
+            repo.connection.execute(
+                "UPDATE schemas SET payload = '{\"description\": \"x\"}' "
+                "WHERE schema_id = ?", (schema_id,))
+            repo.connection.commit()
+            with pytest.raises(RepositoryError, match="corrupt"):
+                repo.get_schema(schema_id)
+
+
+class TestConcurrency:
+    def test_concurrent_writers_all_land(self):
+        with SchemaRepository.in_memory() as repo:
+            def add(i: int) -> int:
+                return repo.add_schema(
+                    build_clinic_schema(name=f"clinic_{i}"))
+
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                ids = list(pool.map(add, range(40)))
+            assert len(set(ids)) == 40
+            assert repo.schema_count == 40
+
+    def test_search_while_writing(self):
+        """The HTTP server searches while another thread imports."""
+        repo = SchemaRepository.in_memory()
+        repo.add_schema(build_clinic_schema())
+        repo.add_schema(build_hr_schema())
+        server = SchemrServer(repo)
+        errors: list[Exception] = []
+
+        def writer() -> None:
+            try:
+                for i in range(15):
+                    repo.add_schema(
+                        build_clinic_schema(name=f"extra_{i}"))
+            except Exception as exc:  # pragma: no cover - fail the test
+                errors.append(exc)
+
+        with server.running() as base_url:
+            client = SchemrClient(base_url)
+            thread = threading.Thread(target=writer)
+            thread.start()
+            for _ in range(10):
+                results = client.search("patient height gender")
+                assert results
+            thread.join()
+        assert not errors
+        assert repo.schema_count == 17
+        repo.close()
+
+    def test_concurrent_http_clients(self, small_repository):
+        server = SchemrServer(small_repository)
+        with server.running() as base_url:
+            def query(_: int) -> int:
+                client = SchemrClient(base_url)
+                return len(client.search("patient height gender"))
+
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                counts = list(pool.map(query, range(24)))
+            assert all(count >= 1 for count in counts)
+
+
+class TestLargeInputs:
+    def make_wide_schema(self, entities: int = 50,
+                         attributes: int = 40) -> Schema:
+        schema = Schema(name="wide")
+        for i in range(entities):
+            schema.add_entity(Entity(f"entity_{i}", [
+                Attribute(f"col_{i}_{j}") for j in range(attributes)]))
+        return schema
+
+    def test_wide_schema_round_trips_through_repository(self):
+        schema = self.make_wide_schema()
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(schema)
+            loaded = repo.get_schema(schema_id)
+            assert loaded.attribute_count == 2000
+
+    def test_wide_schema_searchable(self):
+        with SchemaRepository.in_memory() as repo:
+            repo.add_schema(self.make_wide_schema())
+            engine = repo.engine()
+            results = engine.search("entity col")
+            assert results and results[0].name == "wide"
+
+    def test_wide_schema_graphml_and_drill(self):
+        from repro.model.graph import schema_to_networkx
+        from repro.service.graphml import graphml_for_schema, parse_graphml
+        from repro.viz.drill import display_subgraph
+        schema = self.make_wide_schema(entities=20, attributes=20)
+        graph = parse_graphml(graphml_for_schema(schema))
+        display = display_subgraph(graph, max_depth=1)
+        # Depth cap keeps the display tractable: root + 20 entities.
+        assert display.number_of_nodes() == 21
+        full = schema_to_networkx(schema)
+        assert full.number_of_nodes() == 1 + 20 + 400
+
+    def test_deep_xsd_nesting(self):
+        """A 20-level nested XSD parses and stays displayable."""
+        from repro.parsers.xsd import parse_xsd
+        from repro.model.graph import schema_to_networkx
+        from repro.viz.drill import display_subgraph
+        inner = '<xs:element name="leaf" type="xs:string"/>'
+        for level in reversed(range(20)):
+            inner = (f'<xs:element name="level{level}"><xs:complexType>'
+                     f'<xs:sequence>{inner}</xs:sequence>'
+                     f'</xs:complexType></xs:element>')
+        xsd = (f'<xs:schema '
+               f'xmlns:xs="http://www.w3.org/2001/XMLSchema">{inner}'
+               f'</xs:schema>')
+        schema = parse_xsd(xsd)
+        assert schema.entity_count == 20
+        # Normalization turns the nesting chain into a foreign-key chain.
+        assert len(schema.foreign_keys) == 19
+        display = display_subgraph(schema_to_networkx(schema))
+        # The relational graph is flat (root -> entities -> attributes),
+        # so everything fits within the display cap.
+        depths = {d["depth"] for _n, d in display.nodes(data=True)}
+        assert max(depths) == 2
+
+    def test_pathological_long_identifier(self):
+        from repro.matching.name import NameMatcher
+        from repro.model.query import QueryGraph
+        schema = Schema(name="s")
+        schema.add_entity(Entity("t", [Attribute("x" * 500)]))
+        query = QueryGraph.build(keywords=["x" * 500])
+        matrix = NameMatcher().match(query, schema)
+        assert matrix.get(f"kw:{'x' * 500}", f"t.{'x' * 500}") == 1.0
+
+
+class TestUnicode:
+    def test_unicode_schema_round_trip(self):
+        schema = Schema(name="observación")
+        schema.add_entity(Entity("espèce", [Attribute("nombre_común"),
+                                            Attribute("固有種")]))
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(schema)
+            loaded = repo.get_schema(schema_id)
+            assert loaded.entity("espèce").has_attribute("固有種")
+
+    def test_unicode_survives_http(self):
+        repo = SchemaRepository.in_memory()
+        schema = Schema(name="observación",
+                        description="données de terrain")
+        schema.add_entity(Entity("espèce", [Attribute("nom")]))
+        repo.add_schema(schema)
+        server = SchemrServer(repo)
+        with server.running() as base_url:
+            client = SchemrClient(base_url)
+            graph = client.schema_graph(1)
+            assert graph.has_node("espèce")
+        repo.close()

@@ -1,0 +1,88 @@
+"""Unit tests for entity neighborhoods (FK transitive closure)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.elements import Attribute, Entity, ForeignKey
+from repro.model.schema import Schema
+from repro.scoring.neighborhood import NeighborhoodIndex, entity_components
+
+
+def chain_schema(n: int) -> Schema:
+    """e0 -> e1 -> ... -> e{n-1} linked by FKs."""
+    schema = Schema(name="chain")
+    for i in range(n):
+        schema.add_entity(Entity(f"e{i}", [Attribute("id")]))
+    for i in range(n - 1):
+        schema.add_foreign_key(ForeignKey(f"e{i}", "id", f"e{i+1}", "id"))
+    return schema
+
+
+class TestComponents:
+    def test_figure4_single_component(self, clinic_schema):
+        components = entity_components(clinic_schema)
+        assert components == [{"patient", "doctor", "case"}]
+
+    def test_isolated_entities_are_singletons(self, clinic_schema):
+        clinic_schema.add_entity(Entity("island", [Attribute("x")]))
+        components = entity_components(clinic_schema)
+        assert {"island"} in components
+        assert len(components) == 2
+
+    def test_transitive_closure_spans_chain(self):
+        schema = chain_schema(5)
+        components = entity_components(schema)
+        assert components == [{f"e{i}" for i in range(5)}]
+
+    def test_two_components(self, clinic_schema, hr_schema):
+        merged = Schema(name="merged")
+        for schema in (clinic_schema, hr_schema):
+            for entity in schema.entities.values():
+                merged.add_entity(entity)
+            for fk in schema.foreign_keys:
+                merged.add_foreign_key(fk)
+        assert len(entity_components(merged)) == 2
+
+    def test_long_chain_does_not_recurse(self):
+        # Iterative DFS must survive a 10k-entity chain.
+        assert len(entity_components(chain_schema(10_000))[0]) == 10_000
+
+    def test_empty_schema(self):
+        assert entity_components(Schema(name="empty")) == []
+
+
+class TestNeighborhoodIndex:
+    def test_same_entity(self, clinic_schema):
+        index = NeighborhoodIndex(clinic_schema)
+        assert index.relation("patient", "patient") == \
+            NeighborhoodIndex.SAME_ENTITY
+
+    def test_same_neighborhood(self, clinic_schema):
+        index = NeighborhoodIndex(clinic_schema)
+        assert index.relation("patient", "doctor") == \
+            NeighborhoodIndex.SAME_NEIGHBORHOOD
+        assert index.relation("case", "patient") == \
+            NeighborhoodIndex.SAME_NEIGHBORHOOD
+
+    def test_unrelated(self, clinic_schema):
+        clinic_schema.add_entity(Entity("island", [Attribute("x")]))
+        index = NeighborhoodIndex(clinic_schema)
+        assert index.relation("patient", "island") == \
+            NeighborhoodIndex.UNRELATED
+
+    def test_unknown_entity_raises(self, clinic_schema):
+        index = NeighborhoodIndex(clinic_schema)
+        with pytest.raises(SchemaError):
+            index.relation("patient", "ghost")
+
+    def test_same_neighborhood_predicate(self, clinic_schema):
+        index = NeighborhoodIndex(clinic_schema)
+        assert index.same_neighborhood("patient", "doctor")
+        clinic_schema.add_entity(Entity("island", [Attribute("x")]))
+        index = NeighborhoodIndex(clinic_schema)
+        assert not index.same_neighborhood("patient", "island")
+
+    def test_symmetry(self, clinic_schema):
+        index = NeighborhoodIndex(clinic_schema)
+        assert index.relation("patient", "doctor") == \
+            index.relation("doctor", "patient")

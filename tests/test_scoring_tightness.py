@@ -1,0 +1,205 @@
+"""Unit tests for the tightness-of-fit scorer, including the paper's
+Figure 4 worked example step by step."""
+
+import pytest
+
+from repro.errors import MatchError
+from repro.model.elements import Attribute, Entity
+from repro.scoring.tightness import (
+    AGGREGATION_MEAN,
+    AGGREGATION_SUM,
+    PenaltyPolicy,
+    TightnessScorer,
+)
+
+#: Figure 4's matched elements: case.doctor, case.patient, patient.height,
+#: patient.gender, doctor.gender — all at similarity s for the walkthrough.
+FIGURE4_SCORES = {
+    "case.doctor": 0.8,
+    "case.patient": 0.8,
+    "patient.height": 0.8,
+    "patient.gender": 0.8,
+    "doctor.gender": 0.8,
+}
+
+
+class TestPenaltyPolicy:
+    def test_defaults_small_less_than_large(self):
+        policy = PenaltyPolicy()
+        assert policy.neighborhood_penalty < policy.unrelated_penalty
+
+    def test_inverted_penalties_rejected(self):
+        with pytest.raises(MatchError):
+            PenaltyPolicy(neighborhood_penalty=0.5, unrelated_penalty=0.2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MatchError):
+            PenaltyPolicy(neighborhood_penalty=-0.1)
+        with pytest.raises(MatchError):
+            PenaltyPolicy(unrelated_penalty=1.5)
+
+    def test_bad_aggregation_rejected(self):
+        with pytest.raises(MatchError):
+            PenaltyPolicy(aggregation="median")
+
+
+class TestFigure4Walkthrough:
+    """The paper's worked example, with the mean aggregation it narrates.
+
+    All three entities share one FK neighborhood (case references both
+    patient and doctor), so with anchor=case the other entities' elements
+    take the small penalty; same for the other anchors.
+    """
+
+    @pytest.fixture
+    def scorer(self) -> TightnessScorer:
+        return TightnessScorer(PenaltyPolicy(
+            neighborhood_penalty=0.1, unrelated_penalty=0.3,
+            match_floor=0.01, aggregation=AGGREGATION_MEAN))
+
+    def test_case_anchor_penalties(self, clinic_schema, scorer):
+        result = scorer.score(clinic_schema, FIGURE4_SCORES)
+        case_anchor = next(a for a in result.anchors if a.anchor == "case")
+        # case.doctor / case.patient reside in the anchor: no penalty.
+        assert case_anchor.penalized_elements["case.doctor"] == \
+            pytest.approx(0.8)
+        assert case_anchor.penalized_elements["case.patient"] == \
+            pytest.approx(0.8)
+        # patient.* and doctor.* take the small neighborhood penalty.
+        assert case_anchor.penalized_elements["patient.height"] == \
+            pytest.approx(0.7)
+        assert case_anchor.penalized_elements["doctor.gender"] == \
+            pytest.approx(0.7)
+
+    def test_patient_anchor_penalties(self, clinic_schema, scorer):
+        result = scorer.score(clinic_schema, FIGURE4_SCORES)
+        patient_anchor = next(a for a in result.anchors
+                              if a.anchor == "patient")
+        assert patient_anchor.penalized_elements["patient.height"] == \
+            pytest.approx(0.8)
+        assert patient_anchor.penalized_elements["case.doctor"] == \
+            pytest.approx(0.7)
+        assert patient_anchor.penalized_elements["doctor.gender"] == \
+            pytest.approx(0.7)
+
+    def test_all_three_anchors_evaluated(self, clinic_schema, scorer):
+        result = scorer.score(clinic_schema, FIGURE4_SCORES)
+        assert {a.anchor for a in result.anchors} == \
+            {"case", "patient", "doctor"}
+
+    def test_max_anchor_selected(self, clinic_schema, scorer):
+        """case holds 2 matched elements vs patient's 2 and doctor's 1;
+        with uniform scores the anchor with most in-anchor elements wins
+        (ties broken by name)."""
+        result = scorer.score(clinic_schema, FIGURE4_SCORES)
+        anchor_scores = {a.anchor: a.score for a in result.anchors}
+        # case anchor: (0.8*2 + 0.7*3) / 5 = 0.74
+        assert anchor_scores["case"] == pytest.approx(0.74)
+        # patient anchor: (0.8*2 + 0.7*3) / 5 = 0.74 (2 own elements)
+        assert anchor_scores["patient"] == pytest.approx(0.74)
+        # doctor anchor: (0.8*1 + 0.7*4) / 5 = 0.72
+        assert anchor_scores["doctor"] == pytest.approx(0.72)
+        assert result.score == pytest.approx(0.74)
+        assert result.best_anchor in ("case", "patient")
+
+    def test_unrelated_entity_takes_large_penalty(self, clinic_schema,
+                                                  scorer):
+        clinic_schema.add_entity(Entity("billing", [Attribute("gender")]))
+        scores = dict(FIGURE4_SCORES)
+        scores["billing.gender"] = 0.8
+        result = scorer.score(clinic_schema, scores)
+        case_anchor = next(a for a in result.anchors if a.anchor == "case")
+        assert case_anchor.penalized_elements["billing.gender"] == \
+            pytest.approx(0.5)  # 0.8 - 0.3
+
+
+class TestScorerBehaviour:
+    def test_no_matches_scores_zero(self, clinic_schema):
+        result = TightnessScorer().score(clinic_schema, {})
+        assert result.score == 0.0
+        assert result.best_anchor is None
+        assert result.anchors == []
+
+    def test_match_floor_excludes_weak_elements(self, clinic_schema):
+        scorer = TightnessScorer(PenaltyPolicy(match_floor=0.25))
+        result = scorer.score(clinic_schema, {"patient.height": 0.2,
+                                              "patient.gender": 0.9})
+        assert "patient.height" not in result.matched_elements
+        assert "patient.gender" in result.matched_elements
+
+    def test_unknown_element_raises(self, clinic_schema):
+        with pytest.raises(MatchError, match="does not exist"):
+            TightnessScorer().score(clinic_schema, {"ghost.attr": 0.9})
+
+    def test_entity_level_elements_scored(self, clinic_schema):
+        result = TightnessScorer().score(clinic_schema, {"patient": 0.9})
+        assert result.score > 0
+        assert result.best_anchor == "patient"
+
+    def test_sum_rewards_breadth(self, clinic_schema):
+        """Default (sum) aggregation: matching more elements scores
+        higher; this is the formula reading ``t = max_A Σ(S - P_A)``."""
+        scorer = TightnessScorer()
+        narrow = scorer.score(clinic_schema, {"patient.gender": 0.9})
+        broad = scorer.score(clinic_schema, FIGURE4_SCORES)
+        assert broad.score > narrow.score
+
+    def test_mean_vs_sum_agree_on_single_element(self, clinic_schema):
+        scores = {"patient.gender": 0.9}
+        sum_result = TightnessScorer(
+            PenaltyPolicy(aggregation=AGGREGATION_SUM)).score(
+                clinic_schema, scores)
+        mean_result = TightnessScorer(
+            PenaltyPolicy(aggregation=AGGREGATION_MEAN)).score(
+                clinic_schema, scores)
+        assert sum_result.score == pytest.approx(mean_result.score)
+
+    def test_scores_clamped_to_unit(self, clinic_schema):
+        result = TightnessScorer().score(clinic_schema,
+                                         {"patient.gender": 7.0})
+        assert result.matched_elements["patient.gender"] == 1.0
+
+    def test_penalty_never_negative(self, clinic_schema):
+        """An element score below the penalty clamps to 0, not below."""
+        scorer = TightnessScorer(PenaltyPolicy(
+            neighborhood_penalty=0.5, unrelated_penalty=0.9,
+            match_floor=0.01))
+        result = scorer.score(clinic_schema, {"patient.height": 0.3,
+                                              "case.diagnosis": 0.9})
+        case_anchor = next(a for a in result.anchors if a.anchor == "case")
+        assert case_anchor.penalized_elements["patient.height"] == 0.0
+
+    def test_tighter_schema_beats_scattered(self):
+        """The design intent: the same matches packed into one entity
+        outscore the same matches scattered over unrelated entities."""
+        from repro.model.schema import Schema
+        tight = Schema(name="tight")
+        tight.add_entity(Entity("t", [Attribute("a"), Attribute("b"),
+                                      Attribute("c")]))
+        scattered = Schema(name="scattered")
+        for name in ("x", "y", "z"):
+            scattered.add_entity(Entity(name, [Attribute("a")]))
+        scorer = TightnessScorer()
+        tight_scores = {"t.a": 0.8, "t.b": 0.8, "t.c": 0.8}
+        scattered_scores = {"x.a": 0.8, "y.a": 0.8, "z.a": 0.8}
+        assert scorer.score(tight, tight_scores).score > \
+            scorer.score(scattered, scattered_scores).score
+
+    def test_fk_connected_beats_unconnected(self):
+        """Matches across FK-related entities outscore matches across
+        unrelated entities (small vs large penalty)."""
+        from repro.model.elements import ForeignKey
+        from repro.model.schema import Schema
+
+        def build(linked: bool) -> Schema:
+            schema = Schema(name="s")
+            schema.add_entity(Entity("a", [Attribute("x")]))
+            schema.add_entity(Entity("b", [Attribute("y")]))
+            if linked:
+                schema.add_foreign_key(ForeignKey("a", "x", "b", "y"))
+            return schema
+
+        scorer = TightnessScorer()
+        scores = {"a.x": 0.8, "b.y": 0.8}
+        assert scorer.score(build(True), scores).score > \
+            scorer.score(build(False), scores).score

@@ -1,0 +1,156 @@
+"""Tests for the server-rendered HTML GUI."""
+
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.service.gui import render_schema_svg, render_search_page
+from repro.service.server import SchemrServer
+
+
+@pytest.fixture
+def base_url(small_repository):
+    server = SchemrServer(small_repository)
+    server.start()
+    yield server.base_url
+    server.stop()
+
+
+def fetch(url: str, data: bytes | None = None) -> tuple[int, str, str]:
+    request = urllib.request.Request(url, data=data)
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return (response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"))
+
+
+class TestRenderSearchPage:
+    def test_empty_form(self):
+        html = render_search_page()
+        assert html.startswith("<!DOCTYPE html>")
+        assert '<form method="post"' in html
+        assert "result(s)" not in html
+
+    def test_results_table(self, small_repository, paper_keywords):
+        engine = small_repository.engine()
+        results = engine.search(keywords=paper_keywords)
+        html = render_search_page("patient", "", results)
+        assert "clinic_emr" in html
+        assert "/schema/1/svg" in html
+        assert f"{len(results)} result(s)" in html
+
+    def test_escaping(self, small_repository):
+        html = render_search_page('<script>alert("x")</script>', "", [])
+        assert "<script>" not in html
+
+
+class TestRenderSchemaSvg:
+    def test_radial_default(self, clinic_schema):
+        svg = render_schema_svg(clinic_schema)
+        assert svg.startswith("<svg")
+        assert "clinic_emr" in svg
+
+    def test_tree_layout(self, clinic_schema):
+        assert render_schema_svg(clinic_schema,
+                                 layout="tree").startswith("<svg")
+
+    def test_focus_drills_in(self, clinic_schema):
+        svg = render_schema_svg(clinic_schema, focus="patient")
+        assert "height" in svg
+        assert "doctor" not in svg
+
+    def test_match_scores_rendered(self, clinic_schema):
+        svg = render_schema_svg(
+            clinic_schema, match_scores={"patient.height": 0.9})
+        assert "0.90" in svg
+
+
+class TestGuiOverHttp:
+    def test_root_serves_form(self, base_url):
+        status, content_type, body = fetch(f"{base_url}/")
+        assert status == 200
+        assert "text/html" in content_type
+        assert "Schemr" in body
+
+    def test_get_query_renders_results(self, base_url):
+        query = urllib.parse.urlencode(
+            {"keywords": "patient height gender"})
+        _status, _type, body = fetch(f"{base_url}/?{query}")
+        assert "clinic_emr" in body
+        assert "<table>" in body
+
+    def test_post_form_with_fragment(self, base_url):
+        form = urllib.parse.urlencode({
+            "keywords": "diagnosis",
+            "fragment": "CREATE TABLE patient (height DECIMAL);",
+        }).encode("ascii")
+        _status, _type, body = fetch(f"{base_url}/", data=form)
+        assert "clinic_emr" in body
+
+    def test_svg_endpoint(self, base_url):
+        status, content_type, body = fetch(
+            f"{base_url}/schema/1/svg?layout=tree")
+        assert status == 200
+        assert "image/svg+xml" in content_type
+        assert body.startswith("<svg")
+
+    def test_svg_with_scores_and_focus(self, base_url):
+        scores = urllib.parse.quote("patient.height:0.8")
+        _s, _t, body = fetch(
+            f"{base_url}/schema/1/svg?focus=patient&scores={scores}")
+        assert "0.80" in body
+
+    def test_svg_bad_id(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{base_url}/schema/nope/svg")
+        assert excinfo.value.code == 400
+
+    def test_figure2_two_panel_flow(self, base_url):
+        """Search in the left panel, open the visualization linked from
+        the results row — the Figure 2 interaction, over HTTP."""
+        query = urllib.parse.urlencode(
+            {"keywords": "patient height gender diagnosis"})
+        _s, _t, page = fetch(f"{base_url}/?{query}")
+        # Pull the first SVG link out of the results table.
+        start = page.index('href="') + len('href="')
+        link = page[start:page.index('"', start)].replace("&amp;", "&")
+        _s, content_type, svg = fetch(f"{base_url}{link}")
+        assert "image/svg+xml" in content_type
+        assert svg.startswith("<svg")
+
+
+class TestGuiPagination:
+    def test_next_page_link_on_full_page(self):
+        results = []
+        from repro.core.results import SearchResult
+        for i in range(10):
+            results.append(SearchResult(
+                schema_id=i + 1, name=f"s{i}", score=1.0 - i * 0.05,
+                match_count=1, entity_count=1, attribute_count=3))
+        html = render_search_page("patient", "", results)
+        assert "next 10 schemas" in html
+        assert "offset=10" in html
+
+    def test_no_next_link_on_short_page(self):
+        from repro.core.results import SearchResult
+        results = [SearchResult(schema_id=1, name="s", score=1.0,
+                                match_count=1, entity_count=1,
+                                attribute_count=3)]
+        html = render_search_page("patient", "", results)
+        assert "next 10 schemas" not in html
+
+    def test_offset_shown_in_header(self):
+        from repro.core.results import SearchResult
+        results = [SearchResult(schema_id=1, name="s", score=1.0,
+                                match_count=1, entity_count=1,
+                                attribute_count=3)]
+        html = render_search_page("patient", "", results, offset=10)
+        assert "results 11" in html
+
+    def test_http_offset_round_trip(self, base_url):
+        import urllib.parse
+        query = urllib.parse.urlencode(
+            {"keywords": "name gender id", "offset": 1})
+        _s, _t, body = fetch(f"{base_url}/?{query}")
+        assert "<table>" in body or "result(s)" in body

@@ -1,0 +1,100 @@
+"""Integration tests for the HTTP service (real sockets, Figure 5 flow)."""
+
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import SchemrClient
+from repro.service.server import SchemrServer
+
+
+@pytest.fixture
+def running_server(small_repository):
+    server = SchemrServer(small_repository)
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def client(running_server) -> SchemrClient:
+    return SchemrClient(running_server.base_url)
+
+
+class TestSearchEndpoint:
+    def test_keyword_search_roundtrip(self, client):
+        results = client.search("patient height gender diagnosis")
+        assert results[0].name == "clinic_emr"
+        assert results[0].score > 0
+
+    def test_fragment_post(self, client):
+        ddl = "CREATE TABLE patient (height DECIMAL, gender CHAR(1));"
+        results = client.search(fragment=ddl)
+        assert results[0].name == "clinic_emr"
+
+    def test_top_n_parameter(self, client):
+        results = client.search("name", top_n=1)
+        assert len(results) <= 1
+
+    def test_empty_query_is_client_error(self, client):
+        with pytest.raises(ServiceError, match="400"):
+            client.search("")
+
+    def test_no_results(self, client):
+        assert client.search("qqqzzzxxx") == []
+
+
+class TestSchemaEndpoint:
+    def test_graphml_roundtrip(self, client):
+        graph = client.schema_graph(1)
+        assert graph.has_node("patient")
+        assert graph.graph["name"] == "clinic_emr"
+
+    def test_match_scores_forwarded(self, client):
+        graph = client.schema_graph(
+            1, match_scores={"patient.height": 0.8})
+        assert graph.nodes["patient.height"]["match_score"] == \
+            pytest.approx(0.8)
+
+    def test_unknown_schema_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client.schema_graph(999)
+
+    def test_bad_schema_id_400(self, running_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{running_server.base_url}/schema/notanumber")
+        assert excinfo.value.code == 400
+
+
+class TestServerPlumbing:
+    def test_health(self, client):
+        assert client.health() is True
+
+    def test_health_false_when_down(self):
+        client = SchemrClient("http://127.0.0.1:1")  # nothing listens
+        assert client.health() is False
+
+    def test_unknown_route_404(self, running_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{running_server.base_url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_running_context_manager(self, small_repository):
+        server = SchemrServer(small_repository)
+        with server.running() as base_url:
+            assert SchemrClient(base_url).health()
+        # After exit the port is closed.
+        assert not SchemrClient(base_url).health()
+
+    def test_figure5_flow(self, client):
+        """The full architecture loop: search -> pick result -> fetch its
+        GraphML with the element scores for visual encoding."""
+        results = client.search("patient height gender diagnosis")
+        top = results[0]
+        graph = client.schema_graph(top.schema_id,
+                                    match_scores=top.element_scores)
+        scored_nodes = [n for n, d in graph.nodes(data=True)
+                        if d.get("match_score", 0) > 0]
+        assert scored_nodes  # the GUI has something to highlight

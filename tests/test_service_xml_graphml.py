@@ -1,0 +1,111 @@
+"""Unit tests for the XML result serialization and GraphML writer."""
+
+import pytest
+
+from repro.core.results import ElementMatch, SearchResult
+from repro.errors import ServiceError
+from repro.service.graphml import graphml_for_schema, parse_graphml
+from repro.service.xmlresponse import parse_results_xml, results_to_xml
+
+
+def make_result() -> SearchResult:
+    matches = [ElementMatch("kw:height", "patient.height", 0.91)]
+    return SearchResult(
+        schema_id=3, name="clinic_emr", score=0.7421, match_count=4,
+        entity_count=3, attribute_count=12,
+        description="health clinic <records> & more",
+        coarse_score=1.25, best_anchor="case",
+        element_scores={"patient.height": 0.91},
+        element_matches=matches)
+
+
+class TestResultsXml:
+    def test_roundtrip(self):
+        original = [make_result()]
+        parsed = parse_results_xml(results_to_xml(original, query="q"))
+        assert len(parsed) == 1
+        result = parsed[0]
+        assert result.schema_id == 3
+        assert result.name == "clinic_emr"
+        assert result.score == pytest.approx(0.7421)
+        assert result.coarse_score == pytest.approx(1.25)
+        assert result.best_anchor == "case"
+        assert result.match_count == 4
+        assert result.description == "health clinic <records> & more"
+        assert result.element_matches[0].element_path == "patient.height"
+        assert result.element_matches[0].score == pytest.approx(0.91)
+
+    def test_special_characters_escaped(self):
+        xml = results_to_xml([make_result()])
+        assert "&lt;records&gt;" in xml or "<description>" in xml
+        # Either way it must parse back.
+        assert parse_results_xml(xml)[0].description == \
+            "health clinic <records> & more"
+
+    def test_empty_result_list(self):
+        assert parse_results_xml(results_to_xml([])) == []
+
+    def test_ranks_sequential(self):
+        results = [make_result(), make_result()]
+        xml = results_to_xml(results)
+        assert 'rank="1"' in xml and 'rank="2"' in xml
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            parse_results_xml("<searchResults")
+
+    def test_wrong_root_raises(self):
+        with pytest.raises(ServiceError, match="unexpected root"):
+            parse_results_xml("<somethingElse/>")
+
+    def test_bad_numeric_field_raises(self):
+        xml = ('<searchResults count="1">'
+               '<result rank="1" schemaId="oops" name="x" score="0.1" '
+               'matches="0" entities="0" attributes="0"/></searchResults>')
+        with pytest.raises(ServiceError, match="malformed result"):
+            parse_results_xml(xml)
+
+
+class TestGraphml:
+    def test_roundtrip_structure(self, clinic_schema):
+        graph = parse_graphml(graphml_for_schema(clinic_schema))
+        assert graph.has_node("patient")
+        assert graph.has_node("patient.height")
+        assert graph.has_edge("patient", "patient.height")
+        # 1 root + 3 entities + 12 attributes
+        assert graph.number_of_nodes() == 16
+
+    def test_node_attributes_preserved(self, clinic_schema):
+        graph = parse_graphml(graphml_for_schema(clinic_schema))
+        assert graph.nodes["patient"]["kind"] == "entity"
+        assert graph.nodes["patient.height"]["kind"] == "attribute"
+        assert graph.nodes["patient.height"]["data_type"] == "DECIMAL(5,2)"
+
+    def test_fk_edges_tagged(self, clinic_schema):
+        graph = parse_graphml(graphml_for_schema(clinic_schema))
+        assert graph.edges["case.patient", "patient.id"]["relation"] == \
+            "foreign_key"
+
+    def test_match_scores_encoded(self, clinic_schema):
+        graphml = graphml_for_schema(
+            clinic_schema, match_scores={"patient.height": 0.85})
+        graph = parse_graphml(graphml)
+        assert graph.nodes["patient.height"]["match_score"] == \
+            pytest.approx(0.85)
+
+    def test_unknown_score_paths_ignored(self, clinic_schema):
+        graphml = graphml_for_schema(clinic_schema,
+                                     match_scores={"ghost.attr": 0.9})
+        assert parse_graphml(graphml).number_of_nodes() == 16
+
+    def test_malformed_graphml_raises(self):
+        with pytest.raises(ServiceError):
+            parse_graphml("<graphml")
+
+    def test_wrong_root_raises(self):
+        with pytest.raises(ServiceError, match="unexpected root"):
+            parse_graphml("<html/>")
+
+    def test_graph_name_preserved(self, clinic_schema):
+        graph = parse_graphml(graphml_for_schema(clinic_schema))
+        assert graph.graph["name"] == "clinic_emr"

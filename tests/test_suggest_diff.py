@@ -1,0 +1,148 @@
+"""Tests for prefix suggestion and schema diff."""
+
+import pytest
+
+from repro.index.documents import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.suggest import PrefixSuggester
+from repro.mapping.diff import RENAME_THRESHOLD, diff_schemas
+from repro.model.elements import Attribute, Entity
+from repro.model.schema import Schema
+
+from tests.conftest import build_clinic_schema
+
+
+class TestPrefixSuggester:
+    @pytest.fixture
+    def suggester(self) -> PrefixSuggester:
+        index = InvertedIndex()
+        index.add(Document(1, "a", terms=["patient", "patient", "payment"]))
+        index.add(Document(2, "b", terms=["patient", "path", "salary"]))
+        index.add(Document(3, "c", terms=["patient", "payment"]))
+        return PrefixSuggester(index)
+
+    def test_prefix_matches_ranked_by_df(self, suggester):
+        suggestions = suggester.suggest("pa")
+        terms = [s.term for s in suggestions]
+        assert terms[0] == "patient"          # df 3
+        assert set(terms) == {"patient", "payment", "path"}
+
+    def test_df_reported(self, suggester):
+        top = suggester.suggest("patient")[0]
+        assert top.document_frequency == 3
+
+    def test_limit(self, suggester):
+        assert len(suggester.suggest("pa", limit=2)) == 2
+
+    def test_no_match(self, suggester):
+        assert suggester.suggest("zz") == []
+
+    def test_empty_prefix_returns_nothing(self, suggester):
+        assert suggester.suggest("") == []
+        assert suggester.suggest("   ") == []
+
+    def test_case_insensitive(self, suggester):
+        assert suggester.suggest("PAT")[0].term == "patient"
+
+    def test_len(self, suggester):
+        # vocabulary: patient, payment, path, salary
+        assert len(suggester) == 4
+
+    def test_http_endpoint(self, small_repository):
+        from repro.service.client import SchemrClient
+        from repro.service.server import SchemrServer
+        server = SchemrServer(small_repository)
+        with server.running() as base_url:
+            client = SchemrClient(base_url)
+            suggestions = client.suggest("pat")
+            assert suggestions
+            assert suggestions[0][0] == "patient"
+            assert suggestions[0][1] >= 1
+
+
+class TestSchemaDiff:
+    def test_no_changes(self, clinic_schema):
+        diff = diff_schemas(clinic_schema, build_clinic_schema())
+        assert diff.is_empty
+        assert "no structural changes" in diff.summary()
+
+    def test_added_and_removed(self, clinic_schema):
+        new = build_clinic_schema(name="v2")
+        new.entity("patient").add_attribute(Attribute("weight"))
+        del new.entity("doctor").attributes[-1]  # drop specialty
+        diff = diff_schemas(clinic_schema, new)
+        assert diff.added == ["patient.weight"]
+        assert diff.removed == ["doctor.specialty"]
+
+    def test_rename_detected(self, clinic_schema):
+        new = build_clinic_schema(name="v2")
+        attr = new.entity("patient").attribute("height")
+        attr.name = "patient_height"
+        diff = diff_schemas(clinic_schema, new)
+        assert len(diff.renamed) == 1
+        rename = diff.renamed[0]
+        assert rename.old_path == "patient.height"
+        assert rename.new_path == "patient.patient_height"
+        assert rename.similarity >= RENAME_THRESHOLD
+        # The renamed pair is excluded from plain add/remove lists.
+        assert "patient.height" not in diff.removed
+        assert "patient.patient_height" not in diff.added
+
+    def test_unrelated_add_remove_not_paired(self, clinic_schema):
+        new = build_clinic_schema(name="v2")
+        del new.entity("patient").attributes[-1]  # drop gender
+        new.entity("case").add_attribute(Attribute("billing_code"))
+        diff = diff_schemas(clinic_schema, new)
+        assert diff.renamed == []
+        assert "patient.gender" in diff.removed
+        assert "case.billing_code" in diff.added
+
+    def test_entity_rename(self, clinic_schema):
+        new = Schema(name="v2")
+        for name, entity in clinic_schema.entities.items():
+            renamed = "patients" if name == "patient" else name
+            new.add_entity(Entity(renamed, [
+                Attribute(a.name, a.data_type) for a in entity.attributes]))
+        diff = diff_schemas(clinic_schema, new)
+        entity_renames = [r for r in diff.renamed
+                          if r.old_path == "patient"]
+        assert entity_renames
+        assert entity_renames[0].new_path == "patients"
+
+    def test_entity_cannot_rename_into_attribute(self):
+        old = Schema(name="old")
+        old.add_entity(Entity("height", [Attribute("x")]))
+        new = Schema(name="new")
+        new.add_entity(Entity("t", [Attribute("height")]))
+        diff = diff_schemas(old, new)
+        assert all(r.old_path != "height" or "." not in r.new_path
+                   for r in diff.renamed)
+
+    def test_type_change_reported(self, clinic_schema):
+        new = build_clinic_schema(name="v2")
+        new.entity("patient").attribute("height").data_type = "REAL"
+        diff = diff_schemas(clinic_schema, new)
+        assert ("patient.height", "DECIMAL(5,2)", "REAL") in \
+            diff.type_changed
+
+    def test_summary_renders_all_sections(self, clinic_schema):
+        new = build_clinic_schema(name="v2")
+        new.entity("patient").add_attribute(Attribute("weight"))
+        new.entity("patient").attribute("height").data_type = "REAL"
+        summary = diff_schemas(clinic_schema, new).summary()
+        assert "+ patient.weight" in summary
+        assert ": patient.height type" in summary
+
+    def test_cli_diff(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.repository.store import SchemaRepository
+        db = str(tmp_path / "r.db")
+        repo = SchemaRepository(db)
+        repo.add_schema(build_clinic_schema(name="v1"))
+        v2 = build_clinic_schema(name="v2")
+        v2.entity("patient").add_attribute(Attribute("weight"))
+        repo.add_schema(v2)
+        repo.close()
+        assert main(["diff", db, "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "+ patient.weight" in out

@@ -1,0 +1,130 @@
+"""Unit tests for schema summarization (Yu & Jagadish-style)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.elements import Attribute, Entity, ForeignKey
+from repro.model.schema import Schema
+from repro.viz.summarize import entity_importance, summarize_schema
+
+
+def star_schema(spokes: int = 6) -> Schema:
+    """A hub entity referenced by many small spokes."""
+    schema = Schema(name="star")
+    schema.add_entity(Entity("hub", [
+        Attribute(f"h{i}") for i in range(8)]))
+    for i in range(spokes):
+        schema.add_entity(Entity(f"spoke{i}", [Attribute("id"),
+                                               Attribute("value")]))
+        schema.add_foreign_key(
+            ForeignKey(f"spoke{i}", "id", "hub", "h0"))
+    return schema
+
+
+def chain_schema(n: int) -> Schema:
+    schema = Schema(name="chain")
+    for i in range(n):
+        schema.add_entity(Entity(f"e{i}", [Attribute("id")]))
+    for i in range(n - 1):
+        schema.add_foreign_key(ForeignKey(f"e{i}", "id", f"e{i+1}", "id"))
+    return schema
+
+
+class TestImportance:
+    def test_distribution_sums_to_one(self, clinic_schema):
+        importance = entity_importance(clinic_schema)
+        assert sum(importance.values()) == pytest.approx(1.0)
+
+    def test_hub_most_important(self):
+        importance = entity_importance(star_schema())
+        assert max(importance, key=importance.get) == "hub"
+
+    def test_content_matters_for_isolated_entities(self):
+        schema = Schema(name="s")
+        schema.add_entity(Entity("fat", [Attribute(f"a{i}")
+                                         for i in range(10)]))
+        schema.add_entity(Entity("thin", [Attribute("x")]))
+        importance = entity_importance(schema)
+        assert importance["fat"] > importance["thin"]
+
+    def test_empty_schema(self):
+        assert entity_importance(Schema(name="empty")) == {}
+
+    def test_figure4_case_is_central(self, clinic_schema):
+        """case references both patient and doctor; connectivity makes
+        it at least as important as doctor."""
+        importance = entity_importance(clinic_schema)
+        assert importance["case"] >= importance["doctor"]
+
+
+class TestSummarize:
+    def test_keeps_k_most_important(self):
+        summary = summarize_schema(star_schema(), k=1)
+        assert summary.entities == ["hub"]
+        assert summary.dropped == 6
+
+    def test_identity_when_k_large(self, clinic_schema):
+        summary = summarize_schema(clinic_schema, k=10)
+        assert set(summary.entities) == set(clinic_schema.entities)
+        assert summary.dropped == 0
+
+    def test_direct_edges_preserved(self, clinic_schema):
+        summary = summarize_schema(clinic_schema, k=3)
+        pairs = {(e.source, e.target) for e in summary.edges}
+        assert ("case", "patient") in pairs
+        assert all(e.direct for e in summary.edges)
+
+    def test_derived_edges_through_dropped_entities(self):
+        # Dumbbell: two fat hubs joined by a thin bridge entity.  k=2
+        # keeps the hubs; connectivity through the dropped bridge must
+        # survive as a derived edge.
+        schema = Schema(name="dumbbell")
+        for hub in ("hub_a", "hub_b"):
+            schema.add_entity(Entity(hub, [
+                Attribute(f"{hub}_c{i}") for i in range(8)]))
+        schema.add_entity(Entity("bridge", [Attribute("id")]))
+        schema.add_foreign_key(
+            ForeignKey("bridge", "id", "hub_a", "hub_a_c0"))
+        schema.add_foreign_key(
+            ForeignKey("bridge", "id", "hub_b", "hub_b_c0"))
+        summary = summarize_schema(schema, k=2)
+        assert summary.entities == ["hub_a", "hub_b"]
+        assert len(summary.edges) == 1
+        edge = summary.edges[0]
+        assert not edge.direct
+        assert edge.via_count == 1
+
+    def test_invalid_k_rejected(self, clinic_schema):
+        with pytest.raises(SchemaError):
+            summarize_schema(clinic_schema, k=0)
+
+    def test_summary_graph_renders(self, clinic_schema):
+        summary = summarize_schema(clinic_schema, k=2)
+        graph = summary.to_networkx(clinic_schema)
+        assert graph.number_of_nodes() > 2
+        # Importance is shown in entity labels.
+        labels = [d.get("label", "") for _n, d in graph.nodes(data=True)]
+        assert any("(" in label for label in labels)
+
+    def test_summary_graph_layout_compatible(self, clinic_schema):
+        """The summary graph must feed the existing layout engines."""
+        from repro.viz.drill import display_subgraph
+        from repro.viz.svg import render_svg
+        from repro.viz.tree import tree_layout
+        summary = summarize_schema(clinic_schema, k=2)
+        graph = summary.to_networkx(clinic_schema)
+        svg = render_svg(tree_layout(display_subgraph(graph)))
+        assert svg.startswith("<svg")
+
+    def test_large_generated_schema_summary(self):
+        """Summaries stay small and connected on generator output."""
+        from repro.corpus.domains import domain_by_name
+        from repro.corpus.generator import CorpusGenerator
+        generator = CorpusGenerator(seed=3)
+        domain = domain_by_name("healthcare")
+        generated = generator.generate_from_domain(
+            domain, template_names=("patient", "doctor", "case", "visit",
+                                    "medication", "clinic"))
+        summary = summarize_schema(generated.schema, k=3)
+        assert len(summary.entities) == 3
+        assert summary.dropped == 3

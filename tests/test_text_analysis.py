@@ -1,0 +1,66 @@
+"""Unit tests for repro.text.analysis and stopwords."""
+
+from repro.text.analysis import SCHEMA_ANALYZER, SIMPLE_ANALYZER, Analyzer
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_classic_lucene_words_present(self):
+        for word in ("the", "and", "of", "with"):
+            assert is_stopword(word)
+
+    def test_schema_words_not_stopwords(self):
+        for word in ("patient", "height", "name", "date"):
+            assert not is_stopword(word)
+
+    def test_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)
+
+
+class TestSchemaAnalyzer:
+    def test_splits_lowercases_stems(self):
+        assert SCHEMA_ANALYZER.analyze("PatientObservations") == \
+            ["patient", "observ"]
+
+    def test_removes_stopwords(self):
+        assert SCHEMA_ANALYZER.analyze("date_of_birth") == ["date", "birth"]
+
+    def test_empty_input(self):
+        assert SCHEMA_ANALYZER.analyze("") == []
+
+    def test_all_stopwords_input(self):
+        assert SCHEMA_ANALYZER.analyze("of the and") == []
+
+    def test_analyze_all_concatenates_in_order(self):
+        terms = SCHEMA_ANALYZER.analyze_all(["patient_id", "height"])
+        assert terms == ["patient", "id", "height"]
+
+    def test_unique_terms(self):
+        assert SCHEMA_ANALYZER.unique_terms("patient patient_id") == \
+            {"patient", "id"}
+
+
+class TestSimpleAnalyzer:
+    def test_no_stemming(self):
+        assert SIMPLE_ANALYZER.analyze("observations") == ["observations"]
+
+    def test_no_stopword_removal(self):
+        assert SIMPLE_ANALYZER.analyze("date_of_birth") == \
+            ["date", "of", "birth"]
+
+
+class TestCustomAnalyzer:
+    def test_length_filter(self):
+        analyzer = Analyzer(min_length=3, stem=False,
+                            remove_stopwords=False)
+        assert analyzer.analyze("go to the db_x") == ["the"]
+
+    def test_max_length_filter(self):
+        analyzer = Analyzer(max_length=5, stem=False,
+                            remove_stopwords=False)
+        assert analyzer.analyze("short verylongtoken") == ["short"]
+
+    def test_stemming_applies_after_filtering(self):
+        analyzer = Analyzer(remove_stopwords=True, stem=True)
+        # 'that' is a stopword; it never reaches the stemmer.
+        assert analyzer.analyze("that observations") == ["observ"]

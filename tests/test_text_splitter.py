@@ -1,0 +1,52 @@
+"""Unit tests for repro.text.splitter."""
+
+from repro.text.splitter import split_identifier, split_words_lower
+
+
+class TestSplitIdentifier:
+    def test_snake_case(self):
+        assert split_identifier("patient_height") == ["patient", "height"]
+
+    def test_camel_case(self):
+        assert split_identifier("patientHeight") == ["patient", "Height"]
+
+    def test_pascal_case(self):
+        assert split_identifier("PatientHeight") == ["Patient", "Height"]
+
+    def test_acronym_boundary(self):
+        assert split_identifier("XMLHttpRequest") == ["XML", "Http", "Request"]
+
+    def test_trailing_acronym_kept_whole(self):
+        assert split_identifier("parseURL") == ["parse", "URL"]
+
+    def test_digit_boundaries(self):
+        assert split_identifier("addr2") == ["addr", "2"]
+        assert split_identifier("2ndAddress") == ["2", "nd", "Address"]
+
+    def test_mixed_delimiters(self):
+        assert split_identifier("first-name.last_name") == \
+            ["first", "name", "last", "name"]
+
+    def test_spaces(self):
+        assert split_identifier("order  date") == ["order", "date"]
+
+    def test_empty_string(self):
+        assert split_identifier("") == []
+
+    def test_only_delimiters(self):
+        assert split_identifier("___--..") == []
+
+    def test_punctuation_stripped(self):
+        assert split_identifier("price($)") == ["price"]
+
+    def test_single_word(self):
+        assert split_identifier("diagnosis") == ["diagnosis"]
+
+
+class TestSplitWordsLower:
+    def test_lowercases(self):
+        assert split_words_lower("PatientHeight") == ["patient", "height"]
+
+    def test_preserves_order(self):
+        assert split_words_lower("last_name_first") == \
+            ["last", "name", "first"]

@@ -1,0 +1,128 @@
+"""Unit tests for the Porter stemmer.
+
+Expected outputs follow Porter's 1980 paper examples and the reference
+implementation's behaviour on common schema vocabulary.
+"""
+
+import pytest
+
+from repro.text.stemmer import porter_stem
+
+
+class TestStep1:
+    @pytest.mark.parametrize("word,expected", [
+        ("caresses", "caress"),
+        ("ponies", "poni"),
+        ("ties", "ti"),
+        ("caress", "caress"),
+        ("cats", "cat"),
+    ])
+    def test_plurals(self, word, expected):
+        assert porter_stem(word) == expected
+
+    @pytest.mark.parametrize("word,expected", [
+        ("feed", "feed"),
+        ("agreed", "agre"),
+        ("plastered", "plaster"),
+        ("bled", "bled"),
+        ("motoring", "motor"),
+        ("sing", "sing"),
+    ])
+    def test_ed_ing(self, word, expected):
+        assert porter_stem(word) == expected
+
+    @pytest.mark.parametrize("word,expected", [
+        ("conflated", "conflat"),
+        ("troubled", "troubl"),
+        ("sized", "size"),
+        ("hopping", "hop"),
+        ("tanned", "tan"),
+        ("falling", "fall"),
+        ("hissing", "hiss"),
+        ("fizzed", "fizz"),
+        ("failing", "fail"),
+        ("filing", "file"),
+    ])
+    def test_cleanup_rules(self, word, expected):
+        assert porter_stem(word) == expected
+
+    def test_y_to_i(self):
+        assert porter_stem("happy") == "happi"
+        assert porter_stem("sky") == "sky"
+
+
+class TestLaterSteps:
+    @pytest.mark.parametrize("word,expected", [
+        ("relational", "relat"),
+        ("conditional", "condit"),
+        ("rational", "ration"),
+        ("valenci", "valenc"),
+        ("digitizer", "digit"),
+        ("operator", "oper"),
+        ("feudalism", "feudal"),
+        ("decisiveness", "decis"),
+        ("hopefulness", "hope"),
+        ("formaliti", "formal"),
+    ])
+    def test_step2(self, word, expected):
+        assert porter_stem(word) == expected
+
+    @pytest.mark.parametrize("word,expected", [
+        ("triplicate", "triplic"),
+        ("formative", "form"),
+        ("formalize", "formal"),
+        ("electrical", "electr"),
+        ("hopeful", "hope"),
+        ("goodness", "good"),
+    ])
+    def test_step3(self, word, expected):
+        assert porter_stem(word) == expected
+
+    @pytest.mark.parametrize("word,expected", [
+        ("revival", "reviv"),
+        ("allowance", "allow"),
+        ("inference", "infer"),
+        ("airliner", "airlin"),
+        ("adjustment", "adjust"),
+        ("dependent", "depend"),
+        ("adoption", "adopt"),
+        ("effective", "effect"),
+        ("bowdlerize", "bowdler"),
+    ])
+    def test_step4(self, word, expected):
+        assert porter_stem(word) == expected
+
+    @pytest.mark.parametrize("word,expected", [
+        ("probate", "probat"),
+        ("rate", "rate"),
+        ("cease", "ceas"),
+        ("controll", "control"),
+        ("roll", "roll"),
+    ])
+    def test_step5(self, word, expected):
+        assert porter_stem(word) == expected
+
+
+class TestSchemaVocabulary:
+    """Morphological variants of schema words must share stems — this is
+    what lets the index match "observations" to "observation"."""
+
+    @pytest.mark.parametrize("a,b", [
+        ("patients", "patient"),
+        ("observations", "observation"),
+        ("enrollments", "enrollment"),
+        ("salaries", "salary"),
+        ("addresses", "address"),
+        ("categories", "category"),
+    ])
+    def test_variant_pairs_share_stem(self, a, b):
+        assert porter_stem(a) == porter_stem(b)
+
+    def test_short_words_untouched(self):
+        assert porter_stem("id") == "id"
+        assert porter_stem("is") == "is"
+
+    def test_stemming_is_idempotent_on_common_words(self):
+        for word in ("patient", "diagnosis", "observation", "salary"):
+            once = porter_stem(word)
+            assert porter_stem(once) == once

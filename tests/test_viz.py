@@ -1,0 +1,213 @@
+"""Unit tests for visualization: drill-in, layouts, SVG and ASCII."""
+
+import math
+
+import pytest
+
+from repro.errors import SchemrError
+from repro.model.elements import Attribute, Entity
+from repro.model.graph import schema_to_networkx
+from repro.model.schema import Schema
+from repro.viz.ascii_art import render_ascii_tree
+from repro.viz.drill import DEFAULT_MAX_DEPTH, display_subgraph, drill_in
+from repro.viz.layout import find_root
+from repro.viz.radial import radial_layout
+from repro.viz.svg import render_side_by_side, render_svg
+from repro.viz.tree import tree_layout
+
+
+@pytest.fixture
+def clinic_graph(clinic_schema):
+    return schema_to_networkx(clinic_schema)
+
+
+def deep_schema(levels: int = 6) -> Schema:
+    """A schema whose graph is deeper than the display cap via a fake
+    nesting chain (entities with one attribute each, wired by names)."""
+    schema = Schema(name="deep")
+    for i in range(levels):
+        schema.add_entity(Entity(f"level{i}", [Attribute("x")]))
+    return schema
+
+
+class TestDisplaySubgraph:
+    def test_default_cap_is_three(self):
+        assert DEFAULT_MAX_DEPTH == 3
+
+    def test_full_clinic_fits_under_cap(self, clinic_graph):
+        display = display_subgraph(clinic_graph)
+        assert display.number_of_nodes() == clinic_graph.number_of_nodes()
+
+    def test_depth_attribute_assigned(self, clinic_graph):
+        display = display_subgraph(clinic_graph)
+        root = find_root(clinic_graph)
+        assert display.nodes[root]["depth"] == 0
+        assert display.nodes["patient"]["depth"] == 1
+        assert display.nodes["patient.height"]["depth"] == 2
+
+    def test_cap_cuts_attributes(self, clinic_graph):
+        display = display_subgraph(clinic_graph, max_depth=1)
+        assert display.has_node("patient")
+        assert not display.has_node("patient.height")
+
+    def test_collapsed_flag_on_cut_nodes(self, clinic_graph):
+        display = display_subgraph(clinic_graph, max_depth=1)
+        assert display.nodes["patient"]["collapsed"] is True
+        full = display_subgraph(clinic_graph, max_depth=3)
+        assert full.nodes["patient"]["collapsed"] is False
+
+    def test_drill_in_recenters(self, clinic_graph):
+        display = drill_in(clinic_graph, "patient")
+        assert display.nodes["patient"]["depth"] == 0
+        assert display.has_node("patient.height")
+        assert not display.has_node("doctor")
+
+    def test_fk_edges_kept_when_visible(self, clinic_graph):
+        display = display_subgraph(clinic_graph)
+        assert display.has_edge("case.patient", "patient.id")
+
+    def test_fk_edges_dropped_when_endpoint_hidden(self, clinic_graph):
+        display = drill_in(clinic_graph, "patient")
+        assert not any(
+            data.get("relation") == "foreign_key"
+            for *_edge, data in display.edges(data=True))
+
+    def test_unknown_focus_raises(self, clinic_graph):
+        with pytest.raises(SchemrError):
+            display_subgraph(clinic_graph, focus="ghost")
+
+    def test_negative_depth_raises(self, clinic_graph):
+        with pytest.raises(SchemrError):
+            display_subgraph(clinic_graph, max_depth=-1)
+
+
+class TestTreeLayout:
+    def test_depth_maps_to_y(self, clinic_graph):
+        layout = tree_layout(display_subgraph(clinic_graph))
+        root = find_root(clinic_graph)
+        assert layout.node(root).y < layout.node("patient").y \
+            < layout.node("patient.height").y
+
+    def test_parent_centered_over_children(self, clinic_graph):
+        layout = tree_layout(display_subgraph(clinic_graph))
+        children_x = [layout.node(f"patient.{a}").x
+                      for a in ("id", "name", "height", "gender")]
+        assert layout.node("patient").x == pytest.approx(
+            (min(children_x) + max(children_x)) / 2)
+
+    def test_leaves_do_not_overlap(self, clinic_graph):
+        layout = tree_layout(display_subgraph(clinic_graph))
+        leaf_xs = sorted(n.x for n in layout.nodes.values()
+                         if n.kind == "attribute")
+        for a, b in zip(leaf_xs, leaf_xs[1:]):
+            assert b - a >= 1.0
+
+    def test_dimensions_positive(self, clinic_graph):
+        layout = tree_layout(display_subgraph(clinic_graph))
+        assert layout.width > 0 and layout.height > 0
+
+    def test_all_nodes_positioned(self, clinic_graph):
+        display = display_subgraph(clinic_graph)
+        layout = tree_layout(display)
+        assert set(layout.nodes) == set(display.nodes)
+
+    def test_missing_node_lookup_raises(self, clinic_graph):
+        layout = tree_layout(display_subgraph(clinic_graph))
+        with pytest.raises(SchemrError):
+            layout.node("ghost")
+
+
+class TestRadialLayout:
+    def test_root_at_center(self, clinic_graph):
+        layout = radial_layout(display_subgraph(clinic_graph))
+        root = find_root(clinic_graph)
+        center = layout.width / 2
+        assert layout.node(root).x == pytest.approx(center)
+        assert layout.node(root).y == pytest.approx(center)
+
+    def test_depth_maps_to_radius(self, clinic_graph):
+        layout = radial_layout(display_subgraph(clinic_graph))
+        root_node = layout.node(find_root(clinic_graph))
+        center = (root_node.x, root_node.y)
+
+        def radius(node_id: str) -> float:
+            node = layout.node(node_id)
+            return math.hypot(node.x - center[0], node.y - center[1])
+
+        assert radius("patient") == pytest.approx(110.0)
+        assert radius("patient.height") == pytest.approx(220.0)
+
+    def test_coordinates_non_negative(self, clinic_graph):
+        layout = radial_layout(display_subgraph(clinic_graph))
+        for node in layout.nodes.values():
+            assert node.x >= 0 and node.y >= 0
+
+    def test_siblings_get_distinct_angles(self, clinic_graph):
+        layout = radial_layout(display_subgraph(clinic_graph))
+        positions = {(round(layout.node(e).x, 3), round(layout.node(e).y, 3))
+                     for e in ("patient", "doctor", "case")}
+        assert len(positions) == 3
+
+
+class TestSvg:
+    def test_valid_svg_document(self, clinic_graph):
+        svg = render_svg(tree_layout(display_subgraph(clinic_graph)),
+                         title="clinic")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "clinic" in svg
+
+    def test_kind_colors_applied(self, clinic_graph):
+        svg = render_svg(tree_layout(display_subgraph(clinic_graph)))
+        assert "#dd8452" in svg  # entity color
+        assert "#55a868" in svg  # attribute color
+
+    def test_match_halo_rendered(self, clinic_graph):
+        clinic_graph.nodes["patient.height"]["match_score"] = 0.9
+        svg = render_svg(tree_layout(display_subgraph(clinic_graph)))
+        assert "0.90" in svg  # score label inside the node
+
+    def test_fk_edges_dashed(self, clinic_graph):
+        svg = render_svg(tree_layout(display_subgraph(clinic_graph)))
+        assert "stroke-dasharray" in svg
+
+    def test_labels_escaped(self):
+        schema = Schema(name="s")
+        schema.add_entity(Entity("a<b", [Attribute("x")]))
+        svg = render_svg(tree_layout(
+            display_subgraph(schema_to_networkx(schema))))
+        assert "a<b" not in svg.replace("a&lt;b", "")
+
+    def test_side_by_side_contains_both(self, clinic_schema, hr_schema):
+        layouts = [
+            tree_layout(display_subgraph(schema_to_networkx(s)))
+            for s in (clinic_schema, hr_schema)
+        ]
+        svg = render_side_by_side(layouts)
+        assert "clinic_emr" in svg
+        assert "hr_payroll" in svg
+
+    def test_side_by_side_empty(self):
+        assert render_side_by_side([]).startswith("<svg")
+
+
+class TestAscii:
+    def test_tree_structure_rendered(self, clinic_graph):
+        art = render_ascii_tree(display_subgraph(clinic_graph))
+        assert "clinic_emr" in art.splitlines()[0]
+        assert "├──" in art or "└──" in art
+        assert "patient" in art
+
+    def test_types_and_kinds_shown(self, clinic_graph):
+        art = render_ascii_tree(display_subgraph(clinic_graph))
+        assert "[entity]" in art
+        assert "DECIMAL(5,2)" in art
+
+    def test_match_scores_shown(self, clinic_graph):
+        clinic_graph.nodes["patient.height"]["match_score"] = 0.75
+        art = render_ascii_tree(display_subgraph(clinic_graph))
+        assert "(match 0.75)" in art
+
+    def test_collapsed_marker(self, clinic_graph):
+        art = render_ascii_tree(display_subgraph(clinic_graph, max_depth=1))
+        assert "+" in art
