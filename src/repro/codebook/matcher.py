@@ -10,10 +10,15 @@ entity-level elements abstain.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.codebook.annotate import annotate_attribute, annotate_schema
 from repro.matching.base import Matcher, SimilarityMatrix
 from repro.model.query import QueryGraph, QueryItemKind
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 
 class CodebookMatcher(Matcher):
@@ -28,8 +33,11 @@ class CodebookMatcher(Matcher):
                 f"{same_category_score}")
         self._same_category_score = same_category_score
 
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
         candidate_concepts = annotate_schema(candidate).annotations
         if not candidate_concepts:
             return matrix

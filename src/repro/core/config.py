@@ -24,15 +24,25 @@ class SchemrConfig:
     suggestion for query terms missing from the term dictionary.  Off by
     default because the paper's phase one does not do this; the E3
     ablation measures its effect on noisy queries.
+
+    ``match_workers`` sets how many threads score candidates in phase
+    two.  1 (the default) keeps the phase sequential; above 1 the
+    candidate pool is split into contiguous chunks dispatched to a
+    thread pool, and the per-chunk results are concatenated in chunk
+    order, so the ranking is identical to the sequential one.
     """
 
     candidate_pool: int = 50
     use_coordination: bool = True
     use_tightness: bool = True
     use_fuzzy_expansion: bool = False
+    match_workers: int = 1
     penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)
 
     def __post_init__(self) -> None:
         if self.candidate_pool <= 0:
             raise QueryError(
                 f"candidate_pool must be positive, got {self.candidate_pool}")
+        if self.match_workers < 1:
+            raise QueryError(
+                f"match_workers must be >= 1, got {self.match_workers}")

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import logging
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Protocol
 
 from repro.core.config import SchemrConfig
@@ -19,7 +20,9 @@ from repro.core.results import ElementMatch, SearchResult
 from repro.errors import QueryError
 from repro.index.inverted import InvertedIndex
 from repro.index.searcher import IndexSearcher
+from repro.index.searcher import IndexHit
 from repro.matching.ensemble import MatcherEnsemble
+from repro.matching.profile import MatchScratch, SchemaMatchProfile
 from repro.model.query import QueryGraph
 from repro.model.schema import Schema
 from repro.parsers.query_parser import parse_query
@@ -82,8 +85,12 @@ class SchemrEngine:
             index, use_coordination=self._config.use_coordination,
             fuzzy=fuzzy)
         self._source = source
+        # Sources that precompute match profiles (ProfileStore) expose
+        # get_profile; the engine takes the fast path when it exists.
+        self._get_profile = getattr(source, "get_profile", None)
         self._ensemble = ensemble or MatcherEnsemble.default()
         self._tightness = TightnessScorer(self._config.penalties)
+        self._executor: ThreadPoolExecutor | None = None
         self.last_trace: PipelineTrace | None = None
 
     @property
@@ -97,6 +104,18 @@ class SchemrEngine:
     @property
     def searcher(self) -> IndexSearcher:
         return self._searcher
+
+    def close(self) -> None:
+        """Release the match-phase thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "SchemrEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- public API ----------------------------------------------------
 
@@ -149,20 +168,17 @@ class SchemrEngine:
         scored: list[SearchResult] = []
         with timed_phase(trace, PHASE_MATCHING) as phase:
             phase.items_in = len(hits)
-            matched = []
-            for hit in hits:
-                candidate = self._source.get_schema(hit.doc_id)
-                result = self._ensemble.match(query, candidate)
-                element_scores = result.combined.max_per_column()
-                matched.append((hit, candidate, result, element_scores))
+            matched = self._match_candidates(query, hits)
             phase.items_out = len(matched)
 
         # Phase 3: tightness-of-fit scoring and final ranking.
         with timed_phase(trace, PHASE_TIGHTNESS) as phase:
             phase.items_in = len(matched)
-            for hit, candidate, ensemble_result, element_scores in matched:
+            for (hit, candidate, ensemble_result, element_scores,
+                 profile) in matched:
                 scored.append(self._score_candidate(
-                    hit.score, candidate, ensemble_result, element_scores))
+                    hit.score, candidate, ensemble_result, element_scores,
+                    profile))
             scored.sort(key=lambda r: (-r.score, -r.coarse_score, r.name))
             scored = scored[offset:offset + top_n]
             phase.items_out = len(scored)
@@ -170,15 +186,66 @@ class SchemrEngine:
                      len(hits), len(scored), trace.total_seconds)
         return scored
 
+    def _match_candidates(self, query: QueryGraph, hits: list[IndexHit]):
+        """Run the ensemble over every candidate, optionally in parallel.
+
+        One :class:`MatchScratch` is shared by the whole pool — the
+        caches memoize pure functions, so cross-thread sharing is safe
+        and profitable.  With ``match_workers > 1`` the hits are split
+        into contiguous chunks and the per-chunk results concatenated in
+        chunk order, keeping the output order (and therefore the final
+        ranking) byte-identical to the sequential path.
+        """
+        scratch = MatchScratch()
+        workers = self._config.match_workers
+        if workers <= 1 or len(hits) <= 1:
+            return [self._match_one(query, hit, scratch) for hit in hits]
+        size = -(-len(hits) // workers)  # ceil division
+        executor = self._executor
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="schemr-match")
+            self._executor = executor
+        futures = [
+            executor.submit(self._match_chunk, query, hits[i:i + size],
+                            scratch)
+            for i in range(size, len(hits), size)
+        ]
+        # The main thread scores the first chunk itself while the pool
+        # drains the rest — one fewer task round-trip per query.
+        matched = self._match_chunk(query, hits[:size], scratch)
+        for future in futures:
+            matched.extend(future.result())
+        return matched
+
+    def _match_chunk(self, query: QueryGraph, chunk: list[IndexHit],
+                     scratch: MatchScratch):
+        return [self._match_one(query, hit, scratch) for hit in chunk]
+
+    def _match_one(self, query: QueryGraph, hit: IndexHit,
+                   scratch: MatchScratch):
+        profile: SchemaMatchProfile | None = None
+        if self._get_profile is not None:
+            profile = self._get_profile(hit.doc_id)
+        candidate = self._source.get_schema(hit.doc_id)
+        result = self._ensemble.match(query, candidate,
+                                      profile=profile, scratch=scratch)
+        element_scores = result.combined.max_per_column()
+        return (hit, candidate, result, element_scores, profile)
+
     def _score_candidate(self, coarse_score: float, candidate: Schema,
-                         ensemble_result, element_scores: dict[str, float]
+                         ensemble_result, element_scores: dict[str, float],
+                         profile: SchemaMatchProfile | None = None
                          ) -> SearchResult:
         floor = self._config.penalties.match_floor
         matched_scores = {path: value
                           for path, value in element_scores.items()
                           if value > floor}
         if self._config.use_tightness:
-            tight = self._tightness.score(candidate, element_scores)
+            neighborhoods = (profile.neighborhood_index()
+                             if profile is not None else None)
+            tight = self._tightness.score(candidate, element_scores,
+                                          neighborhoods=neighborhoods)
             final_score = tight.score
             best_anchor = tight.best_anchor
         else:

@@ -18,7 +18,7 @@ in any ensemble.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.instances.features import column_features, feature_similarity
 from repro.matching.base import Matcher, SimilarityMatrix
 from repro.model.query import QueryGraph, QueryItemKind
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 #: schema_id -> {element_path: example values}
 InstanceProvider = Callable[[int], dict[str, list[str]]]
@@ -45,8 +48,11 @@ class InstanceMatcher(Matcher):
         self._query_instances = dict(query_instances or {})
         self._threshold = threshold
 
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
         if candidate.schema_id is None:
             return matrix
         candidate_values = self._provider(candidate.schema_id)

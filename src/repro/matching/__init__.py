@@ -34,8 +34,15 @@ from repro.matching.ensemble import MatcherEnsemble
 from repro.matching.exact import ExactMatcher
 from repro.matching.learner import TrainingExample, WeightLearner
 from repro.matching.name import NameMatcher
-from repro.matching.ngram import dice_similarity, ngrams, weighted_ngram_similarity
+from repro.matching.ngram import (
+    dice_similarity,
+    ngrams,
+    warm_gram_cache,
+    weighted_gram_profile,
+    weighted_ngram_similarity,
+)
 from repro.matching.normalize import expand_abbreviations, normalize_name
+from repro.matching.profile import MatchScratch, ProfileStore, SchemaMatchProfile
 from repro.matching.structure import StructureMatcher
 from repro.matching.synonym import SynonymMatcher
 
@@ -43,9 +50,12 @@ __all__ = [
     "ContextMatcher",
     "DataTypeMatcher",
     "ExactMatcher",
+    "MatchScratch",
     "Matcher",
     "MatcherEnsemble",
     "NameMatcher",
+    "ProfileStore",
+    "SchemaMatchProfile",
     "SimilarityMatrix",
     "StructureMatcher",
     "SynonymMatcher",
@@ -55,5 +65,7 @@ __all__ = [
     "expand_abbreviations",
     "ngrams",
     "normalize_name",
+    "warm_gram_cache",
+    "weighted_gram_profile",
     "weighted_ngram_similarity",
 ]

@@ -7,7 +7,7 @@ which describes the match quality — a value between 0 and 1."
 from __future__ import annotations
 
 import abc
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -15,6 +15,9 @@ from repro.errors import MatchError
 from repro.model.elements import ElementKind, ElementRef
 from repro.model.query import QueryGraph
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 
 class SimilarityMatrix:
@@ -136,8 +139,18 @@ class Matcher(abc.ABC):
     name: str = "matcher"
 
     @abc.abstractmethod
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        """Score every (query element, candidate element) pair."""
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        """Score every (query element, candidate element) pair.
+
+        ``profile`` carries the candidate's precomputed artifacts (the
+        acceleration layer); ``scratch`` carries per-query memoization
+        shared across candidates.  Both are optional: without them a
+        matcher derives everything from scratch, and the two paths must
+        produce identical matrices (the golden-equivalence tests hold
+        them to it).
+        """
 
     # -- shared helpers ----------------------------------------------------
 
@@ -155,10 +168,22 @@ class Matcher(abc.ABC):
             out.append((ref.path, ref.local_name, ref.kind))
         return out
 
-    def empty_matrix(self, query: QueryGraph,
-                     candidate: Schema) -> SimilarityMatrix:
-        """A zero matrix with the canonical labels for this pair."""
-        return SimilarityMatrix(
-            row_labels=query.element_labels(),
-            col_labels=[ref.path for ref in candidate.elements()],
-        )
+    def empty_matrix(self, query: QueryGraph, candidate: Schema,
+                     profile: "SchemaMatchProfile | None" = None,
+                     scratch: "MatchScratch | None" = None
+                     ) -> SimilarityMatrix:
+        """A zero matrix with the canonical labels for this pair.
+
+        With a profile/scratch available the labels come from the
+        precomputed artifacts instead of re-walking the schema and
+        query.
+        """
+        if scratch is not None:
+            row_labels = scratch.row_labels(query)
+        else:
+            row_labels = query.element_labels()
+        if profile is not None:
+            col_labels = profile.element_paths
+        else:
+            col_labels = [ref.path for ref in candidate.elements()]
+        return SimilarityMatrix(row_labels=row_labels, col_labels=col_labels)

@@ -20,12 +20,17 @@ from their fragment.  Similarity is Jaccard over analyzed word sets.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.matching.base import Matcher, SimilarityMatrix
 from repro.matching.normalize import normalize_words
 from repro.model.elements import ElementRef
 from repro.model.graph import entity_adjacency
 from repro.model.query import QueryGraph, QueryItemKind
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 
 def _jaccard(a: set[str], b: set[str]) -> float:
@@ -62,31 +67,68 @@ class ContextMatcher(Matcher):
             raise ValueError(f"threshold must be in [0, 1), got {threshold}")
         self._threshold = threshold
 
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
-        query_contexts = self._query_contexts(query)
-        adjacency = entity_adjacency(candidate)
-        candidate_contexts = [
-            (ref.path, element_context(candidate, ref, adjacency))
-            for ref in candidate.elements()
-        ]
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
+        query_contexts = self._memoized_query_contexts(query, scratch)
+        if profile is not None:
+            # Fast path: neighborhood term sets were derived once at
+            # ingest time; no adjacency rebuild, no re-normalization.
+            contexts_of = profile.context_terms
+            candidate_contexts = [(path, contexts_of[path])
+                                  for path in profile.element_paths]
+        else:
+            adjacency = entity_adjacency(candidate)
+            candidate_contexts = [
+                (ref.path, element_context(candidate, ref, adjacency))
+                for ref in candidate.elements()
+            ]
+        jaccard_cache = (scratch.jaccard_cache
+                         if scratch is not None and profile is not None
+                         else None)
         for row_label, query_context in query_contexts:
             if not query_context:
                 continue
             for col_label, cand_context in candidate_contexts:
-                score = _jaccard(query_context, cand_context)
+                if jaccard_cache is not None:
+                    key = (query_context, cand_context)
+                    score = jaccard_cache.get(key)
+                    if score is None:
+                        score = _jaccard(query_context, cand_context)
+                        jaccard_cache[key] = score
+                else:
+                    score = _jaccard(query_context, cand_context)
                 if score >= self._threshold:
                     matrix.set(row_label, col_label, score)
         return matrix
 
+    def _memoized_query_contexts(self, query: QueryGraph,
+                                 scratch: "MatchScratch | None"
+                                 ) -> list[tuple[str, frozenset[str]]]:
+        """Query-side contexts, computed once per search when a scratch
+        is available (they are a function of the query alone)."""
+        if scratch is not None:
+            cached = scratch.matcher_memo.get(self.name)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        contexts = self._query_contexts(query)
+        if scratch is not None:
+            scratch.matcher_memo[self.name] = contexts
+        return contexts
+
     def _query_contexts(self, query: QueryGraph) \
-            -> list[tuple[str, set[str]]]:
+            -> list[tuple[str, frozenset[str]]]:
         labels = query.element_labels()
-        contexts: list[tuple[str, set[str]]] = []
+        contexts: list[tuple[str, frozenset[str]]] = []
         # Keywords share the flat query term set as their context.
-        keyword_context: set[str] = set()
+        keyword_terms: set[str] = set()
         for name in query.element_names():
-            keyword_context.update(normalize_words(name))
+            keyword_terms.update(normalize_words(name))
+        # Frozen so the (query context, candidate context) pair is a
+        # usable memo key in the profiled fast path.
+        keyword_context = frozenset(keyword_terms)
         label_iter = iter(labels)
         for item in query.items:
             if item.kind is QueryItemKind.KEYWORD:
@@ -99,5 +141,6 @@ class ContextMatcher(Matcher):
                     label = next(label_iter)
                     contexts.append(
                         (label,
-                         element_context(item.fragment, ref, adjacency)))
+                         frozenset(element_context(item.fragment, ref,
+                                                   adjacency))))
         return contexts

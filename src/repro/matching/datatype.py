@@ -12,11 +12,15 @@ entity, score 0 — the matcher abstains rather than guessing.
 from __future__ import annotations
 
 import re
+from typing import TYPE_CHECKING
 
 from repro.matching.base import Matcher, SimilarityMatrix
 from repro.model.elements import ElementKind, ElementRef
 from repro.model.query import QueryGraph, QueryItemKind
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 #: type-name (lowercased, parameters stripped) -> family
 _TYPE_FAMILIES: dict[str, str] = {
@@ -84,9 +88,34 @@ class DataTypeMatcher(Matcher):
 
     name = "datatype"
 
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
-        candidate_families = self._attribute_families(candidate)
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
+        if profile is not None:
+            candidate_families = list(profile.type_families.items())
+        else:
+            candidate_families = self._attribute_families(candidate)
+        for label, family in self._query_families(query, scratch):
+            if family is None:
+                continue
+            for path, cand_family in candidate_families:
+                score = family_similarity(family, cand_family)
+                if score > 0.0:
+                    matrix.set(label, path, score)
+        return matrix
+
+    def _query_families(self, query: QueryGraph,
+                        scratch: "MatchScratch | None"
+                        ) -> list[tuple[str, str | None]]:
+        """(label, declared-type family) per fragment element, memoized
+        per search; keyword rows are omitted (they carry no type)."""
+        if scratch is not None:
+            cached = scratch.matcher_memo.get(self.name)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        families: list[tuple[str, str | None]] = []
         labels = iter(query.element_labels())
         for item in query.items:
             if item.kind is QueryItemKind.KEYWORD:
@@ -95,14 +124,11 @@ class DataTypeMatcher(Matcher):
             assert item.fragment is not None
             for ref in item.fragment.elements():
                 label = next(labels)
-                family = self._ref_family(item.fragment, ref)
-                if family is None:
-                    continue
-                for path, cand_family in candidate_families:
-                    score = family_similarity(family, cand_family)
-                    if score > 0.0:
-                        matrix.set(label, path, score)
-        return matrix
+                families.append(
+                    (label, self._ref_family(item.fragment, ref)))
+        if scratch is not None:
+            scratch.matcher_memo[self.name] = families
+        return families
 
     @staticmethod
     def _ref_family(schema: Schema, ref: ElementRef) -> str | None:

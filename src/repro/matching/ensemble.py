@@ -8,7 +8,9 @@ scheme, which is initially uniform."
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import MatchError
 from repro.matching.base import Matcher, SimilarityMatrix
@@ -16,6 +18,9 @@ from repro.matching.context import ContextMatcher
 from repro.matching.name import NameMatcher
 from repro.model.query import QueryGraph
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 
 @dataclass(slots=True)
@@ -38,8 +43,13 @@ class MatcherEnsemble:
         names = [m.name for m in matchers]
         if len(set(names)) != len(names):
             raise MatchError(f"duplicate matcher names: {names}")
-        self._matchers = list(matchers)
+        # Immutable/snapshot containers so the properties below can hand
+        # out views instead of copying per access (the engine reads them
+        # in the per-candidate hot loop).
+        self._matchers: tuple[Matcher, ...] = tuple(matchers)
+        self._matcher_names: tuple[str, ...] = tuple(names)
         self._weights = {m.name: 1.0 for m in matchers}
+        self._weights_view = types.MappingProxyType(self._weights)
         if weights:
             self.set_weights(weights)
 
@@ -49,16 +59,17 @@ class MatcherEnsemble:
         return cls()
 
     @property
-    def matchers(self) -> list[Matcher]:
-        return list(self._matchers)
+    def matchers(self) -> tuple[Matcher, ...]:
+        return self._matchers
 
     @property
-    def matcher_names(self) -> list[str]:
-        return [m.name for m in self._matchers]
+    def matcher_names(self) -> tuple[str, ...]:
+        return self._matcher_names
 
     @property
-    def weights(self) -> dict[str, float]:
-        return dict(self._weights)
+    def weights(self) -> Mapping[str, float]:
+        """Read-only live view of the weighting scheme."""
+        return self._weights_view
 
     def set_weights(self, weights: dict[str, float]) -> None:
         """Replace the weighting scheme (e.g. with learned weights).
@@ -71,20 +82,32 @@ class MatcherEnsemble:
         if unknown:
             raise MatchError(
                 f"weights name unknown matchers: {sorted(unknown)}")
+        # Validate against a snapshot so a rejected update leaves the
+        # current scheme untouched (the mutation boundary owns the copy).
+        updated = dict(self._weights)
         for name, weight in weights.items():
             if weight < 0:
                 raise MatchError(f"weight for {name!r} must be >= 0")
-            self._weights[name] = weight
-        if all(w == 0 for w in self._weights.values()):
+            updated[name] = weight
+        if all(w == 0 for w in updated.values()):
             raise MatchError("at least one matcher weight must be positive")
+        self._weights.update(updated)
 
-    def match(self, query: QueryGraph, candidate: Schema) -> EnsembleResult:
-        """Run every matcher and combine into the total-similarity matrix."""
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> EnsembleResult:
+        """Run every matcher and combine into the total-similarity matrix.
+
+        ``profile``/``scratch`` are forwarded to every matcher — the
+        candidate's precomputed artifacts and the per-query memoization
+        of the acceleration layer.
+        """
         per_matcher: dict[str, SimilarityMatrix] = {}
         matrices: list[SimilarityMatrix] = []
         weight_list: list[float] = []
         for matcher in self._matchers:
-            matrix = matcher.match(query, candidate)
+            matrix = matcher.match(query, candidate,
+                                   profile=profile, scratch=scratch)
             per_matcher[matcher.name] = matrix
             matrices.append(matrix)
             weight_list.append(self._weights[matcher.name])

@@ -8,10 +8,15 @@ baseline in the ablation bench.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.matching.base import Matcher, SimilarityMatrix
 from repro.matching.normalize import normalize_name
 from repro.model.query import QueryGraph
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 
 class ExactMatcher(Matcher):
@@ -22,15 +27,38 @@ class ExactMatcher(Matcher):
     def __init__(self, expand: bool = True) -> None:
         self._expand = expand
 
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
         candidate_norms: dict[str, list[str]] = {}
-        for path, name, _kind in self.candidate_elements(candidate):
-            norm = normalize_name(name, expand=self._expand)
-            if norm:
-                candidate_norms.setdefault(norm, []).append(path)
-        for label, name in self.query_elements(query):
-            norm = normalize_name(name, expand=self._expand)
+        if profile is not None:
+            words_of = (profile.words_expanded if self._expand
+                        else profile.words_plain)
+            for path in profile.element_paths:
+                norm = "".join(words_of[path])
+                if norm:
+                    candidate_norms.setdefault(norm, []).append(path)
+        else:
+            for path, name, _kind in self.candidate_elements(candidate):
+                norm = normalize_name(name, expand=self._expand)
+                if norm:
+                    candidate_norms.setdefault(norm, []).append(path)
+        for label, norm in self._query_norms(query, scratch):
             for path in candidate_norms.get(norm, ()):
                 matrix.set(label, path, 1.0)
         return matrix
+
+    def _query_norms(self, query: QueryGraph,
+                     scratch: "MatchScratch | None"
+                     ) -> list[tuple[str, str]]:
+        if scratch is not None:
+            cached = scratch.matcher_memo.get(self.name)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        norms = [(label, normalize_name(name, expand=self._expand))
+                 for label, name in self.query_elements(query)]
+        if scratch is not None:
+            scratch.matcher_memo[self.name] = norms
+        return norms

@@ -22,12 +22,16 @@ Similarity between two element names is the max of two views:
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.matching.base import Matcher, SimilarityMatrix
 from repro.matching.ngram import weighted_ngram_similarity
 from repro.matching.normalize import normalize_words
 from repro.model.query import QueryGraph
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 
 @lru_cache(maxsize=65536)
@@ -67,23 +71,54 @@ class NameMatcher(Matcher):
         self._threshold = threshold
         self._expand = expand
 
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
-        query_pairs = [
-            (label, tuple(normalize_words(name, expand=self._expand)))
-            for label, name in self.query_elements(query)
-        ]
-        candidate_pairs = [
-            (path, tuple(normalize_words(name, expand=self._expand)))
-            for path, name, _kind in self.candidate_elements(candidate)
-        ]
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
+        query_pairs = self._query_pairs(query, scratch)
+        if profile is not None:
+            words_of = (profile.words_expanded if self._expand
+                        else profile.words_plain)
+            candidate_pairs = [(path, words_of[path])
+                               for path in profile.element_paths]
+        else:
+            candidate_pairs = [
+                (path, tuple(normalize_words(name, expand=self._expand)))
+                for path, name, _kind in self.candidate_elements(candidate)
+            ]
+        sim_cache = scratch.name_sim_cache if scratch is not None else None
         for row_label, query_words in query_pairs:
             if not query_words:
                 continue
             for col_label, cand_words in candidate_pairs:
                 if not cand_words:
                     continue
-                score = name_similarity(query_words, cand_words)
+                if sim_cache is not None:
+                    key = (query_words, cand_words)
+                    score = sim_cache.get(key)
+                    if score is None:
+                        score = name_similarity(query_words, cand_words)
+                        sim_cache[key] = score
+                else:
+                    score = name_similarity(query_words, cand_words)
                 if score >= self._threshold:
                     matrix.set(row_label, col_label, min(score, 1.0))
         return matrix
+
+    def _query_pairs(self, query: QueryGraph,
+                     scratch: "MatchScratch | None"
+                     ) -> list[tuple[str, tuple[str, ...]]]:
+        """(label, normalized words) per query element, memoized per
+        search so the normalization runs once, not once per candidate."""
+        if scratch is not None:
+            cached = scratch.matcher_memo.get(self.name)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        pairs = [
+            (label, tuple(normalize_words(name, expand=self._expand)))
+            for label, name in self.query_elements(query)
+        ]
+        if scratch is not None:
+            scratch.matcher_memo[self.name] = pairs
+        return pairs

@@ -10,8 +10,6 @@ single-character collisions cheap.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 
 def ngrams(text: str, min_n: int = 1, max_n: int | None = None) -> set[str]:
     """All character n-grams of ``text`` with lengths in [min_n, max_n].
@@ -37,18 +35,52 @@ def dice_similarity(a: set[str], b: set[str]) -> float:
     return 2.0 * len(a & b) / (len(a) + len(b))
 
 
-@lru_cache(maxsize=65536)
-def _weighted_grams(text: str, min_n: int, max_n_cap: int) \
+#: Process-wide gram-profile cache.  A plain dict (not ``lru_cache``)
+#: so the ingest-time profile builder can seed it via
+#: :func:`warm_gram_cache` — a deserialized schema profile then serves
+#: gram lookups without recomputing a single n-gram.
+_GRAM_CACHE: dict[tuple[str, int, int], tuple[frozenset[str], float]] = {}
+_GRAM_CACHE_MAX = 1 << 17
+
+
+def weighted_gram_profile(text: str, min_n: int = 1, max_n_cap: int = 24) \
         -> tuple[frozenset[str], float]:
     """(gram set, total weight) for ``text``; weight of a gram = its length.
 
     Cached because candidate schemas repeat element names constantly
     during a search session.
     """
-    grams = ngrams(text, min_n=min_n,
-                   max_n=min(len(text), max_n_cap) or 1)
-    weight = float(sum(len(g) for g in grams))
-    return frozenset(grams), weight
+    key = (text, min_n, max_n_cap)
+    hit = _GRAM_CACHE.get(key)
+    if hit is None:
+        grams = ngrams(text, min_n=min_n,
+                       max_n=min(len(text), max_n_cap) or 1)
+        hit = (frozenset(grams), float(sum(len(g) for g in grams)))
+        if len(_GRAM_CACHE) >= _GRAM_CACHE_MAX:
+            _GRAM_CACHE.clear()
+        _GRAM_CACHE[key] = hit
+    return hit
+
+
+def warm_gram_cache(profiles: dict[str, tuple[frozenset[str], float]],
+                    min_n: int = 1, max_n_cap: int = 24) -> int:
+    """Seed the gram cache with precomputed profiles; returns seeded count.
+
+    Used by :class:`~repro.matching.profile.SchemaMatchProfile` so that
+    profiles loaded from disk make their n-gram work reusable without
+    re-deriving it.
+    """
+    seeded = 0
+    for word, profile in profiles.items():
+        key = (word, min_n, max_n_cap)
+        if key not in _GRAM_CACHE and len(_GRAM_CACHE) < _GRAM_CACHE_MAX:
+            _GRAM_CACHE[key] = profile
+            seeded += 1
+    return seeded
+
+
+# Backwards-compatible internal alias (pre-acceleration name).
+_weighted_grams = weighted_gram_profile
 
 
 def weighted_ngram_similarity(a: str, b: str, min_n: int = 1,
@@ -64,8 +96,8 @@ def weighted_ngram_similarity(a: str, b: str, min_n: int = 1,
         return 0.0
     if a == b:
         return 1.0
-    grams_a, weight_a = _weighted_grams(a, min_n, max_n_cap)
-    grams_b, weight_b = _weighted_grams(b, min_n, max_n_cap)
+    grams_a, weight_a = weighted_gram_profile(a, min_n, max_n_cap)
+    grams_b, weight_b = weighted_gram_profile(b, min_n, max_n_cap)
     if weight_a + weight_b == 0.0:
         return 0.0
     shared = grams_a & grams_b

@@ -12,11 +12,16 @@ style algorithms.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.matching.base import Matcher, SimilarityMatrix
 from repro.matching.normalize import normalize_words
 from repro.model.elements import Entity
 from repro.model.query import QueryGraph, QueryItemKind
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 #: Attribute pairs inherit this fraction of their entities' score.
 _CHILD_PROPAGATION = 0.5
@@ -29,21 +34,24 @@ def _entity_word_set(entity: Entity) -> set[str]:
     return words
 
 
+def _shape_score(words_a: frozenset[str] | set[str], count_a: int,
+                 words_b: frozenset[str] | set[str], count_b: int) -> float:
+    if not count_a or not count_b:
+        return 0.0
+    union = words_a | words_b
+    name_overlap = (len(words_a & words_b) / len(union)) if union else 0.0
+    count_ratio = min(count_a, count_b) / max(count_a, count_b)
+    return 0.7 * name_overlap + 0.3 * count_ratio
+
+
 def entity_shape_similarity(a: Entity, b: Entity) -> float:
     """Structural similarity of two entities in [0, 1].
 
     0.7 * child-name Jaccard + 0.3 * attribute-count ratio.  Entities
     with no attributes score 0 (no structure to compare).
     """
-    if not a.attributes or not b.attributes:
-        return 0.0
-    words_a = _entity_word_set(a)
-    words_b = _entity_word_set(b)
-    union = words_a | words_b
-    name_overlap = len(words_a & words_b) / len(union) if union else 0.0
-    count_ratio = (min(len(a.attributes), len(b.attributes))
-                   / max(len(a.attributes), len(b.attributes)))
-    return 0.7 * name_overlap + 0.3 * count_ratio
+    return _shape_score(_entity_word_set(a), len(a.attributes),
+                        _entity_word_set(b), len(b.attributes))
 
 
 class StructureMatcher(Matcher):
@@ -56,8 +64,52 @@ class StructureMatcher(Matcher):
             raise ValueError(f"threshold must be in [0, 1), got {threshold}")
         self._threshold = threshold
 
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
+        cand_words_of = profile.entity_attr_words if profile is not None \
+            else None
+        for fragment_labels, query_entity, query_words in \
+                self._query_shapes(query, scratch):
+            entity_label = fragment_labels[query_entity.name]
+            for cand_entity in candidate.entities.values():
+                if cand_words_of is not None:
+                    score = _shape_score(
+                        query_words, len(query_entity.attributes),
+                        cand_words_of[cand_entity.name],
+                        len(cand_entity.attributes))
+                else:
+                    score = _shape_score(
+                        query_words, len(query_entity.attributes),
+                        _entity_word_set(cand_entity),
+                        len(cand_entity.attributes))
+                if score < self._threshold:
+                    continue
+                matrix.set(entity_label, cand_entity.name, score)
+                child_score = score * _CHILD_PROPAGATION
+                if child_score < self._threshold:
+                    continue
+                for q_attr in query_entity.attributes:
+                    q_label = fragment_labels[
+                        f"{query_entity.name}.{q_attr.name}"]
+                    for c_attr in cand_entity.attributes:
+                        col = f"{cand_entity.name}.{c_attr.name}"
+                        if matrix.get(q_label, col) < child_score:
+                            matrix.set(q_label, col, child_score)
+        return matrix
+
+    def _query_shapes(self, query: QueryGraph,
+                      scratch: "MatchScratch | None"
+                      ) -> list[tuple[dict[str, str], Entity, set[str]]]:
+        """(fragment labels by path, query entity, its attribute word
+        set) per fragment entity, memoized per search."""
+        if scratch is not None:
+            cached = scratch.matcher_memo.get(self.name)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        shapes: list[tuple[dict[str, str], Entity, set[str]]] = []
         labels = iter(query.element_labels())
         for item in query.items:
             if item.kind is QueryItemKind.KEYWORD:
@@ -69,20 +121,8 @@ class StructureMatcher(Matcher):
             for ref in item.fragment.elements():
                 fragment_labels[ref.path] = next(labels)
             for query_entity in item.fragment.entities.values():
-                entity_label = fragment_labels[query_entity.name]
-                for cand_entity in candidate.entities.values():
-                    score = entity_shape_similarity(query_entity, cand_entity)
-                    if score < self._threshold:
-                        continue
-                    matrix.set(entity_label, cand_entity.name, score)
-                    child_score = score * _CHILD_PROPAGATION
-                    if child_score < self._threshold:
-                        continue
-                    for q_attr in query_entity.attributes:
-                        q_label = fragment_labels[
-                            f"{query_entity.name}.{q_attr.name}"]
-                        for c_attr in cand_entity.attributes:
-                            col = f"{cand_entity.name}.{c_attr.name}"
-                            if matrix.get(q_label, col) < child_score:
-                                matrix.set(q_label, col, child_score)
-        return matrix
+                shapes.append((fragment_labels, query_entity,
+                               _entity_word_set(query_entity)))
+        if scratch is not None:
+            scratch.matcher_memo[self.name] = shapes
+        return shapes

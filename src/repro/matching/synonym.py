@@ -10,10 +10,15 @@ share synonyms word-wise.  Callers can extend or replace the thesaurus
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 from repro.matching.base import Matcher, SimilarityMatrix
 from repro.matching.normalize import normalize_words
 from repro.model.query import QueryGraph
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.profile import MatchScratch, SchemaMatchProfile
 
 #: Each inner tuple is one synonym set.
 DEFAULT_THESAURUS: tuple[tuple[str, ...], ...] = (
@@ -75,22 +80,34 @@ class SynonymMatcher(Matcher):
 
     def _word_sets(self, name: str) -> set[int]:
         """Ids of every synonym set touched by the words of ``name``."""
+        return self._sets_of(normalize_words(name))
+
+    def _sets_of(self, words: Iterable[str]) -> set[int]:
         sets: set[int] = set()
-        for word in normalize_words(name):
+        for word in words:
             sets.update(self._memberships.get(word, ()))
         return sets
 
-    def match(self, query: QueryGraph, candidate: Schema) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
-        candidate_sets = [
-            (path, self._word_sets(name), len(normalize_words(name)))
-            for path, name, _kind in self.candidate_elements(candidate)
-        ]
-        for label, name in self.query_elements(query):
-            query_sets = self._word_sets(name)
+    def match(self, query: QueryGraph, candidate: Schema,
+              profile: "SchemaMatchProfile | None" = None,
+              scratch: "MatchScratch | None" = None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
+        if profile is not None:
+            candidate_sets = [
+                (path, self._sets_of(profile.words_expanded[path]),
+                 len(profile.words_expanded[path]))
+                for path in profile.element_paths
+            ]
+        else:
+            candidate_sets = [
+                (path, self._word_sets(name), len(normalize_words(name)))
+                for path, name, _kind in self.candidate_elements(candidate)
+            ]
+        for label, query_sets, query_word_count in \
+                self._query_sets(query, scratch):
             if not query_sets:
                 continue
-            query_word_count = max(len(normalize_words(name)), 1)
             for path, cand_sets, cand_word_count in candidate_sets:
                 shared = len(query_sets & cand_sets)
                 if shared == 0:
@@ -100,3 +117,21 @@ class SynonymMatcher(Matcher):
                 denom = max(query_word_count, cand_word_count, 1)
                 matrix.set(label, path, min(1.0, shared / denom))
         return matrix
+
+    def _query_sets(self, query: QueryGraph,
+                    scratch: "MatchScratch | None"
+                    ) -> list[tuple[str, set[int], int]]:
+        """(label, synonym-set ids, word count) per query element,
+        memoized per search when a scratch is available."""
+        if scratch is not None:
+            cached = scratch.matcher_memo.get(self.name)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        out = [
+            (label, self._word_sets(name),
+             max(len(normalize_words(name)), 1))
+            for label, name in self.query_elements(query)
+        ]
+        if scratch is not None:
+            scratch.matcher_memo[self.name] = out
+        return out

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 from repro.index.documents import document_from_schema
 from repro.index.inverted import InvertedIndex
 from repro.index.store import load_index, save_index
+from repro.matching.profile import ProfileStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.repository.store import SchemaRepository
@@ -29,10 +30,18 @@ logger = logging.getLogger(__name__)
 
 
 class RepositoryIndexer:
-    """Keeps an :class:`InvertedIndex` in sync with a repository."""
+    """Keeps an :class:`InvertedIndex` in sync with a repository.
 
-    def __init__(self, repository: "SchemaRepository") -> None:
+    When a :class:`~repro.matching.profile.ProfileStore` is attached,
+    every refresh also keeps match profiles in step with the changelog:
+    deletes invalidate, adds/updates rebuild eagerly (the schema is
+    already in hand), so queries never pay the profile build.
+    """
+
+    def __init__(self, repository: "SchemaRepository",
+                 profile_store: ProfileStore | None = None) -> None:
         self._repository = repository
+        self._profile_store = profile_store
         self._index = InvertedIndex()
         self._last_change_id = 0
         self._stop_event = threading.Event()
@@ -64,6 +73,8 @@ class RepositoryIndexer:
                      len(changes))
         for schema_id, op in final_op.items():
             if op == "delete":
+                if self._profile_store is not None:
+                    self._profile_store.invalidate(schema_id)
                 if self._index.has_document(schema_id):
                     self._index.remove(schema_id)
                     applied += 1
@@ -71,12 +82,16 @@ class RepositoryIndexer:
             # add/update collapse to replace-with-current-state; the
             # schema may have been deleted after the logged change.
             if not self._repository.has_schema(schema_id):
+                if self._profile_store is not None:
+                    self._profile_store.invalidate(schema_id)
                 if self._index.has_document(schema_id):
                     self._index.remove(schema_id)
                     applied += 1
                 continue
             schema = self._repository.get_schema(schema_id)
             self._index.replace(document_from_schema(schema))
+            if self._profile_store is not None:
+                self._profile_store.put(schema)
             applied += 1
         logger.info("indexer refresh applied %d operation(s); index holds "
                     "%d document(s)", applied, self._index.document_count)
@@ -126,11 +141,16 @@ class RepositoryIndexer:
             self._last_change_id = changes[-1][0]
 
     def rebuild(self) -> int:
-        """Drop the index and re-flatten every stored schema."""
+        """Drop the index (and profile cache) and re-flatten every
+        stored schema."""
         self._index.clear()
+        if self._profile_store is not None:
+            self._profile_store.clear()
         count = 0
         for schema in self._repository.iter_schemas():
             self._index.add(document_from_schema(schema))
+            if self._profile_store is not None:
+                self._profile_store.put(schema)
             count += 1
         changes = self._repository.changes_since(self._last_change_id)
         if changes:

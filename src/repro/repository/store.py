@@ -21,6 +21,7 @@ from repro.core.config import SchemrConfig
 from repro.core.engine import SchemrEngine
 from repro.errors import RepositoryError, SchemaError
 from repro.matching.ensemble import MatcherEnsemble
+from repro.matching.profile import ProfileStore
 from repro.model.schema import Schema
 from repro.parsers.ddl import parse_ddl
 from repro.parsers.webtable import schema_from_webtable
@@ -90,6 +91,7 @@ class SchemaRepository:
         self._conn.executescript(_SCHEMA_SQL)
         self._conn.commit()
         self._indexer: "RepositoryIndexer | None" = None
+        self._profile_store: ProfileStore | None = None
 
     @classmethod
     def in_memory(cls) -> "SchemaRepository":
@@ -144,6 +146,8 @@ class SchemaRepository:
                     f"schema {schema.schema_id} is not in the repository")
             self._log_change(schema.schema_id, "update", now)
             self._conn.commit()
+        if self._profile_store is not None:
+            self._profile_store.invalidate(schema.schema_id)
 
     def delete_schema(self, schema_id: int) -> None:
         with self._lock:
@@ -154,6 +158,8 @@ class SchemaRepository:
                     f"schema {schema_id} is not in the repository")
             self._log_change(schema_id, "delete", time.time())
             self._conn.commit()
+        if self._profile_store is not None:
+            self._profile_store.invalidate(schema_id)
 
     def get_schema(self, schema_id: int) -> Schema:
         row = self._conn.execute(
@@ -228,11 +234,24 @@ class SchemaRepository:
 
     # -- search integration --------------------------------------------
 
+    def profile_store(self, capacity: int = 1024) -> ProfileStore:
+        """The repository's (lazily created) match-profile cache.
+
+        A read-through LRU over this repository: serving ``get_schema``
+        without the per-call JSON parse and ``get_profile`` with the
+        precomputed match artifacts.  Kept in sync by the CRUD methods
+        (invalidate) and the indexer refresh (eager rebuild).
+        """
+        if self._profile_store is None:
+            self._profile_store = ProfileStore(self, capacity=capacity)
+        return self._profile_store
+
     def indexer(self) -> "RepositoryIndexer":
         """The repository's (lazily created) offline indexer."""
         from repro.repository.indexer import RepositoryIndexer
         if self._indexer is None:
-            self._indexer = RepositoryIndexer(self)
+            self._indexer = RepositoryIndexer(
+                self, profile_store=self.profile_store())
         return self._indexer
 
     def reindex(self) -> int:
@@ -249,7 +268,8 @@ class SchemaRepository:
         """
         indexer = self.indexer()
         indexer.refresh()
-        return SchemrEngine(index=indexer.index, source=self,
+        return SchemrEngine(index=indexer.index,
+                            source=self.profile_store(),
                             ensemble=ensemble, config=config)
 
     # -- history / collaboration (thin wrappers; logic in submodules) ---

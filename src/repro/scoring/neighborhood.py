@@ -14,13 +14,18 @@ from repro.model.graph import entity_adjacency
 from repro.model.schema import Schema
 
 
-def entity_components(schema: Schema) -> list[set[str]]:
+def entity_components(schema: Schema,
+                      adjacency: dict[str, set[str]] | None = None
+                      ) -> list[set[str]]:
     """Connected components of the entity-level foreign-key graph.
 
     Isolated entities form singleton components.  Computed with an
     iterative DFS so pathological chain schemas cannot blow the stack.
+    Pass ``adjacency`` when the caller already holds the schema's
+    adjacency map (the profile builder computes it exactly once).
     """
-    adjacency = entity_adjacency(schema)
+    if adjacency is None:
+        adjacency = entity_adjacency(schema)
     seen: set[str] = set()
     components: list[set[str]] = []
     for start in adjacency:
@@ -46,11 +51,32 @@ class NeighborhoodIndex:
     SAME_NEIGHBORHOOD = "same_neighborhood"
     UNRELATED = "unrelated"
 
-    def __init__(self, schema: Schema) -> None:
-        self._component_of: dict[str, int] = {}
+    def __init__(self, schema: Schema | None = None, *,
+                 component_of: dict[str, int] | None = None) -> None:
+        if component_of is not None:
+            if schema is not None:
+                raise SchemaError(
+                    "pass either a schema or a component map, not both")
+            self._component_of = dict(component_of)
+            return
+        if schema is None:
+            raise SchemaError("a schema or a component map is required")
+        self._component_of = {}
         for component_id, component in enumerate(entity_components(schema)):
             for entity in component:
                 self._component_of[entity] = component_id
+
+    @classmethod
+    def from_component_map(cls, component_of: dict[str, int]
+                           ) -> "NeighborhoodIndex":
+        """Rehydrate from a precomputed entity -> component-id map.
+
+        This is the fast path used by
+        :class:`~repro.matching.profile.SchemaMatchProfile`: the
+        transitive closure is computed once at ingest time and served
+        as a dict lookup per query.
+        """
+        return cls(component_of=component_of)
 
     def component_id(self, entity: str) -> int:
         try:

@@ -106,7 +106,9 @@ class TightnessScorer:
         return self._policy
 
     def score(self, schema: Schema,
-              element_scores: dict[str, float]) -> TightnessResult:
+              element_scores: dict[str, float],
+              neighborhoods: NeighborhoodIndex | None = None
+              ) -> TightnessResult:
         """Score ``schema`` given per-element match scores.
 
         ``element_scores`` maps element paths (``patient.height``,
@@ -114,6 +116,10 @@ class TightnessScorer:
         ``max_per_column`` of the ensemble's combined matrix.  Unknown
         paths raise :class:`MatchError`; a mismatched matrix is a
         programming error worth failing loudly on.
+
+        ``neighborhoods`` lets the caller supply a prebuilt
+        :class:`NeighborhoodIndex` (e.g. from a schema match profile) so
+        the FK transitive closure is not re-derived per candidate.
         """
         matched: dict[str, float] = {}
         entity_of: dict[str, str] = {}
@@ -130,7 +136,8 @@ class TightnessScorer:
         if not matched:
             return TightnessResult(score=0.0, best_anchor=None)
 
-        neighborhoods = NeighborhoodIndex(schema)
+        if neighborhoods is None:
+            neighborhoods = NeighborhoodIndex(schema)
         # Candidate anchors: every entity that contains a matched element.
         # An anchor with no matched element of its own is dominated by one
         # that has (penalties only grow), so restricting is safe and keeps

@@ -16,8 +16,10 @@ class _ConstantMatcher(Matcher):
         self.name = name
         self._value = value
 
-    def match(self, query, candidate) -> SimilarityMatrix:
-        matrix = self.empty_matrix(query, candidate)
+    def match(self, query, candidate, profile=None,
+              scratch=None) -> SimilarityMatrix:
+        matrix = self.empty_matrix(query, candidate,
+                                   profile=profile, scratch=scratch)
         matrix.values[:] = self._value
         return matrix
 
@@ -30,7 +32,7 @@ def query(paper_keywords) -> QueryGraph:
 class TestConfiguration:
     def test_default_is_name_plus_context(self):
         ensemble = MatcherEnsemble.default()
-        assert ensemble.matcher_names == ["name", "context"]
+        assert ensemble.matcher_names == ("name", "context")
         assert set(ensemble.weights.values()) == {1.0}
 
     def test_empty_matcher_list_rejected(self):

@@ -2,6 +2,7 @@
 
 import threading
 
+from repro.matching.profile import ProfileStore
 from repro.repository.indexer import RepositoryIndexer
 from repro.repository.store import SchemaRepository
 
@@ -68,6 +69,88 @@ class TestRefresh:
                 repo.update_schema(schema)
             assert indexer.refresh() == 1
             assert indexer.index.document(schema.schema_id).title == "c"
+
+
+class TestProfileSync:
+    """The changelog-driven refresh keeps the profile cache honest."""
+
+    def test_refresh_builds_profiles_eagerly(self):
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(build_clinic_schema())
+            store = ProfileStore(repo)
+            indexer = RepositoryIndexer(repo, profile_store=store)
+            indexer.refresh()
+            assert schema_id in store  # built before any query asks
+
+    def test_update_via_changelog_refreshes_profile(self):
+        with SchemaRepository.in_memory() as repo:
+            schema = build_clinic_schema()
+            schema_id = repo.add_schema(schema)
+            store = ProfileStore(repo)
+            indexer = RepositoryIndexer(repo, profile_store=store)
+            indexer.refresh()
+            old_paths = store.get_profile(schema_id).element_paths
+
+            from repro.model.elements import Attribute, Entity
+            schema.add_entity(Entity("lab_result", [
+                Attribute("id", "INTEGER", primary_key=True),
+                Attribute("value", "DECIMAL(8,2)"),
+            ]))
+            repo.update_schema(schema)
+            indexer.refresh()
+            new_paths = store.get_profile(schema_id).element_paths
+            assert new_paths != old_paths
+            assert "lab_result.value" in new_paths
+            # The cached schema moved in step with the profile.
+            assert "lab_result" in store.get_schema(schema_id).entities
+
+    def test_delete_via_changelog_drops_profile(self):
+        with SchemaRepository.in_memory() as repo:
+            schema_id = repo.add_schema(build_clinic_schema())
+            store = ProfileStore(repo)
+            indexer = RepositoryIndexer(repo, profile_store=store)
+            indexer.refresh()
+            repo.delete_schema(schema_id)
+            indexer.refresh()
+            assert schema_id not in store
+
+    def test_repository_crud_invalidates_lazily_cached_entries(self):
+        """The repository's own mutation methods invalidate the shared
+        store immediately — a stale schema is never served, even before
+        the next indexer refresh."""
+        with SchemaRepository.in_memory() as repo:
+            schema = build_clinic_schema()
+            schema_id = repo.add_schema(schema)
+            store = repo.profile_store()
+            store.get_profile(schema_id)  # lazily cached
+            schema.name = "renamed_clinic"
+            repo.update_schema(schema)
+            assert schema_id not in store
+            assert store.get_schema(schema_id).name == "renamed_clinic"
+            repo.delete_schema(schema_id)
+            assert schema_id not in store
+
+    def test_engine_search_sees_post_update_state(self):
+        with SchemaRepository.in_memory() as repo:
+            schema = build_clinic_schema()
+            repo.add_schema(schema)
+            engine = repo.engine()
+            assert engine.search(keywords="patient height")[0].name == \
+                "clinic_emr"
+            schema.name = "renamed_clinic"
+            repo.update_schema(schema)
+            engine = repo.engine()  # refreshes index + profiles
+            assert engine.search(keywords="patient height")[0].name == \
+                "renamed_clinic"
+
+    def test_rebuild_repopulates_profiles(self):
+        with SchemaRepository.in_memory() as repo:
+            a = repo.add_schema(build_clinic_schema())
+            b = repo.add_schema(build_hr_schema())
+            store = ProfileStore(repo)
+            indexer = RepositoryIndexer(repo, profile_store=store)
+            indexer.rebuild()
+            assert a in store and b in store
 
 
 class TestRebuild:
