@@ -1,0 +1,180 @@
+"""Phase-1 acceleration bench: naive vs packed vs pruned vs warm cache.
+
+Times candidate extraction (the paper's "fast and scalable filter for
+relevant candidate schemas") over a generated corpus in four searcher
+configurations sharing one inverted index:
+
+* ``naive`` — the reference loop: per-posting view objects, dict
+  accumulators, the exception-raising norm accessor (the seed hot path);
+* ``packed`` — the same exhaustive accumulation order over the packed
+  doc-id/frequency columns with a plain-dict norms snapshot;
+* ``pruned`` — MaxScore-style dynamic pruning: descending upper-bound
+  term order, maintained top-k threshold, accumulator-only probing of
+  the remaining lists, dense array accumulators;
+* ``cached`` — the pruned searcher behind a warm generation-aware
+  :class:`~repro.index.cache.QueryCache` (every measured query is a
+  repeat, so this is the steady-state repeated/paged-query cost).
+
+Every mode's rankings are asserted byte-identical to naive during the
+run.  Per mode, one *round* runs the whole query set and sums wall
+time; the reported figure is the median over ``--repeats`` rounds,
+rounds interleaved across modes so scheduler drift hits every mode
+equally.  Results go to ``BENCH_phase1.json`` at the repository root.
+
+Run (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_phase1_candidates.py              # >=10k docs
+    PYTHONPATH=src python benchmarks/bench_phase1_candidates.py --count 1200 # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.index.cache import QueryCache
+from repro.index.documents import document_from_schema
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+
+from benchmarks.helpers import PAPER_KEYWORDS, generated_corpus, sampler_for
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_phase1.json"
+
+
+def build_index(count: int) -> tuple[InvertedIndex, tuple]:
+    """An inverted index over the filtered corpus (no repository —
+    phase 1 never touches SQLite)."""
+    (stats,) = generated_corpus(count)
+    index = InvertedIndex()
+    for i, generated in enumerate(stats.kept, start=1):
+        schema = generated.schema
+        schema.schema_id = i
+        index.add(document_from_schema(schema))
+    return index, tuple(stats.kept)
+
+
+def build_queries(corpus: tuple, sampled: int) -> list[list[str]]:
+    """The paper's running query plus sampled ground-truth queries."""
+    queries = [re.split(r"[,\s]+", PAPER_KEYWORDS.strip())]
+    sampler = sampler_for(corpus)
+    for query in sampler.sample(sampled, channel="clean"):
+        queries.append(list(query.keywords))
+    return queries
+
+
+def time_round(searcher: IndexSearcher, queries: list[list[str]],
+               top_n: int) -> float:
+    start = time.perf_counter()
+    for query in queries:
+        searcher.search(query, top_n=top_n)
+    return time.perf_counter() - start
+
+
+def run(count: int, sampled_queries: int, repeats: int, top_n: int,
+        out_path: Path) -> dict:
+    index, corpus = build_index(count)
+    queries = build_queries(corpus, sampled_queries)
+
+    searchers = {
+        "naive": IndexSearcher(index, strategy="naive"),
+        "packed": IndexSearcher(index, strategy="packed"),
+        "pruned": IndexSearcher(index, strategy="pruned"),
+        "cached": IndexSearcher(index, strategy="pruned",
+                                query_cache=QueryCache(max(64, len(queries)))),
+    }
+
+    # Golden check first: every mode must reproduce naive byte for byte
+    # (this also warms the cached mode, so its measured rounds are the
+    # steady-state repeated-query cost).
+    identical = True
+    for query in queries:
+        expected = searchers["naive"].search(query, top_n=top_n)
+        for name in ("packed", "pruned", "cached"):
+            if searchers[name].search(query, top_n=top_n) != expected:
+                identical = False
+    if not identical:
+        raise AssertionError(
+            "acceleration produced a different ranking than naive")
+
+    rounds: dict[str, list[float]] = {name: [] for name in searchers}
+    for _ in range(repeats):
+        for name, searcher in searchers.items():
+            rounds[name].append(time_round(searcher, queries, top_n))
+    modes = {
+        name: {
+            "seconds": statistics.median(times),
+            "rounds": times,
+        }
+        for name, times in rounds.items()
+    }
+
+    naive_s = modes["naive"]["seconds"]
+    result = {
+        "corpus_size": index.document_count,
+        "terms": index.term_count,
+        "queries": len(queries),
+        "repeats": repeats,
+        "top_n": top_n,
+        "rankings_identical": identical,
+        "cache_hit_rate": searchers["cached"].query_cache.hit_rate,
+        "modes": modes,
+        "speedup": {
+            "packed_vs_naive":
+                naive_s / modes["packed"]["seconds"]
+                if modes["packed"]["seconds"] else 0.0,
+            "pruned_vs_naive":
+                naive_s / modes["pruned"]["seconds"]
+                if modes["pruned"]["seconds"] else 0.0,
+            "warm_cache_vs_naive":
+                naive_s / modes["cached"]["seconds"]
+                if modes["cached"]["seconds"] else 0.0,
+        },
+    }
+    out_path.write_text(json.dumps(result, indent=2) + "\n",
+                        encoding="utf-8")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--count", type=int, default=12000,
+                        help="raw corpus size fed to the paper filter "
+                             "(default 12000, which keeps >=10k docs; "
+                             "use 1200 for a CI smoke)")
+    parser.add_argument("--queries", type=int, default=30,
+                        help="sampled ground-truth queries on top of the "
+                             "paper query (default 30)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="measurement rounds per mode (default 5)")
+    parser.add_argument("--top-n", type=int, default=50,
+                        help="candidates retrieved per query (default 50, "
+                             "the engine's candidate_pool default)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    result = run(args.count, args.queries, args.repeats, args.top_n,
+                 args.out)
+    speedup = result["speedup"]
+    print(f"corpus: {result['corpus_size']} schemas "
+          f"({result['terms']} terms), {result['queries']} queries x "
+          f"{result['repeats']} rounds, top_n={result['top_n']}")
+    for mode, stats in result["modes"].items():
+        print(f"  {mode:>7}: {stats['seconds']:.4f}s per round")
+    print(f"  packed vs naive:     {speedup['packed_vs_naive']:.2f}x")
+    print(f"  pruned vs naive:     {speedup['pruned_vs_naive']:.2f}x")
+    print(f"  warm cache vs naive: {speedup['warm_cache_vs_naive']:.2f}x")
+    print(f"  rankings identical:  {result['rankings_identical']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,13 @@ class SchemrConfig:
     candidate pool is split into contiguous chunks dispatched to a
     thread pool, and the per-chunk results are concatenated in chunk
     order, so the ranking is identical to the sequential one.
+
+    ``query_cache_size`` caps the phase-1
+    :class:`~repro.index.cache.QueryCache`: how many (analyzed terms,
+    top_n, index generation) rankings the searcher memoizes.  Repeated
+    and paged queries skip retrieval entirely; entries self-invalidate
+    when the indexer refreshes because the index generation is part of
+    the key.  0 disables the cache.
     """
 
     candidate_pool: int = 50
@@ -37,6 +44,7 @@ class SchemrConfig:
     use_tightness: bool = True
     use_fuzzy_expansion: bool = False
     match_workers: int = 1
+    query_cache_size: int = 256
     penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)
 
     def __post_init__(self) -> None:
@@ -46,3 +54,6 @@ class SchemrConfig:
         if self.match_workers < 1:
             raise QueryError(
                 f"match_workers must be >= 1, got {self.match_workers}")
+        if self.query_cache_size < 0:
+            raise QueryError(
+                f"query_cache_size must be >= 0, got {self.query_cache_size}")

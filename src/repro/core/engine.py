@@ -81,9 +81,14 @@ class SchemrEngine:
         if self._config.use_fuzzy_expansion:
             from repro.index.fuzzy import TrigramIndex
             fuzzy = TrigramIndex.from_terms(index.vocabulary())
+        self._fuzzy_generation = index.generation
+        query_cache = None
+        if self._config.query_cache_size > 0:
+            from repro.index.cache import QueryCache
+            query_cache = QueryCache(self._config.query_cache_size)
         self._searcher = IndexSearcher(
             index, use_coordination=self._config.use_coordination,
-            fuzzy=fuzzy)
+            fuzzy=fuzzy, query_cache=query_cache)
         self._source = source
         # Sources that precompute match profiles (ProfileStore) expose
         # get_profile; the engine takes the fast path when it exists.
@@ -147,6 +152,25 @@ class SchemrEngine:
         self.last_trace = trace
         return results
 
+    def _ensure_fuzzy_current(self) -> None:
+        """Re-sync the fuzzy vocabulary with the index generation.
+
+        The trigram index is built from the vocabulary at construction
+        time; after an indexer refresh/rebuild the index generation
+        moves and new schemas' terms would be invisible to fuzzy
+        expansion.  Comparing generations makes the check O(1) per
+        query and the vocabulary walk happens only when something
+        actually changed.
+        """
+        fuzzy = self._searcher.fuzzy
+        if fuzzy is None:
+            return
+        index = self._searcher.index
+        generation = index.generation
+        if generation != self._fuzzy_generation:
+            fuzzy.update_from(index.vocabulary())
+            self._fuzzy_generation = generation
+
     # -- pipeline --------------------------------------------------------
 
     def _run(self, query: QueryGraph, top_n: int,
@@ -157,6 +181,7 @@ class SchemrEngine:
             raise QueryError(f"offset must be >= 0, got {offset}")
 
         # Phase 1: candidate extraction over the document index.
+        self._ensure_fuzzy_current()
         with timed_phase(trace, PHASE_CANDIDATES) as phase:
             flattened = query.flatten()
             phase.items_in = len(flattened)

@@ -17,10 +17,11 @@ schemas".  This package provides exactly that:
   rebuild from nothing.
 """
 
+from repro.index.cache import QueryCache
 from repro.index.documents import Document, document_from_schema
 from repro.index.fuzzy import TrigramIndex
 from repro.index.suggest import PrefixSuggester
-from repro.index.inverted import InvertedIndex
+from repro.index.inverted import IndexSnapshot, InvertedIndex
 from repro.index.postings import Posting, PostingsList
 from repro.index.scoring import TfIdfScorer
 from repro.index.searcher import IndexHit, IndexSearcher
@@ -29,9 +30,11 @@ from repro.index.store import load_index, save_index
 __all__ = [
     "Document",
     "PrefixSuggester",
+    "QueryCache",
     "TrigramIndex",
     "IndexHit",
     "IndexSearcher",
+    "IndexSnapshot",
     "InvertedIndex",
     "Posting",
     "PostingsList",

@@ -1,0 +1,101 @@
+"""Generation-aware LRU cache for phase-1 retrieval results.
+
+Repeated queries are the norm at repository scale: a user pages through
+results (same analyzed terms, same candidate pool, a different offset —
+the engine re-runs phase 1 identically every page), dashboards poll the
+same saved searches, and the benchmark harness replays query sets.  The
+cache makes all of these near-free.
+
+Invalidation is by *generation*: every cache key embeds the
+:attr:`~repro.index.inverted.InvertedIndex.generation` the result was
+computed at, so a key built after the indexer refreshes simply cannot
+hit an entry computed before it.  Stale entries need no eager purge for
+correctness — they are unreachable — but :meth:`evict_stale` drops them
+in one sweep so a churning index does not waste capacity on dead keys.
+
+Values are lists of frozen :class:`~repro.index.searcher.IndexHit`
+objects; :meth:`get` hands back a fresh list each time so a caller that
+mutates its result list cannot corrupt the cached one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Sequence
+
+#: A cache key: (analyzed terms, top_n, index generation).
+QueryKey = tuple[tuple[str, ...], int, int]
+
+
+class QueryCache:
+    """LRU map from (terms, top_n, generation) to ranked hits."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[Hashable, list] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def make_key(terms: Sequence[str], top_n: int,
+                 generation: int) -> QueryKey:
+        return (tuple(terms), top_n, generation)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def get(self, key: Hashable) -> list | None:
+        """The cached ranking for ``key`` (a fresh list), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return list(entry)
+
+    def put(self, key: Hashable, hits: Sequence) -> None:
+        """Store a ranking, evicting the least recently used overflow."""
+        entries = self._entries
+        entries[key] = list(hits)
+        entries.move_to_end(key)
+        while len(entries) > self._capacity:
+            entries.popitem(last=False)
+
+    def evict_stale(self, generation: int) -> int:
+        """Drop entries keyed to any generation but ``generation``.
+
+        Returns the number of entries removed.  Purely a capacity
+        optimization — stale keys can never be looked up again.
+        """
+        dead = [key for key in self._entries
+                if isinstance(key, tuple) and len(key) == 3
+                and key[2] != generation]
+        for key in dead:
+            del self._entries[key]
+        return len(dead)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries

@@ -78,6 +78,24 @@ class TrigramIndex:
         for gram in grams:
             self._by_trigram.setdefault(gram, set()).add(term)
 
+    def update_from(self, terms: Iterable[str]) -> int:
+        """Add vocabulary terms not yet indexed; returns how many were new.
+
+        The engine calls this when the inverted index's generation moves
+        so fuzzy expansion sees terms introduced by an indexer refresh.
+        Terms that have *left* the vocabulary are not unindexed — a
+        suggestion for a now-absent term has document frequency 0 and
+        contributes nothing downstream, so keeping it is harmless and
+        avoids per-trigram reference counting.
+        """
+        sizes = self._term_sizes
+        added = 0
+        for term in terms:
+            if term not in sizes:
+                self.add_term(term)
+                added += 1
+        return added
+
     def __len__(self) -> int:
         return len(self._term_sizes)
 

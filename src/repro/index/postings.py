@@ -1,22 +1,38 @@
-"""Postings: per-term occurrence data.
+"""Postings: per-term occurrence data, packed for the search hot path.
 
 A :class:`PostingsList` maps one dictionary term to the documents it
-occurs in; each :class:`Posting` records the term frequency and the
-token positions inside that document (the index's proximity data).
-Postings are kept sorted by ``doc_id`` so document-at-a-time merging
-stays an option for future query operators.
+occurs in.  The representation is array-backed: two parallel
+``array('q')`` columns hold the sorted doc ids and their term
+frequencies, while token positions (the index's proximity data) live
+out-of-line in a dict keyed by doc id.  The searcher iterates the packed
+columns directly — no per-posting object construction — and membership
+tests bisect the maintained sorted doc-id view instead of rebuilding it.
+
+Two statistics are kept up to date through add/remove so retrieval can
+read them in O(1):
+
+* ``collection_frequency`` — total occurrences across documents,
+  maintained incrementally instead of re-summed per call;
+* ``max_frequency`` — the largest term frequency in any document (the
+  *max-impact* statistic), which upper-bounds the score contribution a
+  posting can make and lets the pruned searcher skip whole lists.
+
+:class:`Posting` remains the per-document view object for callers that
+want positions; it is materialized on demand and shares the live
+positions list (treat it as read-only — mutate through :meth:`add`).
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 from typing import Iterator
 
 
 @dataclass(slots=True)
 class Posting:
-    """Occurrences of one term in one document."""
+    """Occurrences of one term in one document (materialized view)."""
 
     doc_id: int
     positions: list[int]
@@ -26,74 +42,142 @@ class Posting:
         return len(self.positions)
 
 
-@dataclass(slots=True)
 class PostingsList:
-    """All postings of one term, sorted by document id."""
+    """All postings of one term, sorted by document id (packed)."""
 
-    term: str
-    postings: list[Posting] = field(default_factory=list)
+    __slots__ = ("term", "_doc_ids", "_freqs", "_positions",
+                 "_collection_frequency", "_max_frequency", "_max_stale")
+
+    def __init__(self, term: str) -> None:
+        self.term = term
+        self._doc_ids: array = array("q")
+        self._freqs: array = array("q")
+        self._positions: dict[int, list[int]] = {}
+        self._collection_frequency = 0
+        self._max_frequency = 0
+        self._max_stale = False
+
+    # -- statistics --------------------------------------------------------
 
     @property
     def document_frequency(self) -> int:
         """Number of documents containing the term (df)."""
-        return len(self.postings)
+        return len(self._doc_ids)
 
     @property
     def collection_frequency(self) -> int:
-        """Total occurrences across all documents (cf)."""
-        return sum(p.frequency for p in self.postings)
+        """Total occurrences across all documents (cf); O(1), cached."""
+        return self._collection_frequency
+
+    @property
+    def max_frequency(self) -> int:
+        """Largest per-document term frequency (the max-impact bound).
+
+        Maintained through :meth:`add`; a removal of the current maximum
+        marks the statistic stale and the next read recomputes it in one
+        pass over the packed frequency column.
+        """
+        if self._max_stale:
+            self._max_frequency = max(self._freqs, default=0)
+            self._max_stale = False
+        return self._max_frequency
+
+    # -- packed views ------------------------------------------------------
+
+    def doc_ids_array(self) -> array:
+        """The sorted doc-id column itself.  Read-only by convention."""
+        return self._doc_ids
+
+    def frequencies_array(self) -> array:
+        """The frequency column parallel to :meth:`doc_ids_array`."""
+        return self._freqs
+
+    @property
+    def postings(self) -> list[Posting]:
+        """Materialized per-document views, sorted by doc id (O(df))."""
+        return [Posting(doc_id, self._positions[doc_id])
+                for doc_id in self._doc_ids]
 
     def _find(self, doc_id: int) -> int | None:
-        """Index of the posting for ``doc_id``, or None."""
-        ids = [p.doc_id for p in self.postings]
+        """Index of ``doc_id`` in the packed columns, or None.
+
+        Bisects the maintained sorted doc-id array directly — no
+        per-lookup list rebuild.
+        """
+        ids = self._doc_ids
         i = bisect.bisect_left(ids, doc_id)
         if i < len(ids) and ids[i] == doc_id:
             return i
         return None
+
+    # -- mutation ----------------------------------------------------------
 
     def add(self, doc_id: int, position: int) -> None:
         """Record one occurrence; creates the posting on first sight.
 
         Appending in non-decreasing doc-id order (the bulk-indexing
         pattern) is O(1); out-of-order insertion falls back to a binary
-        search.
+        search plus an array insert.
         """
-        if self.postings:
-            last = self.postings[-1]
-            if last.doc_id == doc_id:
-                last.positions.append(position)
-                return
-            if last.doc_id < doc_id:
-                self.postings.append(Posting(doc_id, [position]))
-                return
+        ids = self._doc_ids
+        n = len(ids)
+        if n and ids[n - 1] == doc_id:
+            i = n - 1
+        elif not n or ids[n - 1] < doc_id:
+            ids.append(doc_id)
+            self._freqs.append(0)
+            self._positions[doc_id] = []
+            i = n
         else:
-            self.postings.append(Posting(doc_id, [position]))
-            return
-        i = self._find(doc_id)
-        if i is not None:
-            self.postings[i].positions.append(position)
-            return
-        ids = [p.doc_id for p in self.postings]
-        self.postings.insert(bisect.bisect_left(ids, doc_id),
-                             Posting(doc_id, [position]))
+            i = bisect.bisect_left(ids, doc_id)
+            if i == len(ids) or ids[i] != doc_id:
+                ids.insert(i, doc_id)
+                self._freqs.insert(i, 0)
+                self._positions[doc_id] = []
+        self._positions[doc_id].append(position)
+        freq = self._freqs[i] + 1
+        self._freqs[i] = freq
+        self._collection_frequency += 1
+        if not self._max_stale and freq > self._max_frequency:
+            self._max_frequency = freq
 
     def remove_document(self, doc_id: int) -> bool:
         """Drop the posting for ``doc_id``; True when one existed."""
         i = self._find(doc_id)
         if i is None:
             return False
-        del self.postings[i]
+        freq = self._freqs[i]
+        self._collection_frequency -= freq
+        del self._doc_ids[i]
+        del self._freqs[i]
+        del self._positions[doc_id]
+        if not self._max_stale and freq >= self._max_frequency:
+            self._max_stale = True
         return True
+
+    # -- lookup ------------------------------------------------------------
 
     def get(self, doc_id: int) -> Posting | None:
         i = self._find(doc_id)
-        return None if i is None else self.postings[i]
+        if i is None:
+            return None
+        return Posting(doc_id, self._positions[doc_id])
+
+    def frequency(self, doc_id: int) -> int:
+        """Term frequency in ``doc_id``; 0 when absent.  O(log df)."""
+        i = self._find(doc_id)
+        return 0 if i is None else self._freqs[i]
 
     def doc_ids(self) -> list[int]:
-        return [p.doc_id for p in self.postings]
+        return list(self._doc_ids)
 
     def __iter__(self) -> Iterator[Posting]:
-        return iter(self.postings)
+        for doc_id in self._doc_ids:
+            yield Posting(doc_id, self._positions[doc_id])
 
     def __len__(self) -> int:
-        return len(self.postings)
+        return len(self._doc_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PostingsList(term={self.term!r}, "
+                f"df={len(self._doc_ids)}, cf={self._collection_frequency})")

@@ -44,10 +44,10 @@ class TfIdfScorer:
         postings = self.index.postings(term)
         if postings is None:
             return 0.0
-        posting = postings.get(doc_id)
-        if posting is None:
+        frequency = postings.frequency(doc_id)
+        if frequency == 0:
             return 0.0
-        tf_part = math.sqrt(posting.frequency)
+        tf_part = math.sqrt(frequency)
         return tf_part * self.idf(term) ** 2 * self.index.norm(doc_id)
 
     def score(self, terms: list[str], doc_id: int) -> float:

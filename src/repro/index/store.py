@@ -28,6 +28,10 @@ def save_index(index: InvertedIndex, path: str | Path) -> None:
         "format": FORMAT_VERSION,
         "documents": index.document_count,
         "terms": index.term_count,
+        # Informational: the mutation generation the segment was cut at.
+        # Loading always rebuilds packed postings from the stored term
+        # streams, so the loaded index starts its own generation line.
+        "generation": index.generation,
     }
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(header) + "\n")

@@ -71,28 +71,34 @@ class RepositoryIndexer:
         applied = 0
         logger.debug("indexer refresh: %d pending change(s)",
                      len(changes))
-        for schema_id, op in final_op.items():
-            if op == "delete":
+        # The whole batch applies under the index's mutation lock so a
+        # concurrent searcher (run_scheduled in a background thread is
+        # the intended deployment) never reads a half-applied refresh:
+        # searches serialize against the batch, not individual postings
+        # writes, and read a consistent generation-stamped snapshot.
+        with self._index.lock:
+            for schema_id, op in final_op.items():
+                if op == "delete":
+                    if self._profile_store is not None:
+                        self._profile_store.invalidate(schema_id)
+                    if self._index.has_document(schema_id):
+                        self._index.remove(schema_id)
+                        applied += 1
+                    continue
+                # add/update collapse to replace-with-current-state; the
+                # schema may have been deleted after the logged change.
+                if not self._repository.has_schema(schema_id):
+                    if self._profile_store is not None:
+                        self._profile_store.invalidate(schema_id)
+                    if self._index.has_document(schema_id):
+                        self._index.remove(schema_id)
+                        applied += 1
+                    continue
+                schema = self._repository.get_schema(schema_id)
+                self._index.replace(document_from_schema(schema))
                 if self._profile_store is not None:
-                    self._profile_store.invalidate(schema_id)
-                if self._index.has_document(schema_id):
-                    self._index.remove(schema_id)
-                    applied += 1
-                continue
-            # add/update collapse to replace-with-current-state; the
-            # schema may have been deleted after the logged change.
-            if not self._repository.has_schema(schema_id):
-                if self._profile_store is not None:
-                    self._profile_store.invalidate(schema_id)
-                if self._index.has_document(schema_id):
-                    self._index.remove(schema_id)
-                    applied += 1
-                continue
-            schema = self._repository.get_schema(schema_id)
-            self._index.replace(document_from_schema(schema))
-            if self._profile_store is not None:
-                self._profile_store.put(schema)
-            applied += 1
+                    self._profile_store.put(schema)
+                applied += 1
         logger.info("indexer refresh applied %d operation(s); index holds "
                     "%d document(s)", applied, self._index.document_count)
         return applied
@@ -143,15 +149,16 @@ class RepositoryIndexer:
     def rebuild(self) -> int:
         """Drop the index (and profile cache) and re-flatten every
         stored schema."""
-        self._index.clear()
-        if self._profile_store is not None:
-            self._profile_store.clear()
         count = 0
-        for schema in self._repository.iter_schemas():
-            self._index.add(document_from_schema(schema))
+        with self._index.lock:
+            self._index.clear()
             if self._profile_store is not None:
-                self._profile_store.put(schema)
-            count += 1
+                self._profile_store.clear()
+            for schema in self._repository.iter_schemas():
+                self._index.add(document_from_schema(schema))
+                if self._profile_store is not None:
+                    self._profile_store.put(schema)
+                count += 1
         changes = self._repository.changes_since(self._last_change_id)
         if changes:
             self._last_change_id = changes[-1][0]

@@ -1,0 +1,76 @@
+"""Unit tests for repro.index.cache (the phase-1 query cache)."""
+
+import pytest
+
+from repro.index.cache import QueryCache
+from repro.index.searcher import IndexHit
+
+
+def _hits(*doc_ids: int) -> list[IndexHit]:
+    return [IndexHit(doc_id=d, score=float(10 - d), matched_terms=1)
+            for d in doc_ids]
+
+
+class TestQueryCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryCache(0)
+
+    def test_miss_then_hit(self):
+        cache = QueryCache(4)
+        key = QueryCache.make_key(["patient"], 10, 0)
+        assert cache.get(key) is None
+        cache.put(key, _hits(1, 2))
+        assert cache.get(key) == _hits(1, 2)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_get_returns_a_fresh_list(self):
+        cache = QueryCache(4)
+        key = QueryCache.make_key(["a"], 5, 0)
+        cache.put(key, _hits(1, 2, 3))
+        first = cache.get(key)
+        first.pop()
+        assert cache.get(key) == _hits(1, 2, 3)
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(2)
+        k1 = QueryCache.make_key(["a"], 5, 0)
+        k2 = QueryCache.make_key(["b"], 5, 0)
+        k3 = QueryCache.make_key(["c"], 5, 0)
+        cache.put(k1, _hits(1))
+        cache.put(k2, _hits(2))
+        cache.get(k1)          # k1 is now most recently used
+        cache.put(k3, _hits(3))
+        assert k1 in cache
+        assert k2 not in cache
+        assert k3 in cache
+        assert len(cache) == 2
+
+    def test_generation_is_part_of_the_key(self):
+        cache = QueryCache(4)
+        old = QueryCache.make_key(["a"], 5, 1)
+        new = QueryCache.make_key(["a"], 5, 2)
+        cache.put(old, _hits(1))
+        assert cache.get(new) is None
+
+    def test_evict_stale_drops_old_generations(self):
+        cache = QueryCache(8)
+        cache.put(QueryCache.make_key(["a"], 5, 1), _hits(1))
+        cache.put(QueryCache.make_key(["b"], 5, 1), _hits(2))
+        cache.put(QueryCache.make_key(["a"], 5, 3), _hits(3))
+        assert cache.evict_stale(3) == 2
+        assert len(cache) == 1
+        assert cache.get(QueryCache.make_key(["a"], 5, 3)) == _hits(3)
+
+    def test_top_n_is_part_of_the_key(self):
+        cache = QueryCache(4)
+        cache.put(QueryCache.make_key(["a"], 5, 0), _hits(1))
+        assert cache.get(QueryCache.make_key(["a"], 6, 0)) is None
+
+    def test_clear(self):
+        cache = QueryCache(4)
+        cache.put(QueryCache.make_key(["a"], 5, 0), _hits(1))
+        cache.clear()
+        assert len(cache) == 0

@@ -66,3 +66,83 @@ class TestPostingsList:
         for pos in (3, 7, 11):
             plist.add(4, pos)
         assert plist.get(4).positions == [3, 7, 11]
+
+
+class TestPackedRepresentation:
+    """Invariants of the array-backed postings layout."""
+
+    def test_packed_columns_parallel_and_sorted(self):
+        plist = PostingsList("x")
+        for doc_id, pos in [(7, 0), (2, 0), (7, 1), (4, 0), (2, 1), (2, 2)]:
+            plist.add(doc_id, pos)
+        assert list(plist.doc_ids_array()) == [2, 4, 7]
+        assert list(plist.frequencies_array()) == [3, 1, 2]
+
+    def test_frequency_lookup(self):
+        plist = PostingsList("x")
+        plist.add(1, 0)
+        plist.add(1, 1)
+        plist.add(9, 0)
+        assert plist.frequency(1) == 2
+        assert plist.frequency(9) == 1
+        assert plist.frequency(5) == 0
+
+    def test_collection_frequency_is_maintained(self):
+        plist = PostingsList("x")
+        for doc_id, pos in [(1, 0), (1, 1), (2, 0), (3, 0), (3, 1), (3, 2)]:
+            plist.add(doc_id, pos)
+        assert plist.collection_frequency == 6
+        plist.remove_document(3)
+        assert plist.collection_frequency == 3
+        plist.remove_document(1)
+        assert plist.collection_frequency == 1
+
+    def test_max_frequency_tracks_adds(self):
+        plist = PostingsList("x")
+        plist.add(1, 0)
+        assert plist.max_frequency == 1
+        plist.add(2, 0)
+        plist.add(2, 1)
+        plist.add(2, 2)
+        assert plist.max_frequency == 3
+
+    def test_max_frequency_recomputes_after_removing_max(self):
+        plist = PostingsList("x")
+        for pos in range(5):
+            plist.add(1, pos)
+        plist.add(2, 0)
+        plist.add(2, 1)
+        assert plist.max_frequency == 5
+        plist.remove_document(1)
+        assert plist.max_frequency == 2
+        plist.remove_document(2)
+        assert plist.max_frequency == 0
+
+    def test_max_frequency_stale_then_add(self):
+        """An add while the max is stale must not leave a wrong cache."""
+        plist = PostingsList("x")
+        for pos in range(4):
+            plist.add(1, pos)
+        plist.add(2, 0)
+        plist.remove_document(1)  # max now stale
+        plist.add(3, 0)
+        plist.add(3, 1)
+        assert plist.max_frequency == 2
+
+    def test_postings_property_materializes_views(self):
+        plist = PostingsList("x")
+        plist.add(5, 0)
+        plist.add(1, 0)
+        views = plist.postings
+        assert [p.doc_id for p in views] == [1, 5]
+        assert all(isinstance(p, Posting) for p in views)
+
+    def test_remove_then_readd(self):
+        plist = PostingsList("x")
+        plist.add(1, 0)
+        plist.add(2, 0)
+        plist.remove_document(1)
+        plist.add(1, 9)
+        assert plist.doc_ids() == [1, 2]
+        assert plist.get(1).positions == [9]
+        assert plist.collection_frequency == 2

@@ -203,3 +203,58 @@ class TestScheduledRuns:
             indexer.stop()
             thread.join(timeout=5)
             assert not thread.is_alive()
+
+    def test_concurrent_searches_during_scheduled_refresh(self):
+        """Background refreshes must not corrupt concurrent reads.
+
+        The scheduled indexer mutates the live index while a searcher
+        iterates postings; batches apply under the index mutation lock
+        and searches serialize against whole batches, so every query
+        sees a consistent generation — never a half-applied refresh.
+        """
+        from repro.index.searcher import IndexSearcher
+
+        with SchemaRepository.in_memory() as repo:
+            repo.add_schema(build_clinic_schema())
+            indexer = RepositoryIndexer(repo)
+            indexer.refresh()
+            searcher = IndexSearcher(indexer.index)
+            errors: list[BaseException] = []
+
+            def run_queries() -> None:
+                try:
+                    for _ in range(200):
+                        hits = searcher.search(
+                            ["patient", "height", "gender"], top_n=10)
+                        for hit in hits:
+                            # Title resolution exercises the doc store
+                            # against concurrent replace/remove.
+                            assert hit.title
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            refresher = threading.Thread(
+                target=indexer.run_scheduled,
+                kwargs={"interval_seconds": 0.0005,
+                        "max_refreshes": 500})
+            reader = threading.Thread(target=run_queries)
+            refresher.start()
+            reader.start()
+            # Churn the repository while both threads run.
+            for i in range(30):
+                schema = build_clinic_schema(f"clinic_{i}")
+                schema_id = repo.add_schema(schema)
+                if i % 3 == 0:
+                    repo.delete_schema(schema_id)
+                elif i % 3 == 1:
+                    schema.name = f"clinic_{i}_renamed"
+                    repo.update_schema(schema)
+            reader.join(timeout=30)
+            indexer.stop()
+            refresher.join(timeout=30)
+            assert not reader.is_alive() and not refresher.is_alive()
+            assert errors == []
+            # After a final refresh the searcher sees the end state.
+            indexer.refresh()
+            hits = searcher.search(["patient"], top_n=100)
+            assert len(hits) == indexer.index.document_count
