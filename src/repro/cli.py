@@ -15,6 +15,7 @@ Subcommands cover the full lifecycle::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -245,9 +246,50 @@ def _cmd_examples(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Telemetry snapshot: scrape a running server or probe a repository.
+
+    ``target`` is either a base URL of a running ``schemr serve``
+    (fetches ``/stats`` or, with ``--format prometheus``, ``/metrics``)
+    or a repository path (opens it with telemetry enabled, optionally
+    replays ``--warmup`` queries, and prints the local summary).
+    """
+    import urllib.request
+    if args.target.startswith(("http://", "https://")):
+        path = "/metrics" if args.format == "prometheus" else "/stats"
+        with urllib.request.urlopen(args.target.rstrip("/") + path,
+                                    timeout=10) as response:
+            print(response.read().decode("utf-8"))
+        return 0
+    from repro.core.config import SchemrConfig
+    with _open_repository(args.target) as repo:
+        engine = repo.engine(config=SchemrConfig(telemetry_enabled=True))
+        with engine:
+            if args.warmup:
+                for keywords in args.warmup.split(","):
+                    keywords = keywords.strip()
+                    if not keywords:
+                        continue
+                    try:
+                        engine.search(keywords=keywords)
+                    except SchemrError:
+                        pass  # all-stopword warmups are not fatal
+            print(f"repository: {args.target} "
+                  f"({repo.schema_count} schemas)")
+            if args.format == "prometheus":
+                print(engine.telemetry.metrics.to_prometheus_text())
+            else:
+                print(engine.telemetry.summary_text())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     repo = _open_repository(args.db)
-    server = SchemrServer(repo, host=args.host, port=args.port)
+    if args.access_log:
+        logging.basicConfig(level=logging.INFO,
+                            format="%(asctime)s %(name)s %(message)s")
+    server = SchemrServer(repo, host=args.host, port=args.port,
+                          access_log=args.access_log)
     print(f"schemr service listening on {server.base_url}")
     server.start()
     try:
@@ -368,10 +410,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=5)
     p.set_defaults(func=_cmd_examples)
 
+    p = sub.add_parser("stats",
+                       help="telemetry snapshot of a repository or a "
+                            "running server")
+    p.add_argument("target",
+                   help="repository path, or base URL of a running "
+                        "`schemr serve` (e.g. http://127.0.0.1:8080)")
+    p.add_argument("--warmup", default=None,
+                   help="comma-separated keyword queries to run first "
+                        "(repository mode)")
+    p.add_argument("--format", choices=("text", "prometheus"),
+                   default="text")
+    p.set_defaults(func=_cmd_stats)
+
     p = sub.add_parser("serve", help="run the HTTP service")
     p.add_argument("db")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--access-log", action="store_true",
+                   help="log every request (method, route, status, "
+                        "duration) to stderr")
     p.set_defaults(func=_cmd_serve)
 
     return parser

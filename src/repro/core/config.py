@@ -37,6 +37,15 @@ class SchemrConfig:
     and paged queries skip retrieval entirely; entries self-invalidate
     when the indexer refreshes because the index generation is part of
     the key.  0 disables the cache.
+
+    ``telemetry_enabled`` turns on the :mod:`repro.telemetry`
+    subsystem: per-phase metrics and spans, query profiles, the
+    slow-query log, and (when ``history_path`` is set) the JSONL
+    search-history sink.  Off by default — the disabled path is a
+    handful of no-op calls per query.  ``slow_query_seconds`` is the
+    latency above which a search lands in the slow-query log;
+    ``trace_buffer_size`` / ``profile_buffer_size`` bound the in-memory
+    rings of recent span trees and query profiles.
     """
 
     candidate_pool: int = 50
@@ -45,6 +54,11 @@ class SchemrConfig:
     use_fuzzy_expansion: bool = False
     match_workers: int = 1
     query_cache_size: int = 256
+    telemetry_enabled: bool = False
+    slow_query_seconds: float = 0.25
+    trace_buffer_size: int = 64
+    profile_buffer_size: int = 256
+    history_path: str | None = None
     penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)
 
     def __post_init__(self) -> None:
@@ -57,3 +71,15 @@ class SchemrConfig:
         if self.query_cache_size < 0:
             raise QueryError(
                 f"query_cache_size must be >= 0, got {self.query_cache_size}")
+        if self.slow_query_seconds <= 0:
+            raise QueryError(
+                "slow_query_seconds must be positive, got "
+                f"{self.slow_query_seconds}")
+        if self.trace_buffer_size < 1:
+            raise QueryError(
+                "trace_buffer_size must be >= 1, got "
+                f"{self.trace_buffer_size}")
+        if self.profile_buffer_size < 1:
+            raise QueryError(
+                "profile_buffer_size must be >= 1, got "
+                f"{self.profile_buffer_size}")

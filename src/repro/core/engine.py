@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import logging
+import time
 
 from concurrent.futures import ThreadPoolExecutor
 from typing import Protocol
@@ -27,6 +28,14 @@ from repro.model.query import QueryGraph
 from repro.model.schema import Schema
 from repro.parsers.query_parser import parse_query
 from repro.scoring.tightness import TightnessScorer
+from repro.telemetry import (
+    DEFAULT_COUNT_BUCKETS,
+    EMPTY_ALL_FILTERED,
+    EMPTY_NO_INDEX_HITS,
+    EMPTY_OFFSET_BEYOND,
+    QueryProfile,
+    Telemetry,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -71,12 +80,20 @@ class SchemrEngine:
         name + context pair with uniform weights.
     config:
         Pipeline knobs; see :class:`SchemrConfig`.
+    telemetry:
+        Shared :class:`~repro.telemetry.Telemetry` facade; built from
+        ``config`` when omitted (and then owned — closed with the
+        engine).  Disabled telemetry costs a handful of no-op calls
+        per query.
     """
 
     def __init__(self, index: InvertedIndex, source: SchemaSource,
                  ensemble: MatcherEnsemble | None = None,
-                 config: SchemrConfig | None = None) -> None:
+                 config: SchemrConfig | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         self._config = config or SchemrConfig()
+        self._owns_telemetry = telemetry is None
+        self._telemetry = telemetry or Telemetry.from_config(self._config)
         fuzzy = None
         if self._config.use_fuzzy_expansion:
             from repro.index.fuzzy import TrigramIndex
@@ -97,6 +114,80 @@ class SchemrEngine:
         self._tightness = TightnessScorer(self._config.penalties)
         self._executor: ThreadPoolExecutor | None = None
         self.last_trace: PipelineTrace | None = None
+        #: The :class:`QueryProfile` of the most recent search —
+        #: populated whether or not telemetry is enabled, so callers can
+        #: always see *why* a query came back empty.
+        self.last_profile: QueryProfile | None = None
+        self._register_instruments(index)
+
+    def _register_instruments(self, index: InvertedIndex) -> None:
+        """Resolve hot-path instruments once and wire callback gauges.
+
+        On a disabled registry every instrument is a shared no-op, so
+        the per-query cost of the disabled path is the calls themselves.
+        Cache and index statistics are exported as callbacks evaluated
+        at scrape time — the serving path never updates them.
+        """
+        m = self._telemetry.metrics
+        self._m_searches = m.counter(
+            "schemr_searches_total", "Searches executed")
+        self._m_search_seconds = m.histogram(
+            "schemr_search_seconds", "End-to-end search latency")
+        self._m_phase = {
+            name: m.histogram("schemr_phase_seconds",
+                              "Per-phase wall time", phase=name)
+            for name in (PHASE_PARSE, PHASE_CANDIDATES, PHASE_MATCHING,
+                         PHASE_TIGHTNESS)
+        }
+        self._m_candidates = m.histogram(
+            "schemr_phase1_candidates", "Phase-1 candidates per query",
+            buckets=DEFAULT_COUNT_BUCKETS)
+        self._m_results = m.counter(
+            "schemr_results_total", "Results returned")
+        self._m_docs_scored = m.counter(
+            "schemr_phase1_docs_scored_total",
+            "Documents entering the phase-1 accumulator")
+        self._m_pruned_early = m.counter(
+            "schemr_phase1_pruned_early_total",
+            "Queries where MaxScore pruning reached AND-mode")
+        self._m_slow = m.counter(
+            "schemr_slow_queries_total",
+            "Searches above the slow-query threshold")
+        if m.enabled:
+            m.gauge("schemr_index_documents", "Indexed documents",
+                    callback=lambda: index.document_count)
+            m.gauge("schemr_index_terms", "Distinct index terms",
+                    callback=lambda: index.term_count)
+            m.gauge("schemr_index_generation", "Index generation",
+                    callback=lambda: index.generation)
+            cache = self._searcher.query_cache
+            if cache is not None:
+                m.counter("schemr_query_cache_hits_total",
+                          "Query-cache hits", callback=lambda: cache.hits)
+                m.counter("schemr_query_cache_misses_total",
+                          "Query-cache misses",
+                          callback=lambda: cache.misses)
+                m.counter("schemr_query_cache_evictions_total",
+                          "Query-cache LRU evictions",
+                          callback=lambda: cache.evictions)
+                m.counter("schemr_query_cache_stale_evictions_total",
+                          "Query-cache stale-generation sweeps",
+                          callback=lambda: cache.stale_evictions)
+                m.gauge("schemr_query_cache_entries",
+                        "Query-cache live entries",
+                        callback=lambda: len(cache))
+            source = self._source
+            if all(hasattr(source, name)
+                   for name in ("hits", "misses", "evictions")):
+                m.counter("schemr_profile_cache_hits_total",
+                          "Profile-cache hits",
+                          callback=lambda: source.hits)
+                m.counter("schemr_profile_cache_misses_total",
+                          "Profile-cache misses",
+                          callback=lambda: source.misses)
+                m.counter("schemr_profile_cache_evictions_total",
+                          "Profile-cache LRU evictions",
+                          callback=lambda: source.evictions)
 
     @property
     def ensemble(self) -> MatcherEnsemble:
@@ -110,11 +201,18 @@ class SchemrEngine:
     def searcher(self) -> IndexSearcher:
         return self._searcher
 
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry
+
     def close(self) -> None:
-        """Release the match-phase thread pool (idempotent)."""
+        """Release the match-phase thread pool and, when this engine
+        created its own telemetry, the history sink (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._owns_telemetry:
+            self._telemetry.close()
 
     def __enter__(self) -> "SchemrEngine":
         return self
@@ -135,10 +233,13 @@ class SchemrEngine:
         schemas" (offset=top_n gets page two).
         """
         trace = PipelineTrace()
-        with timed_phase(trace, PHASE_PARSE) as phase:
-            query = parse_query(keywords=keywords, fragment=fragment)
-            phase.items_out = len(query)
-        results = self._run(query, top_n, trace, offset)
+        tracer = self._telemetry.tracer
+        with tracer.span("search"):
+            with timed_phase(trace, PHASE_PARSE) as phase, \
+                    tracer.span(PHASE_PARSE):
+                query = parse_query(keywords=keywords, fragment=fragment)
+                phase.items_out = len(query)
+            results = self._run(query, top_n, trace, offset)
         self.last_trace = trace
         return results
 
@@ -148,7 +249,8 @@ class SchemrEngine:
         if query.is_empty():
             raise QueryError("query graph is empty")
         trace = PipelineTrace()
-        results = self._run(query, top_n, trace, offset)
+        with self._telemetry.tracer.span("search"):
+            results = self._run(query, top_n, trace, offset)
         self.last_trace = trace
         return results
 
@@ -180,9 +282,12 @@ class SchemrEngine:
         if offset < 0:
             raise QueryError(f"offset must be >= 0, got {offset}")
 
+        tracer = self._telemetry.tracer
+
         # Phase 1: candidate extraction over the document index.
         self._ensure_fuzzy_current()
-        with timed_phase(trace, PHASE_CANDIDATES) as phase:
+        with timed_phase(trace, PHASE_CANDIDATES) as phase, \
+                tracer.span(PHASE_CANDIDATES):
             flattened = query.flatten()
             phase.items_in = len(flattened)
             hits = self._searcher.search(
@@ -191,13 +296,15 @@ class SchemrEngine:
 
         # Phase 2: fine-grained matching of each candidate.
         scored: list[SearchResult] = []
-        with timed_phase(trace, PHASE_MATCHING) as phase:
+        with timed_phase(trace, PHASE_MATCHING) as phase, \
+                tracer.span(PHASE_MATCHING):
             phase.items_in = len(hits)
             matched = self._match_candidates(query, hits)
             phase.items_out = len(matched)
 
         # Phase 3: tightness-of-fit scoring and final ranking.
-        with timed_phase(trace, PHASE_TIGHTNESS) as phase:
+        with timed_phase(trace, PHASE_TIGHTNESS) as phase, \
+                tracer.span(PHASE_TIGHTNESS):
             phase.items_in = len(matched)
             for (hit, candidate, ensemble_result, element_scores,
                  profile) in matched:
@@ -205,11 +312,84 @@ class SchemrEngine:
                     hit.score, candidate, ensemble_result, element_scores,
                     profile))
             scored.sort(key=lambda r: (-r.score, -r.coarse_score, r.name))
-            scored = scored[offset:offset + top_n]
-            phase.items_out = len(scored)
+            page = scored[offset:offset + top_n]
+            phase.items_out = len(page)
+        self._finish_search(flattened, trace, hits, len(scored), page,
+                            top_n, offset)
         logger.debug("search: %d candidate(s) -> %d result(s) in %.4fs",
-                     len(hits), len(scored), trace.total_seconds)
-        return scored
+                     len(hits), len(page), trace.total_seconds)
+        return page
+
+    def _finish_search(self, flattened: list[str], trace: PipelineTrace,
+                       hits: list[IndexHit], matched_count: int,
+                       results: list[SearchResult], top_n: int,
+                       offset: int) -> None:
+        """Build the :class:`QueryProfile` and feed the telemetry sinks.
+
+        The profile itself is always built (it is how callers learn an
+        empty page's reason); metric updates, the slow-query log, and
+        the history sink only run with telemetry enabled.
+        """
+        empty_reason = None
+        if not results:
+            if not hits:
+                empty_reason = EMPTY_NO_INDEX_HITS
+            elif matched_count == 0:
+                empty_reason = EMPTY_ALL_FILTERED
+            else:
+                empty_reason = EMPTY_OFFSET_BEYOND
+        stats = self._searcher.last_stats
+        profile = QueryProfile(
+            query_terms=tuple(flattened),
+            started_at=time.time() - trace.total_seconds,
+            total_seconds=trace.total_seconds,
+            phase_seconds={phase.name: phase.seconds
+                           for phase in trace.phases},
+            candidate_count=len(hits),
+            matched_count=matched_count,
+            result_count=len(results),
+            top_n=top_n,
+            offset=offset,
+            strategy=stats.strategy if stats is not None else "",
+            cache_hit=stats.cache_hit if stats is not None else False,
+            pruned_early=stats.pruned_early if stats is not None else False,
+            docs_scored=stats.docs_scored if stats is not None else 0,
+            empty_reason=empty_reason,
+        )
+        self.last_profile = profile
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return
+        self._m_searches.inc()
+        self._m_search_seconds.observe(profile.total_seconds)
+        for name, seconds in profile.phase_seconds.items():
+            hist = self._m_phase.get(name)
+            if hist is not None:
+                hist.observe(seconds)
+        self._m_candidates.observe(profile.candidate_count)
+        self._m_results.inc(profile.result_count)
+        self._m_docs_scored.inc(profile.docs_scored)
+        if profile.pruned_early:
+            self._m_pruned_early.inc()
+        telemetry.metrics.counter(
+            "schemr_phase1_queries_total", "Phase-1 retrievals by path",
+            strategy=profile.strategy or "unknown",
+            cache="hit" if profile.cache_hit else "miss").inc()
+        if profile.empty_reason is not None:
+            telemetry.metrics.counter(
+                "schemr_empty_results_total", "Empty result pages by reason",
+                reason=profile.empty_reason).inc()
+        if telemetry.profiles.record(profile):
+            self._m_slow.inc()
+            logger.warning(
+                "slow query (%.1f ms >= %.1f ms): terms=%s candidates=%d "
+                "results=%d", profile.total_seconds * 1000.0,
+                telemetry.profiles.slow_threshold_seconds * 1000.0,
+                " ".join(profile.query_terms), profile.candidate_count,
+                profile.result_count)
+        if telemetry.history is not None:
+            telemetry.history.record(profile.query_terms, results,
+                                     total_seconds=profile.total_seconds)
 
     def _match_candidates(self, query: QueryGraph, hits: list[IndexHit]):
         """Run the ensemble over every candidate, optionally in parallel.

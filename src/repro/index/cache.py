@@ -37,6 +37,8 @@ class QueryCache:
         self._entries: OrderedDict[Hashable, list] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self._stale_evictions = 0
 
     @staticmethod
     def make_key(terms: Sequence[str], top_n: int,
@@ -60,6 +62,16 @@ class QueryCache:
         total = self._hits + self._misses
         return self._hits / total if total else 0.0
 
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to stay within capacity (LRU overflow)."""
+        return self._evictions
+
+    @property
+    def stale_evictions(self) -> int:
+        """Entries dropped by :meth:`evict_stale` generation sweeps."""
+        return self._stale_evictions
+
     def get(self, key: Hashable) -> list | None:
         """The cached ranking for ``key`` (a fresh list), or None."""
         entry = self._entries.get(key)
@@ -77,6 +89,7 @@ class QueryCache:
         entries.move_to_end(key)
         while len(entries) > self._capacity:
             entries.popitem(last=False)
+            self._evictions += 1
 
     def evict_stale(self, generation: int) -> int:
         """Drop entries keyed to any generation but ``generation``.
@@ -89,6 +102,7 @@ class QueryCache:
                 and key[2] != generation]
         for key in dead:
             del self._entries[key]
+        self._stale_evictions += len(dead)
         return len(dead)
 
     def clear(self) -> None:

@@ -87,6 +87,25 @@ class IndexHit:
     title: str = ""
 
 
+@dataclass(frozen=True, slots=True)
+class SearchStats:
+    """How the last query was answered (telemetry input).
+
+    ``strategy`` is the path that actually executed — a ``pruned``
+    searcher falling back to the packed loop on a sparse doc-id space
+    reports ``packed``.  ``docs_scored`` counts accumulator entries
+    (documents that received at least one term contribution);
+    ``pruned_early`` is whether MaxScore reached AND-mode and stopped
+    admitting new documents.  On a cache hit nothing was scored.
+    """
+
+    strategy: str
+    term_count: int
+    docs_scored: int = 0
+    pruned_early: bool = False
+    cache_hit: bool = False
+
+
 #: One query term group: the analyzed term plus weighted variants
 #: (itself at weight 1, fuzzy expansions at their similarity).
 _TermGroup = list[tuple[str, float]]
@@ -115,6 +134,8 @@ class IndexSearcher:
         # Dense norm column for the pruned hot loop, rebuilt lazily
         # whenever the index generation moves: (generation, array).
         self._dense_norms: tuple[int, array] | None = None
+        # Overwritten per query (same lifecycle as engine.last_trace).
+        self.last_stats: SearchStats | None = None
 
     @property
     def index(self) -> InvertedIndex:
@@ -173,6 +194,10 @@ class IndexSearcher:
         if hits is None:
             hits = self._search_analyzed(terms, top_n)
             cache.put(key, hits)
+        else:
+            self.last_stats = SearchStats(
+                strategy=self._strategy, term_count=len(terms),
+                cache_hit=True)
         return hits
 
     def _term_groups(self, terms: list[str]) -> list[_TermGroup]:
@@ -224,6 +249,9 @@ class IndexSearcher:
             total_terms = len(terms)
             for doc_id in scores:
                 scores[doc_id] *= matched[doc_id] / total_terms
+        self.last_stats = SearchStats(
+            strategy="naive", term_count=len(terms),
+            docs_scored=len(scores))
         return self._top_hits(scores.items(), matched, top_n)
 
     # -- packed: exhaustive over the packed columns ------------------------
@@ -251,6 +279,9 @@ class IndexSearcher:
             total_terms = len(terms)
             for doc_id in scores:
                 scores[doc_id] *= matched[doc_id] / total_terms
+        self.last_stats = SearchStats(
+            strategy="packed", term_count=len(terms),
+            docs_scored=len(scores))
         return self._top_hits(scores.items(), matched, top_n)
 
     # -- pruned: MaxScore-style term-at-a-time -----------------------------
@@ -258,6 +289,8 @@ class IndexSearcher:
     def _search_pruned(self, terms: list[str], top_n: int) -> list[IndexHit]:
         snapshot = self._index.snapshot()
         if snapshot.document_count == 0:
+            self.last_stats = SearchStats(strategy="pruned",
+                                          term_count=len(terms))
             return []
         capacity = snapshot.max_doc_id + 1
         if capacity > _DENSE_FACTOR * snapshot.document_count + _DENSE_SLACK:
@@ -408,6 +441,9 @@ class IndexSearcher:
                     total *= matched[doc_id] / n_groups
                 yield doc_id, total
 
+        self.last_stats = SearchStats(
+            strategy="pruned", term_count=len(terms),
+            docs_scored=len(touched), pruned_early=and_mode)
         return self._top_hits(final_scores(), matched, top_n)
 
     def _dense_norm_column(self, snapshot, capacity: int) -> array:

@@ -299,8 +299,9 @@ class ProfileStore:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[int, tuple[Schema, SchemaMatchProfile]]" \
             = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     # -- SchemaSource protocol -----------------------------------------
 
@@ -350,6 +351,26 @@ class ProfileStore:
     def capacity(self) -> int:
         return self._capacity
 
+    @property
+    def hits(self) -> int:
+        """Lookups served from cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to the source (and rebuilt)."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to stay within capacity (LRU overflow)."""
+        return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
     # -- internals -----------------------------------------------------
 
     def _entry(self, schema_id: int) -> tuple[Schema, SchemaMatchProfile]:
@@ -357,9 +378,9 @@ class ProfileStore:
             entry = self._entries.get(schema_id)
             if entry is not None:
                 self._entries.move_to_end(schema_id)
-                self.hits += 1
+                self._hits += 1
                 return entry
-            self.misses += 1
+            self._misses += 1
         # Fetch and build outside the lock: sqlite and profile building
         # are the slow parts, and a racing double-build is benign.
         schema = self._source.get_schema(schema_id)
@@ -375,4 +396,5 @@ class ProfileStore:
             self._entries.move_to_end(schema.schema_id)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
+                self._evictions += 1
         return entry

@@ -22,9 +22,11 @@ from repro.index.documents import document_from_schema
 from repro.index.inverted import InvertedIndex
 from repro.index.store import load_index, save_index
 from repro.matching.profile import ProfileStore
+from repro.telemetry.metrics import DEFAULT_COUNT_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.repository.store import SchemaRepository
+    from repro.telemetry import Telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -45,6 +47,10 @@ class RepositoryIndexer:
         self._index = InvertedIndex()
         self._last_change_id = 0
         self._stop_event = threading.Event()
+        #: Optional :class:`~repro.telemetry.Telemetry` to report
+        #: refresh batches into; wired by ``SchemaRepository.engine()``
+        #: so the indexer and the engine share one registry.
+        self.telemetry: "Telemetry | None" = None
 
     @property
     def index(self) -> InvertedIndex:
@@ -69,6 +75,8 @@ class RepositoryIndexer:
             final_op[schema_id] = op
             self._last_change_id = max(self._last_change_id, change_id)
         applied = 0
+        started = time.perf_counter()
+        generation_before = self._index.generation
         logger.debug("indexer refresh: %d pending change(s)",
                      len(changes))
         # The whole batch applies under the index's mutation lock so a
@@ -101,7 +109,28 @@ class RepositoryIndexer:
                 applied += 1
         logger.info("indexer refresh applied %d operation(s); index holds "
                     "%d document(s)", applied, self._index.document_count)
+        self._record_refresh(applied, time.perf_counter() - started,
+                             generation_before)
         return applied
+
+    def _record_refresh(self, applied: int, seconds: float,
+                        generation_before: int) -> None:
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        m = telemetry.metrics
+        m.counter("schemr_indexer_refreshes_total",
+                  "Indexer refresh batches applied").inc()
+        m.counter("schemr_indexer_ops_applied_total",
+                  "Index operations applied by refreshes").inc(applied)
+        m.histogram("schemr_indexer_refresh_seconds",
+                    "Refresh batch duration").observe(seconds)
+        m.histogram("schemr_indexer_batch_size",
+                    "Operations per refresh batch",
+                    buckets=DEFAULT_COUNT_BUCKETS).observe(applied)
+        if self._index.generation != generation_before:
+            m.counter("schemr_indexer_generation_bumps_total",
+                      "Refreshes that moved the index generation").inc()
 
     def run_scheduled(self, interval_seconds: float,
                       max_refreshes: int | None = None) -> int:

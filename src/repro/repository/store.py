@@ -264,13 +264,24 @@ class SchemaRepository:
         """A search engine over this repository's current index.
 
         Refreshes the index first so results never trail the stored
-        schemas.
+        schemas.  The engine's telemetry facade is shared with the
+        indexer, so refresh batches and search latency land in one
+        metrics registry.
         """
+        from repro.telemetry import Telemetry
+        config = config or SchemrConfig()
+        telemetry = Telemetry.from_config(config)
         indexer = self.indexer()
+        indexer.telemetry = telemetry
         indexer.refresh()
-        return SchemrEngine(index=indexer.index,
-                            source=self.profile_store(),
-                            ensemble=ensemble, config=config)
+        engine = SchemrEngine(index=indexer.index,
+                              source=self.profile_store(),
+                              ensemble=ensemble, config=config,
+                              telemetry=telemetry)
+        # The facade was created solely for this engine; its close()
+        # should own the history sink's lifecycle.
+        engine._owns_telemetry = True
+        return engine
 
     # -- history / collaboration (thin wrappers; logic in submodules) ---
 

@@ -7,23 +7,37 @@ Endpoints (mirroring the Figure 5 request flow):
   body — keyword + fragment search;
 * ``GET /schema/<id>`` — GraphML for the visualization client
   (``?scores=path:score,...`` attaches match scores for encoding);
+* ``GET /metrics`` — Prometheus text exposition of the engine's
+  telemetry registry (per-phase histograms, cache ratios, HTTP stats);
+* ``GET /stats`` — XML operational summary (phase p50/p95, cache hit
+  rates, slow queries, empty-result reasons);
 * ``GET /health`` — liveness probe.
+
+The default ``BaseHTTPRequestHandler`` access log is replaced by an
+opt-in structured one: every request is measured (method, route,
+status, duration) into the telemetry registry, and with
+``SchemrServer(..., access_log=True)`` each request is additionally
+logged through the ``repro.service.access`` logger.
 """
 
 from __future__ import annotations
 
 import logging
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.core.config import SchemrConfig
 from repro.core.engine import SchemrEngine
 from repro.errors import RepositoryError, SchemrError
 from repro.repository.store import SchemaRepository
 from repro.service.graphml import graphml_for_schema
 from repro.service.xmlresponse import results_to_xml
+from repro.telemetry import Telemetry
 
 logger = logging.getLogger(__name__)
+access_logger = logging.getLogger("repro.service.access")
 
 
 class _SchemrRequestHandler(BaseHTTPRequestHandler):
@@ -32,11 +46,16 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
     # Set by SchemrServer before serving.
     engine: SchemrEngine
     repository: SchemaRepository
+    telemetry: Telemetry
+    access_log: bool = False
 
     # -- plumbing --------------------------------------------------------
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        pass  # tests and benches must not spam stderr
+        # The BaseHTTPRequestHandler stderr log is replaced by the
+        # structured access log in _handle (opt-in, telemetry-routed);
+        # unconditional stderr spam would break tests and benches.
+        pass
 
     def _send(self, status: int, body: str,
               content_type: str = "application/xml") -> None:
@@ -46,6 +65,7 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+        self._status = status
 
     def _send_error_xml(self, status: int, message: str) -> None:
         self._send(status,
@@ -64,9 +84,16 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
 
     def _handle(self, body: str | None) -> None:
         parsed = urllib.parse.urlparse(self.path)
+        self._status = 0
+        started = time.perf_counter()
+        route = _route_of(parsed.path)
         try:
             if parsed.path == "/health":
                 self._send(200, '<?xml version="1.0"?><ok/>')
+            elif parsed.path == "/metrics":
+                self._handle_metrics()
+            elif parsed.path == "/stats":
+                self._handle_stats()
             elif parsed.path == "/":
                 self._handle_gui(parsed.query, body)
             elif parsed.path == "/search":
@@ -86,6 +113,31 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
             self._send_error_xml(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive boundary
             self._send_error_xml(500, f"internal error: {exc}")
+        finally:
+            self._log_access(route, time.perf_counter() - started)
+
+    def _log_access(self, route: str, seconds: float) -> None:
+        """Structured access log: metrics always (when enabled), the
+        ``repro.service.access`` logger when opted in."""
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            m = telemetry.metrics
+            m.counter("schemr_http_requests_total", "HTTP requests",
+                      route=route, status=str(self._status)).inc()
+            m.histogram("schemr_http_request_seconds",
+                        "HTTP request latency", route=route
+                        ).observe(seconds)
+        if self.access_log:
+            access_logger.info(
+                '%s %s %d %.2fms "%s"', self.command, route, self._status,
+                seconds * 1000.0, self.path)
+
+    def _handle_metrics(self) -> None:
+        self._send(200, self.telemetry.metrics.to_prometheus_text(),
+                   content_type="text/plain")
+
+    def _handle_stats(self) -> None:
+        self._send(200, self.telemetry.summary_xml())
 
     def _handle_search(self, query_string: str, body: str | None) -> None:
         params = urllib.parse.parse_qs(query_string)
@@ -188,6 +240,24 @@ def _xml_escape(text: str) -> str:
             .replace(">", "&gt;"))
 
 
+_FIXED_ROUTES = frozenset(
+    ("/", "/health", "/metrics", "/stats", "/search", "/suggest"))
+
+
+def _route_of(path: str) -> str:
+    """Collapse a request path to a bounded-cardinality route label.
+
+    Metric label sets must not grow with traffic, so schema ids (and
+    arbitrary probe paths) are folded into placeholders.
+    """
+    if path in _FIXED_ROUTES:
+        return path
+    if path.startswith("/schema/"):
+        return ("/schema/<id>/svg" if path.endswith("/svg")
+                else "/schema/<id>")
+    return "<other>"
+
+
 class SchemrServer:
     """Owns the HTTP server lifecycle around a repository.
 
@@ -199,17 +269,34 @@ class SchemrServer:
     """
 
     def __init__(self, repository: SchemaRepository,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 config: SchemrConfig | None = None,
+                 access_log: bool = False) -> None:
         from repro.index.suggest import PrefixSuggester
         self._repository = repository
-        self._engine = repository.engine()
+        # A serving deployment wants observability: unless the caller
+        # supplies a config, telemetry is on (the enabled-path overhead
+        # is a few percent; see benchmarks/bench_telemetry_overhead.py).
+        if config is None:
+            config = SchemrConfig(telemetry_enabled=True)
+        self._engine = repository.engine(config=config)
         handler = type("BoundHandler", (_SchemrRequestHandler,), {
             "engine": self._engine,
             "repository": self._repository,
             "suggester": PrefixSuggester(self._engine.searcher.index),
+            "telemetry": self._engine.telemetry,
+            "access_log": access_log,
         })
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
+
+    @property
+    def engine(self) -> SchemrEngine:
+        return self._engine
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._engine.telemetry
 
     @property
     def address(self) -> tuple[str, int]:
@@ -236,6 +323,7 @@ class SchemrServer:
         self._thread.join(timeout=5)
         self._httpd.server_close()
         self._thread = None
+        self._engine.close()
         logger.info("schemr service stopped")
 
     def running(self) -> "_RunningServer":

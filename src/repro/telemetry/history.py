@@ -1,0 +1,171 @@
+"""Persistent JSONL search-history sink.
+
+"As Schemr is utilized in practice, we can record search histories to
+create a training set of search-term to schema-fragment matches" — the
+SQLite ``search_history`` table (:mod:`repro.repository.history`)
+stores *judged* (query, schema, relevant) triples once a user clicks.
+This sink is the raw feed in front of that: every search's query terms
+and ranked results, appended to a JSON-Lines file as they happen, so
+the meta-learner's training-set builder (and offline replay/load
+testing) can consume the full traffic log without touching the serving
+database.
+
+One JSON object per line::
+
+    {"recorded_at": ..., "query_terms": [...], "total_seconds": ...,
+     "results": [{"schema_id": 3, "name": "...", "score": 0.81,
+                  "rank": 1}, ...]}
+
+Appends are line-atomic under the sink's lock and flushed per record by
+default, so a crash loses at most the entry being written and
+concurrent searches never interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.errors import RepositoryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.results import SearchResult
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryRecord:
+    """One logged search: the query and its ranked results."""
+
+    recorded_at: float
+    query_terms: tuple[str, ...]
+    results: tuple[dict, ...]
+    total_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "recorded_at": self.recorded_at,
+            "query_terms": list(self.query_terms),
+            "total_seconds": self.total_seconds,
+            "results": [dict(result) for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistoryRecord":
+        try:
+            return cls(
+                recorded_at=float(data["recorded_at"]),
+                query_terms=tuple(str(t) for t in data["query_terms"]),
+                results=tuple(dict(r) for r in data["results"]),
+                total_seconds=float(data.get("total_seconds", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RepositoryError(
+                f"malformed history record: {exc}") from exc
+
+
+class SearchHistorySink:
+    """Append-only JSONL writer (and reader) of search traffic."""
+
+    def __init__(self, path: str | Path, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError(
+                f"flush_every must be >= 1, got {flush_every}")
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._file = open(self._path, "a", encoding="utf-8")
+        self._flush_every = flush_every
+        self._pending = 0
+        self._written = 0
+        self._closed = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def records_written(self) -> int:
+        """Records appended by this sink instance."""
+        return self._written
+
+    def record(self, query_terms: Sequence[str],
+               results: "Sequence[SearchResult]",
+               total_seconds: float = 0.0) -> HistoryRecord:
+        """Append one search; returns the record as written."""
+        entry = HistoryRecord(
+            recorded_at=time.time(),
+            query_terms=tuple(query_terms),
+            results=tuple(
+                {"schema_id": result.schema_id, "name": result.name,
+                 "score": result.score, "rank": rank}
+                for rank, result in enumerate(results, start=1)),
+            total_seconds=total_seconds,
+        )
+        line = json.dumps(entry.to_dict(), ensure_ascii=False)
+        with self._lock:
+            if self._closed:
+                raise RepositoryError(
+                    f"history sink {self._path} is closed")
+            self._file.write(line + "\n")
+            self._pending += 1
+            self._written += 1
+            if self._pending >= self._flush_every:
+                self._file.flush()
+                self._pending = 0
+        return entry
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._file.flush()
+                self._pending = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._file.flush()
+                self._file.close()
+                self._closed = True
+
+    def __enter__(self) -> "SearchHistorySink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+
+    @staticmethod
+    def read(path: str | Path) -> Iterator[HistoryRecord]:
+        """Stream records back from a history file, oldest first.
+
+        Tolerates a trailing partial line (crash mid-append) by
+        raising only on lines that parse as JSON but are not valid
+        records; a final line that is not valid JSON is skipped.
+        """
+        file_path = Path(path)
+        if not file_path.exists():
+            return
+        with open(file_path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    continue  # torn trailing append
+                raise RepositoryError(
+                    f"corrupt history line {i + 1} in {file_path}")
+            yield HistoryRecord.from_dict(data)
+
+    @staticmethod
+    def load(path: str | Path) -> list[HistoryRecord]:
+        """All records of a history file as a list."""
+        return list(SearchHistorySink.read(path))

@@ -1,0 +1,177 @@
+"""Lightweight span tracing for the three-phase pipeline.
+
+A span is a named, timed section of work; spans opened while another
+span is active on the same thread become its children, so one search
+produces a small tree::
+
+    search (2.31ms)
+      candidate_extraction (0.42ms)
+      schema_matching (1.65ms)
+      tightness_of_fit (0.19ms)
+
+Timings use the monotonic ``time.perf_counter`` clock; the wall-clock
+``started_at`` is recorded once per root span for log correlation.
+Finished *root* spans land in a bounded ring buffer
+(:meth:`SpanTracer.recent`) so an operator can inspect the last N
+searches without any log pipeline.  The per-thread active-span stack
+lives in a ``threading.local``, which keeps concurrent searches from
+interleaving their trees.
+
+Disabled tracers hand out a process-wide null span whose enter/exit do
+nothing — the cost of a disabled ``with tracer.span(...)`` is one
+attribute check and an empty context-manager protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed section; children are spans opened while it was active."""
+
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    started_at: float = 0.0  # wall clock, root spans only
+    duration: float = 0.0  # seconds, set on exit
+    children: list["Span"] = field(default_factory=list)
+    _start: float = field(default=0.0, repr=False, compare=False)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for logs and the ``/stats`` endpoint."""
+        data: dict[str, object] = {
+            "name": self.name,
+            "duration_ms": round(self.duration * 1000.0, 4),
+        }
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search for a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class _NullSpan:
+    """Shared no-op span for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager pushing/popping one span on the thread's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        stack = self._tracer._stack()
+        span = self._span
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            span.started_at = time.time()
+        stack.append(span)
+        span._start = time.perf_counter()
+        return span
+
+    def __exit__(self, *exc_info: object) -> None:
+        span = self._span
+        span.duration = time.perf_counter() - span._start
+        stack = self._tracer._stack()
+        # Pop defensively: a generator holding a span alive across
+        # threads must not corrupt another thread's stack.
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            self._tracer._record(span)
+
+
+class SpanTracer:
+    """Produces spans and retains the most recent root-span trees."""
+
+    def __init__(self, buffer_size: int = 64, enabled: bool = True) -> None:
+        if buffer_size < 1:
+            raise ValueError(
+                f"buffer_size must be >= 1, got {buffer_size}")
+        self._enabled = enabled
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._recent: deque[Span] = deque(maxlen=buffer_size)
+        self._completed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def buffer_size(self) -> int:
+        return self._recent.maxlen or 0
+
+    @property
+    def completed_count(self) -> int:
+        """Total root spans finished (including ones evicted from the
+        ring buffer)."""
+        return self._completed
+
+    def span(self, name: str, **attributes: object):
+        """Open a span: ``with tracer.span("schema_matching") as sp:``"""
+        if not self._enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, Span(name=name,
+                                      attributes=dict(attributes)))
+
+    def recent(self, limit: int | None = None) -> list[Span]:
+        """The newest-first list of retained root spans."""
+        with self._lock:
+            spans = list(self._recent)
+        spans.reverse()
+        return spans[:limit] if limit is not None else spans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+
+    # -- internals -----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._recent.append(span)
+            self._completed += 1

@@ -151,3 +151,49 @@ class TestShowAndExport:
         assert main(["export", populated_db, "1", "--format", "graphml",
                      "--out", str(out_file)]) == 0
         assert "graphml" in out_file.read_text()
+
+
+class TestStats:
+    def test_repository_mode_text_summary(self, populated_db, capsys):
+        assert main(["stats", populated_db,
+                     "--warmup", "patient height, diagnosis"]) == 0
+        out = capsys.readouterr().out
+        assert f"repository: {populated_db} (1 schemas)" in out
+        assert "searches:        2" in out
+        assert "query cache:" in out
+        assert "p50 ms" in out
+
+    def test_repository_mode_prometheus(self, populated_db, capsys):
+        assert main(["stats", populated_db, "--warmup", "patient",
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE schemr_searches_total counter" in out
+        assert "schemr_searches_total 1" in out
+
+    def test_no_warmup_still_reports_index(self, populated_db, capsys):
+        assert main(["stats", populated_db]) == 0
+        out = capsys.readouterr().out
+        assert "searches:        0" in out
+        assert "index documents:  1" in out
+
+    def test_stopword_warmup_is_not_fatal(self, populated_db, capsys):
+        assert main(["stats", populated_db, "--warmup", "the, ,of"]) == 0
+        assert "searches:" in capsys.readouterr().out
+
+    def test_url_mode_scrapes_running_server(self, populated_db, capsys):
+        from repro.repository.store import SchemaRepository
+        from repro.service.server import SchemrServer
+        with SchemaRepository(populated_db) as repo:
+            server = SchemrServer(repo)
+            with server.running() as base_url:
+                assert main(["stats", base_url]) == 0
+                stats_out = capsys.readouterr().out
+                assert main(["stats", base_url,
+                             "--format", "prometheus"]) == 0
+                metrics_out = capsys.readouterr().out
+        assert "<stats>" in stats_out
+        assert "# TYPE schemr_index_documents gauge" in metrics_out
+
+    def test_missing_repository_fails(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.db")]) == 1
+        assert "" != capsys.readouterr().err

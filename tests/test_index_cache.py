@@ -74,3 +74,27 @@ class TestQueryCache:
         cache.put(QueryCache.make_key(["a"], 5, 0), _hits(1))
         cache.clear()
         assert len(cache) == 0
+
+
+class TestEvictionCounters:
+    def test_lru_overflow_counts_evictions(self):
+        cache = QueryCache(capacity=2)
+        for i in range(4):
+            cache.put(("k", i), _hits(i))
+        assert cache.evictions == 2
+        assert cache.stale_evictions == 0
+
+    def test_evict_stale_counts_separately(self):
+        cache = QueryCache(capacity=8)
+        cache.put(QueryCache.make_key(["a"], 10, generation=1), _hits(1))
+        cache.put(QueryCache.make_key(["b"], 10, generation=1), _hits(2))
+        cache.put(QueryCache.make_key(["c"], 10, generation=2), _hits(3))
+        assert cache.evict_stale(generation=2) == 2
+        assert cache.stale_evictions == 2
+        assert cache.evictions == 0
+
+    def test_replacing_a_key_is_not_an_eviction(self):
+        cache = QueryCache(capacity=2)
+        cache.put("k", _hits(1))
+        cache.put("k", _hits(2))
+        assert cache.evictions == 0

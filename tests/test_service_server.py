@@ -1,5 +1,6 @@
 """Integration tests for the HTTP service (real sockets, Figure 5 flow)."""
 
+import time
 import urllib.request
 
 import pytest
@@ -98,3 +99,81 @@ class TestServerPlumbing:
         scored_nodes = [n for n, d in graph.nodes(data=True)
                         if d.get("match_score", 0) > 0]
         assert scored_nodes  # the GUI has something to highlight
+
+
+class TestObservabilityEndpoints:
+    def _get(self, base_url: str, path: str) -> str:
+        return urllib.request.urlopen(f"{base_url}{path}").read().decode()
+
+    def test_metrics_scrape_after_search(self, running_server, client):
+        client.search("patient height")
+        text = self._get(running_server.base_url, "/metrics")
+        assert "# TYPE schemr_searches_total counter" in text
+        assert "schemr_searches_total 1" in text
+        assert "schemr_phase_seconds_bucket" in text
+        assert "schemr_index_documents 3" in text
+
+    def test_metrics_content_type_is_text(self, running_server):
+        response = urllib.request.urlopen(
+            f"{running_server.base_url}/metrics")
+        assert response.headers["Content-Type"].startswith("text/plain")
+
+    def test_stats_xml_document(self, running_server, client):
+        client.search("patient height")
+        xml = self._get(running_server.base_url, "/stats")
+        assert xml.startswith('<?xml version="1.0"?>')
+        assert '<engine searches="1"' in xml
+        assert "<phases>" in xml
+        assert '<cache name="query"' in xml
+
+    def test_http_requests_are_measured_with_folded_routes(
+            self, running_server, client):
+        client.search("patient")
+        client.schema_graph(1)
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{running_server.base_url}/nope")
+        # The handler measures the request *after* the response body is
+        # on the wire, so give its finally block a moment to run.
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            snap = running_server.telemetry.metrics.snapshot()
+            if snap.value("schemr_http_requests_total",
+                          route="<other>", status="404"):
+                break
+            time.sleep(0.01)
+        assert snap.value("schemr_http_requests_total",
+                          route="/search", status="200") == 1
+        assert snap.value("schemr_http_requests_total",
+                          route="/schema/<id>", status="200") == 1
+        assert snap.value("schemr_http_requests_total",
+                          route="<other>", status="404") == 1
+        assert snap.find("schemr_http_request_seconds",
+                         route="/search").count == 1
+
+    def test_access_log_opt_in(self, small_repository, caplog):
+        server = SchemrServer(small_repository, access_log=True)
+        with caplog.at_level("INFO", logger="repro.service.access"):
+            with server.running() as base_url:
+                urllib.request.urlopen(f"{base_url}/health").read()
+                deadline = time.time() + 5.0
+                while time.time() < deadline and not caplog.records:
+                    time.sleep(0.01)
+        messages = [r.getMessage() for r in caplog.records
+                    if r.name == "repro.service.access"]
+        assert any("GET /health 200" in m for m in messages)
+
+    def test_access_log_off_by_default(self, running_server, caplog):
+        with caplog.at_level("INFO", logger="repro.service.access"):
+            urllib.request.urlopen(
+                f"{running_server.base_url}/health").read()
+        assert not [r for r in caplog.records
+                    if r.name == "repro.service.access"]
+
+    def test_caller_config_can_disable_telemetry(self, small_repository):
+        from repro.core.config import SchemrConfig
+        server = SchemrServer(small_repository,
+                              config=SchemrConfig(telemetry_enabled=False))
+        with server.running() as base_url:
+            text = urllib.request.urlopen(
+                f"{base_url}/metrics").read().decode()
+        assert text == ""

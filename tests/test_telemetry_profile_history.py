@@ -1,0 +1,148 @@
+"""Unit tests for query profiles, the slow-query log, and the JSONL
+search-history sink."""
+
+import json
+
+import pytest
+
+from repro.core.results import SearchResult
+from repro.errors import RepositoryError
+from repro.telemetry.history import HistoryRecord, SearchHistorySink
+from repro.telemetry.profile import QueryProfile, QueryProfileLog
+
+
+def _profile(seconds: float, terms=("patient",)) -> QueryProfile:
+    return QueryProfile(query_terms=tuple(terms), total_seconds=seconds)
+
+
+class TestQueryProfileLog:
+    def test_threshold_splits_slow_from_fast(self):
+        log = QueryProfileLog(slow_threshold_seconds=0.1)
+        assert log.record(_profile(0.05)) is False
+        assert log.record(_profile(0.1)) is True  # >= threshold is slow
+        assert log.record(_profile(0.5)) is True
+        assert log.total_count == 3
+        assert log.slow_count == 2
+        assert len(log.recent()) == 3
+        assert [p.total_seconds for p in log.slow()] == [0.5, 0.1]
+
+    def test_rings_are_bounded_counts_are_not(self):
+        log = QueryProfileLog(buffer_size=2, slow_threshold_seconds=0.01)
+        for i in range(5):
+            log.record(_profile(1.0, terms=(f"q{i}",)))
+        assert log.total_count == 5
+        assert log.slow_count == 5
+        assert [p.query_terms[0] for p in log.recent()] == ["q4", "q3"]
+        assert len(log.slow()) == 2
+
+    def test_recent_limit_and_clear(self):
+        log = QueryProfileLog()
+        log.record(_profile(0.01))
+        log.record(_profile(0.02))
+        assert len(log.recent(limit=1)) == 1
+        log.clear()
+        assert log.recent() == []
+        assert log.total_count == 2  # counters survive clear
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="buffer_size"):
+            QueryProfileLog(buffer_size=0)
+        with pytest.raises(ValueError, match="positive"):
+            QueryProfileLog(slow_threshold_seconds=0)
+
+    def test_profile_to_dict_round_trips_fields(self):
+        profile = QueryProfile(
+            query_terms=("patient", "height"), total_seconds=0.2,
+            phase_seconds={"schema_matching": 0.1}, candidate_count=4,
+            matched_count=4, result_count=2, top_n=10, offset=0,
+            strategy="pruned", cache_hit=True, pruned_early=True,
+            docs_scored=4, empty_reason=None)
+        data = profile.to_dict()
+        assert data["query_terms"] == ["patient", "height"]
+        assert data["strategy"] == "pruned"
+        assert data["cache_hit"] is True
+        assert data["phase_seconds"] == {"schema_matching": 0.1}
+        json.dumps(data)  # must be JSON-serializable as-is
+
+
+def _result(schema_id: int, name: str, score: float) -> SearchResult:
+    return SearchResult(schema_id=schema_id, name=name, score=score,
+                        match_count=1, entity_count=1, attribute_count=2)
+
+
+class TestSearchHistorySink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        with SearchHistorySink(path) as sink:
+            sink.record(["patient", "height"],
+                        [_result(1, "clinic", 0.9), _result(2, "hr", 0.4)],
+                        total_seconds=0.012)
+            sink.record(["salary"], [], total_seconds=0.003)
+            assert sink.records_written == 2
+        records = SearchHistorySink.load(path)
+        assert len(records) == 2
+        first = records[0]
+        assert first.query_terms == ("patient", "height")
+        assert first.total_seconds == pytest.approx(0.012)
+        assert first.results[0] == {"schema_id": 1, "name": "clinic",
+                                    "score": 0.9, "rank": 1}
+        assert first.results[1]["rank"] == 2
+        assert records[1].results == ()
+
+    def test_appends_across_sink_instances(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        with SearchHistorySink(path) as sink:
+            sink.record(["a"], [])
+        with SearchHistorySink(path) as sink:
+            sink.record(["b"], [])
+        terms = [r.query_terms[0] for r in SearchHistorySink.read(path)]
+        assert terms == ["a", "b"]
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        with SearchHistorySink(path) as sink:
+            sink.record(["ok"], [])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"recorded_at": 1.0, "query_te')  # crash mid-write
+        records = SearchHistorySink.load(path)
+        assert [r.query_terms for r in records] == [("ok",)]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write('{"recorded_at": 1.0, "query_terms": [],'
+                         ' "results": []}\n')
+        with pytest.raises(RepositoryError, match="corrupt history line 1"):
+            SearchHistorySink.load(path)
+
+    def test_valid_json_invalid_record_raises(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"recorded_at": "never"}\n', encoding="utf-8")
+        with pytest.raises(RepositoryError, match="malformed"):
+            SearchHistorySink.load(path)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert SearchHistorySink.load(tmp_path / "absent.jsonl") == []
+
+    def test_record_after_close_raises(self, tmp_path):
+        sink = SearchHistorySink(tmp_path / "h.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(RepositoryError, match="closed"):
+            sink.record(["x"], [])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "h.jsonl"
+        with SearchHistorySink(path) as sink:
+            sink.record(["x"], [])
+        assert path.exists()
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            SearchHistorySink(tmp_path / "h.jsonl", flush_every=0)
+
+    def test_from_dict_defaults_total_seconds(self):
+        record = HistoryRecord.from_dict(
+            {"recorded_at": 1.0, "query_terms": ["a"], "results": []})
+        assert record.total_seconds == 0.0

@@ -1,0 +1,131 @@
+"""Unit tests for the span tracer (nesting, ring buffer, no-op path)."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.trace import NULL_SPAN, SpanTracer
+
+
+class TestSpanNesting:
+    def test_child_spans_attach_to_parent(self):
+        tracer = SpanTracer()
+        with tracer.span("search") as root:
+            with tracer.span("candidates"):
+                pass
+            with tracer.span("matching"):
+                with tracer.span("name_matcher"):
+                    pass
+        assert [c.name for c in root.children] == ["candidates",
+                                                   "matching"]
+        assert root.children[1].children[0].name == "name_matcher"
+
+    def test_durations_are_positive_and_nested_not_larger(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration > 0
+        assert outer.duration >= inner.duration
+
+    def test_root_span_gets_wall_clock_start(self):
+        tracer = SpanTracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert root.started_at > 0
+        assert child.started_at == 0.0  # only roots carry wall clock
+
+    def test_attributes_via_kwargs_and_setter(self):
+        tracer = SpanTracer()
+        with tracer.span("s", phase="one") as span:
+            span.set_attribute("hits", 5)
+        assert span.attributes == {"phase": "one", "hits": 5}
+
+    def test_find_searches_depth_first(self):
+        tracer = SpanTracer()
+        with tracer.span("a") as root:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert root.find("c").name == "c"
+        assert root.find("nope") is None
+
+    def test_to_dict_is_json_shaped(self):
+        tracer = SpanTracer()
+        with tracer.span("root", q="x") as root:
+            with tracer.span("child"):
+                pass
+        data = root.to_dict()
+        assert data["name"] == "root"
+        assert data["attributes"] == {"q": "x"}
+        assert data["children"][0]["name"] == "child"
+        assert data["children"][0]["duration_ms"] >= 0
+
+
+class TestRingBuffer:
+    def test_only_roots_are_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.recent()] == ["root"]
+        assert tracer.completed_count == 1
+
+    def test_buffer_is_bounded_and_newest_first(self):
+        tracer = SpanTracer(buffer_size=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.recent()] == ["s4", "s3", "s2"]
+        assert tracer.completed_count == 5
+        assert [s.name for s in tracer.recent(limit=1)] == ["s4"]
+
+    def test_clear_empties_buffer_but_keeps_count(self):
+        tracer = SpanTracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.recent() == []
+        assert tracer.completed_count == 1
+
+    def test_buffer_size_validated(self):
+        with pytest.raises(ValueError, match="buffer_size"):
+            SpanTracer(buffer_size=0)
+
+
+class TestThreadIsolation:
+    def test_concurrent_threads_build_independent_trees(self):
+        tracer = SpanTracer(buffer_size=16)
+        barrier = threading.Barrier(4)
+
+        def work(tag: str):
+            barrier.wait()
+            for _ in range(20):
+                with tracer.span(f"root-{tag}"):
+                    with tracer.span(f"child-{tag}"):
+                        pass
+
+        threads = [threading.Thread(target=work, args=(str(i),))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracer.completed_count == 80
+        # Every recorded root's children carry its own tag: no
+        # cross-thread interleaving.
+        for root in tracer.recent():
+            tag = root.name.removeprefix("root-")
+            assert all(c.name == f"child-{tag}" for c in root.children)
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = SpanTracer(enabled=False)
+        span = tracer.span("anything", attr=1)
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set_attribute("k", "v")  # swallowed
+        assert tracer.recent() == []
+        assert tracer.completed_count == 0
