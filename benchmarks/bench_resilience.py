@@ -1,0 +1,218 @@
+"""Resilience bench: degraded-mode latency and quality under budgets.
+
+The resilience layer's contract is twofold:
+
+* **budgeted searches come back near their budget** — the deadline is
+  checked between phases and per candidate in the scoring loop, so the
+  overrun is bounded by one candidate's match cost, not a whole phase;
+* **degraded responses are never empty when phase 1 had hits** — the
+  ladder falls through reduced-pool -> name-only -> phase-1 ranking,
+  and the phase-1 fallback always carries the TF/IDF results.
+
+To exercise the ladder deterministically on small CI corpora, the bench
+arms the fault injector with a fixed per-candidate delay
+(``--match-delay-ms``, simulating the per-candidate cost of a large
+ensemble) and drives the same query set through engines whose only
+difference is ``search_budget_seconds``.  Degraded-mode quality is
+reported as top-10 overlap against the unbudgeted engine's ranking.
+
+A second section measures load shedding directly: a thread burst
+against a small :class:`AdmissionController` must come back as exactly
+``admitted + rejected`` with nothing lost or hung.
+
+Results go to ``BENCH_resilience.json`` at the repository root; the CI
+chaos-smoke job gates on ``within_budget_fraction`` and
+``empty_with_hits`` (must be 0).
+
+Run (from the repository root)::
+
+    PYTHONPATH=src:. python benchmarks/bench_resilience.py                 # full
+    PYTHONPATH=src:. python benchmarks/bench_resilience.py --count 400 \
+        --queries 10 --out bench_resilience_smoke.json                     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.core.config import SchemrConfig
+from repro.errors import AdmissionRejected
+from repro.resilience import AdmissionController
+from repro.resilience.faults import FAULTS
+
+from benchmarks.helpers import corpus_repository, report, sampler_for
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_resilience.json"
+
+#: Budgets swept, seconds; None = unlimited reference engine.
+BUDGETS = (None, 0.25, 0.05, 0.01)
+
+#: Tolerance for the within-budget check: the deadline is consulted per
+#: candidate, so a search may overrun by one candidate's (injected)
+#: match cost plus phase-3/serialization tail.
+BUDGET_SLACK_SECONDS = 0.030
+
+
+def build_queries(corpus, count: int) -> list[list[str]]:
+    sampler = sampler_for(corpus)
+    return [list(q.keywords)
+            for q in sampler.sample(count, channel="clean")]
+
+
+def run_budget_sweep(repo, queries: list[list[str]],
+                     match_delay_ms: float) -> list[dict]:
+    """Drive the query set through one engine per budget."""
+    reference_top10: list[list[int]] = []
+    rows: list[dict] = []
+    for budget in BUDGETS:
+        engine = repo.engine(config=SchemrConfig(
+            search_budget_seconds=budget))
+        # warm profile/query caches so the sweep measures the pipeline,
+        # not cold io, then arm the per-candidate delay
+        engine.search(keywords=" ".join(queries[0]))
+        FAULTS.reset()
+        if match_delay_ms > 0:
+            FAULTS.inject("engine.match_one",
+                          delay_seconds=match_delay_ms / 1000.0)
+        latencies: list[float] = []
+        degradation_counts: dict[str, int] = {}
+        empty_with_hits = 0
+        overlaps: list[float] = []
+        for i, keywords in enumerate(queries):
+            started = time.perf_counter()
+            results = engine.search(keywords=" ".join(keywords))
+            latencies.append(time.perf_counter() - started)
+            profile = engine.last_profile
+            degradation_counts[profile.degradation] = \
+                degradation_counts.get(profile.degradation, 0) + 1
+            if profile.candidate_count > 0 and not results:
+                empty_with_hits += 1
+            top10 = [r.schema_id for r in results[:10]]
+            if budget is None:
+                reference_top10.append(top10)
+            elif reference_top10[i]:
+                overlaps.append(
+                    len(set(top10) & set(reference_top10[i]))
+                    / len(reference_top10[i]))
+        FAULTS.reset()
+        engine.close()
+        within = (1.0 if budget is None else
+                  sum(1 for s in latencies
+                      if s <= budget + BUDGET_SLACK_SECONDS)
+                  / len(latencies))
+        rows.append({
+            "budget_seconds": budget,
+            "p50_ms": statistics.median(latencies) * 1000.0,
+            "p95_ms": sorted(latencies)[
+                max(0, int(len(latencies) * 0.95) - 1)] * 1000.0,
+            "max_ms": max(latencies) * 1000.0,
+            "within_budget_fraction": within,
+            "degradation_counts": degradation_counts,
+            "empty_with_hits": empty_with_hits,
+            "top10_overlap_vs_full": (statistics.median(overlaps)
+                                      if overlaps else None),
+        })
+    return rows
+
+
+def run_shedding_burst(burst: int = 32, max_concurrent: int = 4) -> dict:
+    """A thread burst against a small controller: nothing lost or hung."""
+    admission = AdmissionController(max_concurrent=max_concurrent,
+                                    queue_size=0)
+    outcomes = {"admitted": 0, "rejected": 0}
+    lock = threading.Lock()
+    barrier = threading.Barrier(burst)
+
+    def worker() -> None:
+        barrier.wait()
+        try:
+            with admission.admitted():
+                time.sleep(0.01)
+        except AdmissionRejected:
+            with lock:
+                outcomes["rejected"] += 1
+        else:
+            with lock:
+                outcomes["admitted"] += 1
+
+    threads = [threading.Thread(target=worker) for _ in range(burst)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    return {
+        "burst": burst,
+        "max_concurrent": max_concurrent,
+        "admitted": outcomes["admitted"],
+        "rejected": outcomes["rejected"],
+        "accounted": outcomes["admitted"] + outcomes["rejected"] == burst,
+        "controller_drained": admission.active == 0,
+    }
+
+
+def format_report(result: dict) -> str:
+    lines = [
+        f"corpus: {result['count']} schemas, {result['queries']} queries, "
+        f"{result['match_delay_ms']:.1f}ms injected per-candidate delay",
+        "",
+        f"{'budget':>10} {'p50':>9} {'p95':>9} {'max':>9} "
+        f"{'in-budget':>10} {'overlap@10':>11}  degradations",
+    ]
+    for row in result["budgets"]:
+        budget = ("unlimited" if row["budget_seconds"] is None
+                  else f"{row['budget_seconds'] * 1000:.0f}ms")
+        overlap = (f"{row['top10_overlap_vs_full']:.2f}"
+                   if row["top10_overlap_vs_full"] is not None else "ref")
+        degradations = ", ".join(
+            f"{name}={n}"
+            for name, n in sorted(row["degradation_counts"].items()))
+        lines.append(
+            f"{budget:>10} {row['p50_ms']:>7.1f}ms {row['p95_ms']:>7.1f}ms "
+            f"{row['max_ms']:>7.1f}ms {row['within_budget_fraction']:>10.2f} "
+            f"{overlap:>11}  {degradations}")
+    shed = result["shedding"]
+    lines += [
+        "",
+        f"shedding burst: {shed['burst']} threads vs "
+        f"{shed['max_concurrent']} slots -> {shed['admitted']} admitted, "
+        f"{shed['rejected']} shed "
+        f"(accounted={shed['accounted']}, "
+        f"drained={shed['controller_drained']})",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=2000,
+                        help="corpus size (schemas)")
+    parser.add_argument("--queries", type=int, default=25)
+    parser.add_argument("--match-delay-ms", type=float, default=2.0,
+                        help="injected per-candidate match delay")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    repo, corpus = corpus_repository(args.count)
+    queries = build_queries(corpus, args.queries)
+    result = {
+        "count": args.count,
+        "queries": len(queries),
+        "match_delay_ms": args.match_delay_ms,
+        "budgets": run_budget_sweep(repo, queries, args.match_delay_ms),
+        "shedding": run_shedding_burst(),
+    }
+    args.out.write_text(json.dumps(result, indent=2) + "\n",
+                        encoding="utf-8")
+    report("bench_resilience", format_report(result))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -284,12 +284,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.config import SchemrConfig
     repo = _open_repository(args.db)
     if args.access_log:
         logging.basicConfig(level=logging.INFO,
                             format="%(asctime)s %(name)s %(message)s")
+    config = SchemrConfig(
+        telemetry_enabled=True,
+        search_budget_seconds=args.search_budget,
+        max_concurrent_searches=args.max_concurrent,
+        request_timeout_seconds=args.request_timeout)
     server = SchemrServer(repo, host=args.host, port=args.port,
-                          access_log=args.access_log)
+                          config=config, access_log=args.access_log)
     print(f"schemr service listening on {server.base_url}")
     server.start()
     try:
@@ -430,6 +436,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--access-log", action="store_true",
                    help="log every request (method, route, status, "
                         "duration) to stderr")
+    p.add_argument("--search-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-search wall-clock budget; past it the "
+                        "pipeline degrades gracefully instead of "
+                        "running long (default: unlimited)")
+    p.add_argument("--max-concurrent", type=int, default=32,
+                   metavar="N",
+                   help="searches allowed in flight before admission "
+                        "control queues and then sheds (429) new ones")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="socket read timeout per request; stalled "
+                        "clients get a 408 instead of a wedged thread")
     p.set_defaults(func=_cmd_serve)
 
     return parser

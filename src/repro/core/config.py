@@ -46,6 +46,25 @@ class SchemrConfig:
     latency above which a search lands in the slow-query log;
     ``trace_buffer_size`` / ``profile_buffer_size`` bound the in-memory
     rings of recent span trees and query profiles.
+
+    ``search_budget_seconds`` arms the :mod:`repro.resilience` layer:
+    each search gets a wall-clock :class:`~repro.resilience.Deadline`
+    and, under pressure, degrades along the ladder set by the
+    ``degrade_*_fraction`` thresholds (remaining-budget fractions at
+    which the engine shrinks the phase-2 pool, drops to the name
+    matcher, or returns the phase-1 ranking outright).  ``None`` (the
+    default) disables budgets entirely.
+
+    ``breaker_failure_threshold`` / ``breaker_reset_seconds`` shape the
+    circuit breakers around each matcher and the schema source;
+    ``retry_attempts`` / ``retry_base_seconds`` shape the
+    backoff-with-jitter retries on transient sqlite lock errors.
+
+    ``max_concurrent_searches`` / ``admission_queue_size`` /
+    ``admission_timeout_seconds`` bound the HTTP server's admission
+    queue (429 + Retry-After past them); ``request_timeout_seconds``
+    is the per-connection socket timeout that keeps a stalled client
+    from pinning a serving thread.
     """
 
     candidate_pool: int = 50
@@ -59,6 +78,18 @@ class SchemrConfig:
     trace_buffer_size: int = 64
     profile_buffer_size: int = 256
     history_path: str | None = None
+    search_budget_seconds: float | None = None
+    degrade_reduced_pool_fraction: float = 0.5
+    degrade_name_only_fraction: float = 0.25
+    degrade_phase1_fraction: float = 0.10
+    breaker_failure_threshold: int = 5
+    breaker_reset_seconds: float = 30.0
+    retry_attempts: int = 4
+    retry_base_seconds: float = 0.01
+    max_concurrent_searches: int = 32
+    admission_queue_size: int = 64
+    admission_timeout_seconds: float = 0.5
+    request_timeout_seconds: float = 30.0
     penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)
 
     def __post_init__(self) -> None:
@@ -83,3 +114,48 @@ class SchemrConfig:
             raise QueryError(
                 "profile_buffer_size must be >= 1, got "
                 f"{self.profile_buffer_size}")
+        if (self.search_budget_seconds is not None
+                and self.search_budget_seconds <= 0):
+            raise QueryError(
+                "search_budget_seconds must be positive or None, got "
+                f"{self.search_budget_seconds}")
+        if not (0.0 < self.degrade_phase1_fraction
+                <= self.degrade_name_only_fraction
+                <= self.degrade_reduced_pool_fraction < 1.0):
+            raise QueryError(
+                "degradation fractions must satisfy 0 < phase1 <= "
+                "name_only <= reduced_pool < 1, got "
+                f"{self.degrade_phase1_fraction}/"
+                f"{self.degrade_name_only_fraction}/"
+                f"{self.degrade_reduced_pool_fraction}")
+        if self.breaker_failure_threshold < 1:
+            raise QueryError(
+                "breaker_failure_threshold must be >= 1, got "
+                f"{self.breaker_failure_threshold}")
+        if self.breaker_reset_seconds <= 0:
+            raise QueryError(
+                "breaker_reset_seconds must be positive, got "
+                f"{self.breaker_reset_seconds}")
+        if self.retry_attempts < 1:
+            raise QueryError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}")
+        if self.retry_base_seconds <= 0:
+            raise QueryError(
+                "retry_base_seconds must be positive, got "
+                f"{self.retry_base_seconds}")
+        if self.max_concurrent_searches < 1:
+            raise QueryError(
+                "max_concurrent_searches must be >= 1, got "
+                f"{self.max_concurrent_searches}")
+        if self.admission_queue_size < 0:
+            raise QueryError(
+                "admission_queue_size must be >= 0, got "
+                f"{self.admission_queue_size}")
+        if self.admission_timeout_seconds < 0:
+            raise QueryError(
+                "admission_timeout_seconds must be >= 0, got "
+                f"{self.admission_timeout_seconds}")
+        if self.request_timeout_seconds <= 0:
+            raise QueryError(
+                "request_timeout_seconds must be positive, got "
+                f"{self.request_timeout_seconds}")

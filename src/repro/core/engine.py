@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import logging
+import threading
 import time
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.core.config import SchemrConfig
 from repro.core.pipeline import (
@@ -26,7 +27,19 @@ from repro.matching.ensemble import MatcherEnsemble
 from repro.matching.profile import MatchScratch, SchemaMatchProfile
 from repro.model.query import QueryGraph
 from repro.model.schema import Schema
+from repro.errors import CircuitOpenError, DeadlineExceeded
 from repro.parsers.query_parser import parse_query
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import (
+    DEGRADE_NAME_ONLY,
+    DEGRADE_PHASE1_ONLY,
+    DEGRADE_REDUCED_POOL,
+    Deadline,
+    DegradationLadder,
+    degradation_name,
+)
+from repro.resilience.faults import FAULTS
+from repro.resilience.guards import GuardedEnsemble
 from repro.scoring.tightness import TightnessScorer
 from repro.telemetry import (
     DEFAULT_COUNT_BUCKETS,
@@ -90,8 +103,12 @@ class SchemrEngine:
     def __init__(self, index: InvertedIndex, source: SchemaSource,
                  ensemble: MatcherEnsemble | None = None,
                  config: SchemrConfig | None = None,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
         self._config = config or SchemrConfig()
+        #: Monotonic clock for deadlines and breakers — injectable so
+        #: the chaos suite advances time without sleeping.
+        self._clock = clock or time.monotonic
         self._owns_telemetry = telemetry is None
         self._telemetry = telemetry or Telemetry.from_config(self._config)
         fuzzy = None
@@ -111,6 +128,20 @@ class SchemrEngine:
         # get_profile; the engine takes the fast path when it exists.
         self._get_profile = getattr(source, "get_profile", None)
         self._ensemble = ensemble or MatcherEnsemble.default()
+        self._guard = GuardedEnsemble(
+            self._ensemble,
+            failure_threshold=self._config.breaker_failure_threshold,
+            reset_seconds=self._config.breaker_reset_seconds,
+            clock=self._clock)
+        self._store_breaker = CircuitBreaker(
+            "schema_source",
+            failure_threshold=self._config.breaker_failure_threshold,
+            reset_seconds=self._config.breaker_reset_seconds,
+            clock=self._clock)
+        self._ladder = DegradationLadder(
+            reduced_pool_fraction=self._config.degrade_reduced_pool_fraction,
+            name_only_fraction=self._config.degrade_name_only_fraction,
+            phase1_fraction=self._config.degrade_phase1_fraction)
         self._tightness = TightnessScorer(self._config.penalties)
         self._executor: ThreadPoolExecutor | None = None
         self.last_trace: PipelineTrace | None = None
@@ -118,6 +149,10 @@ class SchemrEngine:
         #: populated whether or not telemetry is enabled, so callers can
         #: always see *why* a query came back empty.
         self.last_profile: QueryProfile | None = None
+        # Per-thread copy of the same, for concurrent callers (the
+        # threading HTTP server) that must read *their own* search's
+        # profile, not whichever search finished last.
+        self._thread_profile = threading.local()
         self._register_instruments(index)
 
     def _register_instruments(self, index: InvertedIndex) -> None:
@@ -153,6 +188,19 @@ class SchemrEngine:
         self._m_slow = m.counter(
             "schemr_slow_queries_total",
             "Searches above the slow-query threshold")
+        self._m_degraded = {
+            level: m.counter("schemr_degraded_searches_total",
+                             "Searches answered below full fidelity",
+                             level=degradation_name(level))
+            for level in (DEGRADE_REDUCED_POOL, DEGRADE_NAME_ONLY,
+                          DEGRADE_PHASE1_ONLY)
+        }
+        self._m_deadline_expired = m.counter(
+            "schemr_deadline_expired_total",
+            "Searches whose wall-clock budget ran out mid-pipeline")
+        self._m_source_failures = m.counter(
+            "schemr_source_failures_total",
+            "Candidate fetches the schema source failed")
         if m.enabled:
             m.gauge("schemr_index_documents", "Indexed documents",
                     callback=lambda: index.document_count)
@@ -176,6 +224,15 @@ class SchemrEngine:
                 m.gauge("schemr_query_cache_entries",
                         "Query-cache live entries",
                         callback=lambda: len(cache))
+            for name, breaker in self.breakers.items():
+                m.gauge("schemr_breaker_state",
+                        "Breaker state: 0 closed, 1 half-open, 2 open",
+                        callback=lambda b=breaker: b.state_code,
+                        breaker=name)
+                m.counter("schemr_breaker_opens_total",
+                          "Times a breaker tripped open",
+                          callback=lambda b=breaker: b.open_count,
+                          breaker=name)
             source = self._source
             if all(hasattr(source, name)
                    for name in ("hits", "misses", "evictions")):
@@ -205,6 +262,34 @@ class SchemrEngine:
     def telemetry(self) -> Telemetry:
         return self._telemetry
 
+    @property
+    def store_breaker(self) -> CircuitBreaker:
+        """The breaker around the schema source (sqlite/ProfileStore)."""
+        return self._store_breaker
+
+    @property
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        """Every breaker this engine owns, keyed by name.
+
+        ``schema_source`` plus one ``matcher.<name>`` entry per
+        ensemble matcher; the readiness probe and the ``/metrics``
+        gauges read these.
+        """
+        all_breakers = {"schema_source": self._store_breaker}
+        all_breakers.update(
+            (breaker.name, breaker)
+            for breaker in self._guard.breakers.values())
+        return all_breakers
+
+    @property
+    def thread_profile(self) -> QueryProfile | None:
+        """The profile of the *calling thread's* most recent search.
+
+        Unlike :attr:`last_profile` this cannot be clobbered by a
+        concurrent search on another thread; the HTTP handlers read it
+        to stamp each response with its own degradation level."""
+        return getattr(self._thread_profile, "profile", None)
+
     def close(self) -> None:
         """Release the match-phase thread pool and, when this engine
         created its own telemetry, the history sink (idempotent)."""
@@ -233,13 +318,15 @@ class SchemrEngine:
         schemas" (offset=top_n gets page two).
         """
         trace = PipelineTrace()
+        deadline = Deadline(self._config.search_budget_seconds,
+                            clock=self._clock)
         tracer = self._telemetry.tracer
         with tracer.span("search"):
             with timed_phase(trace, PHASE_PARSE) as phase, \
                     tracer.span(PHASE_PARSE):
                 query = parse_query(keywords=keywords, fragment=fragment)
                 phase.items_out = len(query)
-            results = self._run(query, top_n, trace, offset)
+            results = self._run(query, top_n, trace, offset, deadline)
         self.last_trace = trace
         return results
 
@@ -249,8 +336,10 @@ class SchemrEngine:
         if query.is_empty():
             raise QueryError("query graph is empty")
         trace = PipelineTrace()
+        deadline = Deadline(self._config.search_budget_seconds,
+                            clock=self._clock)
         with self._telemetry.tracer.span("search"):
-            results = self._run(query, top_n, trace, offset)
+            results = self._run(query, top_n, trace, offset, deadline)
         self.last_trace = trace
         return results
 
@@ -275,12 +364,16 @@ class SchemrEngine:
 
     # -- pipeline --------------------------------------------------------
 
-    def _run(self, query: QueryGraph, top_n: int,
-             trace: PipelineTrace, offset: int = 0) -> list[SearchResult]:
+    def _run(self, query: QueryGraph, top_n: int, trace: PipelineTrace,
+             offset: int = 0,
+             deadline: Deadline | None = None) -> list[SearchResult]:
         if top_n <= 0:
             raise QueryError(f"top_n must be positive, got {top_n}")
         if offset < 0:
             raise QueryError(f"offset must be >= 0, got {offset}")
+        if deadline is None:
+            deadline = Deadline(self._config.search_budget_seconds,
+                                clock=self._clock)
 
         tracer = self._telemetry.tracer
 
@@ -290,40 +383,116 @@ class SchemrEngine:
                 tracer.span(PHASE_CANDIDATES):
             flattened = query.flatten()
             phase.items_in = len(flattened)
+            FAULTS.hit("engine.phase1")
             hits = self._searcher.search(
                 flattened, top_n=self._config.candidate_pool)
             phase.items_out = len(hits)
 
-        # Phase 2: fine-grained matching of each candidate.
-        scored: list[SearchResult] = []
-        with timed_phase(trace, PHASE_MATCHING) as phase, \
-                tracer.span(PHASE_MATCHING):
-            phase.items_in = len(hits)
-            matched = self._match_candidates(query, hits)
-            phase.items_out = len(matched)
+        # Between phases 1 and 2 the degradation ladder decides how
+        # much of the remaining pipeline the budget can afford.
+        level = self._ladder.level_for(deadline)
+        deadline_expired = deadline.expired()
+        if level >= DEGRADE_PHASE1_ONLY:
+            page = self._phase1_page(hits, top_n, offset)
+            self._finish_search(flattened, trace, hits, len(hits), page,
+                                top_n, offset, level=level,
+                                deadline=deadline,
+                                deadline_expired=deadline_expired)
+            return page
 
-        # Phase 3: tightness-of-fit scoring and final ranking.
-        with timed_phase(trace, PHASE_TIGHTNESS) as phase, \
-                tracer.span(PHASE_TIGHTNESS):
-            phase.items_in = len(matched)
-            for (hit, candidate, ensemble_result, element_scores,
-                 profile) in matched:
-                scored.append(self._score_candidate(
-                    hit.score, candidate, ensemble_result, element_scores,
-                    profile))
-            scored.sort(key=lambda r: (-r.score, -r.coarse_score, r.name))
-            page = scored[offset:offset + top_n]
-            phase.items_out = len(page)
+        pool = hits
+        if level >= DEGRADE_REDUCED_POOL:
+            keep = max(top_n + offset, self._config.candidate_pool // 4)
+            pool = hits[:keep]
+        cheap_only = level >= DEGRADE_NAME_ONLY
+
+        # Phase 2: fine-grained matching of each candidate.  A budget
+        # that dies inside the scoring loop — or a schema source whose
+        # breaker is open — degrades to the phase-1 ranking instead of
+        # failing the search.
+        scored: list[SearchResult] = []
+        source_failures_before = self._store_breaker.failure_count
+        try:
+            with timed_phase(trace, PHASE_MATCHING) as phase, \
+                    tracer.span(PHASE_MATCHING):
+                phase.items_in = len(pool)
+                matched = self._match_candidates(query, pool, deadline,
+                                                 cheap_only=cheap_only)
+                phase.items_out = len(matched)
+            if (not matched and pool and self._store_breaker.failure_count
+                    > source_failures_before):
+                # Every candidate's schema fetch failed (but the breaker
+                # has not tripped yet): an empty page would misreport a
+                # source outage as "nothing matched".
+                raise CircuitOpenError(
+                    "schema source failed for every candidate",
+                    breaker=self._store_breaker.name)
+
+            # Phase 3: tightness-of-fit scoring and final ranking.
+            with timed_phase(trace, PHASE_TIGHTNESS) as phase, \
+                    tracer.span(PHASE_TIGHTNESS):
+                phase.items_in = len(matched)
+                for (hit, candidate, ensemble_result, element_scores,
+                     profile) in matched:
+                    scored.append(self._score_candidate(
+                        hit.score, candidate, ensemble_result,
+                        element_scores, profile))
+                scored.sort(
+                    key=lambda r: (-r.score, -r.coarse_score, r.name))
+                page = scored[offset:offset + top_n]
+                phase.items_out = len(page)
+        except DeadlineExceeded as exc:
+            logger.warning("search degraded to phase-1 ranking: %s", exc)
+            page = self._phase1_page(hits, top_n, offset)
+            self._finish_search(flattened, trace, hits, len(hits), page,
+                                top_n, offset,
+                                level=DEGRADE_PHASE1_ONLY,
+                                deadline=deadline, deadline_expired=True)
+            return page
+        except CircuitOpenError as exc:
+            logger.warning("search degraded to phase-1 ranking "
+                           "(breaker %s open)", exc.breaker)
+            page = self._phase1_page(hits, top_n, offset)
+            self._finish_search(flattened, trace, hits, len(hits), page,
+                                top_n, offset,
+                                level=DEGRADE_PHASE1_ONLY,
+                                deadline=deadline,
+                                deadline_expired=deadline.expired())
+            return page
         self._finish_search(flattened, trace, hits, len(scored), page,
-                            top_n, offset)
+                            top_n, offset, level=level, deadline=deadline,
+                            deadline_expired=deadline.expired())
         logger.debug("search: %d candidate(s) -> %d result(s) in %.4fs",
                      len(hits), len(page), trace.total_seconds)
         return page
 
+    def _phase1_page(self, hits: list[IndexHit], top_n: int,
+                     offset: int) -> list[SearchResult]:
+        """The ``phase1_only`` fallback: TF/IDF ranking, index data only.
+
+        Built purely from the inverted index (the schema source may be
+        the thing that is broken), so entity/attribute counts are
+        unknown and the coarse score doubles as the final score.
+        """
+        return [
+            SearchResult(
+                schema_id=hit.doc_id,
+                name=hit.title,
+                score=hit.score,
+                match_count=hit.matched_terms,
+                entity_count=0,
+                attribute_count=0,
+                coarse_score=hit.score,
+            )
+            for hit in hits[offset:offset + top_n]
+        ]
+
     def _finish_search(self, flattened: list[str], trace: PipelineTrace,
                        hits: list[IndexHit], matched_count: int,
                        results: list[SearchResult], top_n: int,
-                       offset: int) -> None:
+                       offset: int, level: int = 0,
+                       deadline: Deadline | None = None,
+                       deadline_expired: bool = False) -> None:
         """Build the :class:`QueryProfile` and feed the telemetry sinks.
 
         The profile itself is always built (it is how callers learn an
@@ -355,12 +524,24 @@ class SchemrEngine:
             pruned_early=stats.pruned_early if stats is not None else False,
             docs_scored=stats.docs_scored if stats is not None else 0,
             empty_reason=empty_reason,
+            degradation_level=level,
+            degradation=degradation_name(level),
+            deadline_expired=deadline_expired,
+            budget_seconds=(deadline.budget_seconds
+                            if deadline is not None else None),
         )
         self.last_profile = profile
+        self._thread_profile.profile = profile
         telemetry = self._telemetry
         if not telemetry.enabled:
             return
         self._m_searches.inc()
+        if level > 0:
+            counter = self._m_degraded.get(level)
+            if counter is not None:
+                counter.inc()
+        if deadline_expired:
+            self._m_deadline_expired.inc()
         self._m_search_seconds.observe(profile.total_seconds)
         for name, seconds in profile.phase_seconds.items():
             hist = self._m_phase.get(name)
@@ -391,7 +572,8 @@ class SchemrEngine:
             telemetry.history.record(profile.query_terms, results,
                                      total_seconds=profile.total_seconds)
 
-    def _match_candidates(self, query: QueryGraph, hits: list[IndexHit]):
+    def _match_candidates(self, query: QueryGraph, hits: list[IndexHit],
+                          deadline: Deadline, cheap_only: bool = False):
         """Run the ensemble over every candidate, optionally in parallel.
 
         One :class:`MatchScratch` is shared by the whole pool — the
@@ -400,11 +582,18 @@ class SchemrEngine:
         into contiguous chunks and the per-chunk results concatenated in
         chunk order, keeping the output order (and therefore the final
         ranking) byte-identical to the sequential path.
+
+        The deadline is consulted before every candidate; an exhausted
+        budget raises :class:`DeadlineExceeded`, which the caller turns
+        into the phase-1 fallback.  Candidates whose schema fetch fails
+        are skipped (counted, breaker-recorded) rather than failing the
+        whole search.
         """
         scratch = MatchScratch()
         workers = self._config.match_workers
         if workers <= 1 or len(hits) <= 1:
-            return [self._match_one(query, hit, scratch) for hit in hits]
+            return self._match_chunk(query, hits, scratch, deadline,
+                                     cheap_only)
         size = -(-len(hits) // workers)  # ceil division
         executor = self._executor
         if executor is None:
@@ -413,28 +602,58 @@ class SchemrEngine:
             self._executor = executor
         futures = [
             executor.submit(self._match_chunk, query, hits[i:i + size],
-                            scratch)
+                            scratch, deadline, cheap_only)
             for i in range(size, len(hits), size)
         ]
         # The main thread scores the first chunk itself while the pool
         # drains the rest — one fewer task round-trip per query.
-        matched = self._match_chunk(query, hits[:size], scratch)
+        matched = self._match_chunk(query, hits[:size], scratch, deadline,
+                                    cheap_only)
         for future in futures:
             matched.extend(future.result())
         return matched
 
     def _match_chunk(self, query: QueryGraph, chunk: list[IndexHit],
-                     scratch: MatchScratch):
-        return [self._match_one(query, hit, scratch) for hit in chunk]
+                     scratch: MatchScratch, deadline: Deadline,
+                     cheap_only: bool = False):
+        matched = []
+        for hit in chunk:
+            deadline.check("phase-2 candidate loop")
+            entry = self._match_one(query, hit, scratch, cheap_only)
+            if entry is not None:
+                matched.append(entry)
+        return matched
 
     def _match_one(self, query: QueryGraph, hit: IndexHit,
-                   scratch: MatchScratch):
+                   scratch: MatchScratch, cheap_only: bool = False):
+        """Score one candidate; None when its schema fetch failed.
+
+        The schema source sits behind its circuit breaker: individual
+        fetch failures skip the candidate and count against the
+        breaker; an open breaker aborts the whole match phase with
+        :class:`CircuitOpenError` so the caller can fall back to the
+        phase-1 ranking instead of paying a timeout per candidate.
+        """
+        FAULTS.hit("engine.match_one")
+        breaker = self._store_breaker
+        if not breaker.allow():
+            raise CircuitOpenError(
+                "schema source circuit is open",
+                breaker=breaker.name, retry_after=breaker.retry_after())
         profile: SchemaMatchProfile | None = None
-        if self._get_profile is not None:
-            profile = self._get_profile(hit.doc_id)
-        candidate = self._source.get_schema(hit.doc_id)
-        result = self._ensemble.match(query, candidate,
-                                      profile=profile, scratch=scratch)
+        try:
+            if self._get_profile is not None:
+                profile = self._get_profile(hit.doc_id)
+            candidate = self._source.get_schema(hit.doc_id)
+        except Exception as exc:
+            breaker.record_failure()
+            self._m_source_failures.inc()
+            logger.warning("schema source failed for candidate %d "
+                           "(skipped): %s", hit.doc_id, exc)
+            return None
+        breaker.record_success()
+        result = self._guard.match(query, candidate, profile=profile,
+                                   scratch=scratch, cheap_only=cheap_only)
         element_scores = result.combined.max_per_column()
         return (hit, candidate, result, element_scores, profile)
 

@@ -57,3 +57,46 @@ class RepositoryError(SchemrError):
 
 class ServiceError(SchemrError):
     """The HTTP service layer failed to satisfy a request."""
+
+
+class ResilienceError(SchemrError):
+    """Base class for the resilience layer's structured failures.
+
+    These carry enough machine-readable state (retry hints, breaker
+    names) for the service tier to map them to 429/503 responses
+    instead of opaque 500s.
+    """
+
+
+class DeadlineExceeded(ResilienceError):
+    """A search exhausted its wall-clock budget.
+
+    The engine normally *degrades* rather than raising — this escapes
+    only when even the phase-1 fallback cannot be produced in time.
+    """
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker refused the call because it is open.
+
+    ``breaker`` names the breaker; ``retry_after`` is the seconds until
+    the next half-open probe would be admitted.
+    """
+
+    def __init__(self, message: str, *, breaker: str = "",
+                 retry_after: float = 0.0) -> None:
+        self.breaker = breaker
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class AdmissionRejected(ResilienceError):
+    """The admission controller shed this request (server overload).
+
+    ``retry_after`` is the suggested client back-off in seconds — the
+    service layer turns it into a ``Retry-After`` header on the 429.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)

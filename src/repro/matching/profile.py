@@ -383,6 +383,8 @@ class ProfileStore:
             self._misses += 1
         # Fetch and build outside the lock: sqlite and profile building
         # are the slow parts, and a racing double-build is benign.
+        from repro.resilience.faults import FAULTS
+        FAULTS.hit("profile_store.lookup")
         schema = self._source.get_schema(schema_id)
         return self._admit(schema)
 

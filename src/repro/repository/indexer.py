@@ -15,13 +15,15 @@ from __future__ import annotations
 import logging
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.index.documents import document_from_schema
 from repro.index.inverted import InvertedIndex
 from repro.index.store import load_index, save_index
 from repro.matching.profile import ProfileStore
+from repro.resilience.faults import FAULTS
 from repro.telemetry.metrics import DEFAULT_COUNT_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -47,10 +49,26 @@ class RepositoryIndexer:
         self._index = InvertedIndex()
         self._last_change_id = 0
         self._stop_event = threading.Event()
+        self._refreshing = False
+        self._consecutive_failures = 0
         #: Optional :class:`~repro.telemetry.Telemetry` to report
         #: refresh batches into; wired by ``SchemaRepository.engine()``
         #: so the indexer and the engine share one registry.
         self.telemetry: "Telemetry | None" = None
+
+    @property
+    def refreshing(self) -> bool:
+        """Whether a refresh/rebuild batch is being applied right now.
+
+        The ``/readyz`` probe reports 503 while this is set — a
+        mid-rebuild index serves stale or partial rankings.
+        """
+        return self._refreshing
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failed scheduled refreshes since the last success."""
+        return self._consecutive_failures
 
     @property
     def index(self) -> InvertedIndex:
@@ -67,13 +85,15 @@ class RepositoryIndexer:
         final state, so a schema added and deleted between refreshes
         costs nothing.
         """
+        FAULTS.hit("indexer.refresh")
         changes = self._repository.changes_since(self._last_change_id)
         if not changes:
             return 0
         final_op: dict[int, str] = {}
+        head_change_id = self._last_change_id
         for change_id, schema_id, op in changes:
             final_op[schema_id] = op
-            self._last_change_id = max(self._last_change_id, change_id)
+            head_change_id = max(head_change_id, change_id)
         applied = 0
         started = time.perf_counter()
         generation_before = self._index.generation
@@ -84,7 +104,7 @@ class RepositoryIndexer:
         # the intended deployment) never reads a half-applied refresh:
         # searches serialize against the batch, not individual postings
         # writes, and read a consistent generation-stamped snapshot.
-        with self._index.lock:
+        with self._index.lock, self._refreshing_guard():
             for schema_id, op in final_op.items():
                 if op == "delete":
                     if self._profile_store is not None:
@@ -107,6 +127,9 @@ class RepositoryIndexer:
                 if self._profile_store is not None:
                     self._profile_store.put(schema)
                 applied += 1
+        # The cursor moves only after the whole batch applied: a batch
+        # that raised replays from the same position next refresh.
+        self._last_change_id = head_change_id
         logger.info("indexer refresh applied %d operation(s); index holds "
                     "%d document(s)", applied, self._index.document_count)
         self._record_refresh(applied, time.perf_counter() - started,
@@ -132,6 +155,14 @@ class RepositoryIndexer:
             m.counter("schemr_indexer_generation_bumps_total",
                       "Refreshes that moved the index generation").inc()
 
+    @contextmanager
+    def _refreshing_guard(self) -> Iterator[None]:
+        self._refreshing = True
+        try:
+            yield
+        finally:
+            self._refreshing = False
+
     def run_scheduled(self, interval_seconds: float,
                       max_refreshes: int | None = None) -> int:
         """Refresh on an interval until :meth:`stop` (or max_refreshes).
@@ -139,17 +170,39 @@ class RepositoryIndexer:
         Returns the total operations applied.  Meant to run in a
         background thread; the unit tests drive it with a small
         ``max_refreshes`` instead of sleeping forever.
+
+        A failed refresh (store locked past the retry budget, corrupt
+        row) is logged and counted, and the loop waits for the next
+        interval instead of dying — the change-log cursor only advances
+        on success, so nothing is lost.
         """
         total = 0
         refreshes = 0
         while not self._stop_event.is_set():
-            total += self.refresh()
+            try:
+                total += self.refresh()
+            except Exception as exc:
+                self._consecutive_failures += 1
+                logger.error(
+                    "scheduled refresh failed (%d consecutive): %s",
+                    self._consecutive_failures, exc)
+                self._record_refresh_failure()
+            else:
+                self._consecutive_failures = 0
             refreshes += 1
             if max_refreshes is not None and refreshes >= max_refreshes:
                 break
             if self._stop_event.wait(interval_seconds):
                 break
         return total
+
+    def _record_refresh_failure(self) -> None:
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        telemetry.metrics.counter(
+            "schemr_indexer_refresh_failures_total",
+            "Scheduled refreshes that raised").inc()
 
     def stop(self) -> None:
         """Signal :meth:`run_scheduled` to exit."""
@@ -177,13 +230,18 @@ class RepositoryIndexer:
 
     def rebuild(self) -> int:
         """Drop the index (and profile cache) and re-flatten every
-        stored schema."""
+        stored schema.
+
+        Rows whose stored payload no longer parses are skipped (and
+        logged by the repository) rather than aborting the rebuild: one
+        corrupt schema must not take the other 30k offline.
+        """
         count = 0
-        with self._index.lock:
+        with self._index.lock, self._refreshing_guard():
             self._index.clear()
             if self._profile_store is not None:
                 self._profile_store.clear()
-            for schema in self._repository.iter_schemas():
+            for schema in self._repository.iter_schemas(skip_corrupt=True):
                 self._index.add(document_from_schema(schema))
                 if self._profile_store is not None:
                     self._profile_store.put(schema)

@@ -11,11 +11,12 @@ ready-to-use :class:`~repro.core.engine.SchemrEngine` instances.
 from __future__ import annotations
 
 import json
+import logging
 import sqlite3
 import threading
 import time
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator, TypeVar
 
 from repro.core.config import SchemrConfig
 from repro.core.engine import SchemrEngine
@@ -26,6 +27,12 @@ from repro.model.schema import Schema
 from repro.parsers.ddl import parse_ddl
 from repro.parsers.webtable import schema_from_webtable
 from repro.parsers.xsd import parse_xsd
+from repro.resilience.faults import FAULTS
+from repro.resilience.retry import RetryPolicy, retry_transient
+
+logger = logging.getLogger(__name__)
+
+_T = TypeVar("_T")
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS schemas (
@@ -79,7 +86,9 @@ CREATE INDEX IF NOT EXISTS idx_history_schema ON search_history (schema_id);
 class SchemaRepository:
     """Durable store of schemas plus the system integration points."""
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(self, path: str | Path = ":memory:", *,
+                 busy_timeout_seconds: float = 5.0,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self._path = str(path)
         # The HTTP service and the scheduled indexer touch the repository
         # from worker threads; Python's sqlite3 is compiled serialized
@@ -88,10 +97,54 @@ class SchemaRepository:
         self._conn = sqlite3.connect(self._path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         self._lock = threading.RLock()
-        self._conn.executescript(_SCHEMA_SQL)
-        self._conn.commit()
+        # Concurrent reader/writer traffic (a second process, an online
+        # backup) should queue, not instantly raise "database is
+        # locked": busy_timeout makes sqlite wait for the lock, and WAL
+        # lets readers proceed under a writer.  WAL needs a real file —
+        # in-memory databases report "memory" and that is fine.
+        self._conn.execute(
+            f"PRAGMA busy_timeout = {int(busy_timeout_seconds * 1000)}")
+        if self._path != ":memory:":
+            try:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.OperationalError as exc:  # pragma: no cover
+                # Network filesystems can refuse WAL; the repository
+                # still works in the default rollback mode.
+                logger.warning("could not enable WAL mode: %s", exc)
+        #: Backoff policy for transient "database is locked" errors that
+        #: survive busy_timeout (e.g. a writer in another process
+        #: holding the lock past it).
+        self._retry_policy = retry_policy or RetryPolicy()
+        self._retry_count = 0
         self._indexer: "RepositoryIndexer | None" = None
         self._profile_store: ProfileStore | None = None
+        self._with_retry(self._init_tables)
+
+    def _init_tables(self) -> None:
+        self._conn.executescript(_SCHEMA_SQL)
+        self._conn.commit()
+
+    def _with_retry(self, fn: Callable[[], _T]) -> _T:
+        """Run a sqlite operation, retrying transient lock errors.
+
+        Rolls back before each retry so a failure mid-transaction
+        cannot leave half a multi-statement operation behind (each
+        retried ``fn`` is written to be idempotent from a clean
+        transaction).
+        """
+        def before_retry(attempt: int, exc: BaseException) -> None:
+            self._retry_count += 1
+            try:
+                self._conn.rollback()
+            except sqlite3.Error:  # pragma: no cover - best effort
+                pass
+        return retry_transient(fn, self._retry_policy,
+                               on_retry=before_retry)
+
+    @property
+    def retry_count(self) -> int:
+        """Transient-lock retries performed (telemetry feed)."""
+        return self._retry_count
 
     @classmethod
     def in_memory(cls) -> "SchemaRepository":
@@ -113,58 +166,77 @@ class SchemaRepository:
         """Store a schema; returns the assigned id (also set on the object)."""
         now = time.time()
         payload = json.dumps(schema.to_dict())
-        with self._lock:
-            cursor = self._conn.execute(
-                "INSERT INTO schemas (name, description, source, payload, "
-                "created_at, updated_at) VALUES (?, ?, ?, ?, ?, ?)",
-                (schema.name, schema.description, schema.source, payload,
-                 now, now))
-            schema_id = cursor.lastrowid
-            assert schema_id is not None
-            schema.schema_id = schema_id
-            # Rewrite payload so the stored copy knows its own id.
-            self._conn.execute(
-                "UPDATE schemas SET payload = ? WHERE schema_id = ?",
-                (json.dumps(schema.to_dict()), schema_id))
-            self._log_change(schema_id, "add", now)
-            self._conn.commit()
-        return schema_id
+
+        def insert() -> int:
+            with self._lock:
+                FAULTS.hit("store.add_schema")
+                cursor = self._conn.execute(
+                    "INSERT INTO schemas (name, description, source, "
+                    "payload, created_at, updated_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (schema.name, schema.description, schema.source,
+                     payload, now, now))
+                schema_id = cursor.lastrowid
+                assert schema_id is not None
+                schema.schema_id = schema_id
+                # Rewrite payload so the stored copy knows its own id.
+                self._conn.execute(
+                    "UPDATE schemas SET payload = ? WHERE schema_id = ?",
+                    (json.dumps(schema.to_dict()), schema_id))
+                self._log_change(schema_id, "add", now)
+                self._conn.commit()
+                return schema_id
+
+        return self._with_retry(insert)
 
     def update_schema(self, schema: Schema) -> None:
         """Replace a stored schema (id must be set and present)."""
         if schema.schema_id is None:
             raise RepositoryError("schema has no id; use add_schema")
         now = time.time()
-        with self._lock:
-            cursor = self._conn.execute(
-                "UPDATE schemas SET name = ?, description = ?, source = ?, "
-                "payload = ?, updated_at = ? WHERE schema_id = ?",
-                (schema.name, schema.description, schema.source,
-                 json.dumps(schema.to_dict()), now, schema.schema_id))
-            if cursor.rowcount == 0:
-                raise RepositoryError(
-                    f"schema {schema.schema_id} is not in the repository")
-            self._log_change(schema.schema_id, "update", now)
-            self._conn.commit()
+
+        def update() -> None:
+            with self._lock:
+                cursor = self._conn.execute(
+                    "UPDATE schemas SET name = ?, description = ?, "
+                    "source = ?, payload = ?, updated_at = ? "
+                    "WHERE schema_id = ?",
+                    (schema.name, schema.description, schema.source,
+                     json.dumps(schema.to_dict()), now, schema.schema_id))
+                if cursor.rowcount == 0:
+                    raise RepositoryError(
+                        f"schema {schema.schema_id} is not in the "
+                        "repository")
+                self._log_change(schema.schema_id, "update", now)
+                self._conn.commit()
+
+        self._with_retry(update)
         if self._profile_store is not None:
             self._profile_store.invalidate(schema.schema_id)
 
     def delete_schema(self, schema_id: int) -> None:
-        with self._lock:
-            cursor = self._conn.execute(
-                "DELETE FROM schemas WHERE schema_id = ?", (schema_id,))
-            if cursor.rowcount == 0:
-                raise RepositoryError(
-                    f"schema {schema_id} is not in the repository")
-            self._log_change(schema_id, "delete", time.time())
-            self._conn.commit()
+        def delete() -> None:
+            with self._lock:
+                cursor = self._conn.execute(
+                    "DELETE FROM schemas WHERE schema_id = ?", (schema_id,))
+                if cursor.rowcount == 0:
+                    raise RepositoryError(
+                        f"schema {schema_id} is not in the repository")
+                self._log_change(schema_id, "delete", time.time())
+                self._conn.commit()
+
+        self._with_retry(delete)
         if self._profile_store is not None:
             self._profile_store.invalidate(schema_id)
 
     def get_schema(self, schema_id: int) -> Schema:
-        row = self._conn.execute(
-            "SELECT payload FROM schemas WHERE schema_id = ?",
-            (schema_id,)).fetchone()
+        def fetch():
+            FAULTS.hit("store.get_schema")
+            return self._conn.execute(
+                "SELECT payload FROM schemas WHERE schema_id = ?",
+                (schema_id,)).fetchone()
+
+        row = self._with_retry(fetch)
         if row is None:
             raise RepositoryError(
                 f"schema {schema_id} is not in the repository")
@@ -181,12 +253,29 @@ class SchemaRepository:
             (schema_id,)).fetchone()
         return row is not None
 
-    def iter_schemas(self) -> Iterator[Schema]:
-        """All schemas, id order.  Streams rather than materializing."""
+    def iter_schemas(self, skip_corrupt: bool = False) -> Iterator[Schema]:
+        """All schemas, id order.  Streams rather than materializing.
+
+        A corrupt stored payload raises :class:`RepositoryError` naming
+        the offending row; with ``skip_corrupt`` it is logged and the
+        iteration continues — bulk consumers (index rebuild, export)
+        should not lose the whole repository to one bad row.
+        """
+        FAULTS.hit("store.iter_schemas")
         cursor = self._conn.execute(
-            "SELECT payload FROM schemas ORDER BY schema_id")
+            "SELECT schema_id, payload FROM schemas ORDER BY schema_id")
         for row in cursor:
-            yield Schema.from_dict(json.loads(row["payload"]))
+            try:
+                yield Schema.from_dict(json.loads(row["payload"]))
+            except (json.JSONDecodeError, SchemaError, ValueError) as exc:
+                if skip_corrupt:
+                    logger.warning(
+                        "skipping corrupt payload of schema %d: %s",
+                        row["schema_id"], exc)
+                    continue
+                raise RepositoryError(
+                    f"stored payload of schema {row['schema_id']} is "
+                    f"corrupt: {exc}") from exc
 
     def list_schema_ids(self) -> list[int]:
         cursor = self._conn.execute(
@@ -205,11 +294,15 @@ class SchemaRepository:
 
     def changes_since(self, change_id: int) -> list[tuple[int, int, str]]:
         """(change_id, schema_id, op) rows after ``change_id``."""
-        cursor = self._conn.execute(
-            "SELECT change_id, schema_id, op FROM changelog "
-            "WHERE change_id > ? ORDER BY change_id", (change_id,))
-        return [(row["change_id"], row["schema_id"], row["op"])
-                for row in cursor]
+        def fetch() -> list[tuple[int, int, str]]:
+            FAULTS.hit("store.changes_since")
+            cursor = self._conn.execute(
+                "SELECT change_id, schema_id, op FROM changelog "
+                "WHERE change_id > ? ORDER BY change_id", (change_id,))
+            return [(row["change_id"], row["schema_id"], row["op"])
+                    for row in cursor]
+
+        return self._with_retry(fetch)
 
     # -- imports -----------------------------------------------------------
 

@@ -1,0 +1,190 @@
+"""Circuit breakers for the pipeline's fragile dependencies.
+
+A :class:`CircuitBreaker` guards a call site (one matcher, the sqlite
+store) with the classic three-state machine:
+
+* **closed** — calls flow; consecutive failures are counted and the
+  breaker opens at ``failure_threshold``;
+* **open** — calls are refused outright (:meth:`allow` is False,
+  :meth:`call` raises :class:`~repro.errors.CircuitOpenError`) until
+  ``reset_seconds`` elapse;
+* **half-open** — after the cool-down a bounded number of probe calls
+  is admitted; one success closes the breaker, one failure re-opens it
+  and restarts the cool-down.
+
+The clock is injectable for deterministic tests.  All transitions are
+lock-protected; the breaker is shared between serving threads.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import CircuitOpenError
+
+logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: Numeric state encoding for the ``schemr_breaker_state`` gauge.
+STATE_CODES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Open-after-N-failures breaker with timed half-open probes."""
+
+    def __init__(self, name: str, failure_threshold: int = 5,
+                 reset_seconds: float = 30.0, half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_seconds <= 0:
+            raise ValueError(
+                f"reset_seconds must be positive, got {reset_seconds}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.name = name
+        self._threshold = failure_threshold
+        self._reset_seconds = reset_seconds
+        self._max_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._open_count = 0
+        self._rejected_count = 0
+        self._failure_count = 0
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state (promotes open -> half_open when cooled down)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """Numeric state for gauges: 0 closed, 1 half-open, 2 open."""
+        return STATE_CODES[self.state]
+
+    @property
+    def open_count(self) -> int:
+        """Times this breaker has tripped open."""
+        return self._open_count
+
+    @property
+    def rejected_count(self) -> int:
+        """Calls refused while open."""
+        return self._rejected_count
+
+    @property
+    def failure_count(self) -> int:
+        """Failures ever recorded."""
+        return self._failure_count
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe would be admitted (0 if now)."""
+        with self._lock:
+            if self._state != STATE_OPEN:
+                return 0.0
+            return max(0.0, self._reset_seconds
+                       - (self._clock() - self._opened_at))
+
+    # -- state machine -------------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if (self._state == STATE_OPEN
+                and self._clock() - self._opened_at >= self._reset_seconds):
+            self._state = STATE_HALF_OPEN
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In half-open state at most ``half_open_probes`` concurrent
+        probes are admitted; further calls are refused until a probe
+        reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_HALF_OPEN:
+                if self._probes_in_flight < self._max_probes:
+                    self._probes_in_flight += 1
+                    return True
+            self._rejected_count += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                logger.info("breaker %s: probe succeeded, closing",
+                            self.name)
+            self._state = STATE_CLOSED
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failure_count += 1
+            if self._state == STATE_HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (self._state == STATE_CLOSED
+                    and self._consecutive_failures >= self._threshold):
+                self._trip()
+
+    def _trip(self) -> None:
+        # Caller holds the lock.
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._open_count += 1
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        logger.warning("breaker %s: opened (cool-down %.1fs)",
+                       self.name, self._reset_seconds)
+
+    def reset(self) -> None:
+        """Force-close (tests, admin tooling)."""
+        with self._lock:
+            self._state = STATE_CLOSED
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+
+    # -- convenience ---------------------------------------------------
+
+    def call(self, fn: Callable[..., T], *args: object,
+             **kwargs: object) -> T:
+        """Run ``fn`` under the breaker.
+
+        Raises :class:`CircuitOpenError` without calling when open;
+        otherwise records success/failure from the call's outcome and
+        re-raises its exception.
+        """
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open",
+                breaker=self.name, retry_after=self.retry_after())
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,144 @@
+"""Per-search wall-clock budgets and the degradation ladder.
+
+A :class:`Deadline` is created once per search from
+``SchemrConfig.search_budget_seconds`` and threaded through the
+pipeline; phases consult it at their boundaries and the candidate
+scoring loop consults it per candidate.  The clock is injectable so the
+chaos suite advances time deterministically instead of sleeping.
+
+The :class:`DegradationLadder` maps "how much budget is left" onto the
+engine's graceful-degradation levels:
+
+========================  =====  ==============================================
+level name                value  behaviour
+========================  =====  ==============================================
+``none``                  0      full three-phase pipeline
+``reduced_pool``          1      phase 2 scores a shrunken candidate pool
+``name_only``             2      ensemble falls back to the cheap name matcher
+``phase1_only``           3      phase-1 TF/IDF ranking returned outright
+========================  =====  ==============================================
+
+Every response carries the level it was produced at (see
+``QueryProfile.degradation_level``), so clients and dashboards can tell
+a full answer from a best-effort one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DeadlineExceeded
+
+#: Degradation levels, ordered from full service to cheapest fallback.
+DEGRADE_NONE = 0
+DEGRADE_REDUCED_POOL = 1
+DEGRADE_NAME_ONLY = 2
+DEGRADE_PHASE1_ONLY = 3
+
+_LEVEL_NAMES = ("none", "reduced_pool", "name_only", "phase1_only")
+
+
+def degradation_name(level: int) -> str:
+    """The machine-readable name of a degradation level."""
+    if 0 <= level < len(_LEVEL_NAMES):
+        return _LEVEL_NAMES[level]
+    raise ValueError(f"unknown degradation level {level}")
+
+
+class Deadline:
+    """A wall-clock budget with an injectable monotonic clock.
+
+    ``budget_seconds=None`` means *unlimited* — every check passes and
+    :meth:`remaining` is ``inf`` — so unbudgeted deployments pay only a
+    comparison per check.
+    """
+
+    __slots__ = ("_budget", "_clock", "_started")
+
+    def __init__(self, budget_seconds: float | None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValueError(
+                f"budget must be positive, got {budget_seconds}")
+        self._budget = budget_seconds
+        self._clock = clock
+        self._started = clock()
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    @property
+    def budget_seconds(self) -> float | None:
+        return self._budget
+
+    @property
+    def limited(self) -> bool:
+        return self._budget is not None
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left, never below 0; ``inf`` when unlimited."""
+        if self._budget is None:
+            return float("inf")
+        return max(0.0, self._budget - self.elapsed())
+
+    def fraction_remaining(self) -> float:
+        """Remaining budget as a fraction of the whole; 1.0 unlimited."""
+        if self._budget is None:
+            return 1.0
+        return self.remaining() / self._budget
+
+    def expired(self) -> bool:
+        return self._budget is not None and self.remaining() <= 0.0
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is gone."""
+        if self.expired():
+            where = f" at {site}" if site else ""
+            raise DeadlineExceeded(
+                f"search budget of {self._budget:.3f}s exhausted"
+                f"{where} ({self.elapsed():.3f}s elapsed)")
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationLadder:
+    """Budget-fraction thresholds driving the engine's fallbacks.
+
+    After phase 1 the engine asks the ladder for a level given the
+    deadline's remaining fraction: at or above
+    ``reduced_pool_fraction`` remaining nothing degrades; below it the
+    candidate pool shrinks; below ``name_only_fraction`` the ensemble
+    collapses to the cheap name matcher; below ``phase1_fraction`` (or
+    once the budget is fully spent) phase 1's ranking is returned
+    outright.
+    """
+
+    reduced_pool_fraction: float = 0.5
+    name_only_fraction: float = 0.25
+    phase1_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.phase1_fraction
+                <= self.name_only_fraction
+                <= self.reduced_pool_fraction < 1.0):
+            raise ValueError(
+                "ladder fractions must satisfy 0 < phase1 <= name_only "
+                f"<= reduced_pool < 1, got {self}")
+
+    def level_for(self, deadline: Deadline) -> int:
+        """The degradation level the remaining budget calls for."""
+        if not deadline.limited:
+            return DEGRADE_NONE
+        fraction = deadline.fraction_remaining()
+        if fraction <= self.phase1_fraction:
+            return DEGRADE_PHASE1_ONLY
+        if fraction <= self.name_only_fraction:
+            return DEGRADE_NAME_ONLY
+        if fraction <= self.reduced_pool_fraction:
+            return DEGRADE_REDUCED_POOL
+        return DEGRADE_NONE

@@ -1,0 +1,166 @@
+"""Deterministic fault injection at named pipeline sites.
+
+Library code declares *sites* — ``FAULTS.hit("store.get_schema")`` —
+which are free no-ops in production (one attribute load and a truthiness
+check on an empty dict).  The chaos suite arms an injector with
+failures, delays, or arbitrary hooks per site:
+
+    FAULTS.inject("store.get_schema",
+                  error=sqlite3.OperationalError("database is locked"),
+                  times=2)
+
+Delays go through the injector's ``sleep`` callable, so a test that
+pairs the injector with a fake clock advances time without real
+sleeping — the suite stays deterministic and fast.  ``times=None``
+means "every hit"; an exhausted plan disarms itself.
+
+Known sites (grep for ``FAULTS.hit``):
+
+========================  ====================================================
+site                      guarded operation
+========================  ====================================================
+``store.get_schema``      sqlite payload fetch in ``SchemaRepository``
+``store.add_schema``      sqlite insert in ``SchemaRepository``
+``store.changes_since``   changelog read feeding the indexer refresh
+``profile_store.lookup``  ProfileStore read-through miss path
+``matcher.<name>``        one matcher's ``match`` inside GuardedEnsemble
+``engine.phase1``         candidate extraction call in the engine
+``engine.match_one``      per-candidate scoring step in the engine
+``indexer.refresh``       changelog application batch
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class _FaultPlan:
+    """What to do when a site is hit."""
+
+    error: BaseException | None = None
+    delay_seconds: float = 0.0
+    hook: Callable[[], None] | None = None
+    #: Remaining activations; None = unlimited.
+    times: int | None = None
+    triggered: int = 0
+
+
+@dataclass(slots=True)
+class FaultRecord:
+    """One site's observed traffic while the injector was armed."""
+
+    hits: int = 0
+    triggered: int = 0
+
+
+class FaultInjector:
+    """Arms failures/delays at named sites; disarmed it costs ~nothing."""
+
+    def __init__(self, sleep: Callable[[float], None] = time.sleep) -> None:
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._plans: dict[str, _FaultPlan] = {}
+        self._records: dict[str, FaultRecord] = {}
+
+    # -- arming ----------------------------------------------------------
+
+    def inject(self, site: str, *, error: BaseException | None = None,
+               delay_seconds: float = 0.0,
+               hook: Callable[[], None] | None = None,
+               times: int | None = None) -> None:
+        """Arm ``site``: optionally delay, run ``hook``, raise ``error``.
+
+        ``times`` bounds how many hits trigger (None = all).  Re-arming
+        a site replaces its previous plan.
+        """
+        if error is None and delay_seconds == 0.0 and hook is None:
+            raise ValueError(
+                f"fault plan for {site!r} does nothing: supply error, "
+                "delay_seconds, or hook")
+        if delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {delay_seconds}")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        with self._lock:
+            self._plans[site] = _FaultPlan(
+                error=error, delay_seconds=delay_seconds, hook=hook,
+                times=times)
+
+    def disarm(self, site: str) -> None:
+        with self._lock:
+            self._plans.pop(site, None)
+
+    def reset(self) -> None:
+        """Disarm everything and forget hit counts."""
+        with self._lock:
+            self._plans.clear()
+            self._records.clear()
+
+    def set_sleep(self, sleep: Callable[[float], None]) -> None:
+        """Swap the delay implementation (tests: fake-clock advance)."""
+        self._sleep = sleep
+
+    # -- observation ------------------------------------------------------
+
+    @property
+    def armed_sites(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._plans))
+
+    def record(self, site: str) -> FaultRecord:
+        """Traffic counters for ``site`` (zeros when never hit)."""
+        with self._lock:
+            return self._records.get(site, FaultRecord())
+
+    def hits(self, site: str) -> int:
+        return self.record(site).hits
+
+    def triggered(self, site: str) -> int:
+        return self.record(site).triggered
+
+    # -- the instrumented-code side ---------------------------------------
+
+    def hit(self, site: str) -> None:
+        """Called by library code at an instrumented site.
+
+        Fast path: with nothing armed this is a dict truthiness check.
+        """
+        if not self._plans:
+            return
+        with self._lock:
+            record = self._records.setdefault(site, FaultRecord())
+            record.hits += 1
+            plan = self._plans.get(site)
+            if plan is None:
+                return
+            if plan.times is not None:
+                if plan.times <= 0:
+                    return
+                plan.times -= 1
+                if plan.times == 0:
+                    self._plans.pop(site, None)
+            plan.triggered += 1
+            record.triggered += 1
+            delay = plan.delay_seconds
+            hook = plan.hook
+            error = plan.error
+        # Delay/hook/raise happen outside the lock: a hook that blocks
+        # (e.g. on an Event, to hold a server slot open) must not
+        # serialize other sites.
+        if delay:
+            self._sleep(delay)
+        if hook is not None:
+            hook()
+        if error is not None:
+            raise error
+
+
+#: The process-wide injector instrumented code imports.  Disarmed by
+#: default; chaos tests arm it and must ``reset()`` in teardown.
+FAULTS = FaultInjector()

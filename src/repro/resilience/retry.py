@@ -1,0 +1,109 @@
+"""Retry with exponential backoff and jitter for transient failures.
+
+The one transient failure this codebase actually sees is sqlite's
+``OperationalError: database is locked`` — a writer holding the file
+while a reader (or the indexer refresh loop) comes through.  WAL mode
+plus ``busy_timeout`` (see :class:`~repro.repository.store.SchemaRepository`)
+absorbs most of it; the retry loop here is the second line of defence
+for the cases that still surface.
+
+``sleep`` and ``rng`` are injectable so tests assert the exact backoff
+sequence without real sleeping.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+
+#: OperationalError messages that indicate a transient lock/busy state
+#: (anything else — malformed database, disk I/O error — is permanent).
+_TRANSIENT_MARKERS = ("locked", "busy")
+
+
+def is_transient_sqlite_error(exc: BaseException) -> bool:
+    """Whether ``exc`` is a retryable sqlite lock/busy condition."""
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    message = str(exc).lower()
+    return any(marker in message for marker in _TRANSIENT_MARKERS)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attempt ``i`` (0-based) sleeps ``uniform(0, min(max_seconds,
+    base_seconds * multiplier**i))`` before retrying — the "full
+    jitter" scheme, which decorrelates competing retriers better than
+    equal-jitter at the same expected delay.
+    """
+
+    attempts: int = 4
+    base_seconds: float = 0.01
+    multiplier: float = 2.0
+    max_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_seconds <= 0:
+            raise ValueError(
+                f"base_seconds must be positive, got {self.base_seconds}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_seconds < self.base_seconds:
+            raise ValueError("max_seconds must be >= base_seconds")
+
+    def backoff_seconds(self, attempt: int,
+                        rng: random.Random) -> float:
+        cap = min(self.max_seconds,
+                  self.base_seconds * self.multiplier ** attempt)
+        return rng.uniform(0.0, cap)
+
+
+def retry_transient(fn: Callable[[], T],
+                    policy: RetryPolicy | None = None, *,
+                    is_transient: Callable[[BaseException], bool]
+                    = is_transient_sqlite_error,
+                    sleep: Callable[[float], None] = time.sleep,
+                    rng: random.Random | None = None,
+                    on_retry: Callable[[int, BaseException], None]
+                    | None = None) -> T:
+    """Call ``fn`` retrying transient failures with jittered backoff.
+
+    Non-transient exceptions propagate immediately; the final transient
+    failure propagates after ``policy.attempts`` tries.  ``on_retry``
+    (attempt index, exception) fires before each backoff — the
+    repository uses it to count retries into telemetry.
+    """
+    policy = policy or RetryPolicy()
+    rng = rng or random
+    last: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except Exception as exc:
+            if not is_transient(exc):
+                raise
+            last = exc
+            if attempt == policy.attempts - 1:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = policy.backoff_seconds(attempt, rng)
+            logger.debug("transient failure (attempt %d/%d), retrying "
+                         "in %.4fs: %s", attempt + 1, policy.attempts,
+                         delay, exc)
+            sleep(delay)
+    assert last is not None
+    raise last

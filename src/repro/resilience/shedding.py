@@ -1,0 +1,131 @@
+"""Server-side load shedding: bounded admission ahead of the engine.
+
+Unbounded concurrency is how an interactive service dies: every extra
+in-flight search slows all the others until everything times out.  The
+:class:`AdmissionController` in front of ``SchemrServer``'s search
+routes admits at most ``max_concurrent`` searches; up to ``queue_size``
+more may wait ``queue_timeout_seconds`` for a slot, and everything past
+that is shed immediately with a structured
+:class:`~repro.errors.AdmissionRejected` — which the service layer
+turns into ``429 Too Many Requests`` + ``Retry-After``, the polite way
+to fail fast instead of queueing into oblivion.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import AdmissionRejected
+
+
+class AdmissionController:
+    """Concurrency limiter with a bounded, time-limited wait queue."""
+
+    def __init__(self, max_concurrent: int = 32, queue_size: int = 64,
+                 queue_timeout_seconds: float = 0.5) -> None:
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}")
+        if queue_size < 0:
+            raise ValueError(
+                f"queue_size must be >= 0, got {queue_size}")
+        if queue_timeout_seconds < 0:
+            raise ValueError(
+                "queue_timeout_seconds must be >= 0, got "
+                f"{queue_timeout_seconds}")
+        self._max_concurrent = max_concurrent
+        self._queue_size = queue_size
+        self._queue_timeout = queue_timeout_seconds
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._admitted_total = 0
+        self._rejected_total = 0
+        self._timed_out_total = 0
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def max_concurrent(self) -> int:
+        return self._max_concurrent
+
+    @property
+    def active(self) -> int:
+        """Searches currently holding a slot."""
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        return self._waiting
+
+    @property
+    def admitted_total(self) -> int:
+        return self._admitted_total
+
+    @property
+    def rejected_total(self) -> int:
+        """Requests shed because the queue was full."""
+        return self._rejected_total
+
+    @property
+    def timed_out_total(self) -> int:
+        """Requests shed after waiting the full queue timeout."""
+        return self._timed_out_total
+
+    def retry_after_seconds(self) -> float:
+        """Suggested client back-off: at least the queue drain time."""
+        return max(1.0, self._queue_timeout * 2.0)
+
+    # -- admission -------------------------------------------------------
+
+    def acquire(self) -> None:
+        """Take a slot or raise :class:`AdmissionRejected`.
+
+        Rejects immediately when the wait queue is full; otherwise
+        waits up to the queue timeout for a running search to finish.
+        """
+        with self._cond:
+            if self._active < self._max_concurrent:
+                self._active += 1
+                self._admitted_total += 1
+                return
+            if self._waiting >= self._queue_size:
+                self._rejected_total += 1
+                raise AdmissionRejected(
+                    f"server saturated: {self._active} active searches, "
+                    f"{self._waiting} queued",
+                    retry_after=self.retry_after_seconds())
+            self._waiting += 1
+            try:
+                granted = self._cond.wait_for(
+                    lambda: self._active < self._max_concurrent,
+                    timeout=self._queue_timeout)
+            finally:
+                self._waiting -= 1
+            if not granted:
+                self._timed_out_total += 1
+                raise AdmissionRejected(
+                    "server saturated: queued "
+                    f"{self._queue_timeout:.2f}s without a free slot",
+                    retry_after=self.retry_after_seconds())
+            self._active += 1
+            self._admitted_total += 1
+
+    def release(self) -> None:
+        with self._cond:
+            if self._active <= 0:
+                raise RuntimeError("release without matching acquire")
+            self._active -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def admitted(self) -> Iterator[None]:
+        """``with controller.admitted(): ...`` around one search."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()

@@ -11,7 +11,16 @@ Endpoints (mirroring the Figure 5 request flow):
   telemetry registry (per-phase histograms, cache ratios, HTTP stats);
 * ``GET /stats`` — XML operational summary (phase p50/p95, cache hit
   rates, slow queries, empty-result reasons);
-* ``GET /health`` — liveness probe.
+* ``GET /health`` / ``GET /healthz`` — liveness probes;
+* ``GET /readyz`` — readiness: 503 (with ``Retry-After``) while a
+  circuit breaker is open or the indexer is mid-refresh.
+
+Resilience: search endpoints are admission-controlled (bounded queue +
+concurrency limiter; overload answers a structured 429 with
+``Retry-After`` instead of piling requests onto a saturated engine),
+sockets carry a read timeout (a stalled client costs a 408, not a
+wedged handler thread), and resilience-layer errors map to structured
+429/503 responses — never an unhandled 500.
 
 The default ``BaseHTTPRequestHandler`` access log is replaced by an
 opt-in structured one: every request is measured (method, route,
@@ -23,6 +32,7 @@ logged through the ``repro.service.access`` logger.
 from __future__ import annotations
 
 import logging
+import sqlite3
 import threading
 import time
 import urllib.parse
@@ -30,8 +40,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.config import SchemrConfig
 from repro.core.engine import SchemrEngine
-from repro.errors import RepositoryError, SchemrError
+from repro.errors import (AdmissionRejected, CircuitOpenError,
+                          DeadlineExceeded, RepositoryError, SchemrError,
+                          ServiceError)
+from repro.repository.indexer import RepositoryIndexer
 from repro.repository.store import SchemaRepository
+from repro.resilience.breaker import STATE_OPEN
+from repro.resilience.shedding import AdmissionController
 from repro.service.graphml import graphml_for_schema
 from repro.service.xmlresponse import results_to_xml
 from repro.telemetry import Telemetry
@@ -47,7 +62,13 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
     engine: SchemrEngine
     repository: SchemaRepository
     telemetry: Telemetry
+    admission: AdmissionController
+    indexer: RepositoryIndexer | None = None
     access_log: bool = False
+    #: Socket read timeout (StreamRequestHandler applies it in setup());
+    #: a client that stalls mid-request costs this many seconds, not a
+    #: handler thread for the rest of the process lifetime.
+    timeout: float | None = 30.0
 
     # -- plumbing --------------------------------------------------------
 
@@ -58,19 +79,28 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
         pass
 
     def _send(self, status: int, body: str,
-              content_type: str = "application/xml") -> None:
+              content_type: str = "application/xml",
+              extra_headers: dict[str, str] | None = None) -> None:
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
         self._status = status
 
-    def _send_error_xml(self, status: int, message: str) -> None:
+    def _send_error_xml(self, status: int, message: str,
+                        retry_after: float | None = None) -> None:
+        extra = None
+        if retry_after is not None:
+            # Retry-After is delta-seconds; round up so "0.5" does not
+            # become an immediate (header value 0) retry stampede.
+            extra = {"Retry-After": str(max(1, int(retry_after + 0.999)))}
         self._send(status,
                    f'<?xml version="1.0"?><error status="{status}">'
-                   f"{_xml_escape(message)}</error>")
+                   f"{_xml_escape(message)}</error>", extra_headers=extra)
 
     # -- routing ---------------------------------------------------------
 
@@ -79,7 +109,20 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         length = int(self.headers.get("Content-Length", "0"))
-        body = self.rfile.read(length).decode("utf-8") if length else ""
+        try:
+            body = self.rfile.read(length).decode("utf-8") if length else ""
+        except TimeoutError:
+            # The client promised a body and stalled; the request line
+            # already arrived so a structured 408 is still deliverable.
+            self.close_connection = True
+            self._status = 0
+            try:
+                self._send_error_xml(408, "timed out reading request body")
+            except OSError:  # pragma: no cover - socket already dead
+                pass
+            self._log_access(_route_of(
+                urllib.parse.urlparse(self.path).path), 0.0)
+            return
         self._handle(body=body)
 
     def _handle(self, body: str | None) -> None:
@@ -88,8 +131,10 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         route = _route_of(parsed.path)
         try:
-            if parsed.path == "/health":
+            if parsed.path in ("/health", "/healthz"):
                 self._send(200, '<?xml version="1.0"?><ok/>')
+            elif parsed.path == "/readyz":
+                self._handle_readyz()
             elif parsed.path == "/metrics":
                 self._handle_metrics()
             elif parsed.path == "/stats":
@@ -107,6 +152,21 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
                 self._handle_schema(parsed.path, parsed.query)
             else:
                 self._send_error_xml(404, f"no route for {parsed.path}")
+        except AdmissionRejected as exc:
+            self._send_error_xml(429, str(exc), retry_after=exc.retry_after)
+        except CircuitOpenError as exc:
+            self._send_error_xml(503, str(exc),
+                                 retry_after=exc.retry_after or 1.0)
+        except DeadlineExceeded as exc:
+            # The engine degrades rather than raising; this is the
+            # defensive boundary for a budget so tight even the
+            # phase-1 fallback could not be produced.
+            self._send_error_xml(503, str(exc), retry_after=1.0)
+        except sqlite3.OperationalError as exc:
+            # Transient store trouble (locked/busy past the retry
+            # budget) is an availability problem, not a client error.
+            self._send_error_xml(503, f"storage unavailable: {exc}",
+                                 retry_after=1.0)
         except RepositoryError as exc:
             self._send_error_xml(404, str(exc))
         except SchemrError as exc:
@@ -139,16 +199,39 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
     def _handle_stats(self) -> None:
         self._send(200, self.telemetry.summary_xml())
 
+    def _handle_readyz(self) -> None:
+        """Readiness: open breakers and mid-refresh indexes are
+        temporary conditions a load balancer should route around, not
+        liveness failures worth a restart."""
+        open_breakers = [b for b in self.engine.breakers.values()
+                         if b.state == STATE_OPEN]
+        if open_breakers:
+            retry_after = max(b.retry_after() for b in open_breakers)
+            names = ", ".join(sorted(b.name for b in open_breakers))
+            self._send_error_xml(
+                503, f"circuit breaker open: {names}",
+                retry_after=max(retry_after, 1.0))
+            return
+        if self.indexer is not None and self.indexer.refreshing:
+            self._send_error_xml(503, "index refresh in progress",
+                                 retry_after=1.0)
+            return
+        self._send(200, '<?xml version="1.0"?><ready/>')
+
     def _handle_search(self, query_string: str, body: str | None) -> None:
         params = urllib.parse.parse_qs(query_string)
         keywords = " ".join(params.get("keywords", []))
         top_n = int(params.get("top", ["10"])[0])
         offset = int(params.get("offset", ["0"])[0])
         fragment = body if body else None
-        results = self.engine.search(keywords=keywords or None,
-                                     fragment=fragment, top_n=top_n,
-                                     offset=offset)
-        self._send(200, results_to_xml(results, query=keywords))
+        with self.admission.admitted():
+            results = self.engine.search(keywords=keywords or None,
+                                         fragment=fragment, top_n=top_n,
+                                         offset=offset)
+            profile = self.engine.thread_profile
+        degradation = profile.degradation if profile is not None else "none"
+        self._send(200, results_to_xml(results, query=keywords,
+                                       degradation=degradation))
 
     def _handle_suggest(self, query_string: str) -> None:
         from repro.index.suggest import PrefixSuggester
@@ -175,9 +258,10 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
         offset = int(params.get("offset", ["0"])[0])
         results = None
         if keywords or fragment:
-            results = self.engine.search(keywords=keywords or None,
-                                         fragment=fragment or None,
-                                         offset=offset)
+            with self.admission.admitted():
+                results = self.engine.search(keywords=keywords or None,
+                                             fragment=fragment or None,
+                                             offset=offset)
         self._send(200,
                    render_search_page(keywords, fragment, results,
                                       offset=offset),
@@ -241,7 +325,8 @@ def _xml_escape(text: str) -> str:
 
 
 _FIXED_ROUTES = frozenset(
-    ("/", "/health", "/metrics", "/stats", "/search", "/suggest"))
+    ("/", "/health", "/healthz", "/readyz", "/metrics", "/stats",
+     "/search", "/suggest"))
 
 
 def _route_of(path: str) -> str:
@@ -280,19 +365,50 @@ class SchemrServer:
         if config is None:
             config = SchemrConfig(telemetry_enabled=True)
         self._engine = repository.engine(config=config)
+        self._admission = AdmissionController(
+            max_concurrent=config.max_concurrent_searches,
+            queue_size=config.admission_queue_size,
+            queue_timeout_seconds=config.admission_timeout_seconds)
         handler = type("BoundHandler", (_SchemrRequestHandler,), {
             "engine": self._engine,
             "repository": self._repository,
             "suggester": PrefixSuggester(self._engine.searcher.index),
             "telemetry": self._engine.telemetry,
+            "admission": self._admission,
+            "indexer": repository.indexer(),
             "access_log": access_log,
+            "timeout": config.request_timeout_seconds,
         })
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        telemetry = self._engine.telemetry
+        if not telemetry.enabled:
+            return
+        m = telemetry.metrics
+        admission = self._admission
+        m.gauge("schemr_admission_active",
+                "Searches currently admitted",
+                callback=lambda: admission.active)
+        m.gauge("schemr_admission_waiting",
+                "Searches queued for admission",
+                callback=lambda: admission.waiting)
+        m.counter("schemr_admission_rejected_total",
+                  "Searches shed by admission control",
+                  callback=lambda: admission.rejected_total)
+        m.counter("schemr_admission_timeouts_total",
+                  "Admissions that timed out in the queue",
+                  callback=lambda: admission.timed_out_total)
 
     @property
     def engine(self) -> SchemrEngine:
         return self._engine
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
 
     @property
     def telemetry(self) -> Telemetry:
@@ -316,11 +432,32 @@ class SchemrServer:
         self._thread.start()
         logger.info("schemr service listening on %s", self.base_url)
 
-    def stop(self) -> None:
+    def stop(self, join_timeout_seconds: float = 5.0) -> None:
+        """Stop serving; raises :class:`ServiceError` if the serve
+        thread fails to exit within ``join_timeout_seconds``.
+
+        The previous behaviour — a silently ignored ``join`` timeout —
+        left a live thread holding the listening socket while the
+        caller believed the server was down.  A hung shutdown is now
+        detected, counted, logged, and raised; the server is left in
+        its partial state so a later :meth:`stop` can retry the join.
+        """
         if self._thread is None:
             return
+        thread = self._thread
         self._httpd.shutdown()
-        self._thread.join(timeout=5)
+        thread.join(timeout=join_timeout_seconds)
+        if thread.is_alive():
+            telemetry = self._engine.telemetry
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "schemr_server_stop_hangs_total",
+                    "stop() calls whose serve thread failed to exit").inc()
+            logger.error(
+                "server thread failed to exit within %.1fs; the listening "
+                "socket is still held", join_timeout_seconds)
+            raise ServiceError(
+                f"server thread did not exit within {join_timeout_seconds}s")
         self._httpd.server_close()
         self._thread = None
         self._engine.close()

@@ -12,12 +12,21 @@ from repro.core.results import ElementMatch, SearchResult
 from repro.errors import ServiceError
 
 
-def results_to_xml(results: list[SearchResult], query: str = "") -> str:
-    """Serialize a ranked result list to the service's XML format."""
+def results_to_xml(results: list[SearchResult], query: str = "",
+                   degradation: str | None = None) -> str:
+    """Serialize a ranked result list to the service's XML format.
+
+    ``degradation`` is the machine-readable graceful-degradation level
+    the response was produced at ("none", "reduced_pool", "name_only",
+    "phase1_only"); when given it is stamped on the root element so
+    clients can tell a budget-degraded ranking from a full one.
+    """
     root = ET.Element("searchResults", attrib={
         "query": query,
         "count": str(len(results)),
     })
+    if degradation is not None:
+        root.set("degradation", degradation)
     for rank, result in enumerate(results, start=1):
         node = ET.SubElement(root, "result", attrib={
             "rank": str(rank),

@@ -58,6 +58,19 @@ class QueryProfile:
     #: ``all_candidates_filtered`` — candidates were found but none
     #: survived matching.
     empty_reason: str | None = None
+    #: Graceful-degradation level the response was produced at
+    #: (see :mod:`repro.resilience.deadline`): 0 full pipeline,
+    #: 1 reduced candidate pool, 2 name-matcher-only ensemble,
+    #: 3 phase-1 TF/IDF ranking returned outright.
+    degradation_level: int = 0
+    #: The level's machine-readable name ("none", "reduced_pool",
+    #: "name_only", "phase1_only").
+    degradation: str = "none"
+    #: Whether the search's wall-clock budget ran out mid-pipeline
+    #: (forcing the phase-1 fallback regardless of the ladder).
+    deadline_expired: bool = False
+    #: The budget this search ran under (None = unlimited).
+    budget_seconds: float | None = None
 
     def to_dict(self) -> dict:
         """JSON-safe form (history sink, ``/stats``, logs)."""
@@ -76,6 +89,10 @@ class QueryProfile:
             "pruned_early": self.pruned_early,
             "docs_scored": self.docs_scored,
             "empty_reason": self.empty_reason,
+            "degradation_level": self.degradation_level,
+            "degradation": self.degradation,
+            "deadline_expired": self.deadline_expired,
+            "budget_seconds": self.budget_seconds,
         }
 
 
