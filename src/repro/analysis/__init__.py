@@ -1,0 +1,37 @@
+"""Project static analysis: AST lint rules for schemr's own source.
+
+Usage::
+
+    schemr lint [--format json] [--baseline PATH] [--update-baseline]
+    python -m repro.analysis --self-check
+
+See DESIGN.md ("Static analysis") for the rule catalog and the pragma
+syntax.
+"""
+
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.report import LintResult, render_json, render_text
+from repro.analysis.runner import main, run_lint, self_check
+from repro.analysis.source import SourceFile
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SourceFile",
+    "all_rules",
+    "get_rule",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "self_check",
+]

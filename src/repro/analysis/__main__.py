@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — same entry point as ``schemr lint``."""
+
+import sys
+
+from repro.analysis.runner import main
+
+sys.exit(main())

@@ -1,0 +1,84 @@
+"""Baseline files: grandfathered findings that don't fail the build.
+
+A baseline is a JSON document::
+
+    {"version": 1, "findings": [{"rule": ..., "path": ..., "message": ...}]}
+
+Findings are matched on ``(rule, path, message)`` — line numbers drift
+with every edit, so they are deliberately not part of the key.  The
+shipped baseline should stay near-empty; ``--update-baseline`` exists
+for bootstrapping a new rule over legacy code, not for muting fresh
+regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is malformed."""
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """The set of grandfathered ``(rule, path, message)`` keys."""
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path}: invalid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise BaselineError(f"baseline {path}: expected an object")
+    if payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: unsupported version "
+            f"{payload.get('version')!r}")
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: findings must be a list")
+    keys: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise BaselineError(
+                f"baseline {path}: each finding must be an object")
+        try:
+            keys.add((str(entry["rule"]), str(entry["path"]),
+                      str(entry["message"])))
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path}: finding missing {exc}")
+    return keys
+
+
+def write_baseline(path: str | Path,
+                   findings: Iterable[Finding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, stable)."""
+    entries = sorted(
+        {finding.key() for finding in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def split_baselined(findings: Sequence[Finding],
+                    baseline: set[tuple[str, str, str]]
+                    ) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (fresh, grandfathered)."""
+    fresh: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.key() in baseline else fresh).append(finding)
+    return fresh, old

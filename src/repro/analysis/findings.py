@@ -1,0 +1,43 @@
+"""The finding model shared by every lint rule and reporter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severity levels, most severe first.  Any non-baselined finding of
+#: any severity fails the lint run; severity exists so reporters and
+#: dashboards can rank what to fix first.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers drift, messages do not."""
+        return (self.rule, self.path, self.message)
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] "
+                f"{self.severity}: {self.message}")

@@ -1,0 +1,84 @@
+"""The rule registry: declare once, discovered by runner and docs.
+
+A rule subclasses :class:`Rule` and registers via :func:`register`.
+Per-file rules implement :meth:`Rule.check_file`; whole-project rules
+(cross-file reconciliation, e.g. the metric catalog) implement
+:meth:`Rule.check_project`.  Every rule declares a pragma token that
+suppresses it inline; the token spelled exactly like the rule id always
+works too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.source import SourceFile
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    #: Stable identifier, kebab-case; appears in reports, baselines,
+    #: pragmas, and the DESIGN.md rule catalog.
+    id: str = ""
+    severity: str = SEVERITY_ERROR
+    #: One-line summary for ``--list-rules`` and the self-check.
+    description: str = ""
+    #: Inline suppression token (``# lint: <token>``); the rule id
+    #: itself is always accepted as well.
+    pragma: str = ""
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        """Findings for one parsed file."""
+        return ()
+
+    def check_project(self,
+                      sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        """Findings needing the whole scanned corpus at once."""
+        return ()
+
+    def finding(self, source: SourceFile, line: int,
+                message: str) -> Finding:
+        return Finding(rule=self.id, path=source.path, line=line,
+                       message=message, severity=self.severity)
+
+    def suppressed(self, source: SourceFile, line: int) -> bool:
+        """Whether a pragma at ``line`` silences this rule."""
+        return source.has_pragma(line, self.id, self.pragma)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance to the global registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by id."""
+    _load_builtin_rules()
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_builtin_rules()
+    return _REGISTRY[rule_id]
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily so registry.py itself stays import-cycle free.
+    from repro.analysis import (  # noqa: F401
+        rules_clock,
+        rules_config,
+        rules_except,
+        rules_locks,
+        rules_metrics,
+    )

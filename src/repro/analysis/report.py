@@ -1,0 +1,70 @@
+"""Reporters: render a lint run as text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+JSON_REPORT_VERSION = 1
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Everything a reporter (or CI) needs about one run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.sorted_findings()]
+    per_rule = Counter(f.rule for f in result.findings)
+    rule_blurb = ", ".join(
+        f"{rule}: {count}" for rule, count in sorted(per_rule.items()))
+    summary = (
+        f"{len(result.findings)} finding(s) in "
+        f"{result.files_scanned} file(s)"
+        + (f" [{rule_blurb}]" if rule_blurb else "")
+        + (f"; {len(result.baselined)} baselined" if result.baselined
+           else "")
+        + (f"; {result.suppressed} suppressed by pragma"
+           if result.suppressed else ""))
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "summary": {
+            "files": result.files_scanned,
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "rules": dict(sorted(
+                Counter(f.rule for f in result.findings).items())),
+        },
+        "findings": [f.to_dict() for f in result.sorted_findings()],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(result: LintResult, fmt: str) -> str:
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "text":
+        return render_text(result)
+    raise ValueError(f"unknown report format {fmt!r}")

@@ -1,0 +1,112 @@
+"""Rule ``clock-hygiene``: injected clocks are used, not bypassed.
+
+The resilience layer's deadlines and breakers, and the telemetry
+timestamps, take an injectable clock so the chaos/unit suites advance
+time deterministically.  A raw ``time.time()`` / ``time.monotonic()``
+/ ``datetime.now()`` / ``datetime.today()`` call inside those layers —
+or inside any function that *accepts* a ``clock`` / ``now`` /
+``wall_clock`` parameter, or a method of a class whose ``__init__``
+does — silently bypasses the injection and makes the code untestable
+and drift-prone.
+
+References (``clock=time.monotonic`` as a default) are fine; only
+*calls* are flagged.  ``time.perf_counter()`` is allowed: it is the
+conventional duration clock and carries no wall-clock meaning.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+#: Packages where every wall-clock call must go through injection.
+CLOCKED_PACKAGES = ("repro.resilience", "repro.telemetry")
+
+#: Parameter names that mark a function as clock-injected.
+CLOCK_PARAMS = frozenset(("clock", "now", "wall_clock"))
+
+_TIME_FUNCS = frozenset(("time", "monotonic"))
+_DATETIME_FUNCS = frozenset(("now", "today", "utcnow"))
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _wall_clock_call(node: ast.Call) -> str | None:
+    """The offending dotted name when ``node`` is a wall-clock call."""
+    name = _dotted(node.func)
+    if not name:
+        return None
+    parts = name.split(".")
+    if len(parts) >= 2 and parts[-2] == "time" and parts[-1] in _TIME_FUNCS:
+        return name
+    if parts[-1] in _DATETIME_FUNCS and any(
+            p in ("datetime", "date") for p in parts[:-1]):
+        return name
+    return None
+
+
+def _has_clock_param(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = fn.args
+    every = (args.posonlyargs + args.args + args.kwonlyargs)
+    return any(arg.arg in CLOCK_PARAMS for arg in every)
+
+
+def _clocked_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line ranges where the injected clock is mandatory."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _has_clock_param(node) and node.end_lineno is not None:
+                spans.append((node.lineno, node.end_lineno))
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if (isinstance(stmt, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                        and stmt.name == "__init__"
+                        and _has_clock_param(stmt)
+                        and node.end_lineno is not None):
+                    spans.append((node.lineno, node.end_lineno))
+                    break
+    return spans
+
+
+@register
+class ClockHygieneRule(Rule):
+    id = "clock-hygiene"
+    pragma = "wall-clock"
+    description = ("no raw time.time()/monotonic()/datetime.now() in "
+                   "resilience/telemetry or clock-injected functions")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        module_scoped = source.module.startswith(CLOCKED_PACKAGES)
+        spans = None if module_scoped else _clocked_spans(source.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _wall_clock_call(node)
+            if name is None:
+                continue
+            if not module_scoped:
+                line = node.lineno
+                if not any(start <= line <= end for start, end in spans):
+                    continue
+            where = (f"module {source.module}" if module_scoped
+                     else "a clock-injected scope")
+            findings.append(self.finding(
+                source, node.lineno,
+                f"raw wall-clock call {name}() in {where}; thread the "
+                f"injectable clock through instead"))
+        return findings

@@ -1,0 +1,96 @@
+"""Rule ``exception-safety``: no silent swallowing of broad excepts.
+
+Two shapes are flagged:
+
+* a bare ``except:`` anywhere — it catches ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides typos as dead code;
+* an ``except Exception:`` / ``except BaseException:`` handler that
+  *swallows*: its body neither re-raises nor makes any "loud" call
+  (logging, ``pytest.fail``-style test aborts).  Narrow handlers
+  (``except ValueError:``) are the author's explicit claim and pass.
+
+A genuine fault boundary — chaos-test collectors, last-ditch handlers
+whose loudness lives elsewhere — is annotated
+``# lint: fault-boundary (reason)`` on the ``except`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+_BROAD = frozenset(("Exception", "BaseException"))
+
+#: Call-name segments whose presence makes a handler "loud".
+_LOUD_ROOTS = frozenset(("logger", "logging", "log", "access_logger",
+                         "warnings"))
+_LOUD_METHODS = frozenset(("debug", "info", "warning", "warn", "error",
+                           "exception", "critical", "fail"))
+
+
+def _dotted_parts(node: ast.expr) -> list[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _is_broad(type_node: ast.expr | None) -> bool:
+    if type_node is None:
+        return False  # bare except handled separately
+    nodes = (type_node.elts if isinstance(type_node, ast.Tuple)
+             else [type_node])
+    for node in nodes:
+        parts = _dotted_parts(node)
+        if parts and parts[-1] in _BROAD:
+            return True
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when nothing in the body re-raises or reports loudly."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+        if isinstance(node, ast.Call):
+            parts = _dotted_parts(node.func)
+            if not parts:
+                continue
+            if parts[0] in _LOUD_ROOTS or parts[-1] in _LOUD_METHODS:
+                return False
+    return True
+
+
+@register
+class ExceptionSafetyRule(Rule):
+    id = "exception-safety"
+    pragma = "fault-boundary"
+    description = ("no bare except; except Exception must log, "
+                   "re-raise, or be an annotated fault boundary")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(self.finding(
+                    source, node.lineno,
+                    "bare except: catches SystemExit/KeyboardInterrupt; "
+                    "name the exceptions or use except Exception with "
+                    "logging"))
+                continue
+            if _is_broad(node.type) and _swallows(node):
+                findings.append(self.finding(
+                    source, node.lineno,
+                    "except Exception swallows silently: log it, "
+                    "re-raise, or annotate the line with "
+                    "`# lint: fault-boundary (reason)`"))
+        return findings

@@ -1,0 +1,163 @@
+"""Rule ``lock-discipline``: guarded attributes stay guarded.
+
+If any method of a class writes ``self.x`` inside ``with self._lock:``
+(or any ``with`` over a lock-ish attribute — name containing ``lock``,
+``cond``, or ``mutex``, including dotted paths like
+``self._index.lock``), then ``x`` is treated as guarded by that lock,
+and *every* access to ``self.x`` in the class's other methods must also
+happen under a ``with`` over a lock — the classic torn-counter /
+stale-read bug is a property reading ``self._hits`` while a worker
+thread increments it under the lock.
+
+Constructors (``__init__`` / ``__new__`` / ``__post_init__``) are
+exempt: the object is not shared yet.  Deliberate unlocked access — an
+atomic flag read on a hot path, a "caller holds the lock" helper — is
+annotated ``# lint: unlocked (reason)``; on a ``def`` line the pragma
+covers the whole method.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+_LOCKISH = re.compile(r"lock|cond|mutex", re.IGNORECASE)
+_CONSTRUCTORS = frozenset(("__init__", "__new__", "__post_init__"))
+
+
+def _is_self_rooted(node: ast.expr) -> bool:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _is_lock_expr(node: ast.expr) -> bool:
+    """``self._lock`` / ``self._cond`` / ``self._index.lock`` ..."""
+    return (isinstance(node, ast.Attribute)
+            and _LOCKISH.search(node.attr) is not None
+            and _is_self_rooted(node.value))
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """The X of a plain ``self.X`` expression, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+@dataclass(slots=True)
+class _Access:
+    attr: str
+    line: int
+    is_write: bool
+    locked: bool
+    method: str
+
+
+def _write_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    return []
+
+
+def _written_attr(target: ast.expr) -> str | None:
+    """self.X = / self.X[...] = / del self.X[...] all count as writes."""
+    attr = _self_attr(target)
+    if attr is not None:
+        return attr
+    if isinstance(target, ast.Subscript):
+        return _self_attr(target.value)
+    return None
+
+
+def _scan_method(method: ast.FunctionDef | ast.AsyncFunctionDef
+                 ) -> Iterator[_Access]:
+    name = method.name
+
+    def walk(node: ast.AST, locked: bool) -> Iterator[_Access]:
+        if isinstance(node, ast.ClassDef):
+            return  # nested classes are scanned as their own class
+        if isinstance(node, ast.With):
+            inner = locked or any(
+                _is_lock_expr(item.context_expr) for item in node.items)
+            for item in node.items:
+                yield from walk(item.context_expr, locked)
+            for stmt in node.body:
+                yield from walk(stmt, inner)
+            return
+        if isinstance(node, ast.stmt):
+            written: list[tuple[str, int]] = []
+            for target in _write_targets(node):
+                attr = _written_attr(target)
+                if attr is not None:
+                    written.append((attr, target.lineno))
+            for attr, line in written:
+                yield _Access(attr=attr, line=line, is_write=True,
+                              locked=locked, method=name)
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None and isinstance(node.ctx, ast.Load):
+                yield _Access(attr=attr, line=node.lineno, is_write=False,
+                              locked=locked, method=name)
+        for child in ast.iter_child_nodes(node):
+            # Nested defs/lambdas inherit the current lock state: the
+            # dominant pattern is a predicate evaluated inline (e.g.
+            # Condition.wait_for) while the lock is held.
+            yield from walk(child, locked)
+
+    for stmt in method.body:
+        yield from walk(stmt, False)
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    pragma = "unlocked"
+    description = ("attributes written under a lock must be accessed "
+                   "under the lock everywhere outside __init__")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    def _check_class(self, source: SourceFile,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        accesses: list[_Access] = []
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                accesses.extend(_scan_method(stmt))
+        guarded = {access.attr for access in accesses
+                   if access.is_write and access.locked
+                   and access.method not in _CONSTRUCTORS}
+        if not guarded:
+            return
+        seen: set[tuple[str, int]] = set()
+        for access in accesses:
+            if (access.locked or access.attr not in guarded
+                    or access.method in _CONSTRUCTORS):
+                continue
+            marker = (access.attr, access.line)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            verb = "writes" if access.is_write else "reads"
+            yield self.finding(
+                source, access.line,
+                f"{cls.name}.{access.method} {verb} self.{access.attr} "
+                f"without the lock that guards it elsewhere in "
+                f"{cls.name}")

@@ -1,0 +1,169 @@
+"""Rule ``metric-catalog``: ``schemr_*`` metric names live in one place.
+
+``repro.telemetry.catalog`` holds the canonical ``METRICS`` dict.  This
+rule reconciles it against the rest of ``src/``:
+
+* every ``schemr_*`` string literal used anywhere in ``repro.*`` must
+  name a catalogued metric (or be a documented *prefix* of catalogued
+  names, e.g. the ``schemr_index_`` grouping key in the report
+  renderer);
+* every registration call (``registry.counter("schemr_x", ...)`` /
+  ``.gauge`` / ``.histogram``) must agree with the catalogued kind;
+* dynamically built metric names (f-strings starting ``schemr_``) are
+  flagged — a name the catalog cannot see is a name dashboards cannot
+  rely on;
+* every catalogue entry must be referenced somewhere, so the catalog
+  never rots into fiction.
+
+The rule is a project rule: it needs the whole scanned corpus.  It is
+inert when the catalog module is not part of the scan (synthetic test
+corpora opt in by including a file that resolves to
+``repro.telemetry.catalog``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+CATALOG_MODULE = "repro.telemetry.catalog"
+
+_METRIC_NAME = re.compile(r"^schemr_[a-z0-9_]*$")
+_REGISTER_METHODS = frozenset(("counter", "gauge", "histogram"))
+
+
+def _catalog_entries(source: SourceFile
+                     ) -> tuple[dict[str, tuple[str, int]], list[tuple[str, int]]]:
+    """``name -> (kind, lineno)`` from the METRICS literal, + duplicates."""
+    entries: dict[str, tuple[str, int]] = {}
+    duplicates: list[tuple[str, int]] = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+        elif (isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)):
+            targets = [node.target.id]
+        else:
+            continue
+        if "METRICS" not in targets or not isinstance(node.value, ast.Dict):
+            continue
+        for key, value in zip(node.value.keys, node.value.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            name = key.value
+            kind = ""
+            if (isinstance(value, ast.Tuple) and value.elts
+                    and isinstance(value.elts[0], ast.Constant)
+                    and isinstance(value.elts[0].value, str)):
+                kind = value.elts[0].value
+            if name in entries:
+                duplicates.append((name, key.lineno))
+            else:
+                entries[name] = (kind, key.lineno)
+    return entries, duplicates
+
+
+def _prefix_of_any(literal: str, names: Iterable[str]) -> bool:
+    prefix = literal if literal.endswith("_") else literal + "_"
+    return any(name.startswith(prefix) for name in names)
+
+
+@register
+class MetricCatalogRule(Rule):
+    id = "metric-catalog"
+    pragma = "metric-catalog"
+    description = ("every schemr_* metric string appears in "
+                   "repro.telemetry.catalog, with matching kind, "
+                   "and every catalog entry is used")
+
+    def check_project(self,
+                      sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        catalog = next((s for s in sources
+                        if s.module == CATALOG_MODULE), None)
+        if catalog is None:
+            return ()
+        entries, duplicates = _catalog_entries(catalog)
+        findings: list[Finding] = []
+        for name, line in duplicates:
+            findings.append(self.finding(
+                catalog, line,
+                f"metric {name!r} catalogued more than once"))
+
+        referenced: set[str] = set()
+        for source in sources:
+            if source is catalog or not source.module.startswith("repro"):
+                continue
+            findings.extend(
+                self._check_source(source, entries, referenced))
+
+        for name, (_kind, line) in sorted(entries.items()):
+            if name not in referenced:
+                findings.append(self.finding(
+                    catalog, line,
+                    f"catalogued metric {name!r} is never used in src/; "
+                    f"delete the entry or wire the metric up"))
+        return findings
+
+    def _check_source(self, source: SourceFile,
+                      entries: dict[str, tuple[str, int]],
+                      referenced: set[str]) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        register_args: set[int] = set()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _REGISTER_METHODS and node.args):
+                first = node.args[0]
+                if (isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)
+                        and first.value.startswith("schemr_")):
+                    register_args.add(id(first))
+                    name = first.value
+                    entry = entries.get(name)
+                    if entry is not None and entry[0] != func.attr:
+                        findings.append(self.finding(
+                            source, node.lineno,
+                            f"metric {name!r} registered as "
+                            f"{func.attr} but catalogued as {entry[0]}"))
+                elif (isinstance(first, ast.JoinedStr)
+                        and first.values
+                        and isinstance(first.values[0], ast.Constant)
+                        and str(first.values[0].value)
+                        .startswith("schemr_")):
+                    findings.append(self.finding(
+                        source, node.lineno,
+                        "dynamically built schemr_* metric name; the "
+                        "catalog cannot enumerate it — use a label or a "
+                        "fixed name"))
+
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and _METRIC_NAME.match(node.value)):
+                continue
+            literal = node.value
+            if literal in entries:
+                referenced.add(literal)
+                continue
+            if _prefix_of_any(literal, entries):
+                referenced.update(
+                    name for name in entries
+                    if name.startswith(
+                        literal if literal.endswith("_")
+                        else literal + "_"))
+                continue
+            findings.append(self.finding(
+                source, node.lineno,
+                f"metric name {literal!r} is not in "
+                f"repro.telemetry.catalog; add it there (exactly once) "
+                f"or fix the typo"))
+        return findings

@@ -1,0 +1,217 @@
+"""Lint runner and command-line entry point.
+
+Collects ``*.py`` files from the given paths (default: ``src`` and
+``tests`` when they exist), parses each once, runs every registered
+rule, applies inline pragmas and the optional baseline, and renders a
+report.  Exit code 0 means clean, 1 means findings, 2 means the run
+itself failed (bad baseline, unknown path).
+
+Also exposes ``--self-check``: asserts the rule registry and the
+DESIGN.md rule catalog agree, so the documentation cannot drift from
+the implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.registry import all_rules
+from repro.analysis.report import LintResult, render
+from repro.analysis.source import SourceFile
+
+SYNTAX_RULE = "syntax-error"
+
+_CATALOG_ROW = re.compile(r"^\|\s*`([a-z0-9-]+)`")
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``*.py`` under ``paths`` (files accepted directly)."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"lint path {path} does not exist")
+    # De-duplicate while preserving order (overlapping path args).
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for file_path in files:
+        resolved = file_path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file_path)
+    return unique
+
+
+def run_lint(paths: Sequence[str | Path]) -> LintResult:
+    """Parse, run every rule, and apply pragma suppressions."""
+    result = LintResult()
+    sources: list[SourceFile] = []
+    for file_path in collect_files(paths):
+        try:
+            sources.append(SourceFile.parse(file_path))
+        except SyntaxError as exc:
+            result.findings.append(Finding(
+                rule=SYNTAX_RULE, path=str(file_path),
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+                severity=SEVERITY_ERROR))
+    result.files_scanned = len(sources) + sum(
+        1 for f in result.findings if f.rule == SYNTAX_RULE)
+
+    by_path = {source.path: source for source in sources}
+    raw: list[Finding] = []
+    for rule in all_rules():
+        for source in sources:
+            raw.extend(rule.check_file(source))
+        raw.extend(rule.check_project(sources))
+
+    rules_by_id = {rule.id: rule for rule in all_rules()}
+    for finding in raw:
+        source = by_path.get(finding.path)
+        rule = rules_by_id.get(finding.rule)
+        if (source is not None and rule is not None
+                and rule.suppressed(source, finding.line)):
+            result.suppressed += 1
+            continue
+        result.findings.append(finding)
+    return result
+
+
+def _design_path(explicit: str | None) -> Path:
+    if explicit:
+        return Path(explicit)
+    local = Path("DESIGN.md")
+    if local.is_file():
+        return local
+    return Path(__file__).resolve().parents[3] / "DESIGN.md"
+
+
+def documented_rule_ids(design_path: Path) -> set[str]:
+    """Rule ids listed in DESIGN.md's "Static analysis" catalog table."""
+    text = design_path.read_text(encoding="utf-8")
+    in_section = False
+    ids: set[str] = set()
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_section = line.lower().startswith("## static analysis")
+            continue
+        if not in_section:
+            continue
+        match = _CATALOG_ROW.match(line.strip())
+        if match:
+            ids.add(match.group(1))
+    return ids
+
+
+def self_check(design: str | None = None) -> list[str]:
+    """Problems found reconciling the registry with DESIGN.md."""
+    problems: list[str] = []
+    design_path = _design_path(design)
+    if not design_path.is_file():
+        return [f"DESIGN.md not found at {design_path}"]
+    documented = documented_rule_ids(design_path)
+    registered = {rule.id for rule in all_rules()}
+    for rule_id in sorted(registered - documented):
+        problems.append(
+            f"rule {rule_id!r} is registered but missing from the "
+            f"DESIGN.md rule catalog")
+    for rule_id in sorted(documented - registered):
+        problems.append(
+            f"DESIGN.md documents rule {rule_id!r} but no such rule is "
+            f"registered")
+    return problems
+
+
+def _default_paths() -> list[str]:
+    paths = [name for name in ("src", "tests") if Path(name).is_dir()]
+    return paths or ["."]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="schemr lint",
+        description="run the repro static-analysis rules")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline JSON of grandfathered findings")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline with current findings "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--self-check", action="store_true",
+                        help="verify the registry matches the DESIGN.md "
+                             "rule catalog")
+    parser.add_argument("--design", metavar="PATH",
+                        help="DESIGN.md location for --self-check")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id} [{rule.severity}] "
+                  f"(pragma: {rule.pragma}): {rule.description}")
+        return 0
+
+    if args.self_check:
+        problems = self_check(args.design)
+        for problem in problems:
+            print(f"self-check: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"self-check: registry and DESIGN.md agree on "
+                  f"{len(all_rules())} rule(s)")
+        return 1 if problems else 0
+
+    try:
+        result = run_lint(args.paths or _default_paths())
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("lint: --update-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        write_baseline(args.baseline, result.findings)
+        print(f"lint: wrote {len(result.findings)} finding(s) to "
+              f"{args.baseline}")
+        return 0
+
+    if args.baseline and Path(args.baseline).is_file():
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        result.findings, result.baselined = split_baselined(
+            result.findings, baseline)
+
+    print(render(result, args.format))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

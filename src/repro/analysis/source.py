@@ -1,0 +1,121 @@
+"""Parsed source files: AST, dotted module name, and lint pragmas.
+
+A pragma is a comment of the form ``# lint: token[, token...]`` with an
+optional parenthesised reason::
+
+    self._generation += 1  # lint: unlocked (atomic int read, hot path)
+
+Tokens on a ``def`` line apply to the whole function body — the idiom
+for "caller holds the lock" helper methods.  Pragmas are extracted with
+:mod:`tokenize` so strings that merely *contain* pragma-looking text
+are never misread as suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_PRAGMA = re.compile(r"#\s*lint:\s*([A-Za-z0-9_,\- ]+)")
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module a file would import as.
+
+    Looks for a ``repro`` package component in the path (the repo's
+    single top-level package) and joins from there; files outside any
+    package — synthetic lint-test modules, scripts — fall back to the
+    bare stem.  ``__init__`` collapses onto the package name.
+    """
+    parts = list(path.parts)
+    name = path.stem
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return name
+    dotted = [p for p in parts[anchor:-1]]
+    if name != "__init__":
+        dotted.append(name)
+    return ".".join(dotted)
+
+
+def _parse_pragmas(text: str) -> dict[int, frozenset[str]]:
+    pragmas: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(token.string)
+            if match is None:
+                continue
+            blob = match.group(1).split("(")[0]
+            names = frozenset(
+                part.strip() for part in blob.replace(",", " ").split()
+                if part.strip())
+            if names:
+                line = token.start[0]
+                pragmas[line] = pragmas.get(line, frozenset()) | names
+    except tokenize.TokenizeError:
+        pass  # unparseable files surface as syntax-error findings
+    return pragmas
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """One file of the lint corpus."""
+
+    path: str
+    module: str
+    text: str
+    tree: ast.Module
+    #: line -> pragma tokens written on that exact line.
+    pragmas: dict[int, frozenset[str]]
+    #: (start, end, tokens) spans from pragmas on ``def`` lines.
+    _spans: list[tuple[int, int, frozenset[str]]] = field(
+        default_factory=list)
+
+    @classmethod
+    def parse(cls, path: str | Path, text: str | None = None,
+              module: str | None = None) -> "SourceFile":
+        """Parse ``path`` (raises SyntaxError for the runner to report)."""
+        file_path = Path(path)
+        if text is None:
+            text = file_path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(file_path))
+        source = cls(
+            path=str(file_path),
+            module=module or module_name_for(file_path),
+            text=text,
+            tree=tree,
+            pragmas=_parse_pragmas(text),
+        )
+        source._index_function_spans()
+        return source
+
+    def _index_function_spans(self) -> None:
+        if not self.pragmas:
+            return
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            tokens = self.pragmas.get(node.lineno)
+            if tokens and node.end_lineno is not None:
+                self._spans.append((node.lineno, node.end_lineno, tokens))
+
+    def pragma_tokens(self, line: int) -> frozenset[str]:
+        """Tokens in force at ``line`` (own line + enclosing def lines)."""
+        tokens = self.pragmas.get(line, frozenset())
+        for start, end, span_tokens in self._spans:
+            if start <= line <= end:
+                tokens = tokens | span_tokens
+        return tokens
+
+    def has_pragma(self, line: int, *names: str) -> bool:
+        tokens = self.pragma_tokens(line)
+        return any(name in tokens for name in names)

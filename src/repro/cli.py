@@ -35,6 +35,25 @@ from repro.viz.tree import tree_layout
 from repro.model.graph import schema_to_networkx
 
 
+#: Serve-flag -> SchemrConfig-field mapping, the single source of truth
+#: the `config-cli-drift` lint rule reconciles against config.py.  Keys
+#: must be declared with add_argument below; values must be real
+#: SchemrConfig fields; argparse dests are derived mechanically
+#: (strip dashes, dashes -> underscores).
+SERVE_FLAG_FIELDS = {
+    "--search-budget": "search_budget_seconds",
+    "--max-concurrent": "max_concurrent_searches",
+    "--request-timeout": "request_timeout_seconds",
+    "--candidate-pool": "candidate_pool",
+    "--match-workers": "match_workers",
+    "--query-cache-size": "query_cache_size",
+    "--slow-query": "slow_query_seconds",
+    "--history-path": "history_path",
+    "--admission-queue": "admission_queue_size",
+    "--admission-timeout": "admission_timeout_seconds",
+}
+
+
 def _open_repository(path: str, must_exist: bool = True) -> SchemaRepository:
     if must_exist and not Path(path).exists():
         raise SchemrError(
@@ -289,11 +308,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.access_log:
         logging.basicConfig(level=logging.INFO,
                             format="%(asctime)s %(name)s %(message)s")
-    config = SchemrConfig(
-        telemetry_enabled=True,
-        search_budget_seconds=args.search_budget,
-        max_concurrent_searches=args.max_concurrent,
-        request_timeout_seconds=args.request_timeout)
+    overrides: dict[str, object] = {"telemetry_enabled": True}
+    for flag, field_name in SERVE_FLAG_FIELDS.items():
+        value = getattr(args, flag.lstrip("-").replace("-", "_"))
+        if value is not None:
+            overrides[field_name] = value
+    config = SchemrConfig(**overrides)
     server = SchemrServer(repo, host=args.host, port=args.port,
                           config=config, access_log=args.access_log)
     print(f"schemr service listening on {server.base_url}")
@@ -308,6 +328,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.stop()
         repo.close()
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import main as lint_main
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.self_check:
+        argv.append("--self-check")
+    if args.design:
+        argv += ["--design", args.design]
+    return lint_main(argv)
 
 
 # -- argument parsing --------------------------------------------------------
@@ -449,7 +486,50 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="socket read timeout per request; stalled "
                         "clients get a 408 instead of a wedged thread")
+    p.add_argument("--candidate-pool", type=int, default=None,
+                   metavar="N",
+                   help="phase-1 candidate pool size handed to the "
+                        "matcher (default: config default)")
+    p.add_argument("--match-workers", type=int, default=None,
+                   metavar="N",
+                   help="worker threads for phase-2 match scoring")
+    p.add_argument("--query-cache-size", type=int, default=None,
+                   metavar="N",
+                   help="entries kept in the phase-1 query cache")
+    p.add_argument("--slow-query", type=float, default=None,
+                   metavar="SECONDS",
+                   help="searches slower than this are counted and "
+                        "kept in the slow-query telemetry ring")
+    p.add_argument("--history-path", default=None, metavar="PATH",
+                   help="append-only JSONL search-history sink")
+    p.add_argument("--admission-queue", type=int, default=None,
+                   metavar="N",
+                   help="searches allowed to wait for admission before "
+                        "new arrivals are shed immediately")
+    p.add_argument("--admission-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="longest a queued search waits for admission "
+                        "before a 429")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("lint",
+                       help="run the project static-analysis rules "
+                            "(see DESIGN.md, Static analysis)")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src tests)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline JSON of grandfathered findings")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline with current findings")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--self-check", action="store_true",
+                   help="verify the rule registry matches the DESIGN.md "
+                        "rule catalog")
+    p.add_argument("--design", default=None, metavar="PATH",
+                   help="DESIGN.md location for --self-check")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

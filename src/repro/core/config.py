@@ -68,29 +68,29 @@ class SchemrConfig:
     """
 
     candidate_pool: int = 50
-    use_coordination: bool = True
-    use_tightness: bool = True
-    use_fuzzy_expansion: bool = False
+    use_coordination: bool = True  # lint: internal (E3/E4 ablation knob)
+    use_tightness: bool = True  # lint: internal (E3/E4 ablation knob)
+    use_fuzzy_expansion: bool = False  # lint: internal (E3 ablation knob)
     match_workers: int = 1
     query_cache_size: int = 256
-    telemetry_enabled: bool = False
+    telemetry_enabled: bool = False  # lint: internal (serve always enables)
     slow_query_seconds: float = 0.25
-    trace_buffer_size: int = 64
-    profile_buffer_size: int = 256
+    trace_buffer_size: int = 64  # lint: internal (memory bound, not a tuning knob)
+    profile_buffer_size: int = 256  # lint: internal (memory bound, not a tuning knob)
     history_path: str | None = None
     search_budget_seconds: float | None = None
-    degrade_reduced_pool_fraction: float = 0.5
-    degrade_name_only_fraction: float = 0.25
-    degrade_phase1_fraction: float = 0.10
-    breaker_failure_threshold: int = 5
-    breaker_reset_seconds: float = 30.0
-    retry_attempts: int = 4
-    retry_base_seconds: float = 0.01
+    degrade_reduced_pool_fraction: float = 0.5  # lint: internal (ladder shape; budget is the knob)
+    degrade_name_only_fraction: float = 0.25  # lint: internal (ladder shape; budget is the knob)
+    degrade_phase1_fraction: float = 0.10  # lint: internal (ladder shape; budget is the knob)
+    breaker_failure_threshold: int = 5  # lint: internal (resilience default; chaos suite tunes it)
+    breaker_reset_seconds: float = 30.0  # lint: internal (resilience default; chaos suite tunes it)
+    retry_attempts: int = 4  # lint: internal (sqlite-lock backoff; not operator-facing)
+    retry_base_seconds: float = 0.01  # lint: internal (sqlite-lock backoff; not operator-facing)
     max_concurrent_searches: int = 32
     admission_queue_size: int = 64
     admission_timeout_seconds: float = 0.5
     request_timeout_seconds: float = 30.0
-    penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)
+    penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)  # lint: internal (structured policy object, no flat flag)
 
     def __post_init__(self) -> None:
         if self.candidate_pool <= 0:

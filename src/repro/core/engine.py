@@ -510,7 +510,7 @@ class SchemrEngine:
         stats = self._searcher.last_stats
         profile = QueryProfile(
             query_terms=tuple(flattened),
-            started_at=time.time() - trace.total_seconds,
+            started_at=self._telemetry.wall_clock() - trace.total_seconds,
             total_seconds=trace.total_seconds,
             phase_seconds={phase.name: phase.seconds
                            for phase in trace.phases},

@@ -16,10 +16,17 @@ in one sweep so a churning index does not waste capacity on dead keys.
 Values are lists of frozen :class:`~repro.index.searcher.IndexHit`
 objects; :meth:`get` hands back a fresh list each time so a caller that
 mutates its result list cannot corrupt the cached one.
+
+The cache is shared between concurrent searches (the HTTP service runs
+one engine) and the background indexer's ``evict_stale`` sweeps, so
+every operation runs under one lock — an ``OrderedDict``'s
+``move_to_end`` + ``popitem`` pair is not atomic under free-threaded
+interleavings, and the hit/miss counters feed the telemetry gauges.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable, Sequence
 
@@ -34,6 +41,7 @@ class QueryCache:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
+        self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, list] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -51,45 +59,53 @@ class QueryCache:
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def hit_rate(self) -> float:
-        total = self._hits + self._misses
-        return self._hits / total if total else 0.0
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
 
     @property
     def evictions(self) -> int:
         """Entries dropped to stay within capacity (LRU overflow)."""
-        return self._evictions
+        with self._lock:
+            return self._evictions
 
     @property
     def stale_evictions(self) -> int:
         """Entries dropped by :meth:`evict_stale` generation sweeps."""
-        return self._stale_evictions
+        with self._lock:
+            return self._stale_evictions
 
     def get(self, key: Hashable) -> list | None:
         """The cached ranking for ``key`` (a fresh list), or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return list(entry)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return list(entry)
 
     def put(self, key: Hashable, hits: Sequence) -> None:
         """Store a ranking, evicting the least recently used overflow."""
-        entries = self._entries
-        entries[key] = list(hits)
-        entries.move_to_end(key)
-        while len(entries) > self._capacity:
-            entries.popitem(last=False)
-            self._evictions += 1
+        value = list(hits)
+        with self._lock:
+            entries = self._entries
+            entries[key] = value
+            entries.move_to_end(key)
+            while len(entries) > self._capacity:
+                entries.popitem(last=False)
+                self._evictions += 1
 
     def evict_stale(self, generation: int) -> int:
         """Drop entries keyed to any generation but ``generation``.
@@ -97,19 +113,23 @@ class QueryCache:
         Returns the number of entries removed.  Purely a capacity
         optimization — stale keys can never be looked up again.
         """
-        dead = [key for key in self._entries
-                if isinstance(key, tuple) and len(key) == 3
-                and key[2] != generation]
-        for key in dead:
-            del self._entries[key]
-        self._stale_evictions += len(dead)
-        return len(dead)
+        with self._lock:
+            dead = [key for key in self._entries
+                    if isinstance(key, tuple) and len(key) == 3
+                    and key[2] != generation]
+            for key in dead:
+                del self._entries[key]
+            self._stale_evictions += len(dead)
+            return len(dead)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

@@ -59,7 +59,7 @@ class InvertedIndex:
     # -- concurrency / invalidation ---------------------------------------
 
     @property
-    def generation(self) -> int:
+    def generation(self) -> int:  # lint: unlocked (GIL-atomic int read; locking would stall cache lookups behind refresh batches)
         """Bumped on every mutation; never decreases."""
         return self._generation
 
@@ -125,34 +125,39 @@ class InvertedIndex:
 
     @property
     def document_count(self) -> int:
-        return len(self._documents)
+        with self._lock:
+            return len(self._documents)
 
     @property
     def term_count(self) -> int:
         """Size of the term dictionary."""
-        return len(self._terms)
+        with self._lock:
+            return len(self._terms)
 
     def has_document(self, doc_id: int) -> bool:
-        return doc_id in self._documents
+        with self._lock:
+            return doc_id in self._documents
 
     def document(self, doc_id: int) -> Document:
         try:
-            return self._documents[doc_id]
+            with self._lock:
+                return self._documents[doc_id]
         except KeyError:
             raise IndexError_(f"document {doc_id} is not indexed") from None
 
     def documents(self) -> Iterator[Document]:
-        return iter(self._documents.values())
+        with self._lock:
+            return iter(list(self._documents.values()))
 
-    def postings(self, term: str) -> PostingsList | None:
+    def postings(self, term: str) -> PostingsList | None:  # lint: unlocked (per-term hot-path dict read; GIL-atomic, consistency via lock/snapshot protocol above)
         """Postings for an (already analyzed) term, or None."""
         return self._terms.get(term)
 
-    def document_frequency(self, term: str) -> int:
+    def document_frequency(self, term: str) -> int:  # lint: unlocked (per-term hot-path dict read; GIL-atomic, consistency via lock/snapshot protocol above)
         postings = self._terms.get(term)
         return 0 if postings is None else postings.document_frequency
 
-    def norm(self, doc_id: int) -> float:
+    def norm(self, doc_id: int) -> float:  # lint: unlocked (per-doc hot-path dict read; scorers prefer snapshot().norms)
         try:
             return self._norms[doc_id]
         except KeyError:
@@ -180,10 +185,13 @@ class InvertedIndex:
             return snap
 
     def vocabulary(self) -> Iterator[str]:
-        return iter(self._terms)
+        with self._lock:
+            return iter(list(self._terms))
 
     def __len__(self) -> int:
-        return len(self._documents)
+        with self._lock:
+            return len(self._documents)
 
     def __contains__(self, doc_id: object) -> bool:
-        return doc_id in self._documents
+        with self._lock:
+            return doc_id in self._documents

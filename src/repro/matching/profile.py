@@ -342,10 +342,12 @@ class ProfileStore:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, schema_id: int) -> bool:
-        return schema_id in self._entries
+        with self._lock:
+            return schema_id in self._entries
 
     @property
     def capacity(self) -> int:
@@ -354,22 +356,26 @@ class ProfileStore:
     @property
     def hits(self) -> int:
         """Lookups served from cache."""
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
         """Lookups that fell through to the source (and rebuilt)."""
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def evictions(self) -> int:
         """Entries dropped to stay within capacity (LRU overflow)."""
-        return self._evictions
+        with self._lock:
+            return self._evictions
 
     @property
     def hit_rate(self) -> float:
-        total = self._hits + self._misses
-        return self._hits / total if total else 0.0
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
 
     # -- internals -----------------------------------------------------
 

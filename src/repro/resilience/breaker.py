@@ -83,17 +83,20 @@ class CircuitBreaker:
     @property
     def open_count(self) -> int:
         """Times this breaker has tripped open."""
-        return self._open_count
+        with self._lock:
+            return self._open_count
 
     @property
     def rejected_count(self) -> int:
         """Calls refused while open."""
-        return self._rejected_count
+        with self._lock:
+            return self._rejected_count
 
     @property
     def failure_count(self) -> int:
         """Failures ever recorded."""
-        return self._failure_count
+        with self._lock:
+            return self._failure_count
 
     def retry_after(self) -> float:
         """Seconds until the next probe would be admitted (0 if now)."""
@@ -105,8 +108,7 @@ class CircuitBreaker:
 
     # -- state machine -------------------------------------------------
 
-    def _maybe_half_open(self) -> None:
-        # Caller holds the lock.
+    def _maybe_half_open(self) -> None:  # lint: unlocked (caller holds self._lock)
         if (self._state == STATE_OPEN
                 and self._clock() - self._opened_at >= self._reset_seconds):
             self._state = STATE_HALF_OPEN
@@ -150,8 +152,7 @@ class CircuitBreaker:
                     and self._consecutive_failures >= self._threshold):
                 self._trip()
 
-    def _trip(self) -> None:
-        # Caller holds the lock.
+    def _trip(self) -> None:  # lint: unlocked (caller holds self._lock)
         self._state = STATE_OPEN
         self._opened_at = self._clock()
         self._open_count += 1

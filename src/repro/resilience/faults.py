@@ -131,7 +131,7 @@ class FaultInjector:
 
         Fast path: with nothing armed this is a dict truthiness check.
         """
-        if not self._plans:
+        if not self._plans:  # lint: unlocked (GIL-atomic truthiness check; the armed path re-checks under the lock)
             return
         with self._lock:
             record = self._records.setdefault(site, FaultRecord())

@@ -54,26 +54,31 @@ class AdmissionController:
     @property
     def active(self) -> int:
         """Searches currently holding a slot."""
-        return self._active
+        with self._cond:
+            return self._active
 
     @property
     def waiting(self) -> int:
         """Requests currently queued for a slot."""
-        return self._waiting
+        with self._cond:
+            return self._waiting
 
     @property
     def admitted_total(self) -> int:
-        return self._admitted_total
+        with self._cond:
+            return self._admitted_total
 
     @property
     def rejected_total(self) -> int:
         """Requests shed because the queue was full."""
-        return self._rejected_total
+        with self._cond:
+            return self._rejected_total
 
     @property
     def timed_out_total(self) -> int:
         """Requests shed after waiting the full queue timeout."""
-        return self._timed_out_total
+        with self._cond:
+            return self._timed_out_total
 
     def retry_after_seconds(self) -> float:
         """Suggested client back-off: at least the queue drain time."""

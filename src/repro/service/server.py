@@ -171,7 +171,11 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
             self._send_error_xml(404, str(exc))
         except SchemrError as exc:
             self._send_error_xml(400, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive boundary
+        except Exception as exc:
+            # Unexpected bug: tell the client 500 but keep the traceback
+            # — a silent 500 is undebuggable from the access log alone.
+            logger.exception("unhandled error serving %s: %s",
+                             route, exc)
             self._send_error_xml(500, f"internal error: {exc}")
         finally:
             self._log_access(route, time.perf_counter() - started)

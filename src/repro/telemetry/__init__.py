@@ -25,8 +25,9 @@ and HTTP service all report into the same facade.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.telemetry.history import HistoryRecord, SearchHistorySink
 from repro.telemetry.metrics import (
@@ -88,16 +89,19 @@ class Telemetry:
                  trace_buffer_size: int = 64,
                  profile_buffer_size: int = 256,
                  slow_query_seconds: float = 0.25,
-                 history_path: str | Path | None = None) -> None:
+                 history_path: str | Path | None = None,
+                 wall_clock: Callable[[], float] = time.time) -> None:
         self.enabled = enabled
+        self.wall_clock = wall_clock
         self.metrics = MetricsRegistry(enabled=enabled)
         self.tracer = SpanTracer(buffer_size=trace_buffer_size,
-                                 enabled=enabled)
+                                 enabled=enabled,
+                                 wall_clock=wall_clock)
         self.profiles = QueryProfileLog(
             buffer_size=profile_buffer_size,
             slow_threshold_seconds=slow_query_seconds)
         self.history: SearchHistorySink | None = (
-            SearchHistorySink(history_path)
+            SearchHistorySink(history_path, wall_clock=wall_clock)
             if enabled and history_path is not None else None)
 
     @classmethod

@@ -28,7 +28,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.errors import RepositoryError
 
@@ -70,7 +70,8 @@ class HistoryRecord:
 class SearchHistorySink:
     """Append-only JSONL writer (and reader) of search traffic."""
 
-    def __init__(self, path: str | Path, flush_every: int = 1) -> None:
+    def __init__(self, path: str | Path, flush_every: int = 1,
+                 wall_clock: Callable[[], float] = time.time) -> None:
         if flush_every < 1:
             raise ValueError(
                 f"flush_every must be >= 1, got {flush_every}")
@@ -82,6 +83,7 @@ class SearchHistorySink:
         self._pending = 0
         self._written = 0
         self._closed = False
+        self._wall_clock = wall_clock
 
     @property
     def path(self) -> Path:
@@ -90,14 +92,15 @@ class SearchHistorySink:
     @property
     def records_written(self) -> int:
         """Records appended by this sink instance."""
-        return self._written
+        with self._lock:
+            return self._written
 
     def record(self, query_terms: Sequence[str],
                results: "Sequence[SearchResult]",
                total_seconds: float = 0.0) -> HistoryRecord:
         """Append one search; returns the record as written."""
         entry = HistoryRecord(
-            recorded_at=time.time(),
+            recorded_at=self._wall_clock(),
             query_terms=tuple(query_terms),
             results=tuple(
                 {"schema_id": result.schema_id, "name": result.name,

@@ -140,11 +140,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     def bucket_counts(self) -> list[int]:
         """Per-bucket (non-cumulative) counts; last slot is overflow."""

@@ -126,12 +126,14 @@ class QueryProfileLog:
     @property
     def total_count(self) -> int:
         """Profiles ever recorded (including evicted ones)."""
-        return self._total
+        with self._lock:
+            return self._total
 
     @property
     def slow_count(self) -> int:
         """Profiles ever recorded above the slow threshold."""
-        return self._slow_total
+        with self._lock:
+            return self._slow_total
 
     def record(self, profile: QueryProfile) -> bool:
         """Retain ``profile``; returns True when it counted as slow."""

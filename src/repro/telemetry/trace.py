@@ -28,6 +28,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 @dataclass(slots=True)
@@ -100,7 +101,7 @@ class _ActiveSpan:
         if stack:
             stack[-1].children.append(span)
         else:
-            span.started_at = time.time()
+            span.started_at = self._tracer._wall_clock()
         stack.append(span)
         span._start = time.perf_counter()
         return span
@@ -120,7 +121,8 @@ class _ActiveSpan:
 class SpanTracer:
     """Produces spans and retains the most recent root-span trees."""
 
-    def __init__(self, buffer_size: int = 64, enabled: bool = True) -> None:
+    def __init__(self, buffer_size: int = 64, enabled: bool = True,
+                 wall_clock: Callable[[], float] = time.time) -> None:
         if buffer_size < 1:
             raise ValueError(
                 f"buffer_size must be >= 1, got {buffer_size}")
@@ -129,6 +131,7 @@ class SpanTracer:
         self._lock = threading.Lock()
         self._recent: deque[Span] = deque(maxlen=buffer_size)
         self._completed = 0
+        self._wall_clock = wall_clock
 
     @property
     def enabled(self) -> bool:
@@ -142,7 +145,8 @@ class SpanTracer:
     def completed_count(self) -> int:
         """Total root spans finished (including ones evicted from the
         ring buffer)."""
-        return self._completed
+        with self._lock:
+            return self._completed
 
     def span(self, name: str, **attributes: object):
         """Open a span: ``with tracer.span("schema_matching") as sp:``"""

@@ -98,3 +98,46 @@ class TestEvictionCounters:
         cache.put("k", _hits(1))
         cache.put("k", _hits(2))
         assert cache.evictions == 0
+
+
+class TestQueryCacheThreadSafety:
+    def test_concurrent_mixed_operations_stay_consistent(self):
+        """Hammer get/put/evict_stale from several threads.
+
+        The cache is shared between concurrent searches and the
+        indexer's stale sweeps; without its lock this loses counter
+        increments or corrupts the OrderedDict mid-move_to_end.
+        """
+        import threading
+
+        cache = QueryCache(capacity=16)
+        errors: list[BaseException] = []
+        start = threading.Barrier(4)
+
+        def worker(worker_id: int) -> None:
+            try:
+                start.wait()
+                for i in range(500):
+                    key = QueryCache.make_key(
+                        [f"t{worker_id}", f"q{i % 8}"], 10,
+                        generation=i % 3)
+                    cache.put(key, _hits(i % 5))
+                    cache.get(key)
+                    cache.get(("absent", worker_id, i))
+                    if i % 50 == 0:
+                        cache.evict_stale(generation=i % 3)
+                    len(cache)
+                    cache.hit_rate
+            except BaseException as exc:  # lint: fault-boundary (collected errors re-raised below)
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Every lookup was counted exactly once: 2 gets per iteration.
+        assert cache.hits + cache.misses == 4 * 500 * 2
+        assert len(cache) <= 16

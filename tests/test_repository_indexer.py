@@ -230,7 +230,7 @@ class TestScheduledRuns:
                             # Title resolution exercises the doc store
                             # against concurrent replace/remove.
                             assert hit.title
-                except BaseException as exc:  # pragma: no cover
+                except BaseException as exc:  # lint: fault-boundary (collected errors re-raised by the asserting thread)
                     errors.append(exc)
 
             refresher = threading.Thread(

@@ -62,7 +62,7 @@ class TestConcurrency:
                 for i in range(15):
                     repo.add_schema(
                         build_clinic_schema(name=f"extra_{i}"))
-            except Exception as exc:  # pragma: no cover - fail the test
+            except Exception as exc:  # lint: fault-boundary (collected errors re-raised by the asserting thread)
                 errors.append(exc)
 
         with server.running() as base_url:

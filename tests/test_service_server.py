@@ -177,3 +177,29 @@ class TestObservabilityEndpoints:
             text = urllib.request.urlopen(
                 f"{base_url}/metrics").read().decode()
         assert text == ""
+
+
+class TestInternalErrorBoundary:
+    def test_unexpected_error_returns_500_and_is_logged(
+            self, small_repository, caplog):
+        """A bug in the engine must produce a 500 *and* a traceback in
+        the server log — the silent-500 path was unfixable from the
+        access log alone."""
+        server = SchemrServer(small_repository)
+        engine = server._engine
+
+        def explode(**_kwargs):
+            raise RuntimeError("seeded engine bug")
+
+        engine.search = explode
+        with caplog.at_level("ERROR", logger="repro.service.server"):
+            with server.running() as base_url:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        f"{base_url}/search?q=patient").read()
+        assert excinfo.value.code == 500
+        records = [r for r in caplog.records
+                   if r.name == "repro.service.server"
+                   and "unhandled error" in r.getMessage()]
+        assert records, "500 was served without a server-side log"
+        assert records[0].exc_info is not None  # full traceback kept

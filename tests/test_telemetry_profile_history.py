@@ -146,3 +146,31 @@ class TestSearchHistorySink:
         record = HistoryRecord.from_dict(
             {"recorded_at": 1.0, "query_terms": ["a"], "results": []})
         assert record.total_seconds == 0.0
+
+
+class TestHistoryInjectableWallClock:
+    def test_record_stamps_with_injected_clock(self, tmp_path):
+        from repro.telemetry.history import SearchHistorySink
+        ticks = iter([100.0, 200.0])
+        sink = SearchHistorySink(tmp_path / "h.jsonl",
+                                 wall_clock=lambda: next(ticks))
+        with sink:
+            first = sink.record(["a"], [])
+            second = sink.record(["b"], [])
+        assert (first.recorded_at, second.recorded_at) == (100.0, 200.0)
+        loaded = SearchHistorySink.load(tmp_path / "h.jsonl")
+        assert [r.recorded_at for r in loaded] == [100.0, 200.0]
+
+    def test_telemetry_facade_threads_wall_clock_through(self, tmp_path):
+        from repro.telemetry import Telemetry
+        telemetry = Telemetry(
+            enabled=True,
+            history_path=tmp_path / "h.jsonl",
+            wall_clock=lambda: 42.0)
+        with telemetry.tracer.span("search") as root:
+            pass
+        record = telemetry.history.record(["q"], [])
+        telemetry.close()
+        assert root.started_at == 42.0
+        assert record.recorded_at == 42.0
+        assert telemetry.wall_clock() == 42.0

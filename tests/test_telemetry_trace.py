@@ -129,3 +129,21 @@ class TestDisabledTracer:
             inner.set_attribute("k", "v")  # swallowed
         assert tracer.recent() == []
         assert tracer.completed_count == 0
+
+
+class TestInjectableWallClock:
+    def test_root_span_uses_injected_wall_clock(self):
+        tracer = SpanTracer(wall_clock=lambda: 1234.5)
+        with tracer.span("search") as root:
+            with tracer.span("child") as child:
+                pass
+        assert root.started_at == 1234.5
+        assert child.started_at == 0.0  # only roots are stamped
+
+    def test_default_wall_clock_is_real_time(self):
+        import time
+        before = time.time()
+        tracer = SpanTracer()
+        with tracer.span("search") as root:
+            pass
+        assert before <= root.started_at <= time.time()
