@@ -1,0 +1,275 @@
+"""Segment cold-start bench: mmap open vs full index rebuild.
+
+Builds a repository-scale corpus (default 100k schemas, streamed in
+bounded memory) into both an in-memory :class:`InvertedIndex` and an
+on-disk segment directory, then measures the three numbers the mmap
+format exists for:
+
+* ``rebuild_seconds`` — the old cold-start path: re-adding every
+  document to a fresh in-memory index (document construction and
+  storage I/O excluded, so this is a *conservative* baseline);
+* ``cold_open_seconds`` — the new path: ``SegmentedIndex.open`` on the
+  segment directory plus the first query, measured on a fresh open;
+* ``p50`` query latency over both backends, warm, same query set.
+
+Every measured query's ranking is asserted byte-identical between the
+two backends (``rankings_identical``), and a merge-under-traffic phase
+re-checks equivalence while tiered merges rewrite segments between
+query batches.  Results go to ``BENCH_segments.json`` at the
+repository root.
+
+Run (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_segments.py                # 100k schemas
+    PYTHONPATH=src python benchmarks/bench_segments.py --count 20000  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.corpus.generator import CorpusGenerator
+from repro.index.documents import Document, document_from_schema
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+from repro.index.segments import SegmentedIndex, TieredMergePolicy
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_segments.json"
+FLUSH_EVERY = 8192
+
+
+def build_both(count: int, segment_dir: Path,
+               seed: int = 7) -> tuple[InvertedIndex, SegmentedIndex, float]:
+    """Stream ``count`` schemas into both backends.
+
+    Returns the in-memory index, the segmented index, and
+    ``rebuild_seconds``: the summed wall time of the in-memory ``add``
+    calls alone, i.e. what a cold start costs when the index must be
+    rebuilt from already-loaded documents.
+    """
+    generator = CorpusGenerator(seed=seed)
+    memory = InvertedIndex()
+    segmented = SegmentedIndex.open(segment_dir, create=True)
+    policy = TieredMergePolicy()
+    rebuild_seconds = 0.0
+    pending = 0
+    for i, generated in enumerate(generator.stream(count), start=1):
+        schema = generated.schema
+        schema.schema_id = i
+        document = document_from_schema(schema)
+        start = time.perf_counter()
+        memory.add(document)
+        rebuild_seconds += time.perf_counter() - start
+        segmented.add(document)
+        pending += 1
+        if pending >= FLUSH_EVERY:
+            segmented.flush()
+            while segmented.maybe_merge(policy):
+                pass
+            pending = 0
+    segmented.flush()
+    while segmented.maybe_merge(policy):
+        pass
+    return memory, segmented, rebuild_seconds
+
+
+def build_queries(memory: InvertedIndex, sampled: int,
+                  seed: int = 23) -> list[list[str]]:
+    """Queries drawn from real document vocabularies (1-4 terms)."""
+    rng = random.Random(seed)
+    documents = sorted(memory.documents(), key=lambda d: d.doc_id)
+    queries = [["patient", "name", "address", "diagnosis"]]
+    for _ in range(sampled):
+        document = rng.choice(documents)
+        terms = document.terms or ["patient"]
+        k = min(len(terms), rng.randint(1, 4))
+        queries.append(list(dict.fromkeys(rng.sample(terms, k))))
+    return queries
+
+
+def assert_identical(memory_index, segment_index,
+                     queries: list[list[str]], top_n: int) -> bool:
+    for strategy in ("packed", "pruned"):
+        mem = IndexSearcher(memory_index, strategy=strategy)
+        seg = IndexSearcher(segment_index, strategy=strategy)
+        for query in queries:
+            if mem.search(query, top_n=top_n) != seg.search(query,
+                                                            top_n=top_n):
+                return False
+    return True
+
+
+def measure_cold_open(segment_dir: Path, query: list[str],
+                      top_n: int) -> float:
+    start = time.perf_counter()
+    index = SegmentedIndex.open(segment_dir)
+    IndexSearcher(index).search(query, top_n=top_n)
+    return time.perf_counter() - start
+
+
+def per_query_p50(searcher: IndexSearcher, queries: list[list[str]],
+                  top_n: int, repeats: int) -> float:
+    times: list[float] = []
+    for _ in range(repeats):
+        for query in queries:
+            start = time.perf_counter()
+            searcher.search(query, top_n=top_n)
+            times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def merge_under_traffic(memory: InvertedIndex, segmented: SegmentedIndex,
+                        queries: list[list[str]], top_n: int,
+                        extra: int) -> dict:
+    """Churn the index into many small segments, then query while a
+    tight merge policy collapses them — rankings must hold throughout."""
+    next_id = max(memory.snapshot().norms) + 1
+    words = ["patient", "ledger", "orbit", "salary", "kelp", "status"]
+    rng = random.Random(41)
+    for i in range(extra):
+        terms = [rng.choice(words) for _ in range(rng.randint(3, 8))]
+        document = Document(next_id + i, f"live{i}", terms=terms)
+        memory.add(document)
+        segmented.add(document)
+        if (i + 1) % max(1, extra // 8) == 0:
+            segmented.flush()
+    segmented.flush()
+    policy = TieredMergePolicy(max_per_tier=1, floor_docs=256)
+    searcher = IndexSearcher(segmented)
+    mirror = IndexSearcher(memory)
+    merges = 0
+    identical = True
+    times: list[float] = []
+    merge_seconds = 0.0
+    while True:
+        start = time.perf_counter()
+        merged = segmented.maybe_merge(policy)
+        merge_seconds += time.perf_counter() - start
+        if merged:
+            merges += 1
+        for query in queries[:10]:
+            start = time.perf_counter()
+            got = searcher.search(query, top_n=top_n)
+            times.append(time.perf_counter() - start)
+            if got != mirror.search(query, top_n=top_n):
+                identical = False
+        if not merged:
+            break
+    return {
+        "extra_documents": extra,
+        "merges": merges,
+        "merge_seconds": merge_seconds,
+        "rankings_identical_during_merge": identical,
+        "p50_during_merge": statistics.median(times),
+        "final_segment_count": segmented.segment_count,
+    }
+
+
+def run(count: int, sampled_queries: int, repeats: int, top_n: int,
+        out_path: Path, segment_dir: Path | None) -> dict:
+    owns_dir = segment_dir is None
+    if owns_dir:
+        segment_dir = Path(tempfile.mkdtemp(prefix="schemr-bench-seg-"))
+    try:
+        build_start = time.perf_counter()
+        memory, segmented, rebuild_seconds = build_both(count, segment_dir)
+        build_seconds = time.perf_counter() - build_start
+        # Snapshot corpus stats now: the traffic phase below mutates
+        # both backends.
+        corpus_size = memory.document_count
+        term_count = memory.term_count
+        segment_count = segmented.segment_count
+        mmap_bytes = segmented.mmap_bytes
+        queries = build_queries(memory, sampled_queries)
+
+        identical = assert_identical(memory, segmented, queries, top_n)
+
+        cold_opens = [measure_cold_open(segment_dir, queries[0], top_n)
+                      for _ in range(max(3, min(repeats, 5)))]
+        cold_open_seconds = statistics.median(cold_opens)
+
+        memory_p50 = per_query_p50(IndexSearcher(memory), queries,
+                                   top_n, repeats)
+        segment_p50 = per_query_p50(IndexSearcher(segmented), queries,
+                                    top_n, repeats)
+
+        traffic = merge_under_traffic(memory, segmented, queries, top_n,
+                                      extra=max(512, count // 50))
+
+        result = {
+            "corpus_size": corpus_size,
+            "terms": term_count,
+            "queries": len(queries),
+            "repeats": repeats,
+            "top_n": top_n,
+            "build_seconds": build_seconds,
+            "segment_count": segment_count,
+            "mmap_bytes": mmap_bytes,
+            "rebuild_seconds": rebuild_seconds,
+            "cold_open_seconds": cold_open_seconds,
+            "cold_open_rounds": cold_opens,
+            "cold_start_speedup": (rebuild_seconds / cold_open_seconds
+                                   if cold_open_seconds else 0.0),
+            "rankings_identical": identical,
+            "p50_memory_seconds": memory_p50,
+            "p50_segments_seconds": segment_p50,
+            "p50_ratio": (segment_p50 / memory_p50 if memory_p50 else 0.0),
+            "merge_under_traffic": traffic,
+        }
+        out_path.write_text(json.dumps(result, indent=2) + "\n",
+                            encoding="utf-8")
+        return result
+    finally:
+        if owns_dir:
+            shutil.rmtree(segment_dir, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--count", type=int, default=100_000,
+                        help="schemas streamed into both backends "
+                             "(default 100000; use 20000 for a CI smoke)")
+    parser.add_argument("--queries", type=int, default=30,
+                        help="sampled queries on top of the fixed one "
+                             "(default 30)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="latency measurement rounds (default 3)")
+    parser.add_argument("--top-n", type=int, default=50,
+                        help="results per query (default 50)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--segment-dir", type=Path, default=None,
+                        help="keep segments here instead of a temp dir")
+    args = parser.parse_args(argv)
+
+    result = run(args.count, args.queries, args.repeats, args.top_n,
+                 args.out, args.segment_dir)
+    print(f"corpus: {result['corpus_size']} schemas "
+          f"({result['terms']} terms), {result['segment_count']} segments, "
+          f"{result['mmap_bytes'] / 1e6:.1f} MB mapped")
+    print(f"  rebuild (old cold start): {result['rebuild_seconds']:.3f}s")
+    print(f"  mmap open + first query:  {result['cold_open_seconds'] * 1e3:.2f}ms")
+    print(f"  cold-start speedup:       {result['cold_start_speedup']:.0f}x")
+    print(f"  p50 memory:   {result['p50_memory_seconds'] * 1e3:.3f}ms")
+    print(f"  p50 segments: {result['p50_segments_seconds'] * 1e3:.3f}ms "
+          f"({result['p50_ratio']:.2f}x)")
+    print(f"  rankings identical: {result['rankings_identical']}")
+    traffic = result["merge_under_traffic"]
+    print(f"  merge under traffic: {traffic['merges']} merges, "
+          f"p50 {traffic['p50_during_merge'] * 1e3:.3f}ms, identical: "
+          f"{traffic['rankings_identical_during_merge']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,8 @@ SERVE_FLAG_FIELDS = {
     "--history-path": "history_path",
     "--admission-queue": "admission_queue_size",
     "--admission-timeout": "admission_timeout_seconds",
+    "--segment-dir": "segment_dir",
+    "--merge-policy": "merge_policy",
 }
 
 
@@ -104,11 +106,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_index(args: argparse.Namespace) -> int:
     with _open_repository(args.db) as repo:
-        applied = repo.reindex()
-        indexer = repo.indexer()
+        indexer = repo.indexer(segment_dir=args.segment_dir,
+                               merge_policy=args.merge_policy)
+        applied = indexer.refresh()
         if args.save:
             indexer.save(args.save)
             print(f"saved index segment to {args.save}")
+        if args.segment_dir:
+            index = indexer.index
+            print(f"segment directory {args.segment_dir}: "
+                  f"{index.segment_count} segment(s), "
+                  f"{index.mmap_bytes} mmapped bytes")
         print(f"applied {applied} index operations; index now holds "
               f"{indexer.index.document_count} documents, "
               f"{indexer.index.term_count} terms")
@@ -379,6 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("db")
     p.add_argument("--save", default=None,
                    help="also persist the index segment to this path")
+    p.add_argument("--segment-dir", default=None, metavar="DIR",
+                   help="build/refresh a durable mmap segment directory "
+                        "instead of the in-memory index")
+    p.add_argument("--merge-policy", choices=("tiered", "none"),
+                   default="tiered",
+                   help="how flushed segments fold together "
+                        "(with --segment-dir)")
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser("search", help="search the repository")
@@ -506,6 +521,13 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="searches allowed to wait for admission before "
                         "new arrivals are shed immediately")
+    p.add_argument("--segment-dir", default=None, metavar="DIR",
+                   help="serve the index from this mmap segment "
+                        "directory (millisecond cold start; refreshes "
+                        "flush durably)")
+    p.add_argument("--merge-policy", choices=("tiered", "none"),
+                   default=None,
+                   help="segment merge policy used with --segment-dir")
     p.add_argument("--admission-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="longest a queued search waits for admission "

@@ -65,6 +65,15 @@ class SchemrConfig:
     queue (429 + Retry-After past them); ``request_timeout_seconds``
     is the per-connection socket timeout that keeps a stalled client
     from pinning a serving thread.
+
+    ``segment_dir`` serves the index from an on-disk segment directory
+    (:mod:`repro.index.segments`): restart cold start is O(segment
+    count) instead of a full postings rebuild, and every indexer
+    refresh flushes the in-memory delta durably.  ``merge_policy``
+    picks how flushed segments fold back together — ``"tiered"`` (the
+    default, Lucene-style size tiers) or ``"none"`` (segments
+    accumulate until an explicit rebuild).  ``None`` (the default)
+    keeps the index purely in memory.
     """
 
     candidate_pool: int = 50
@@ -90,6 +99,8 @@ class SchemrConfig:
     admission_queue_size: int = 64
     admission_timeout_seconds: float = 0.5
     request_timeout_seconds: float = 30.0
+    segment_dir: str | None = None
+    merge_policy: str = "tiered"
     penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)  # lint: internal (structured policy object, no flat flag)
 
     def __post_init__(self) -> None:
@@ -159,3 +170,7 @@ class SchemrConfig:
             raise QueryError(
                 "request_timeout_seconds must be positive, got "
                 f"{self.request_timeout_seconds}")
+        if self.merge_policy not in ("tiered", "none"):
+            raise QueryError(
+                "merge_policy must be 'tiered' or 'none', got "
+                f"{self.merge_policy!r}")

@@ -208,6 +208,20 @@ class SchemrEngine:
                     callback=lambda: index.term_count)
             m.gauge("schemr_index_generation", "Index generation",
                     callback=lambda: index.generation)
+            if hasattr(index, "segment_count"):
+                # Serving from a SegmentedIndex: expose the segment
+                # topology so operators can watch flushes and merges.
+                m.gauge("schemr_segment_count", "Live mmapped segments",
+                        callback=lambda: index.segment_count)
+                m.gauge("schemr_segment_mmap_bytes",
+                        "Bytes memory-mapped across live segments",
+                        callback=lambda: index.mmap_bytes)
+                m.gauge("schemr_segment_delta_docs",
+                        "Documents in the in-memory delta segment",
+                        callback=lambda: index.delta_document_count)
+                m.gauge("schemr_segment_deleted_docs",
+                        "Tombstoned documents awaiting a merge",
+                        callback=lambda: index.deleted_count)
             cache = self._searcher.query_cache
             if cache is not None:
                 m.counter("schemr_query_cache_hits_total",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.corpus.domains import DOMAINS, Domain, EntityTemplate
 from repro.corpus.noise import STYLES, NameStyler
@@ -122,6 +123,26 @@ class CorpusGenerator:
             out.append(self._generate_junk(i % 3))
         self._rng.shuffle(out)
         return out
+
+    def stream(self, count: int,
+               include_junk: bool = False) -> Iterator[GeneratedSchema]:
+        """Yield ``count`` schemas one at a time, in bounded memory.
+
+        The streaming counterpart of :meth:`generate` /
+        :meth:`generate_raw_stream` for repository-scale corpora
+        (100k+ schemas): nothing is materialized or shuffled, so peak
+        memory is one schema regardless of ``count``.  With
+        ``include_junk`` the configured junk fraction is interleaved by
+        a per-item coin flip instead of a batch shuffle; either way the
+        stream is fully deterministic per seed.
+        """
+        junk_serial = 0
+        for _ in range(count):
+            if include_junk and self._rng.random() < self._junk_fraction:
+                yield self._generate_junk(junk_serial % 3)
+                junk_serial += 1
+            else:
+                yield self.generate_one()
 
     # -- internals -------------------------------------------------------
 

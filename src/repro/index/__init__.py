@@ -12,9 +12,13 @@ schemas".  This package provides exactly that:
   add/remove/replace;
 * :class:`~repro.index.searcher.IndexSearcher` — Lucene-classic TF/IDF
   scoring with the paper's coordination factor, top-n heap retrieval;
-* :mod:`~repro.index.store` — JSON-lines persistence so the offline
-  indexer can refresh the index "at scheduled intervals" without a
-  rebuild from nothing.
+* :mod:`~repro.index.segments` — immutable on-disk segments loaded via
+  ``mmap`` with zero-copy reads, plus :class:`SegmentedIndex`, the
+  segments-and-delta composite that makes cold start O(segment count)
+  instead of O(corpus);
+* :mod:`~repro.index.store` — persistence routed through the segment
+  format (with a read-only legacy JSONL path) so the offline indexer
+  can restart "at scheduled intervals" without a rebuild from nothing.
 """
 
 from repro.index.cache import QueryCache
@@ -25,6 +29,14 @@ from repro.index.inverted import IndexSnapshot, InvertedIndex
 from repro.index.postings import Posting, PostingsList
 from repro.index.scoring import TfIdfScorer
 from repro.index.searcher import IndexHit, IndexSearcher
+from repro.index.segments import (
+    MmapSegment,
+    SegmentDirectory,
+    SegmentedIndex,
+    TieredMergePolicy,
+    make_merge_policy,
+    write_segment,
+)
 from repro.index.store import load_index, save_index
 
 __all__ = [
@@ -36,10 +48,16 @@ __all__ = [
     "IndexSearcher",
     "IndexSnapshot",
     "InvertedIndex",
+    "MmapSegment",
     "Posting",
     "PostingsList",
+    "SegmentDirectory",
+    "SegmentedIndex",
     "TfIdfScorer",
+    "TieredMergePolicy",
     "document_from_schema",
     "load_index",
+    "make_merge_policy",
     "save_index",
+    "write_segment",
 ]

@@ -1,0 +1,49 @@
+"""Immutable on-disk index segments with mmap zero-copy reads.
+
+The package splits Lucene's segment model into four pieces:
+
+* :mod:`~repro.index.segments.format` — the binary single-file segment
+  layout, its writer, and the :class:`MmapSegment` reader;
+* :mod:`~repro.index.segments.directory` — the manifest-committed
+  segment directory (atomic swaps, crash safety, orphan sweeping);
+* :mod:`~repro.index.segments.merge` — multi-source postings merging
+  and the tiered merge policy;
+* :mod:`~repro.index.segments.segmented` — :class:`SegmentedIndex`,
+  the ``InvertedIndex``-protocol facade over segments + delta.
+"""
+
+from repro.index.segments.directory import SegmentDirectory
+from repro.index.segments.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    MmapSegment,
+    SegmentPostings,
+    write_segment,
+)
+from repro.index.segments.merge import (
+    MERGE_POLICIES,
+    CompactionView,
+    MergedPostings,
+    NoMergePolicy,
+    TieredMergePolicy,
+    make_merge_policy,
+    merge_postings,
+)
+from repro.index.segments.segmented import SegmentedIndex
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "MERGE_POLICIES",
+    "CompactionView",
+    "MergedPostings",
+    "MmapSegment",
+    "NoMergePolicy",
+    "SegmentDirectory",
+    "SegmentPostings",
+    "SegmentedIndex",
+    "TieredMergePolicy",
+    "make_merge_policy",
+    "merge_postings",
+    "write_segment",
+]

@@ -1,0 +1,116 @@
+"""Segment directories: a manifest plus immutable segment files.
+
+A segment directory is the durable form of a
+:class:`~repro.index.segments.segmented.SegmentedIndex`::
+
+    <dir>/MANIFEST.json     which segments are live, their tombstones
+    <dir>/seg_00000001.seg  immutable segment files (format.py layout)
+
+The manifest is the single commit point.  Every state change — a delta
+flush, a merge, a rebuild — first writes any new segment file, then
+writes ``MANIFEST.json.tmp`` and renames it over the manifest.  A crash
+at any point leaves either the old manifest (pointing at the old, still
+present segment files) or the new one; half-written segment files are
+never referenced and get swept on the next commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import IndexError_
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = 1
+_SEGMENT_GLOB = "seg_*.seg"
+
+
+class SegmentDirectory:
+    """Filesystem half of the segmented index: naming, manifest, sweep."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / MANIFEST_NAME
+
+    @classmethod
+    def open(cls, path: str | Path, create: bool = False
+             ) -> "SegmentDirectory":
+        """Open (or, with ``create``, initialize) a segment directory."""
+        directory = cls(path)
+        if directory.manifest_path.exists():
+            return directory
+        if not create:
+            raise IndexError_(
+                f"segment directory {directory.path} has no "
+                f"{MANIFEST_NAME}")
+        directory.path.mkdir(parents=True, exist_ok=True)
+        directory.write_manifest(next_id=1, last_change_id=0, segments=[])
+        return directory
+
+    def segment_path(self, segment_id: int) -> Path:
+        return self.path / f"seg_{segment_id:08d}.seg"
+
+    def read_manifest(self) -> dict:
+        """Parse and validate ``MANIFEST.json``."""
+        try:
+            raw = self.manifest_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise IndexError_(
+                f"segment directory {self.path} has no readable "
+                f"{MANIFEST_NAME}: {exc}") from exc
+        try:
+            manifest = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise IndexError_(
+                f"{self.manifest_path} is corrupt: {exc}") from exc
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise IndexError_(
+                f"{self.manifest_path} has unsupported format "
+                f"{manifest.get('format')!r}; expected {MANIFEST_FORMAT}")
+        for key in ("next_id", "segments"):
+            if key not in manifest:
+                raise IndexError_(
+                    f"{self.manifest_path} is corrupt: missing {key!r}")
+        return manifest
+
+    def write_manifest(self, next_id: int, last_change_id: int,
+                       segments: list[dict]) -> None:
+        """Commit a new directory state atomically (tmp + rename).
+
+        ``segments`` entries are ``{"file": name, "deleted": [ids]}``.
+        After the rename, any ``seg_*.seg`` file the new manifest does
+        not reference is an orphan (from a merge, a rebuild, or a crash
+        mid-flush) and is unlinked best-effort.
+        """
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "next_id": next_id,
+            "last_change_id": last_change_id,
+            "segments": segments,
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(self.manifest_path)
+        self._sweep_orphans({entry["file"] for entry in segments})
+
+    def _sweep_orphans(self, referenced: set[str]) -> None:
+        for stray in self.path.glob(_SEGMENT_GLOB):
+            if stray.name not in referenced:
+                try:
+                    stray.unlink()
+                except OSError:  # pragma: no cover - unlink race
+                    pass  # an open reader on another platform; harmless
+        for tmp in self.path.glob("*.seg.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - unlink race
+                pass

@@ -1,56 +1,75 @@
-"""Index persistence: JSON-lines segments on disk.
+"""Index persistence, routed through the binary segment format.
 
-Format: line 1 is a header (format version, document count, term count);
-every following line is one document (id, title, summary, analyzed
-terms).  Postings are rebuilt on load — at repository scale (tens of
-thousands of schema documents) a rebuild is linear in total tokens and
-far cheaper than maintaining a mutable on-disk postings format, while
-the stored analyzed terms keep load independent of analyzer changes.
+:func:`save_index` serializes any index (in-memory or segmented) into
+one immutable segment file — the mmap layout of
+:mod:`repro.index.segments.format` — written atomically via
+write-temp-then-rename.  :func:`load_index` sniffs what it is given:
+
+* a *segment directory* (``MANIFEST.json`` present) opens as a
+  multi-segment :class:`~repro.index.segments.SegmentedIndex`;
+* a *segment file* (magic ``SCHMRSEG``) opens as a single-segment
+  ``SegmentedIndex`` — O(1) in corpus size, no postings rebuild;
+* a *legacy JSON-lines file* (format 1, the pre-segment layout) loads
+  through the old rebuild-postings path with a
+  :class:`DeprecationWarning` — read-only compatibility; re-saving
+  writes the segment format.
+
+The legacy path is deprecated because rebuild-on-load is linear in
+total tokens, which is exactly the cold-start cost the segment format
+exists to eliminate.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 from repro.errors import IndexError_
 from repro.index.documents import Document
 from repro.index.inverted import InvertedIndex
+from repro.index.segments import MAGIC, SegmentedIndex, write_segment
+from repro.index.segments.directory import MANIFEST_NAME
 
-FORMAT_VERSION = 1
+#: Version of the *legacy* JSON-lines layout still accepted on read.
+LEGACY_FORMAT_VERSION = 1
+FORMAT_VERSION = LEGACY_FORMAT_VERSION
 
 
-def save_index(index: InvertedIndex, path: str | Path) -> None:
-    """Write the index to ``path`` atomically (write-then-rename)."""
+def save_index(index, path: str | Path) -> None:
+    """Write ``index`` to ``path`` as one segment file, atomically.
+
+    Accepts anything speaking the index read protocol —
+    ``InvertedIndex`` and ``SegmentedIndex`` both qualify (saving a
+    segmented index folds its delta and drops tombstones).
+    """
+    write_segment(path, index)
+
+
+def load_index(path: str | Path) -> InvertedIndex | SegmentedIndex:
+    """Load what :func:`save_index` (or an indexer flush) produced.
+
+    Returns a :class:`SegmentedIndex` for segment files and segment
+    directories; legacy JSON-lines files rebuild into an
+    :class:`InvertedIndex` (deprecated, see module docstring).
+    """
     path = Path(path)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    header = {
-        "format": FORMAT_VERSION,
-        "documents": index.document_count,
-        "terms": index.term_count,
-        # Informational: the mutation generation the segment was cut at.
-        # Loading always rebuilds packed postings from the stored term
-        # streams, so the loaded index starts its own generation line.
-        "generation": index.generation,
-    }
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(json.dumps(header) + "\n")
-        for document in index.documents():
-            record = {
-                "doc_id": document.doc_id,
-                "title": document.title,
-                "summary": document.summary,
-                "terms": document.terms,
-            }
-            handle.write(json.dumps(record) + "\n")
-    tmp.replace(path)
-
-
-def load_index(path: str | Path) -> InvertedIndex:
-    """Read an index written by :func:`save_index`, validating the header."""
-    path = Path(path)
+    if path.is_dir():
+        if not (path / MANIFEST_NAME).exists():
+            raise IndexError_(
+                f"index directory {path} has no {MANIFEST_NAME}")
+        return SegmentedIndex.open(path)
     if not path.exists():
         raise IndexError_(f"index file {path} does not exist")
+    with open(path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    if head == MAGIC:
+        return SegmentedIndex.from_segment_file(path)
+    return _load_legacy_jsonl(path)
+
+
+def _load_legacy_jsonl(path: Path) -> InvertedIndex:
+    """Rebuild an in-memory index from the pre-segment JSONL layout."""
     index = InvertedIndex()
     with open(path, encoding="utf-8") as handle:
         header_line = handle.readline()
@@ -59,11 +78,18 @@ def load_index(path: str | Path) -> InvertedIndex:
         try:
             header = json.loads(header_line)
         except json.JSONDecodeError as exc:
-            raise IndexError_(f"index file {path} has a corrupt header") from exc
-        if header.get("format") != FORMAT_VERSION:
+            raise IndexError_(
+                f"index file {path} has a corrupt header") from exc
+        if header.get("format") != LEGACY_FORMAT_VERSION:
             raise IndexError_(
                 f"index file {path} has unsupported format "
-                f"{header.get('format')!r}; expected {FORMAT_VERSION}")
+                f"{header.get('format')!r}; expected "
+                f"{LEGACY_FORMAT_VERSION}")
+        warnings.warn(
+            f"index file {path} uses the legacy JSON-lines layout; "
+            "loading rebuilds postings (slow). Re-save to migrate to "
+            "the mmap segment format.",
+            DeprecationWarning, stacklevel=3)
         for line_number, line in enumerate(handle, start=2):
             if not line.strip():
                 continue
@@ -77,7 +103,8 @@ def load_index(path: str | Path) -> InvertedIndex:
                 )
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
                 raise IndexError_(
-                    f"index file {path} is corrupt at line {line_number}") from exc
+                    f"index file {path} is corrupt at line "
+                    f"{line_number}") from exc
             index.add(document)
     expected = header.get("documents")
     if expected is not None and expected != index.document_count:

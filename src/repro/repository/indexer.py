@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.index.documents import document_from_schema
 from repro.index.inverted import InvertedIndex
+from repro.index.segments import SegmentedIndex, make_merge_policy
 from repro.index.store import load_index, save_index
 from repro.matching.profile import ProfileStore
 from repro.resilience.faults import FAULTS
@@ -43,11 +44,23 @@ class RepositoryIndexer:
     """
 
     def __init__(self, repository: "SchemaRepository",
-                 profile_store: ProfileStore | None = None) -> None:
+                 profile_store: ProfileStore | None = None,
+                 segment_dir: str | Path | None = None,
+                 merge_policy: str = "tiered") -> None:
         self._repository = repository
         self._profile_store = profile_store
-        self._index = InvertedIndex()
-        self._last_change_id = 0
+        self._merge_policy = make_merge_policy(merge_policy)
+        if segment_dir is not None:
+            # Durable mode: the index lives in a segment directory.
+            # Opening is O(segment count); the manifest's change-log
+            # cursor tells us which repository changes the on-disk
+            # state already reflects, so refresh replays only the gap.
+            self._index: InvertedIndex | SegmentedIndex = \
+                SegmentedIndex.open(segment_dir, create=True)
+            self._last_change_id = self._index.last_change_id
+        else:
+            self._index = InvertedIndex()
+            self._last_change_id = 0
         self._stop_event = threading.Event()
         self._refreshing = False
         self._consecutive_failures = 0
@@ -71,7 +84,7 @@ class RepositoryIndexer:
         return self._consecutive_failures
 
     @property
-    def index(self) -> InvertedIndex:
+    def index(self) -> InvertedIndex | SegmentedIndex:
         return self._index
 
     @property
@@ -132,9 +145,47 @@ class RepositoryIndexer:
         self._last_change_id = head_change_id
         logger.info("indexer refresh applied %d operation(s); index holds "
                     "%d document(s)", applied, self._index.document_count)
+        self._commit_segments()
         self._record_refresh(applied, time.perf_counter() - started,
                              generation_before)
         return applied
+
+    def _commit_segments(self) -> None:
+        """Make a segmented index durable after a batch: flush + merge.
+
+        Flushing seals the delta into a new immutable segment and
+        records the change-log cursor in the manifest; the merge policy
+        then gets a chance to fold segments (bounded per batch so one
+        refresh cannot cascade forever).  Both swaps preserve the
+        generation, so warm caches survive.  No-op for the in-memory
+        index.
+        """
+        index = self._index
+        if not isinstance(index, SegmentedIndex) or index.directory is None:
+            return  # in-memory, or a standalone loaded segment file
+        index.flush(last_change_id=self._last_change_id)
+        for _ in range(4):
+            started = time.perf_counter()
+            merged = index.maybe_merge(self._merge_policy)
+            if not merged:
+                break
+            seconds = time.perf_counter() - started
+            logger.info("indexer merged %d segment(s) in %.3fs "
+                        "(%d live segment(s))",
+                        merged, seconds, index.segment_count)
+            self._record_merge(merged, seconds)
+
+    def _record_merge(self, merged: int, seconds: float) -> None:
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        m = telemetry.metrics
+        m.counter("schemr_segment_merges_total",
+                  "Segment merges completed").inc()
+        m.counter("schemr_segment_merged_segments_total",
+                  "Segments rewritten by merges").inc(merged)
+        m.histogram("schemr_segment_merge_seconds",
+                    "Segment merge duration").observe(seconds)
 
     def _record_refresh(self, applied: int, seconds: float,
                         generation_before: int) -> None:
@@ -221,9 +272,15 @@ class RepositoryIndexer:
         the segment is assumed to be a snapshot of the repository as it
         is now, so subsequent refreshes only replay *future* changes.
         Call :meth:`rebuild` instead when the snapshot's provenance is
-        unknown.
+        unknown.  Loading a *segment directory* whose manifest recorded
+        a change-log cursor resumes from that cursor instead, replaying
+        exactly the changes the on-disk state has not seen.
         """
-        self._index = load_index(path)
+        loaded = load_index(path)
+        self._index = loaded
+        if isinstance(loaded, SegmentedIndex) and loaded.last_change_id:
+            self._last_change_id = loaded.last_change_id
+            return
         changes = self._repository.changes_since(self._last_change_id)
         if changes:
             self._last_change_id = changes[-1][0]
@@ -249,4 +306,5 @@ class RepositoryIndexer:
         changes = self._repository.changes_since(self._last_change_id)
         if changes:
             self._last_change_id = changes[-1][0]
+        self._commit_segments()
         return count

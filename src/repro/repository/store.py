@@ -339,12 +339,21 @@ class SchemaRepository:
             self._profile_store = ProfileStore(self, capacity=capacity)
         return self._profile_store
 
-    def indexer(self) -> "RepositoryIndexer":
-        """The repository's (lazily created) offline indexer."""
+    def indexer(self, segment_dir: str | None = None,
+                merge_policy: str = "tiered") -> "RepositoryIndexer":
+        """The repository's (lazily created) offline indexer.
+
+        ``segment_dir`` puts the first-created indexer in durable
+        segment mode: the index is served from mmapped on-disk segments
+        (millisecond cold start) with refreshes flushed and merged
+        through the directory's manifest.  The arguments only matter on
+        the creating call; later calls return the existing indexer.
+        """
         from repro.repository.indexer import RepositoryIndexer
         if self._indexer is None:
             self._indexer = RepositoryIndexer(
-                self, profile_store=self.profile_store())
+                self, profile_store=self.profile_store(),
+                segment_dir=segment_dir, merge_policy=merge_policy)
         return self._indexer
 
     def reindex(self) -> int:
@@ -364,7 +373,8 @@ class SchemaRepository:
         from repro.telemetry import Telemetry
         config = config or SchemrConfig()
         telemetry = Telemetry.from_config(config)
-        indexer = self.indexer()
+        indexer = self.indexer(segment_dir=config.segment_dir,
+                               merge_policy=config.merge_policy)
         indexer.telemetry = telemetry
         indexer.refresh()
         engine = SchemrEngine(index=indexer.index,

@@ -72,6 +72,21 @@ METRICS: dict[str, tuple[str, str]] = {
         "counter", "Profile-cache misses"),
     "schemr_profile_cache_evictions_total": (
         "counter", "Profile-cache LRU evictions"),
+    # -- on-disk segments ---------------------------------------------
+    "schemr_segment_count": (
+        "gauge", "Live mmapped segments"),
+    "schemr_segment_mmap_bytes": (
+        "gauge", "Bytes memory-mapped across live segments"),
+    "schemr_segment_delta_docs": (
+        "gauge", "Documents in the in-memory delta segment"),
+    "schemr_segment_deleted_docs": (
+        "gauge", "Tombstoned documents awaiting a merge"),
+    "schemr_segment_merges_total": (
+        "counter", "Segment merges completed"),
+    "schemr_segment_merged_segments_total": (
+        "counter", "Segments rewritten by merges"),
+    "schemr_segment_merge_seconds": (
+        "histogram", "Segment merge duration"),
     # -- indexer refreshes --------------------------------------------
     "schemr_indexer_refreshes_total": (
         "counter", "Indexer refresh batches applied"),

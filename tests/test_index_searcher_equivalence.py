@@ -18,6 +18,7 @@ from repro.index.documents import Document, document_from_schema
 from repro.index.fuzzy import TrigramIndex
 from repro.index.inverted import InvertedIndex
 from repro.index.searcher import IndexSearcher
+from repro.index.segments import SegmentedIndex, TieredMergePolicy
 from repro.text.analysis import SCHEMA_ANALYZER
 
 from tests.conftest import (
@@ -138,6 +139,189 @@ class TestStrategyEquivalence:
             index.add(Document(i, f"new{i}",
                                terms=SCHEMA_ANALYZER.analyze_all(words)))
         assert_identical(index, top_ns=(1, 10, 500))
+
+
+def segmented_clone(index: InvertedIndex, tmp_path,
+                    flush_every: int = 64) -> SegmentedIndex:
+    """An on-disk, multi-segment copy of ``index`` (same documents)."""
+    clone = SegmentedIndex.open(tmp_path / "segments", create=True)
+    for i, document in enumerate(sorted(index.documents(),
+                                        key=lambda d: d.doc_id)):
+        clone.add(document)
+        if (i + 1) % flush_every == 0:
+            clone.flush()
+    clone.flush()
+    return clone
+
+
+def assert_backends_identical(memory: InvertedIndex,
+                              segmented: SegmentedIndex,
+                              queries=QUERIES, top_ns=(1, 10, 50),
+                              fuzzy_factory=lambda index: None) -> None:
+    """Rankings and scores from the mmapped backend must be
+    byte-identical to the in-memory one for every strategy."""
+    for strategy in ("naive", "packed", "pruned"):
+        mem = IndexSearcher(memory, strategy=strategy,
+                            fuzzy=fuzzy_factory(memory))
+        seg = IndexSearcher(segmented, strategy=strategy,
+                            fuzzy=fuzzy_factory(segmented))
+        for query in queries:
+            for top_n in top_ns:
+                assert seg.search(query, top_n=top_n) == \
+                    mem.search(query, top_n=top_n), (strategy, query, top_n)
+
+
+class TestSegmentedEquivalence:
+    """Golden-equivalence of the mmapped segment backend.
+
+    The segmented index is an *optimization of storage*, not of
+    ranking: document frequencies, norms, term frequencies and
+    document counts must survive serialization exactly, so every
+    score comes out byte-identical — across the delta segment,
+    tombstones, flush swaps, and merges.
+    """
+
+    def test_segments_match_memory(self, tmp_path):
+        index = synthetic_index()
+        assert_backends_identical(index, segmented_clone(index, tmp_path))
+
+    def test_multiple_seeds_and_sparse_ids(self, tmp_path):
+        for seed, id_of in ((3, lambda i: i),
+                            (29, lambda i: i * 50_000 + 17)):
+            index = synthetic_index(seed=seed, count=120, id_of=id_of)
+            clone = segmented_clone(index, tmp_path / str(seed))
+            assert_backends_identical(index, clone, top_ns=(1, 7, 40))
+
+    def test_mid_sequence_mutations_against_delta(self, tmp_path):
+        """Mutations land in the delta; rankings must track the
+        in-memory reference through every intermediate state."""
+        rng = random.Random(13)
+        memory = synthetic_index(seed=5, count=150)
+        segmented = segmented_clone(memory, tmp_path)
+        assert_backends_identical(memory, segmented)
+        # Deletes tombstone mmapped documents.
+        for doc_id in rng.sample(range(150), 40):
+            memory.remove(doc_id)
+            segmented.remove(doc_id)
+        assert_backends_identical(memory, segmented)
+        # Replacements shadow segment copies with delta copies.
+        survivors = [d.doc_id for d in memory.documents()]
+        pool = COMMON + MEDIUM + RARE
+        for doc_id in rng.sample(survivors, 25):
+            words = [rng.choice(pool) for _ in range(rng.randint(2, 12))]
+            doc = Document(doc_id, f"re{doc_id}",
+                           terms=SCHEMA_ANALYZER.analyze_all(words))
+            memory.replace(doc)
+            segmented.replace(doc)
+        assert_backends_identical(memory, segmented)
+        # Fresh adds live purely in the delta.
+        for i in range(500, 540):
+            words = [rng.choice(pool) for _ in range(rng.randint(2, 12))]
+            doc = Document(i, f"new{i}",
+                           terms=SCHEMA_ANALYZER.analyze_all(words))
+            memory.add(doc)
+            segmented.add(doc)
+        assert_backends_identical(memory, segmented, top_ns=(1, 10, 500))
+
+    def test_post_flush_and_post_merge(self, tmp_path):
+        """Flush and merge are no-op swaps: same rankings, same
+        generation, before and after."""
+        rng = random.Random(17)
+        memory = synthetic_index(seed=7, count=200)
+        segmented = segmented_clone(memory, tmp_path, flush_every=32)
+        for doc_id in rng.sample(range(200), 30):
+            memory.remove(doc_id)
+            segmented.remove(doc_id)
+        generation = segmented.generation
+        segmented.flush()
+        assert segmented.generation == generation
+        assert_backends_identical(memory, segmented)
+        merged = segmented.maybe_merge(
+            TieredMergePolicy(max_per_tier=1, floor_docs=64))
+        assert merged > 1
+        assert segmented.generation == generation
+        assert segmented.deleted_count == 0
+        assert_backends_identical(memory, segmented)
+
+    def test_fuzzy_expansion_over_segments(self, tmp_path):
+        """Trigram vocabularies built from each backend see the same
+        live terms, so fuzzy-expanded rankings agree too."""
+        index = synthetic_index(count=120)
+        segmented = segmented_clone(index, tmp_path)
+        fuzzy = lambda idx: TrigramIndex.from_terms(idx.vocabulary())
+        queries = [["pateint", "height"], ["quasr"], ["diagnossis"]]
+        assert_backends_identical(index, segmented, queries=queries,
+                                  fuzzy_factory=fuzzy)
+
+    def test_snapshot_matches_memory(self, tmp_path):
+        index = synthetic_index(count=90)
+        segmented = segmented_clone(index, tmp_path)
+        segmented.remove(3)
+        index.remove(3)
+        mem_snap = index.snapshot()
+        seg_snap = segmented.snapshot()
+        assert seg_snap.norms == mem_snap.norms
+        assert seg_snap.document_count == mem_snap.document_count
+        assert seg_snap.max_norm == mem_snap.max_norm
+        assert seg_snap.max_doc_id == mem_snap.max_doc_id
+
+
+class TestNoOpSwapKeepsCacheWarm:
+    """Segment swaps that preserve rankings must not nuke the warm
+    query cache: eviction is keyed strictly to the generation, and
+    flush/merge leave the generation alone."""
+
+    def test_flush_preserves_cache_hits(self, tmp_path):
+        index = synthetic_index(count=150)
+        segmented = segmented_clone(index, tmp_path)
+        cache = QueryCache(16)
+        searcher = IndexSearcher(segmented, query_cache=cache)
+        first = searcher.search(["patient", "height"], top_n=10)
+        assert cache.misses == 1
+        # Mutate (delta) then flush: the mutation bumps the
+        # generation, the flush swap does not.
+        segmented.add(Document(9000, "x", terms=["quasar"]))
+        generation = segmented.generation
+        segmented.flush()
+        assert segmented.generation == generation
+        searcher.search(["patient", "height"], top_n=10)  # repopulate
+        assert cache.misses == 2
+        again = searcher.search(["patient", "height"], top_n=10)
+        assert cache.hits == 1
+        assert again == searcher.search(["patient", "height"], top_n=10)
+        segmented.flush()  # truly empty no-op swap
+        assert searcher.search(["patient", "height"], top_n=10) == again
+        assert cache.misses == 2  # still warm: no re-retrieval
+
+    def test_merge_preserves_cache_and_evict_stale_is_noop(self, tmp_path):
+        index = synthetic_index(count=200)
+        segmented = segmented_clone(index, tmp_path, flush_every=32)
+        cache = QueryCache(16)
+        searcher = IndexSearcher(segmented, query_cache=cache)
+        expected = searcher.search(["patient"], top_n=10)
+        searcher.search(["quasar"], top_n=10)
+        assert len(cache) == 2
+        merged = segmented.maybe_merge(
+            TieredMergePolicy(max_per_tier=1, floor_docs=64))
+        assert merged > 1
+        # The swap kept the generation, so a stale sweep removes
+        # nothing and the warm entries still hit.
+        assert cache.evict_stale(segmented.generation) == 0
+        assert len(cache) == 2
+        assert searcher.search(["patient"], top_n=10) == expected
+        assert cache.hits == 1
+
+    def test_mutation_still_invalidates_after_swap(self, tmp_path):
+        index = synthetic_index(count=100)
+        segmented = segmented_clone(index, tmp_path)
+        cache = QueryCache(16)
+        searcher = IndexSearcher(segmented, query_cache=cache)
+        searcher.search(["patient"], top_n=10)
+        segmented.add(Document(9100, "fresh", terms=["patient"]))
+        segmented.flush()
+        after = searcher.search(["patient"], top_n=10)
+        assert any(hit.doc_id == 9100 for hit in after)
+        assert cache.misses == 2  # generation moved: real invalidation
 
 
 class TestGenerationAndSnapshot:

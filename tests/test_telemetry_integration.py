@@ -177,6 +177,41 @@ class TestCacheCounters:
         assert store.evictions == 1
         repo.close()
 
+    def test_segment_gauges_exposed(self, tmp_path):
+        """A segment-backed engine registers the schemr_segment_*
+        gauges; an in-memory one does not."""
+        repo = SchemaRepository.in_memory()
+        repo.add_schema(build_clinic_schema())
+        engine = repo.engine(config=SchemrConfig(
+            telemetry_enabled=True, segment_dir=str(tmp_path / "seg")))
+        try:
+            engine.search(keywords="patient")
+            snap = engine.telemetry.metrics.snapshot()
+            assert snap.value("schemr_segment_count") >= 1
+            assert snap.value("schemr_segment_mmap_bytes") > 0
+            assert snap.value("schemr_segment_delta_docs") == 0
+            assert snap.value("schemr_segment_deleted_docs") == 0
+        finally:
+            engine.close()
+            repo.close()
+
+    def test_segment_merge_metrics(self, tmp_path):
+        repo = SchemaRepository.in_memory()
+        repo.add_schema(build_clinic_schema())
+        engine = repo.engine(config=SchemrConfig(
+            telemetry_enabled=True, segment_dir=str(tmp_path / "seg")))
+        try:
+            repo.add_schema(build_hr_schema())
+            repo.reindex()  # flush happens in the same refresh loop
+            snap = engine.telemetry.metrics.snapshot()
+            # Two tiny segments are below every merge threshold, so
+            # merge counters exist but stay at zero.
+            assert snap.value("schemr_segment_count") == 2
+            assert snap.value("schemr_segment_merges_total") == 0
+        finally:
+            engine.close()
+            repo.close()
+
     def test_indexer_refresh_metrics(self):
         repo = SchemaRepository.in_memory()
         repo.add_schema(build_clinic_schema())
