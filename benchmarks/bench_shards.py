@@ -1,0 +1,330 @@
+"""Process-sharded serving bench: worker-pool QPS vs the single engine.
+
+Builds a repository-scale corpus (default 20k schemas, streamed in
+bounded memory) into a file-backed repository, then measures the
+numbers the worker pool exists for:
+
+* ``qps`` / ``p50`` / ``p99`` — closed-loop saturation throughput and
+  latency at 1/2/4 shard workers vs the single-process engine, same
+  query mix, same concurrency;
+* ``rankings_identical`` — every measured arm re-checks that the
+  sharded scatter-gather returns rankings byte-identical to the
+  single-process engine, including the merge-under-traffic and
+  kill-a-worker phases;
+* ``kill_worker`` — a worker is SIGKILLed mid-loop: responses must
+  stay byte-identical (local repair) and never empty, and the pool
+  must respawn the worker.
+
+The speedup ceiling is ``os.cpu_count()``: worker processes only beat
+the GIL when there are cores to run them on.  The result records the
+host's count so the CI gate can condition on it — on a 1-CPU
+container the pool adds IPC overhead and *cannot* win; the honest
+expectation there is "no catastrophic regression + strict
+equivalence", not a speedup.
+
+Run (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py                # 20k schemas
+    PYTHONPATH=src python benchmarks/bench_shards.py --count 4000   # quick smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core.config import SchemrConfig
+from repro.corpus.generator import CorpusGenerator
+from repro.repository.store import SchemaRepository
+from repro.sharding import ShardedEngine
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_shards.json"
+
+
+def build_corpus(db_path: str, count: int, seed: int = 7) -> int:
+    generator = CorpusGenerator(seed=seed)
+    repo = SchemaRepository(db_path)
+    for generated in generator.stream(count, include_junk=True):
+        repo.add_schema(generated.schema)
+    stored = repo.schema_count
+    repo.close()
+    return stored
+
+
+def build_queries(engine, sampled: int, seed: int = 23) -> list[list[str]]:
+    """Queries drawn from indexed document vocabularies (1-4 terms)."""
+    rng = random.Random(seed)
+    index = engine.searcher.index
+    documents = sorted(index.documents(), key=lambda d: d.doc_id)
+    queries = [["patient", "name", "address", "diagnosis"]]
+    for _ in range(sampled):
+        document = rng.choice(documents)
+        terms = document.terms or ["patient"]
+        k = min(len(terms), rng.randint(1, 4))
+        queries.append(list(dict.fromkeys(rng.sample(terms, k))))
+    return queries
+
+
+def golden_pages(engine, queries: list[list[str]], top_n: int) -> list:
+    return [engine.search(keywords=query, top_n=top_n)
+            for query in queries]
+
+
+def rankings_identical(engine, queries: list[list[str]], golden: list,
+                       top_n: int) -> bool:
+    return golden_pages(engine, queries, top_n) == golden
+
+
+def closed_loop(engine, queries: list[list[str]], golden: list,
+                top_n: int, threads: int, duration: float) -> dict:
+    """Saturation: ``threads`` clients issue queries back-to-back for
+    ``duration`` seconds; every response is checked against golden."""
+    stop_at = time.perf_counter() + duration
+    lock = threading.Lock()
+    latencies: list[float] = []
+    completed = [0]
+    mismatches = [0]
+    empties = [0]
+    errors = [0]
+
+    def client(worker_id: int) -> None:
+        rng = random.Random(1000 + worker_id)
+        while time.perf_counter() < stop_at:
+            i = rng.randrange(len(queries))
+            start = time.perf_counter()
+            try:
+                results = engine.search(keywords=queries[i], top_n=top_n)
+            except Exception:
+                with lock:
+                    errors[0] += 1
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+                completed[0] += 1
+                if results != golden[i]:
+                    mismatches[0] += 1
+                if not results and golden[i]:
+                    empties[0] += 1
+
+    pool = [threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(threads)]
+    started = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "threads": threads,
+        "duration_seconds": wall,
+        "completed": completed[0],
+        "errors": errors[0],
+        "qps": completed[0] / wall if wall else 0.0,
+        "p50_seconds": statistics.median(latencies) if latencies else 0.0,
+        "p99_seconds": (latencies[int(len(latencies) * 0.99)]
+                        if latencies else 0.0),
+        "rankings_identical": mismatches[0] == 0,
+        "empty_responses": empties[0],
+    }
+
+
+def kill_worker_phase(engine, queries: list[list[str]], golden: list,
+                      top_n: int, threads: int, duration: float) -> dict:
+    """SIGKILL a worker mid-loop; serving must stay byte-identical."""
+    victim = engine.pool.workers[0]
+    pid_before = victim.pid
+
+    def assassin() -> None:
+        time.sleep(duration / 3.0)
+        try:
+            os.kill(pid_before, signal.SIGKILL)
+        except ProcessLookupError:  # already gone
+            pass
+
+    killer = threading.Thread(target=assassin, daemon=True)
+    killer.start()
+    loop = closed_loop(engine, queries, golden, top_n, threads, duration)
+    killer.join()
+    # Give the gate-respawn path one more query to promote the fresh
+    # process, then confirm the pool healed.
+    engine.search(keywords=queries[0], top_n=top_n)
+    respawned = engine.pool.usable(0, ready_timeout=5.0)
+    loop.update({
+        "killed_pid": pid_before,
+        "worker_respawned": bool(respawned),
+        "worker_restarts": victim.restarts,
+    })
+    return loop
+
+
+def merge_under_traffic(engine, flat_engine, writer: SchemaRepository,
+                        engine_repo: SchemaRepository,
+                        flat_repo: SchemaRepository,
+                        queries: list[list[str]], top_n: int,
+                        batches: int, batch_size: int,
+                        seed: int = 41) -> dict:
+    """Interleave delta batches (add + refresh, segment merges and
+    worker reopens included) with equivalence re-checks."""
+    generator = CorpusGenerator(seed=seed)
+    identical = True
+    refresh_seconds = 0.0
+    for _ in range(batches):
+        for generated in generator.stream(batch_size):
+            writer.add_schema(generated.schema)
+        start = time.perf_counter()
+        flat_repo.indexer().refresh()
+        engine_repo.indexer().refresh()
+        refresh_seconds += time.perf_counter() - start
+        golden = golden_pages(flat_engine, queries[:10], top_n)
+        if not rankings_identical(engine, queries[:10], golden, top_n):
+            identical = False
+    return {
+        "batches": batches,
+        "batch_size": batch_size,
+        "refresh_seconds": refresh_seconds,
+        "rankings_identical_during_merge": identical,
+    }
+
+
+def run(count: int, sampled_queries: int, top_n: int, threads: int,
+        duration: float, shard_counts: list[int], out_path: Path) -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="schemr-bench-shards-"))
+    db_path = str(workdir / "repo.db")
+    config_kwargs = dict(candidate_pool=60)
+    try:
+        build_start = time.perf_counter()
+        corpus_size = build_corpus(db_path, count)
+        build_seconds = time.perf_counter() - build_start
+
+        flat_repo = SchemaRepository(db_path)
+        flat_engine = flat_repo.engine(config=SchemrConfig(
+            segment_dir=str(workdir / "flat"), **config_kwargs))
+        queries = build_queries(flat_engine, sampled_queries)
+        golden = golden_pages(flat_engine, queries, top_n)
+
+        single = closed_loop(flat_engine, queries, golden, top_n,
+                             threads, duration)
+
+        arms: dict[str, dict] = {}
+        for shards in shard_counts:
+            repo = SchemaRepository(db_path)
+            engine = ShardedEngine(repo, config=SchemrConfig(
+                segment_dir=str(workdir / f"sharded_{shards}"),
+                shards=shards, **config_kwargs))
+            arm = closed_loop(engine, queries, golden, top_n,
+                              threads, duration)
+            arm["equivalence_recheck"] = rankings_identical(
+                engine, queries, golden, top_n)
+            if shards == max(shard_counts):
+                arm["kill_worker"] = kill_worker_phase(
+                    engine, queries, golden, top_n, threads,
+                    max(2.0, duration / 2.0))
+                writer = SchemaRepository(db_path)
+                arm["merge_under_traffic"] = merge_under_traffic(
+                    engine, flat_engine, writer, repo, flat_repo,
+                    queries, top_n, batches=3,
+                    batch_size=max(64, count // 100))
+                writer.close()
+            arms[str(shards)] = arm
+            engine.close()
+            repo.close()
+
+        max_arm = arms[str(max(shard_counts))]
+        result = {
+            "corpus_size": corpus_size,
+            "queries": len(queries),
+            "top_n": top_n,
+            "threads": threads,
+            "duration_seconds": duration,
+            "cpu_count": os.cpu_count(),
+            "build_seconds": build_seconds,
+            "single_process": single,
+            "sharded": arms,
+            "qps_speedup_max_shards": (max_arm["qps"] / single["qps"]
+                                       if single["qps"] else 0.0),
+            "qps_speedup_max_vs_one_worker": (
+                max_arm["qps"] / arms[str(min(shard_counts))]["qps"]
+                if arms[str(min(shard_counts))]["qps"] else 0.0),
+            "all_rankings_identical": all(
+                arm["rankings_identical"] and arm["equivalence_recheck"]
+                for arm in arms.values()),
+            "note": ("worker processes need cores: on hosts with "
+                     "cpu_count < shards the pool pays IPC overhead "
+                     "with no parallelism to buy back, so the speedup "
+                     "gate only applies when cpu_count >= 4"),
+        }
+        flat_engine.close()
+        flat_repo.close()
+        out_path.write_text(json.dumps(result, indent=2) + "\n",
+                            encoding="utf-8")
+        return result
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--count", type=int, default=20_000,
+                        help="schemas streamed into the repository "
+                             "(default 20000)")
+    parser.add_argument("--queries", type=int, default=30,
+                        help="sampled queries on top of the fixed one "
+                             "(default 30)")
+    parser.add_argument("--top-n", type=int, default=10,
+                        help="results per query (default 10)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="closed-loop client threads (default 4)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="seconds per closed-loop arm (default 6)")
+    parser.add_argument("--shards", type=int, nargs="+",
+                        default=[1, 2, 4],
+                        help="shard counts to measure (default 1 2 4)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    result = run(args.count, args.queries, args.top_n, args.threads,
+                 args.duration, args.shards, args.out)
+    single = result["single_process"]
+    print(f"corpus: {result['corpus_size']} schemas, "
+          f"{result['cpu_count']} cpu(s), {result['threads']} client "
+          f"thread(s), {result['duration_seconds']:.0f}s per arm")
+    print(f"  single-process: {single['qps']:.1f} qps, "
+          f"p50 {single['p50_seconds'] * 1e3:.2f}ms, "
+          f"p99 {single['p99_seconds'] * 1e3:.2f}ms")
+    for shards, arm in result["sharded"].items():
+        print(f"  {shards} worker(s):    {arm['qps']:.1f} qps, "
+              f"p50 {arm['p50_seconds'] * 1e3:.2f}ms, "
+              f"p99 {arm['p99_seconds'] * 1e3:.2f}ms, identical: "
+              f"{arm['rankings_identical']}")
+        if "kill_worker" in arm:
+            kill = arm["kill_worker"]
+            print(f"    kill-a-worker: identical {kill['rankings_identical']}, "
+                  f"empty {kill['empty_responses']}, respawned "
+                  f"{kill['worker_respawned']}")
+        if "merge_under_traffic" in arm:
+            merge = arm["merge_under_traffic"]
+            print(f"    merge-under-traffic: identical "
+                  f"{merge['rankings_identical_during_merge']}")
+    print(f"  speedup at {max(int(s) for s in result['sharded'])} workers: "
+          f"{result['qps_speedup_max_shards']:.2f}x "
+          f"(ceiling: {result['cpu_count']} cpu)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

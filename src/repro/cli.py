@@ -53,6 +53,8 @@ SERVE_FLAG_FIELDS = {
     "--admission-timeout": "admission_timeout_seconds",
     "--segment-dir": "segment_dir",
     "--merge-policy": "merge_policy",
+    "--shards": "shards",
+    "--shard-timeout": "shard_timeout_seconds",
 }
 
 
@@ -105,18 +107,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
+    if args.shards and not args.segment_dir:
+        raise SchemrError("--shards requires --segment-dir")
     with _open_repository(args.db) as repo:
         indexer = repo.indexer(segment_dir=args.segment_dir,
-                               merge_policy=args.merge_policy)
+                               merge_policy=args.merge_policy,
+                               shards=args.shards)
         applied = indexer.refresh()
         if args.save:
             indexer.save(args.save)
             print(f"saved index segment to {args.save}")
         if args.segment_dir:
             index = indexer.index
+            shard_note = ""
+            if args.shards:
+                per_shard = ", ".join(
+                    str(index.shard(i).document_count)
+                    for i in range(index.shard_count))
+                shard_note = (f" across {args.shards} shard(s) "
+                              f"[{per_shard} docs]")
             print(f"segment directory {args.segment_dir}: "
                   f"{index.segment_count} segment(s), "
-                  f"{index.mmap_bytes} mmapped bytes")
+                  f"{index.mmap_bytes} mmapped bytes{shard_note}")
         print(f"applied {applied} index operations; index now holds "
               f"{indexer.index.document_count} documents, "
               f"{indexer.index.term_count} terms")
@@ -311,6 +323,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.core.config import SchemrConfig
     repo = _open_repository(args.db)
     if args.access_log:
@@ -325,14 +340,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = SchemrServer(repo, host=args.host, port=args.port,
                           config=config, access_log=args.access_log)
     print(f"schemr service listening on {server.base_url}")
+
+    # SIGTERM must tear down the shard worker pool (server.stop() ->
+    # engine.close()) before the process exits, or the workers are
+    # orphaned.  An Event keeps the handler async-signal-trivial; the
+    # foreground loop notices and runs the ordinary shutdown path.
+    stop_requested = threading.Event()
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(
+            signal.SIGTERM, lambda signum, frame: stop_requested.set())
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
     server.start()
     try:
         server_thread = getattr(server, "_thread")
-        while server_thread is not None and server_thread.is_alive():
-            server_thread.join(timeout=1.0)
+        while (server_thread is not None and server_thread.is_alive()
+               and not stop_requested.is_set()):
+            stop_requested.wait(timeout=1.0)
+        if stop_requested.is_set():
+            print("shutting down (SIGTERM)")
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
         server.stop()
         repo.close()
     return 0
@@ -394,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="tiered",
                    help="how flushed segments fold together "
                         "(with --segment-dir)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="build a doc-id-sharded segment layout with N "
+                        "shards (with --segment-dir; required for "
+                        "`schemr serve --shards`)")
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser("search", help="search the repository")
@@ -532,6 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="longest a queued search waits for admission "
                         "before a 429")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="serve with N worker processes over a sharded "
+                        "--segment-dir layout (escapes the GIL; "
+                        "default: single-process)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-request budget for one shard worker before "
+                        "the front repairs its slice locally")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("lint",

@@ -74,6 +74,15 @@ class SchemrConfig:
     default, Lucene-style size tiers) or ``"none"`` (segments
     accumulate until an explicit rebuild).  ``None`` (the default)
     keeps the index purely in memory.
+
+    ``shards`` > 1 serves searches from a pool of worker *processes*
+    over a doc-id-sharded segment layout (:mod:`repro.sharding`) —
+    the GIL-escape for CPU-bound phase-1/phase-2 work.  Requires
+    ``segment_dir`` (workers mmap their shard) and a file-backed
+    repository (workers open their own connections).
+    ``shard_timeout_seconds`` bounds how long the scatter-gather front
+    waits on one worker round-trip before declaring the shard stalled
+    and serving degraded from the survivors.
     """
 
     candidate_pool: int = 50
@@ -101,6 +110,8 @@ class SchemrConfig:
     request_timeout_seconds: float = 30.0
     segment_dir: str | None = None
     merge_policy: str = "tiered"
+    shards: int = 1
+    shard_timeout_seconds: float = 10.0
     penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)  # lint: internal (structured policy object, no flat flag)
 
     def __post_init__(self) -> None:
@@ -174,3 +185,14 @@ class SchemrConfig:
             raise QueryError(
                 "merge_policy must be 'tiered' or 'none', got "
                 f"{self.merge_policy!r}")
+        if self.shards < 1:
+            raise QueryError(
+                f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1 and self.segment_dir is None:
+            raise QueryError(
+                "shards > 1 requires segment_dir (workers mmap their "
+                "shard of the segment layout)")
+        if self.shard_timeout_seconds <= 0:
+            raise QueryError(
+                "shard_timeout_seconds must be positive, got "
+                f"{self.shard_timeout_seconds}")

@@ -480,6 +480,41 @@ class SchemrEngine:
                      len(hits), len(page), trace.total_seconds)
         return page
 
+    def match_and_score(self, query: QueryGraph, pool: list[IndexHit],
+                        deadline: Deadline | None = None,
+                        cheap_only: bool = False) -> list[SearchResult]:
+        """Phases 2+3 for an externally supplied candidate pool.
+
+        Returns one :class:`SearchResult` per candidate that survived
+        matching, **in pool order, unsorted and unpaged** — the caller
+        owns ranking.  This is the per-shard work unit of
+        :mod:`repro.sharding`: a scatter-gather front selects the
+        global pool, each worker runs its shard's slice through here,
+        and the front applies the engine's final sort, so the merged
+        page is byte-identical to a single engine's.
+
+        Raises exactly what :meth:`search`'s inner pipeline would:
+        :class:`DeadlineExceeded` when the budget dies mid-pool and
+        :class:`CircuitOpenError` when the schema source failed for
+        every candidate (or its breaker is open).
+        """
+        if deadline is None:
+            deadline = Deadline(None, clock=self._clock)
+        source_failures_before = self._store_breaker.failure_count
+        matched = self._match_candidates(query, pool, deadline,
+                                         cheap_only=cheap_only)
+        if (not matched and pool and self._store_breaker.failure_count
+                > source_failures_before):
+            raise CircuitOpenError(
+                "schema source failed for every candidate",
+                breaker=self._store_breaker.name)
+        return [
+            self._score_candidate(hit.score, candidate, ensemble_result,
+                                  element_scores, profile)
+            for (hit, candidate, ensemble_result, element_scores,
+                 profile) in matched
+        ]
+
     def _phase1_page(self, hits: list[IndexHit], top_n: int,
                      offset: int) -> list[SearchResult]:
         """The ``phase1_only`` fallback: TF/IDF ranking, index data only.

@@ -111,6 +111,34 @@ class SearchStats:
 _TermGroup = list[tuple[str, float]]
 
 
+@dataclass(frozen=True, slots=True)
+class PreparedQuery:
+    """An analyzed query with its term groups and idf values pinned.
+
+    Produced by :meth:`IndexSearcher.prepare` and consumed by
+    :meth:`IndexSearcher.search_prepared`.  The point of pinning is
+    distributed retrieval: a scatter-gather front prepares the query
+    once against the *global* corpus statistics (document counts,
+    per-term document frequencies, fuzzy expansions over the global
+    vocabulary) and broadcasts the prepared form to per-shard workers,
+    whose local statistics would otherwise disagree with the
+    single-index scores.  Every field is a hashable tuple so a prepared
+    query can key a :class:`~repro.index.cache.QueryCache` directly.
+    """
+
+    #: The analyzed query terms (one per term group).
+    terms: tuple[str, ...]
+    #: Per-term variant groups: ``((term, weight), ...)`` per group —
+    #: the term itself at weight 1.0 plus any fuzzy expansions.
+    groups: tuple[tuple[tuple[str, float], ...], ...]
+    #: ``(term, idf)`` for every distinct variant term, sorted by term.
+    idf: tuple[tuple[str, float], ...]
+
+    def idf_map(self) -> dict[str, float]:
+        """The pinned idf values as a lookup dict."""
+        return dict(self.idf)
+
+
 class IndexSearcher:
     """Executes analyzed keyword queries against an :class:`InvertedIndex`."""
 
@@ -200,6 +228,74 @@ class IndexSearcher:
                 cache_hit=True)
         return hits
 
+    def prepare(self, raw_terms: list[str]) -> PreparedQuery:
+        """Analyze a query and pin its term groups and idf values.
+
+        The returned :class:`PreparedQuery` reproduces this searcher's
+        view of the corpus statistics; running it through
+        :meth:`search_prepared` on *this* searcher returns exactly what
+        :meth:`search` would, and running it on a searcher over any
+        subset of the corpus scores that subset with the global
+        statistics — the building block for exact sharded retrieval.
+        Raises :class:`QueryError` when nothing survives analysis.
+        """
+        terms = self.analyze_query(raw_terms)
+        if not terms:
+            raise QueryError(
+                "query is empty after analysis; supply at least one "
+                "non-stopword term")
+        with self._index.lock:
+            groups = self._term_groups(terms)
+            idf: dict[str, float] = {}
+            for group in groups:
+                for term, _weight in group:
+                    if term not in idf:
+                        idf[term] = self._scorer.idf(term)
+        return PreparedQuery(
+            terms=tuple(terms),
+            groups=tuple(tuple(group) for group in groups),
+            idf=tuple(sorted(idf.items())))
+
+    def search_prepared(self, prepared: PreparedQuery,
+                        top_n: int = 10) -> list[IndexHit]:
+        """Return the ``top_n`` candidates for a pinned query.
+
+        No analysis, fuzzy expansion, or idf computation happens here:
+        the prepared query's groups and idf values are used verbatim,
+        so the same prepared query scores identically on every index it
+        runs against (documents only contribute through their local
+        postings and norms, both per-document quantities).
+        """
+        if top_n <= 0:
+            raise QueryError(f"top_n must be positive, got {top_n}")
+        terms = list(prepared.terms)
+        groups = [list(group) for group in prepared.groups]
+        idf = prepared.idf_map()
+        cache = self._cache
+        if cache is None:
+            return self._search_pinned(terms, groups, idf, top_n)
+        generation = self._index.generation
+        if generation != self._cache_generation:
+            cache.evict_stale(generation)
+            self._cache_generation = generation
+        # Same 3-tuple shape as make_key (generation last) so
+        # evict_stale sweeps prepared entries too.
+        key = (prepared, top_n, generation)
+        hits = cache.get(key)
+        if hits is None:
+            hits = self._search_pinned(terms, groups, idf, top_n)
+            cache.put(key, hits)
+        else:
+            self.last_stats = SearchStats(
+                strategy=self._strategy, term_count=len(terms),
+                cache_hit=True)
+        return hits
+
+    def _search_pinned(self, terms: list[str], groups: list[_TermGroup],
+                       idf: dict[str, float], top_n: int) -> list[IndexHit]:
+        with self._index.lock:
+            return self._dispatch(terms, groups, idf, top_n)
+
     def _term_groups(self, terms: list[str]) -> list[_TermGroup]:
         """Each analyzed term with its weighted variants."""
         groups: list[_TermGroup] = []
@@ -216,27 +312,46 @@ class IndexSearcher:
         # The mutation lock makes a search atomic against a background
         # indexer refresh: readers never observe a half-applied batch.
         with self._index.lock:
-            if self._strategy == "naive":
-                return self._search_naive(terms, top_n)
-            if self._strategy == "packed":
-                return self._search_packed(terms, top_n)
-            return self._search_pruned(terms, top_n)
+            return self._dispatch(terms, self._term_groups(terms), None,
+                                  top_n)
+
+    def _dispatch(self, terms: list[str], groups: list[_TermGroup],
+                  idf: dict[str, float] | None,
+                  top_n: int) -> list[IndexHit]:
+        """Run the configured strategy with resolved groups.
+
+        ``idf`` is ``None`` for local queries (each term's idf comes
+        from this index's statistics, exactly as before) or a pinned
+        map for prepared queries.  Must be called under the index lock.
+        """
+        if self._strategy == "naive":
+            return self._search_naive(terms, groups, idf, top_n)
+        if self._strategy == "packed":
+            return self._search_packed(terms, groups, idf, top_n)
+        return self._search_pruned(terms, groups, idf, top_n)
+
+    def _idf(self, term: str, idf: dict[str, float] | None) -> float:
+        if idf is None:
+            return self._scorer.idf(term)
+        return idf.get(term, 0.0)
 
     # -- naive: the golden reference loop ----------------------------------
 
-    def _search_naive(self, terms: list[str], top_n: int) -> list[IndexHit]:
+    def _search_naive(self, terms: list[str], groups: list[_TermGroup],
+                      idf: dict[str, float] | None,
+                      top_n: int) -> list[IndexHit]:
         # Term-at-a-time accumulation: scores[doc] = sum of per-term
         # parts; a document "matches" a query term when any variant of
         # its group hit.
         scores: dict[int, float] = {}
         matched: dict[int, int] = {}
-        for group in self._term_groups(terms):
+        for group in groups:
             group_docs: set[int] = set()
             for term, weight in group:
                 postings = self._index.postings(term)
                 if postings is None:
                     continue
-                idf_sq = self._scorer.idf(term) ** 2
+                idf_sq = self._idf(term, idf) ** 2
                 for posting in postings:
                     part = (weight * (posting.frequency ** 0.5) * idf_sq
                             * self._index.norm(posting.doc_id))
@@ -256,17 +371,19 @@ class IndexSearcher:
 
     # -- packed: exhaustive over the packed columns ------------------------
 
-    def _search_packed(self, terms: list[str], top_n: int) -> list[IndexHit]:
+    def _search_packed(self, terms: list[str], groups: list[_TermGroup],
+                       idf: dict[str, float] | None,
+                       top_n: int) -> list[IndexHit]:
         norms = self._index.snapshot().norms
         scores: dict[int, float] = {}
         matched: dict[int, int] = {}
-        for group in self._term_groups(terms):
+        for group in groups:
             group_docs: set[int] = set()
             for term, weight in group:
                 postings = self._index.postings(term)
                 if postings is None:
                     continue
-                idf_sq = self._scorer.idf(term) ** 2
+                idf_sq = self._idf(term, idf) ** 2
                 for doc_id, freq in zip(postings.doc_ids_array(),
                                         postings.frequencies_array()):
                     part = (weight * (freq ** 0.5) * idf_sq
@@ -286,7 +403,9 @@ class IndexSearcher:
 
     # -- pruned: MaxScore-style term-at-a-time -----------------------------
 
-    def _search_pruned(self, terms: list[str], top_n: int) -> list[IndexHit]:
+    def _search_pruned(self, terms: list[str], groups: list[_TermGroup],
+                       idf: dict[str, float] | None,
+                       top_n: int) -> list[IndexHit]:
         snapshot = self._index.snapshot()
         if snapshot.document_count == 0:
             self.last_stats = SearchStats(strategy="pruned",
@@ -296,10 +415,9 @@ class IndexSearcher:
         if capacity > _DENSE_FACTOR * snapshot.document_count + _DENSE_SLACK:
             # Doc-id space too sparse for dense accumulators; the packed
             # exhaustive path is exact and still fast.
-            return self._search_packed(terms, top_n)
+            return self._search_packed(terms, groups, idf, top_n)
         norms = self._dense_norm_column(snapshot, capacity)
         max_norm = snapshot.max_norm
-        groups = self._term_groups(terms)
         n_groups = len(groups)
         use_coordination = self._scorer.use_coordination
 
@@ -316,7 +434,7 @@ class IndexSearcher:
                 postings = self._index.postings(term)
                 if postings is None:
                     continue
-                idf_sq = self._scorer.idf(term) ** 2
+                idf_sq = self._idf(term, idf) ** 2
                 items.append((weight, idf_sq, postings))
                 ub += (weight * (postings.max_frequency ** 0.5) * idf_sq
                        * max_norm)

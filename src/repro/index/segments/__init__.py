@@ -30,11 +30,20 @@ from repro.index.segments.merge import (
     merge_postings,
 )
 from repro.index.segments.segmented import SegmentedIndex
+from repro.index.segments.sharded import (
+    SHARDS_NAME,
+    ShardedSegmentIndex,
+    detect_shard_count,
+    open_segment_index,
+    shard_dir_name,
+    shard_of,
+)
 
 __all__ = [
     "FORMAT_VERSION",
     "MAGIC",
     "MERGE_POLICIES",
+    "SHARDS_NAME",
     "CompactionView",
     "MergedPostings",
     "MmapSegment",
@@ -42,8 +51,13 @@ __all__ = [
     "SegmentDirectory",
     "SegmentPostings",
     "SegmentedIndex",
+    "ShardedSegmentIndex",
     "TieredMergePolicy",
+    "detect_shard_count",
     "make_merge_policy",
     "merge_postings",
+    "open_segment_index",
+    "shard_dir_name",
+    "shard_of",
     "write_segment",
 ]

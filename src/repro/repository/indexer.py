@@ -19,9 +19,15 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
+from repro.errors import IndexError_
 from repro.index.documents import document_from_schema
 from repro.index.inverted import InvertedIndex
-from repro.index.segments import SegmentedIndex, make_merge_policy
+from repro.index.segments import (
+    SegmentedIndex,
+    ShardedSegmentIndex,
+    make_merge_policy,
+    open_segment_index,
+)
 from repro.index.store import load_index, save_index
 from repro.matching.profile import ProfileStore
 from repro.resilience.faults import FAULTS
@@ -46,7 +52,8 @@ class RepositoryIndexer:
     def __init__(self, repository: "SchemaRepository",
                  profile_store: ProfileStore | None = None,
                  segment_dir: str | Path | None = None,
-                 merge_policy: str = "tiered") -> None:
+                 merge_policy: str = "tiered",
+                 shards: int | None = None) -> None:
         self._repository = repository
         self._profile_store = profile_store
         self._merge_policy = make_merge_policy(merge_policy)
@@ -55,10 +62,18 @@ class RepositoryIndexer:
             # Opening is O(segment count); the manifest's change-log
             # cursor tells us which repository changes the on-disk
             # state already reflects, so refresh replays only the gap.
-            self._index: InvertedIndex | SegmentedIndex = \
-                SegmentedIndex.open(segment_dir, create=True)
+            # With ``shards`` > 1 (or an existing SHARDS.json layout)
+            # the directory is doc-id-sharded and every flush/merge
+            # routes per shard.
+            self._index: InvertedIndex | SegmentedIndex | \
+                ShardedSegmentIndex = open_segment_index(
+                    segment_dir, shards=shards, create=True)
             self._last_change_id = self._index.last_change_id
         else:
+            if shards is not None and shards > 1:
+                raise IndexError_(
+                    "a sharded index requires a segment directory; "
+                    "pass segment_dir alongside shards")
             self._index = InvertedIndex()
             self._last_change_id = 0
         self._stop_event = threading.Event()
@@ -84,7 +99,7 @@ class RepositoryIndexer:
         return self._consecutive_failures
 
     @property
-    def index(self) -> InvertedIndex | SegmentedIndex:
+    def index(self) -> InvertedIndex | SegmentedIndex | ShardedSegmentIndex:
         return self._index
 
     @property
@@ -161,7 +176,8 @@ class RepositoryIndexer:
         index.
         """
         index = self._index
-        if not isinstance(index, SegmentedIndex) or index.directory is None:
+        if not isinstance(index, (SegmentedIndex, ShardedSegmentIndex)) \
+                or index.directory is None:
             return  # in-memory, or a standalone loaded segment file
         index.flush(last_change_id=self._last_change_id)
         for _ in range(4):

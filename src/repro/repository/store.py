@@ -20,7 +20,7 @@ from typing import Callable, Iterator, TypeVar
 
 from repro.core.config import SchemrConfig
 from repro.core.engine import SchemrEngine
-from repro.errors import RepositoryError, SchemaError
+from repro.errors import RepositoryError, SchemaError, ServiceError
 from repro.matching.ensemble import MatcherEnsemble
 from repro.matching.profile import ProfileStore
 from repro.model.schema import Schema
@@ -340,20 +340,25 @@ class SchemaRepository:
         return self._profile_store
 
     def indexer(self, segment_dir: str | None = None,
-                merge_policy: str = "tiered") -> "RepositoryIndexer":
+                merge_policy: str = "tiered",
+                shards: int | None = None) -> "RepositoryIndexer":
         """The repository's (lazily created) offline indexer.
 
         ``segment_dir`` puts the first-created indexer in durable
         segment mode: the index is served from mmapped on-disk segments
         (millisecond cold start) with refreshes flushed and merged
-        through the directory's manifest.  The arguments only matter on
-        the creating call; later calls return the existing indexer.
+        through the directory's manifest.  An explicit ``shards``
+        (including 1) makes that directory a doc-id-sharded layout (see
+        :mod:`repro.index.segments.sharded`).  The arguments only
+        matter on the creating call; later calls return the existing
+        indexer.
         """
         from repro.repository.indexer import RepositoryIndexer
         if self._indexer is None:
             self._indexer = RepositoryIndexer(
                 self, profile_store=self.profile_store(),
-                segment_dir=segment_dir, merge_policy=merge_policy)
+                segment_dir=segment_dir, merge_policy=merge_policy,
+                shards=shards)
         return self._indexer
 
     def reindex(self) -> int:
@@ -372,6 +377,11 @@ class SchemaRepository:
         """
         from repro.telemetry import Telemetry
         config = config or SchemrConfig()
+        if config.shards > 1:
+            raise ServiceError(
+                f"config requests {config.shards} shards; build a "
+                "repro.sharding.ShardedEngine (or serve with --shards) "
+                "instead of the in-process engine")
         telemetry = Telemetry.from_config(config)
         indexer = self.indexer(segment_dir=config.segment_dir,
                                merge_policy=config.merge_policy)
@@ -387,6 +397,15 @@ class SchemaRepository:
         return engine
 
     # -- history / collaboration (thin wrappers; logic in submodules) ---
+
+    @property
+    def path(self) -> str:
+        """The database path (``":memory:"`` for in-memory stores).
+
+        Sharded serving needs this: each worker process opens its own
+        connection to the same file.
+        """
+        return self._path
 
     @property
     def connection(self) -> sqlite3.Connection:

@@ -51,6 +51,11 @@ from repro.service.graphml import graphml_for_schema
 from repro.service.xmlresponse import results_to_xml
 from repro.telemetry import Telemetry
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sharding import ShardedEngine
+
 logger = logging.getLogger(__name__)
 access_logger = logging.getLogger("repro.service.access")
 
@@ -59,7 +64,7 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
     """Routes requests to the engine/repository held by the server."""
 
     # Set by SchemrServer before serving.
-    engine: SchemrEngine
+    engine: "SchemrEngine | ShardedEngine"
     repository: SchemaRepository
     telemetry: Telemetry
     admission: AdmissionController
@@ -220,7 +225,28 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
             self._send_error_xml(503, "index refresh in progress",
                                  retry_after=1.0)
             return
-        self._send(200, '<?xml version="1.0"?><ready/>')
+        shard_status = getattr(self.engine, "shard_status", None)
+        if shard_status is None:
+            self._send(200, '<?xml version="1.0"?><ready/>')
+            return
+        # Sharded serving: not ready while any worker is mid-handshake
+        # or a reopen broadcast is in flight.  A *dead* worker does not
+        # unready the pool — its documents are served via local repair
+        # until the respawn lands — but the per-shard health is always
+        # in the body so operators (and the no-orphan tests) can see
+        # worker pids and states.
+        if not self.engine.ready():
+            self._send_error_xml(
+                503, "shard workers starting or reopening",
+                retry_after=1.0)
+            return
+        shards = "".join(
+            f'<shard id="{s["shard"]}" state="{_xml_escape(s["state"])}" '
+            f'pid="{s["pid"] if s["pid"] is not None else ""}" '
+            f'restarts="{s["restarts"]}" documents="{s["documents"]}" '
+            f'breaker="{_xml_escape(s["breaker"])}"/>'
+            for s in shard_status())
+        self._send(200, f'<?xml version="1.0"?><ready>{shards}</ready>')
 
     def _handle_search(self, query_string: str, body: str | None) -> None:
         params = urllib.parse.parse_qs(query_string)
@@ -368,7 +394,14 @@ class SchemrServer:
         # is a few percent; see benchmarks/bench_telemetry_overhead.py).
         if config is None:
             config = SchemrConfig(telemetry_enabled=True)
-        self._engine = repository.engine(config=config)
+        if config.shards > 1:
+            # Worker-pool serving: phases 1+2 scatter to per-shard
+            # processes; the front's pages stay byte-identical to the
+            # in-process engine's.
+            from repro.sharding import ShardedEngine
+            self._engine = ShardedEngine(repository, config=config)
+        else:
+            self._engine = repository.engine(config=config)
         self._admission = AdmissionController(
             max_concurrent=config.max_concurrent_searches,
             queue_size=config.admission_queue_size,
@@ -407,7 +440,7 @@ class SchemrServer:
                   callback=lambda: admission.timed_out_total)
 
     @property
-    def engine(self) -> SchemrEngine:
+    def engine(self) -> "SchemrEngine | ShardedEngine":
         return self._engine
 
     @property

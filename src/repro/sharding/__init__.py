@@ -1,0 +1,30 @@
+"""Process-sharded serving: a worker-pool engine over segment shards.
+
+The GIL makes thread-parallel scoring a wash; this package escapes it
+with *processes*.  The corpus lives in a doc-id-sharded segment layout
+(:mod:`repro.index.segments.sharded`), each worker process mmaps one
+shard (O(ms), zero-copy — nothing is pickled to start a worker), and
+:class:`ShardedEngine` scatter-gathers per-shard phase-1/phase-2 work
+into rankings byte-identical to the single-process engine's.
+"""
+
+from repro.sharding.engine import ShardedEngine
+from repro.sharding.pool import (
+    ShardDied,
+    ShardError,
+    ShardTimeout,
+    WorkerHandle,
+    WorkerPool,
+)
+from repro.sharding.worker import WorkerSpec, worker_main
+
+__all__ = [
+    "ShardDied",
+    "ShardError",
+    "ShardTimeout",
+    "ShardedEngine",
+    "WorkerHandle",
+    "WorkerPool",
+    "WorkerSpec",
+    "worker_main",
+]

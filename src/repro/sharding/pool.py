@@ -1,0 +1,326 @@
+"""Front-side worker handles: spawn, demultiplex, respawn, tear down.
+
+One :class:`WorkerHandle` per shard wraps the worker process and its
+pipe.  Any number of serving threads can issue requests concurrently:
+sends serialize on a lock, and responses are demultiplexed by
+``(kind, qid)`` under a condition variable — whichever thread is
+waiting pumps the pipe and parks everyone else until their response
+(or their deadline) arrives.
+
+Failure taxonomy, surfaced as exceptions the scatter-gather front
+converts into degraded serving:
+
+* :class:`ShardTimeout` — the worker did not answer within the
+  per-request budget (stalled, or starved under load);
+* :class:`ShardDied` — the pipe hit EOF (the process exited or was
+  killed);
+* :class:`ShardError` — the worker answered with an error (a
+  per-request exception; the worker itself is still healthy).
+
+:class:`WorkerPool` owns the handles plus one circuit breaker per
+shard; a dead worker is respawned immediately and its breaker reset as
+soon as the replacement reports ready.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ServiceError
+from repro.resilience.breaker import CircuitBreaker
+from repro.sharding.worker import WorkerSpec, worker_main
+
+#: Pipe-poll slice while pumping: short enough that a waiter whose
+#: response already arrived (buffered by another thread's pump) is
+#: released promptly, long enough to stay off the scheduler's back.
+_POLL_SLICE = 0.05
+
+#: Demux buffer bound; responses nobody claimed (e.g. a stalled worker
+#: answering after its waiter timed out) are dropped oldest-first.
+_RESPONSE_BACKLOG = 1024
+
+#: State values for :attr:`WorkerHandle.state`.
+STATE_OPENING = "opening"
+STATE_READY = "ready"
+STATE_DEAD = "dead"
+STATE_STOPPED = "stopped"
+
+
+class ShardError(ServiceError):
+    """A shard worker answered a request with an error."""
+
+
+class ShardTimeout(ShardError):
+    """A shard worker did not answer within the request budget."""
+
+
+class ShardDied(ShardError):
+    """A shard worker's pipe closed (process exited or was killed)."""
+
+
+def _mp_context():
+    """Prefer ``fork``: instant start, nothing re-imported.  ``spawn``
+    works too (everything crossing the pipe is picklable)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class WorkerHandle:
+    """One shard worker process and its demultiplexed pipe."""
+
+    def __init__(self, spec: WorkerSpec, ctx=None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._spec = spec
+        self._ctx = ctx or _mp_context()
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._send_lock = threading.Lock()
+        self._responses: dict[tuple[str, int], object] = {}
+        self._pumping = False
+        self._proc = None
+        self._conn = None
+        self._state = STATE_OPENING
+        self._pid: int | None = None
+        #: Times this handle respawned its process (monotone counter,
+        #: exported as ``schemr_shard_restarts_total``).
+        self.restarts = 0
+        self._start()
+
+    @property
+    def shard_id(self) -> int:
+        return self._spec.shard_id
+
+    @property
+    def state(self) -> str:  # lint: unlocked (GIL-atomic str read for status reporting)
+        return self._state
+
+    @property
+    def pid(self) -> int | None:  # lint: unlocked (GIL-atomic read for status reporting)
+        return self._pid
+
+    @property
+    def process_alive(self) -> bool:
+        proc = self._proc  # lint: unlocked (GIL-atomic read for status reporting)
+        return proc is not None and proc.is_alive()
+
+    def _start(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main, args=(self._spec, child_conn),
+            daemon=True,
+            name=f"schemr-shard-{self._spec.shard_id}")
+        proc.start()
+        child_conn.close()
+        with self._cond:
+            self._proc = proc
+            self._conn = parent_conn
+            self._state = STATE_OPENING
+            self._pid = proc.pid
+            self._responses.clear()
+            self._cond.notify_all()
+
+    def respawn(self) -> None:
+        """Replace a dead (or wedged) process with a fresh one."""
+        with self._cond:
+            proc, conn = self._proc, self._conn
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(1.0)
+            if proc.is_alive():  # pragma: no cover - stubborn process
+                proc.kill()
+                proc.join(1.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+        self.restarts += 1
+        self._start()
+
+    def ensure_ready(self, timeout: float) -> bool:
+        """Wait for the worker's ``ready`` handshake; True when serving.
+
+        Idempotent and cheap once ready.  A respawned worker goes
+        through here again (the fresh process re-sends ``ready``).
+        """
+        with self._cond:
+            if self._state == STATE_READY:
+                return True
+            if self._state in (STATE_DEAD, STATE_STOPPED):
+                return False
+        try:
+            self.collect("ready", 0, timeout)
+        except ShardError:
+            return False
+        with self._cond:
+            if self._state == STATE_OPENING:
+                self._state = STATE_READY
+        return True
+
+    def send(self, kind: str, qid: int, payload: object) -> None:
+        """Ship one request; raises :class:`ShardDied` on a dead pipe."""
+        with self._cond:
+            if self._state in (STATE_DEAD, STATE_STOPPED):
+                raise ShardDied(
+                    f"shard {self.shard_id} worker is {self._state}")
+            conn = self._conn
+        try:
+            with self._send_lock:
+                conn.send((kind, qid, payload))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            self._mark_dead()
+            raise ShardDied(
+                f"shard {self.shard_id} worker pipe closed on send: "
+                f"{exc}") from exc
+
+    def collect(self, kind: str, qid: int, timeout: float) -> object:
+        """Wait for the response to ``(kind, qid)``.
+
+        Threads cooperate: one pumps the pipe (buffering whatever
+        arrives, keyed for its waiter), the rest wait on the condition.
+        Raises :class:`ShardTimeout` / :class:`ShardDied` /
+        :class:`ShardError` per the failure taxonomy.
+        """
+        deadline_at = self._clock() + timeout
+        with self._cond:
+            while True:
+                key = (kind, qid)
+                if key in self._responses:
+                    return self._responses.pop(key)
+                err_key = ("error", qid)
+                if err_key in self._responses:
+                    raise ShardError(
+                        f"shard {self.shard_id} worker: "
+                        f"{self._responses.pop(err_key)}")
+                if self._state in (STATE_DEAD, STATE_STOPPED):
+                    raise ShardDied(
+                        f"shard {self.shard_id} worker died")
+                remaining = deadline_at - self._clock()
+                if remaining <= 0:
+                    raise ShardTimeout(
+                        f"shard {self.shard_id} worker did not answer "
+                        f"{kind!r} within {timeout:.3f}s")
+                if self._pumping:
+                    self._cond.wait(timeout=remaining)
+                    continue
+                self._pumping = True
+                conn = self._conn
+                msg = None
+                died = False
+                self._cond.release()
+                try:
+                    try:
+                        if conn.poll(min(remaining, _POLL_SLICE)):
+                            msg = conn.recv()
+                    except (EOFError, OSError):
+                        died = True
+                finally:
+                    self._cond.acquire()
+                    self._pumping = False
+                    if msg is not None:
+                        self._buffer_response(msg)
+                    if died:
+                        self._state = STATE_DEAD
+                    self._cond.notify_all()
+
+    def _buffer_response(self, msg) -> None:  # lint: unlocked (caller holds the condition lock)
+        r_kind, r_qid, r_payload = msg
+        if len(self._responses) >= _RESPONSE_BACKLOG:
+            self._responses.pop(next(iter(self._responses)))
+        self._responses[(r_kind, r_qid)] = r_payload
+
+    def _mark_dead(self) -> None:
+        with self._cond:
+            if self._state not in (STATE_STOPPED,):
+                self._state = STATE_DEAD
+            self._cond.notify_all()
+
+    def shutdown(self, timeout: float) -> str:
+        """Stop the process; returns ``"clean"``, ``"terminated"`` or
+        ``"killed"`` — anything but clean means the worker hung and
+        mirrors the server's hung-serve-thread accounting."""
+        with self._cond:
+            proc, conn, state = self._proc, self._conn, self._state
+            self._state = STATE_STOPPED
+            self._cond.notify_all()
+        if proc is None:
+            return "clean"
+        if state not in (STATE_DEAD,) and conn is not None:
+            try:
+                with self._send_lock:
+                    conn.send(("shutdown", 0, None))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        proc.join(timeout)
+        outcome = "clean"
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout)
+            outcome = "terminated"
+        if proc.is_alive():  # pragma: no cover - stubborn process
+            proc.kill()
+            proc.join(timeout)
+            outcome = "killed"
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+        return outcome
+
+
+class WorkerPool:
+    """The shard workers plus one circuit breaker per shard."""
+
+    def __init__(self, specs: list[WorkerSpec],
+                 breaker_failure_threshold: int = 5,
+                 breaker_reset_seconds: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        ctx = _mp_context()
+        self.workers = [WorkerHandle(spec, ctx=ctx, clock=clock)
+                        for spec in specs]
+        self.breakers = [
+            CircuitBreaker(f"shard.{spec.shard_id}",
+                           failure_threshold=breaker_failure_threshold,
+                           reset_seconds=breaker_reset_seconds,
+                           clock=clock)
+            for spec in specs
+        ]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def wait_ready(self, timeout: float) -> list[int]:
+        """Block for the initial handshakes; returns ready shard ids."""
+        ready = []
+        for handle in self.workers:
+            if handle.ensure_ready(timeout):
+                ready.append(handle.shard_id)
+        return ready
+
+    def usable(self, shard_id: int, ready_timeout: float) -> bool:
+        """Whether a scatter should include this shard right now.
+
+        A respawned worker is promoted to ready here (bounded wait); an
+        open breaker excludes the shard until its half-open probe.
+        """
+        handle = self.workers[shard_id]
+        if handle.state == STATE_OPENING:
+            if handle.ensure_ready(ready_timeout):
+                # A fresh process answering its handshake is healthy;
+                # don't make it serve through the breaker its dead
+                # predecessor tripped.
+                self.breakers[shard_id].reset()
+                return True
+            return False
+        if handle.state != STATE_READY:
+            return False
+        return self.breakers[shard_id].allow()
+
+    def shutdown(self, timeout: float) -> list[str]:
+        """Stop every worker; returns per-shard outcomes."""
+        return [handle.shutdown(timeout) for handle in self.workers]

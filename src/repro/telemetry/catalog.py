@@ -100,6 +100,23 @@ METRICS: dict[str, tuple[str, str]] = {
         "counter", "Refreshes that moved the index generation"),
     "schemr_indexer_refresh_failures_total": (
         "counter", "Scheduled refreshes that raised"),
+    # -- process-sharded serving --------------------------------------
+    "schemr_shard_up": (
+        "gauge", "Whether the shard's worker is serving (1) or not (0)"),
+    "schemr_shard_documents": (
+        "gauge", "Documents owned by the shard"),
+    "schemr_shard_restarts_total": (
+        "counter", "Times the shard's worker process was respawned"),
+    "schemr_shard_requests_total": (
+        "counter", "Worker round-trips completed"),
+    "schemr_shard_failures_total": (
+        "counter", "Worker round-trips that failed, by kind"),
+    "schemr_shard_wait_seconds": (
+        "histogram", "Front wait per worker round-trip"),
+    "schemr_shard_degraded_merges_total": (
+        "counter", "Queries merged without every shard"),
+    "schemr_shard_hung_workers_total": (
+        "counter", "Workers terminated because they stopped answering"),
     # -- HTTP service -------------------------------------------------
     "schemr_http_requests_total": (
         "counter", "HTTP requests by route and status"),

@@ -71,6 +71,11 @@ class QueryProfile:
     deadline_expired: bool = False
     #: The budget this search ran under (None = unlimited).
     budget_seconds: float | None = None
+    #: Shards in the serving pool (0 = single-process engine).
+    shards_total: int = 0
+    #: Shards that answered this search; below ``shards_total`` means
+    #: the page was served degraded from the survivors.
+    shards_used: int = 0
 
     def to_dict(self) -> dict:
         """JSON-safe form (history sink, ``/stats``, logs)."""
@@ -93,6 +98,8 @@ class QueryProfile:
             "degradation": self.degradation,
             "deadline_expired": self.deadline_expired,
             "budget_seconds": self.budget_seconds,
+            "shards_total": self.shards_total,
+            "shards_used": self.shards_used,
         }
 
 
