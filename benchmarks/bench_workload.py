@@ -1,0 +1,176 @@
+"""Workload bench: replay, overload behaviour, and the learning loop.
+
+Measures the full ``repro.workload`` story on one corpus:
+
+* **harvest determinism** — two closed-loop replays of the same spec
+  must produce byte-identical history files (the reproducibility
+  contract training depends on);
+* **closed-loop throughput** — sustained QPS and latency percentiles
+  with N concurrent simulated users;
+* **open-loop overload** — arrivals at a target QPS under the diurnal
+  curve with admission control in front: shed rate, degradation-level
+  mix, p50/p99 latency, dispatch lag;
+* **learning loop** — weights trained from the harvested clicks,
+  A/B'd against uniform weights on held-out ground-truth queries with
+  a paired-bootstrap p-value.  The gate: trained is never
+  *significantly worse* than uniform.
+
+Run (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_workload.py            # full
+    PYTHONPATH=src python benchmarks/bench_workload.py --count 200 --sessions 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import SchemrConfig
+from repro.repository.store import SchemaRepository
+from repro.resilience.shedding import AdmissionController
+from repro.telemetry.history import SearchHistorySink
+from repro.workload import (
+    EngineTarget,
+    ReplayDriver,
+    WorkloadSpec,
+    ab_compare,
+    attach_schema_ids,
+    build_catalog,
+    heldout_queries,
+    regenerate_corpus,
+    train_weights,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_workload.json"
+
+
+def run(count: int, sessions: int, catalog_size: int, users: int,
+        target_qps: float, heldout: int, out_path: Path) -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="schemr-bench-workload-"))
+    try:
+        corpus_seed = 7
+        corpus = regenerate_corpus(corpus_seed, count)
+        repo = SchemaRepository(str(workdir / "repo.db"))
+        for generated in corpus:
+            repo.add_schema(generated.schema)
+        matched = attach_schema_ids(repo, corpus)
+        catalog = build_catalog(matched, catalog_size, seed=23)
+        spec = WorkloadSpec(seed=97, sessions=sessions)
+        engine = repo.engine(config=SchemrConfig(telemetry_enabled=True))
+
+        # -- closed loop, twice: throughput + byte-identical harvest --
+        histories = []
+        closed_report = None
+        for run_index in range(2):
+            path = workdir / f"history_{run_index}.jsonl"
+            sink = SearchHistorySink(path)
+            driver = ReplayDriver(EngineTarget(engine), catalog, spec,
+                                  sink=sink)
+            report = driver.run_closed_loop(users=users)
+            sink.close()
+            histories.append(path.read_bytes())
+            if run_index == 0:
+                closed_report = report
+        deterministic = histories[0] == histories[1]
+
+        # -- open loop under overload ---------------------------------
+        admission = AdmissionController(max_concurrent=max(2, users // 2),
+                                        queue_size=4,
+                                        queue_timeout_seconds=0.02)
+        open_driver = ReplayDriver(
+            EngineTarget(engine, admission=admission), catalog, spec)
+        open_report = open_driver.run_open_loop(target_qps=target_qps)
+
+        # -- learning loop --------------------------------------------
+        records = SearchHistorySink.load(workdir / "history_0.jsonl")
+        train_start = time.perf_counter()
+        _, training = train_weights(records, repo)
+        train_seconds = time.perf_counter() - train_start
+        held = heldout_queries(matched, heldout, seed=51,
+                               exclude=[e.query for e in catalog.entries])
+        ab = ab_compare(repo, training.weights, held, top_n=spec.top_n)
+
+        result = {
+            "corpus_size": len(matched),
+            "catalog_size": len(catalog),
+            "sessions": sessions,
+            "users": users,
+            "harvest_deterministic": deterministic,
+            "harvest_bytes": len(histories[0]),
+            "closed_loop": closed_report.to_dict(),
+            "open_loop": open_report.to_dict(),
+            "history_records": len(records),
+            "train_seconds": train_seconds,
+            "training": training.to_dict(),
+            "ab": ab.to_dict(),
+            "trained_no_worse_than_uniform": ab.trained_no_worse,
+        }
+        engine.close()
+        repo.close()
+        out_path.write_text(json.dumps(result, indent=2) + "\n",
+                            encoding="utf-8")
+        return result
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--count", type=int, default=1000,
+                        help="raw schemas generated into the repository "
+                             "(default 1000)")
+    parser.add_argument("--sessions", type=int, default=300,
+                        help="sessions per replay arm (default 300)")
+    parser.add_argument("--catalog-size", type=int, default=50,
+                        help="distinct query intents (default 50)")
+    parser.add_argument("--users", type=int, default=4,
+                        help="closed-loop concurrent users (default 4)")
+    parser.add_argument("--target-qps", type=float, default=120.0,
+                        help="open-loop arrival rate (default 120)")
+    parser.add_argument("--heldout", type=int, default=30,
+                        help="held-out A/B queries (default 30)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    result = run(args.count, args.sessions, args.catalog_size, args.users,
+                 args.target_qps, args.heldout, args.out)
+    closed = result["closed_loop"]
+    open_loop = result["open_loop"]
+    ab = result["ab"]
+    print(f"corpus: {result['corpus_size']} schemas, "
+          f"{result['catalog_size']} intents, "
+          f"{result['sessions']} sessions")
+    print(f"  harvest deterministic: {result['harvest_deterministic']} "
+          f"({result['harvest_bytes']} bytes)")
+    print(f"  closed loop: {closed['achieved_qps']:.1f} qps, "
+          f"p50 {closed['p50_ms']:.1f}ms p99 {closed['p99_ms']:.1f}ms, "
+          f"{closed['clicks']} clicks")
+    print(f"  open loop @ {open_loop['target_qps']:.0f} qps: "
+          f"achieved {open_loop['achieved_qps']:.1f}, "
+          f"shed {open_loop['shed_fraction']:.1%}, "
+          f"p50 {open_loop['p50_ms']:.1f}ms p99 {open_loop['p99_ms']:.1f}ms, "
+          f"lag p99 {open_loop['lag_p99_ms']:.1f}ms")
+    print(f"  degradation mix: {open_loop['degradation_mix']}")
+    print(f"  trained weights: {result['training']['weights']}")
+    print(f"  A/B precision: trained {ab['precision_at_k']['trained']:.4f} "
+          f"vs uniform {ab['precision_at_k']['uniform']:.4f} "
+          f"(p={ab['precision_at_k']['p_value']:.4f})")
+    print(f"  A/B recall:    trained {ab['recall_at_k']['trained']:.4f} "
+          f"vs uniform {ab['recall_at_k']['uniform']:.4f} "
+          f"(p={ab['recall_at_k']['p_value']:.4f})")
+    print(f"  trained no worse than uniform: "
+          f"{result['trained_no_worse_than_uniform']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

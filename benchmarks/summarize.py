@@ -1,0 +1,148 @@
+"""Merge every BENCH_*.json into one markdown trajectory table.
+
+Each bench writes its own JSON next to the repository root; this tool
+collapses them into the single table a reader (or a PR description)
+wants: one row per headline number, grouped by subsystem, so the
+performance trajectory of the codebase is visible in one place.
+
+Run (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/summarize.py                # print
+    PYTHONPATH=src python benchmarks/summarize.py --out BENCH.md # persist
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: bench-file stem -> (subsystem label, [(row label, dotted path), ...]).
+#: Paths resolve through nested dicts; missing paths are skipped so the
+#: table degrades gracefully when a bench predates a field.
+HEADLINES: dict[str, tuple[str, list[tuple[str, str]]]] = {
+    "BENCH_phase1": ("phase-1 retrieval", [
+        ("corpus size", "corpus_size"),
+        ("packed vs naive speedup", "speedup.packed_vs_naive"),
+        ("pruned vs naive speedup", "speedup.pruned_vs_naive"),
+        ("warm-cache speedup", "speedup.warm_cache_vs_naive"),
+        ("rankings identical", "rankings_identical"),
+    ]),
+    "BENCH_phase2": ("phase-2 matching", [
+        ("corpus size", "corpus_size"),
+        ("profiled vs cold speedup", "speedup.profiled_vs_cold"),
+        ("parallel vs cold speedup", "speedup.parallel_vs_cold"),
+    ]),
+    "BENCH_resilience": ("resilience", [
+        ("shed burst", "shedding.burst"),
+        ("shed admitted", "shedding.admitted"),
+        ("shed rejected", "shedding.rejected"),
+        ("accounting exact", "shedding.accounted"),
+    ]),
+    "BENCH_telemetry": ("telemetry", [
+        ("enabled overhead %", "enabled_overhead_pct"),
+        ("no-op site ns", "noop_site_nanoseconds"),
+        ("disabled overhead %", "disabled_noop_overhead_pct"),
+    ]),
+    "BENCH_segments": ("mmap segments", [
+        ("corpus size", "corpus_size"),
+        ("cold-start speedup", "cold_start_speedup"),
+        ("cold open s", "cold_open_seconds"),
+        ("p50 mmap/memory ratio", "p50_ratio"),
+        ("rankings identical", "rankings_identical"),
+    ]),
+    "BENCH_shards": ("process shards", [
+        ("corpus size", "corpus_size"),
+        ("cpu count", "cpu_count"),
+        ("single-process qps", "single_process.qps"),
+        ("max-shards speedup", "qps_speedup_max_shards"),
+        ("rankings identical", "all_rankings_identical"),
+    ]),
+    "BENCH_workload": ("workload replay", [
+        ("harvest deterministic", "harvest_deterministic"),
+        ("closed-loop qps", "closed_loop.achieved_qps"),
+        ("closed-loop p99 ms", "closed_loop.p99_ms"),
+        ("open-loop shed", "open_loop.shed_fraction"),
+        ("open-loop p99 ms", "open_loop.p99_ms"),
+        ("A/B precision delta", "ab.precision_at_k.delta"),
+        ("A/B precision p", "ab.precision_at_k.p_value"),
+        ("trained no worse", "trained_no_worse_than_uniform"),
+    ]),
+}
+
+
+def resolve(data: dict, dotted: str):
+    """Walk a dotted path through nested dicts; None when absent."""
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def render_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def fallback_rows(data: dict) -> list[tuple[str, str]]:
+    """Top-level scalars of an unknown bench file."""
+    return [(key, render_value(value)) for key, value in data.items()
+            if isinstance(value, (int, float, bool))]
+
+
+def summarize(root: Path) -> str:
+    """The markdown trajectory table over every BENCH_*.json in root."""
+    lines = ["# Benchmark trajectory", "",
+             "| subsystem | metric | value |",
+             "|---|---|---|"]
+    found = 0
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            lines.append(f"| {path.stem} | unreadable | {exc} |")
+            continue
+        found += 1
+        label, headline = HEADLINES.get(
+            path.stem, (path.stem.removeprefix("BENCH_"), []))
+        rows = []
+        for row_label, dotted in headline:
+            value = resolve(data, dotted)
+            if value is not None:
+                rows.append((row_label, render_value(value)))
+        if not rows:
+            rows = fallback_rows(data)
+        for i, (row_label, value) in enumerate(rows):
+            cell = label if i == 0 else ""
+            lines.append(f"| {cell} | {row_label} | {value} |")
+    if not found:
+        lines.append("| (none) | no BENCH_*.json files found | |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--root", type=Path, default=ROOT,
+                        help="directory holding BENCH_*.json "
+                             "(default: repository root)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the markdown here")
+    args = parser.parse_args(argv)
+    table = summarize(args.root)
+    print(table, end="")
+    if args.out:
+        args.out.write_text(table, encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ SERVE_FLAG_FIELDS = {
     "--query-cache-size": "query_cache_size",
     "--slow-query": "slow_query_seconds",
     "--history-path": "history_path",
+    "--history-max-bytes": "history_max_bytes",
     "--admission-queue": "admission_queue_size",
     "--admission-timeout": "admission_timeout_seconds",
     "--segment-dir": "segment_dir",
@@ -370,6 +371,98 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Replay synthetic traffic against the repository (or a server).
+
+    The click model needs ground-truth relevance, which the repository
+    does not persist — it is regenerated from the corpus seed/count the
+    repository was populated with (`schemr generate` defaults match the
+    replay defaults).
+    """
+    from repro.core.config import SchemrConfig
+    from repro.resilience.shedding import AdmissionController
+    from repro.telemetry.history import SearchHistorySink
+    from repro.workload import (EngineTarget, HttpTarget, ReplayDriver,
+                                WorkloadSpec, attach_schema_ids,
+                                build_catalog, regenerate_corpus)
+
+    spec = WorkloadSpec(seed=args.seed, sessions=args.sessions,
+                        duration_seconds=args.duration,
+                        fragment_fraction=args.fragment_fraction,
+                        top_n=args.top)
+    with _open_repository(args.db) as repo:
+        corpus = attach_schema_ids(
+            repo, regenerate_corpus(args.corpus_seed, args.corpus_count))
+        catalog = build_catalog(corpus, args.catalog_size,
+                                seed=args.catalog_seed)
+        if args.url:
+            target = HttpTarget(args.url)
+        else:
+            admission = None
+            if args.max_concurrent is not None:
+                admission = AdmissionController(
+                    max_concurrent=args.max_concurrent,
+                    queue_size=args.admission_queue,
+                    queue_timeout_seconds=args.admission_timeout)
+            engine = repo.engine(config=SchemrConfig(telemetry_enabled=True))
+            target = EngineTarget(engine, admission=admission,
+                                  owns_engine=True)
+        sink = None
+        if args.history:
+            sink = SearchHistorySink(args.history,
+                                     max_bytes=args.history_max_bytes)
+        try:
+            driver = ReplayDriver(target, catalog, spec, sink=sink)
+            if args.mode == "open":
+                report = driver.run_open_loop(target_qps=args.target_qps,
+                                              max_workers=args.max_workers)
+            else:
+                report = driver.run_closed_loop(users=args.users)
+        finally:
+            if sink is not None:
+                sink.close()
+            target.close()
+    print(report.summary())
+    if args.history:
+        print(f"history written to {args.history}")
+    return 0
+
+
+def _cmd_train_weights(args: argparse.Namespace) -> int:
+    """Fit ensemble weights from harvested history; optionally A/B them."""
+    from repro.telemetry.history import SearchHistorySink
+    from repro.workload import (ab_compare, attach_schema_ids, build_catalog,
+                                heldout_queries, regenerate_corpus,
+                                train_weights)
+
+    records = SearchHistorySink.load(args.history)
+    if not records:
+        raise SchemrError(f"no history records in {args.history}")
+    with _open_repository(args.db) as repo:
+        _, report = train_weights(records, repo)
+        print(f"read {len(records)} history records from {args.history}")
+        print(report.summary())
+        if args.ab:
+            corpus = attach_schema_ids(
+                repo,
+                regenerate_corpus(args.corpus_seed, args.corpus_count))
+            catalog = build_catalog(corpus, args.catalog_size,
+                                    seed=args.catalog_seed)
+            held = heldout_queries(
+                corpus, args.heldout, seed=args.heldout_seed,
+                exclude=[entry.query for entry in catalog.entries])
+            result = ab_compare(repo, report.weights, held, top_n=args.top)
+            print(result.summary())
+            if args.out:
+                import json
+                Path(args.out).write_text(
+                    json.dumps({"training": report.to_dict(),
+                                "ab": result.to_dict()}, indent=2),
+                    encoding="utf-8")
+                print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.runner import main as lint_main
     argv: list[str] = list(args.paths)
@@ -553,6 +646,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "kept in the slow-query telemetry ring")
     p.add_argument("--history-path", default=None, metavar="PATH",
                    help="append-only JSONL search-history sink")
+    p.add_argument("--history-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="rotate the history sink past this size "
+                        "(default: unbounded)")
     p.add_argument("--admission-queue", type=int, default=None,
                    metavar="N",
                    help="searches allowed to wait for admission before "
@@ -577,6 +674,78 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request budget for one shard worker before "
                         "the front repairs its slice locally")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("replay",
+                       help="replay synthetic sessions against the "
+                            "repository or a running server")
+    p.add_argument("db")
+    p.add_argument("--mode", choices=("closed", "open"), default="closed",
+                   help="closed: N concurrent users as fast as the stack "
+                        "answers (harvest mode); open: arrivals at "
+                        "--target-qps regardless of completions "
+                        "(overload mode)")
+    p.add_argument("--seed", type=int, default=97,
+                   help="workload seed; the whole replay is "
+                        "deterministic under it")
+    p.add_argument("--sessions", type=int, default=200)
+    p.add_argument("--duration", type=float, default=86400.0,
+                   metavar="SECONDS",
+                   help="virtual horizon the diurnal curve spans")
+    p.add_argument("--corpus-seed", type=int, default=7,
+                   help="seed `schemr generate` was run with")
+    p.add_argument("--corpus-count", type=int, default=1000,
+                   help="count `schemr generate` was run with")
+    p.add_argument("--catalog-size", type=int, default=50,
+                   help="distinct query intents in the Zipf catalog")
+    p.add_argument("--catalog-seed", type=int, default=23)
+    p.add_argument("--fragment-fraction", type=float, default=0.2,
+                   help="fraction of queries attaching a DDL fragment")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--users", type=int, default=4,
+                   help="concurrent simulated users (closed mode)")
+    p.add_argument("--target-qps", type=float, default=50.0,
+                   help="mean arrival rate (open mode)")
+    p.add_argument("--max-workers", type=int, default=16,
+                   help="dispatch threads (open mode)")
+    p.add_argument("--url", default=None,
+                   help="replay against this running `schemr serve` "
+                        "base URL instead of in-process")
+    p.add_argument("--max-concurrent", type=int, default=None, metavar="N",
+                   help="put admission control (shedding) in front of "
+                        "the in-process engine")
+    p.add_argument("--admission-queue", type=int, default=8, metavar="N")
+    p.add_argument("--admission-timeout", type=float, default=0.1,
+                   metavar="SECONDS")
+    p.add_argument("--history", default=None, metavar="PATH",
+                   help="harvest clicked results to this JSONL history "
+                        "(byte-identical across runs of the same spec)")
+    p.add_argument("--history-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="rotate the harvested history past this size")
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("train-weights",
+                       help="fit ensemble weights from harvested search "
+                            "history and A/B them against uniform")
+    p.add_argument("db")
+    p.add_argument("history", help="JSONL history harvested by "
+                                   "`schemr replay --history` or "
+                                   "`schemr serve --history-path`")
+    p.add_argument("--corpus-seed", type=int, default=7)
+    p.add_argument("--corpus-count", type=int, default=1000)
+    p.add_argument("--catalog-size", type=int, default=50,
+                   help="replay catalog size, excluded from the "
+                        "held-out set")
+    p.add_argument("--catalog-seed", type=int, default=23)
+    p.add_argument("--heldout", type=int, default=30,
+                   help="held-out ground-truth queries for the A/B")
+    p.add_argument("--heldout-seed", type=int, default=51)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--no-ab", dest="ab", action="store_false",
+                   help="skip the uniform-vs-trained A/B evaluation")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the training + A/B report as JSON")
+    p.set_defaults(func=_cmd_train_weights)
 
     p = sub.add_parser("lint",
                        help="run the project static-analysis rules "

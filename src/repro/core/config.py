@@ -46,6 +46,10 @@ class SchemrConfig:
     latency above which a search lands in the slow-query log;
     ``trace_buffer_size`` / ``profile_buffer_size`` bound the in-memory
     rings of recent span trees and query profiles.
+    ``history_max_bytes`` bounds the history sink's live JSONL file:
+    past it the file rotates to ``<history_path>.1`` (see
+    :class:`~repro.telemetry.history.SearchHistorySink`), so a
+    million-session replay cannot grow one file without limit.
 
     ``search_budget_seconds`` arms the :mod:`repro.resilience` layer:
     each search gets a wall-clock :class:`~repro.resilience.Deadline`
@@ -96,6 +100,7 @@ class SchemrConfig:
     trace_buffer_size: int = 64  # lint: internal (memory bound, not a tuning knob)
     profile_buffer_size: int = 256  # lint: internal (memory bound, not a tuning knob)
     history_path: str | None = None
+    history_max_bytes: int | None = None
     search_budget_seconds: float | None = None
     degrade_reduced_pool_fraction: float = 0.5  # lint: internal (ladder shape; budget is the knob)
     degrade_name_only_fraction: float = 0.25  # lint: internal (ladder shape; budget is the knob)
@@ -136,6 +141,10 @@ class SchemrConfig:
             raise QueryError(
                 "profile_buffer_size must be >= 1, got "
                 f"{self.profile_buffer_size}")
+        if self.history_max_bytes is not None and self.history_max_bytes < 1:
+            raise QueryError(
+                "history_max_bytes must be >= 1 or None, got "
+                f"{self.history_max_bytes}")
         if (self.search_budget_seconds is not None
                 and self.search_budget_seconds <= 0):
             raise QueryError(

@@ -56,7 +56,16 @@ class RepositoryError(SchemrError):
 
 
 class ServiceError(SchemrError):
-    """The HTTP service layer failed to satisfy a request."""
+    """The HTTP service layer failed to satisfy a request.
+
+    ``status`` carries the HTTP status code when the failure came from
+    a server response (429 lets a replay driver count load shedding
+    distinctly from hard failures); ``None`` for transport errors.
+    """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 class ResilienceError(SchemrError):

@@ -36,7 +36,8 @@ class SchemrClient:
         except urllib.error.HTTPError as exc:
             detail = exc.read().decode("utf-8", errors="replace")
             raise ServiceError(
-                f"server returned {exc.code} for {path}: {detail}") from exc
+                f"server returned {exc.code} for {path}: {detail}",
+                status=exc.code) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
 
@@ -59,6 +60,27 @@ class SchemrClient:
             {"keywords": keywords, "top": top_n, "offset": offset})
         body = fragment.encode("utf-8") if fragment else None
         return parse_results_xml(self._request(f"/search?{params}", body))
+
+    def search_meta(self, keywords: str = "", fragment: str | None = None,
+                    top_n: int = 10, offset: int = 0
+                    ) -> tuple[list[SearchResult], str]:
+        """Like :meth:`search`, plus the response's degradation level.
+
+        Returns ``(results, degradation)`` where ``degradation`` is the
+        machine-readable graceful-degradation attribute the server
+        stamps on ``<searchResults>`` ("none" when absent) — the replay
+        driver uses it to measure the degradation mix under load.
+        """
+        import xml.etree.ElementTree as ET
+        params = urllib.parse.urlencode(
+            {"keywords": keywords, "top": top_n, "offset": offset})
+        body = fragment.encode("utf-8") if fragment else None
+        text = self._request(f"/search?{params}", body)
+        try:
+            degradation = ET.fromstring(text).get("degradation", "none")
+        except ET.ParseError as exc:
+            raise ServiceError(f"malformed results XML: {exc}") from exc
+        return parse_results_xml(text), degradation
 
     def suggest(self, prefix: str, limit: int = 8) -> list[tuple[str, int]]:
         """Completion terms for a search-box prefix: (term, df) pairs."""

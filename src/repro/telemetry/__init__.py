@@ -90,6 +90,7 @@ class Telemetry:
                  profile_buffer_size: int = 256,
                  slow_query_seconds: float = 0.25,
                  history_path: str | Path | None = None,
+                 history_max_bytes: int | None = None,
                  wall_clock: Callable[[], float] = time.time) -> None:
         self.enabled = enabled
         self.wall_clock = wall_clock
@@ -101,7 +102,8 @@ class Telemetry:
             buffer_size=profile_buffer_size,
             slow_threshold_seconds=slow_query_seconds)
         self.history: SearchHistorySink | None = (
-            SearchHistorySink(history_path, wall_clock=wall_clock)
+            SearchHistorySink(history_path, wall_clock=wall_clock,
+                              max_bytes=history_max_bytes)
             if enabled and history_path is not None else None)
 
     @classmethod
@@ -113,6 +115,7 @@ class Telemetry:
             profile_buffer_size=config.profile_buffer_size,
             slow_query_seconds=config.slow_query_seconds,
             history_path=config.history_path,
+            history_max_bytes=config.history_max_bytes,
         )
 
     @classmethod

@@ -132,6 +132,21 @@ METRICS: dict[str, tuple[str, str]] = {
         "counter", "Admissions that timed out in the queue"),
     "schemr_server_stop_hangs_total": (
         "counter", "stop() calls whose serve thread failed to exit"),
+    # -- workload replay ----------------------------------------------
+    "schemr_workload_sessions_total": (
+        "counter", "Sessions replayed"),
+    "schemr_workload_queries_total": (
+        "counter", "Replay queries issued"),
+    "schemr_workload_clicks_total": (
+        "counter", "Synthetic clicks recorded"),
+    "schemr_workload_shed_total": (
+        "counter", "Replay queries shed by admission control"),
+    "schemr_workload_errors_total": (
+        "counter", "Replay queries that failed"),
+    "schemr_workload_request_seconds": (
+        "histogram", "Replay request latency"),
+    "schemr_workload_lag_seconds": (
+        "histogram", "Open-loop dispatch lag behind the arrival schedule"),
 }
 
 

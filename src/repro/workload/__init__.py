@@ -1,0 +1,85 @@
+"""Synthetic traffic replay and the search-history learning loop.
+
+The paper's E2/E3 experiments evaluate schemr on a few hundred
+curated queries; its deployment story ("as Schemr is utilized in
+practice, we can record search histories...") presumes *traffic*.
+This package supplies it:
+
+* :mod:`~repro.workload.catalog` — ground-truth query intents with
+  Zipf popularity, regenerated from the corpus seed;
+* :mod:`~repro.workload.sessions` — deterministic user sessions with
+  reformulation, noise channels, diurnal load, and burst episodes;
+* :mod:`~repro.workload.clicks` — position-biased, relevance-gated
+  click model (the examination hypothesis);
+* :mod:`~repro.workload.replay` — closed- and open-loop drivers over
+  an in-process engine or a live ``schemr serve`` endpoint, harvesting
+  byte-identical history through the telemetry sink;
+* :mod:`~repro.workload.train` — history → training examples →
+  learned weights → uniform-vs-trained A/B with significance testing.
+"""
+
+from repro.workload.catalog import (
+    CatalogEntry,
+    QueryCatalog,
+    attach_schema_ids,
+    build_catalog,
+    fragment_for,
+    regenerate_corpus,
+)
+from repro.workload.clicks import ClickModel
+from repro.workload.replay import (
+    EngineTarget,
+    HttpTarget,
+    QueryOutcome,
+    ReplayDriver,
+    ReplayReport,
+    ReplayTarget,
+    VIRTUAL_EPOCH,
+)
+from repro.workload.sessions import (
+    BurstEpisode,
+    Session,
+    SessionGenerator,
+    SessionQuery,
+    WorkloadSpec,
+    render_keywords,
+)
+from repro.workload.train import (
+    ABResult,
+    TrainingReport,
+    ab_compare,
+    examples_from_history,
+    heldout_queries,
+    matcher_features,
+    train_weights,
+)
+
+__all__ = [
+    "ABResult",
+    "BurstEpisode",
+    "CatalogEntry",
+    "ClickModel",
+    "EngineTarget",
+    "HttpTarget",
+    "QueryCatalog",
+    "QueryOutcome",
+    "ReplayDriver",
+    "ReplayReport",
+    "ReplayTarget",
+    "Session",
+    "SessionGenerator",
+    "SessionQuery",
+    "TrainingReport",
+    "VIRTUAL_EPOCH",
+    "WorkloadSpec",
+    "ab_compare",
+    "attach_schema_ids",
+    "build_catalog",
+    "examples_from_history",
+    "fragment_for",
+    "heldout_queries",
+    "matcher_features",
+    "regenerate_corpus",
+    "render_keywords",
+    "train_weights",
+]

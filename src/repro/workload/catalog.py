@@ -1,0 +1,150 @@
+"""The query catalog: ground-truth intents with Zipf popularity.
+
+A replay needs queries whose relevant answers are *known*, or the
+click model would be clicking blind and the harvested history would
+teach the learner nothing.  The catalog regenerates the corpus's
+provenance (the :class:`~repro.corpus.generator.CorpusGenerator` is
+deterministic per seed), re-attaches stored schema ids by name, and
+samples ground-truth intents through
+:class:`~repro.corpus.groundtruth.QuerySampler`.  Each intent gets a
+Zipf popularity weight — real keyword traffic is heavy-tailed: a few
+queries dominate, most appear once — and a DDL fragment rendering so
+sessions can mix keyword and schema-fragment queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+
+from repro.corpus.domains import DOMAINS
+from repro.corpus.filters import paper_filter
+from repro.corpus.generator import CorpusGenerator, GeneratedSchema
+from repro.corpus.groundtruth import GroundTruthQuery, QuerySampler
+from repro.errors import SchemrError
+
+
+def regenerate_corpus(corpus_seed: int,
+                      corpus_count: int) -> list[GeneratedSchema]:
+    """Re-derive the provenanced corpus a `schemr generate` run stored.
+
+    Generation is fully deterministic per seed, so the same
+    (seed, count) pair reproduces the exact schemas — including their
+    ground-truth relevance structure — without the repository having to
+    persist provenance.
+    """
+    generator = CorpusGenerator(seed=corpus_seed)
+    stats = paper_filter(generator.generate_raw_stream(corpus_count))
+    return list(stats.kept)
+
+
+def attach_schema_ids(repository,
+                      corpus: list[GeneratedSchema]
+                      ) -> list[GeneratedSchema]:
+    """Map regenerated provenance onto stored schema ids, by name.
+
+    Generated schema names embed a generation serial, so name lookup is
+    exact.  Returns only the corpus entries that exist in the
+    repository; raises when nothing matches (wrong seed/count for this
+    repository).
+    """
+    rows = repository.connection.execute(
+        "SELECT schema_id, name FROM schemas")
+    id_by_name = {row["name"]: row["schema_id"] for row in rows}
+    matched = []
+    for generated in corpus:
+        schema_id = id_by_name.get(generated.schema.name)
+        if schema_id is None:
+            continue
+        generated.schema.schema_id = schema_id
+        matched.append(generated)
+    if not matched:
+        raise SchemrError(
+            "no regenerated schema matched the repository; the "
+            "--corpus-seed/--corpus-count pair must be the one "
+            "`schemr generate` was run with")
+    return matched
+
+
+@dataclass(frozen=True, slots=True)
+class CatalogEntry:
+    """One searchable intent: a ground-truth query plus its popularity."""
+
+    intent_id: int
+    query: GroundTruthQuery
+    weight: float
+    fragment: str
+
+
+def fragment_for(query: GroundTruthQuery) -> str:
+    """A DDL fragment rendering of the intent (schema-fragment queries).
+
+    The paper's designers paste a table sketch next to their keywords;
+    the synthetic equivalent is the queried template with the queried
+    canonical attributes as columns.
+    """
+    columns = ",\n  ".join(
+        f"{attribute.replace(' ', '_')} VARCHAR(100)"
+        for attribute in query.canonical_keywords[1:]) or "id INTEGER"
+    table = query.template.replace(" ", "_")
+    return f"CREATE TABLE {table} (\n  {columns}\n);"
+
+
+class QueryCatalog:
+    """Zipf-weighted intent pool the session generator draws from.
+
+    Intent ``i`` (in sampling order) has weight ``1 / (i + 1)**s`` —
+    the classic heavy-tailed popularity curve.  ``sample_intent`` draws
+    by cumulative weight with the caller's RNG so every consumer stays
+    deterministic under its own seed.
+    """
+
+    def __init__(self, queries: list[GroundTruthQuery],
+                 zipf_exponent: float = 1.1) -> None:
+        if not queries:
+            raise SchemrError("query catalog needs at least one intent")
+        if zipf_exponent <= 0:
+            raise SchemrError(
+                f"zipf_exponent must be positive, got {zipf_exponent}")
+        self.zipf_exponent = zipf_exponent
+        self._entries = tuple(
+            CatalogEntry(intent_id=i, query=query,
+                         weight=1.0 / (i + 1) ** zipf_exponent,
+                         fragment=fragment_for(query))
+            for i, query in enumerate(queries))
+        self._cumulative: list[float] = []
+        total = 0.0
+        for entry in self._entries:
+            total += entry.weight
+            self._cumulative.append(total)
+
+    @property
+    def entries(self) -> tuple[CatalogEntry, ...]:
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, intent_id: int) -> CatalogEntry:
+        return self._entries[intent_id]
+
+    def sample_intent(self, rng: random.Random) -> CatalogEntry:
+        """One weighted draw from the popularity distribution."""
+        point = rng.random() * self._cumulative[-1]
+        return self._entries[bisect.bisect_left(self._cumulative, point)]
+
+
+def build_catalog(corpus: list[GeneratedSchema], size: int,
+                  seed: int = 23, zipf_exponent: float = 1.1,
+                  keywords_per_query: int = 4) -> QueryCatalog:
+    """Sample ``size`` ground-truth intents into a Zipf catalog.
+
+    The corpus must carry stored schema ids (see
+    :func:`attach_schema_ids`); intents are sampled clean — sessions
+    apply their own noise-channel renderings per query event.
+    """
+    sampler = QuerySampler(corpus, DOMAINS, seed=seed)
+    queries = sampler.sample(size, channel="clean",
+                             keywords_per_query=keywords_per_query)
+    return QueryCatalog(queries, zipf_exponent=zipf_exponent)

@@ -1,0 +1,78 @@
+"""Position-biased click model over ground-truth relevance.
+
+Clicks are the label the meta-learner trains on, so they must look
+like user behaviour, not like an oracle: users examine results
+top-down with decaying attention (position bias) and click examined
+results in proportion to how attractive — here, how *relevant* — they
+are.  This is the classic examination-hypothesis model: ``P(click at
+rank r) = examination(r) * attractiveness(grade)`` with examination
+decaying geometrically in rank.  Relevance grades come from the
+corpus's exact ground truth, so a click is noisy evidence of true
+relevance — exactly the signal real search history would carry.
+
+Deterministic per (seed, session, query): the model derives a
+sub-seeded RNG for every page, so the same replay produces the same
+clicks regardless of thread interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.corpus.groundtruth import GroundTruthQuery
+from repro.core.results import SearchResult
+from repro.errors import SchemrError
+
+
+class ClickModel:
+    """Examination-hypothesis clicks, relevance-gated by ground truth."""
+
+    def __init__(self, seed: int = 131, persistence: float = 0.72,
+                 grade2_probability: float = 0.65,
+                 grade1_probability: float = 0.22,
+                 grade0_probability: float = 0.02) -> None:
+        if not 0.0 < persistence <= 1.0:
+            raise SchemrError(
+                f"persistence must be in (0, 1], got {persistence}")
+        for name, value in (("grade2", grade2_probability),
+                            ("grade1", grade1_probability),
+                            ("grade0", grade0_probability)):
+            if not 0.0 <= value <= 1.0:
+                raise SchemrError(
+                    f"{name}_probability must be in [0, 1], got {value}")
+        self._seed = seed
+        self._persistence = persistence
+        self._attractiveness = {2: grade2_probability,
+                                1: grade1_probability,
+                                0: grade0_probability}
+
+    def attractiveness(self, grade: int) -> float:
+        """Click probability of an examined result with this grade."""
+        return self._attractiveness[min(max(grade, 0), 2)]
+
+    def examination(self, rank: int) -> float:
+        """Probability a user examines the result at 1-based ``rank``."""
+        if rank < 1:
+            raise SchemrError(f"rank must be >= 1, got {rank}")
+        return self._persistence ** (rank - 1)
+
+    def clicks(self, query: GroundTruthQuery,
+               results: Sequence[SearchResult],
+               session_id: int, query_index: int) -> set[int]:
+        """Schema ids clicked on this result page.
+
+        The RNG is derived from (model seed, session, query index), so
+        clicks depend only on the page content and the identifiers —
+        never on replay timing or thread scheduling.
+        """
+        rng = random.Random(
+            f"{self._seed}:click:{session_id}:{query_index}")
+        clicked: set[int] = set()
+        for rank, result in enumerate(results, start=1):
+            grade = query.relevance.get(result.schema_id, 0)
+            probability = (self.examination(rank)
+                           * self.attractiveness(grade))
+            if rng.random() < probability:
+                clicked.add(result.schema_id)
+        return clicked

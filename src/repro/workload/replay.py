@@ -1,0 +1,457 @@
+"""The replay driver: synthetic sessions through the real stack.
+
+Two load modes, the standard pair from load-testing practice:
+
+* **closed loop** — ``users`` concurrent simulated users, each working
+  through whole sessions query-by-query as fast as the stack answers.
+  This is the *harvest* mode: every result page runs through the click
+  model and is written to the :class:`SearchHistorySink` with virtual
+  timestamps, sorted by (session, query), so the harvested history is
+  **byte-identical across runs** of the same spec against a
+  deterministic target (no search budget, no shedding).
+* **open loop** — arrivals follow the spec's diurnal/burst schedule
+  compressed to a target mean QPS, issued on time whether or not
+  earlier queries finished.  This is the *overload* mode: it measures
+  shed rate (429s / :class:`AdmissionRejected`), the
+  degradation-level mix, and latency under the curve — the regime
+  where admission control and the degradation ladder earn their keep.
+
+Targets: an in-process :class:`~repro.core.engine.SchemrEngine` (or
+the sharded front — anything with ``search``/``thread_profile``), or a
+live ``schemr serve`` HTTP endpoint via
+:class:`~repro.service.client.SchemrClient`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol
+
+from repro.core.results import SearchResult
+from repro.errors import AdmissionRejected, SchemrError, ServiceError
+from repro.resilience.shedding import AdmissionController
+from repro.telemetry import SearchHistorySink, Telemetry
+from repro.workload.catalog import QueryCatalog
+from repro.workload.clicks import ClickModel
+from repro.workload.sessions import (
+    Session,
+    SessionGenerator,
+    SessionQuery,
+    WorkloadSpec,
+)
+
+#: Virtual epoch harvested timestamps count from — an arbitrary fixed
+#: origin so byte-identity never depends on the machine's clock.
+VIRTUAL_EPOCH = 1_700_000_000.0
+
+
+class ReplayTarget(Protocol):
+    """Anything the driver can throw a query at."""
+
+    def search(self, keywords: tuple[str, ...], fragment: str | None,
+               top_n: int) -> tuple[list[SearchResult], str]:
+        """Run one query; returns (results, degradation level)."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class EngineTarget:
+    """In-process target over a :class:`SchemrEngine`-shaped object.
+
+    ``admission`` optionally puts the PR 4 admission controller in
+    front — the open-loop mode needs *something* to shed, and in
+    process there is no HTTP tier to do it.
+    """
+
+    def __init__(self, engine, admission: AdmissionController | None = None,
+                 owns_engine: bool = False) -> None:
+        self._engine = engine
+        self._admission = admission
+        self._owns_engine = owns_engine
+
+    @property
+    def engine(self):
+        return self._engine
+
+    def search(self, keywords: tuple[str, ...], fragment: str | None,
+               top_n: int) -> tuple[list[SearchResult], str]:
+        if self._admission is not None:
+            with self._admission.admitted():
+                return self._search(keywords, fragment, top_n)
+        return self._search(keywords, fragment, top_n)
+
+    def _search(self, keywords: tuple[str, ...], fragment: str | None,
+                top_n: int) -> tuple[list[SearchResult], str]:
+        results = self._engine.search(keywords=list(keywords),
+                                      fragment=fragment, top_n=top_n)
+        profile = self._engine.thread_profile
+        degradation = profile.degradation if profile is not None else "none"
+        return results, degradation
+
+    def close(self) -> None:
+        if self._owns_engine:
+            self._engine.close()
+
+
+class HttpTarget:
+    """Target over a live ``schemr serve`` endpoint.
+
+    A 429 response maps to :class:`AdmissionRejected` so the driver
+    counts server-side shedding exactly like in-process shedding.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        from repro.service.client import SchemrClient
+        self._client = SchemrClient(base_url, timeout=timeout)
+
+    def search(self, keywords: tuple[str, ...], fragment: str | None,
+               top_n: int) -> tuple[list[SearchResult], str]:
+        try:
+            return self._client.search_meta(
+                keywords=" ".join(keywords), fragment=fragment, top_n=top_n)
+        except ServiceError as exc:
+            if exc.status == 429:
+                raise AdmissionRejected(str(exc)) from exc
+            raise
+
+    def close(self) -> None:
+        pass
+
+
+@dataclass(slots=True)
+class QueryOutcome:
+    """What happened to one replayed query."""
+
+    session_id: int
+    query_index: int
+    arrival_at: float
+    keywords: tuple[str, ...]
+    latency_seconds: float = 0.0
+    results: list[SearchResult] | None = None
+    clicked: set[int] = field(default_factory=set)
+    shed: bool = False
+    error: str | None = None
+    degradation: str = "none"
+    lag_seconds: float = 0.0
+
+
+@dataclass(slots=True)
+class ReplayReport:
+    """Aggregate outcome of one replay run."""
+
+    mode: str
+    sessions: int
+    queries: int
+    completed: int
+    shed: int
+    errors: int
+    clicks: int
+    records_harvested: int
+    elapsed_seconds: float
+    achieved_qps: float
+    target_qps: float | None
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    degradation_mix: dict[str, int]
+    lag_p99_ms: float = 0.0
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.queries if self.queries else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "sessions": self.sessions,
+            "queries": self.queries,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_fraction": self.shed_fraction,
+            "errors": self.errors,
+            "clicks": self.clicks,
+            "records_harvested": self.records_harvested,
+            "elapsed_seconds": self.elapsed_seconds,
+            "achieved_qps": self.achieved_qps,
+            "target_qps": self.target_qps,
+            "p50_ms": self.p50_ms,
+            "p90_ms": self.p90_ms,
+            "p99_ms": self.p99_ms,
+            "degradation_mix": dict(self.degradation_mix),
+            "lag_p99_ms": self.lag_p99_ms,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"replay ({self.mode} loop): {self.sessions} sessions, "
+            f"{self.queries} queries in {self.elapsed_seconds:.2f}s "
+            f"({self.achieved_qps:.1f} qps"
+            + (f", target {self.target_qps:.1f}" if self.target_qps else "")
+            + ")",
+            f"  completed={self.completed} shed={self.shed} "
+            f"({self.shed_fraction:.1%}) errors={self.errors} "
+            f"clicks={self.clicks}",
+            f"  latency p50={self.p50_ms:.1f}ms p90={self.p90_ms:.1f}ms "
+            f"p99={self.p99_ms:.1f}ms",
+            "  degradation: " + (", ".join(
+                f"{name}={count}" for name, count in
+                sorted(self.degradation_mix.items())) or "none"),
+        ]
+        if self.records_harvested:
+            lines.append(
+                f"  harvested {self.records_harvested} history records")
+        return "\n".join(lines)
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+class ReplayDriver:
+    """Runs a workload spec against a target and harvests the results."""
+
+    def __init__(self, target: ReplayTarget, catalog: QueryCatalog,
+                 spec: WorkloadSpec, click_model: ClickModel | None = None,
+                 sink: SearchHistorySink | None = None,
+                 telemetry: Telemetry | None = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self._target = target
+        self._catalog = catalog
+        self._spec = spec
+        self._clicks = click_model or ClickModel(seed=spec.seed)
+        self._sink = sink
+        self._telemetry = telemetry or Telemetry.disabled()
+        self._clock = clock
+        self._sleep = sleep
+        metrics = self._telemetry.metrics
+        self._m_sessions = metrics.counter(
+            "schemr_workload_sessions_total", "Sessions replayed")
+        self._m_queries = metrics.counter(
+            "schemr_workload_queries_total", "Replay queries issued")
+        self._m_clicks = metrics.counter(
+            "schemr_workload_clicks_total", "Synthetic clicks recorded")
+        self._m_shed = metrics.counter(
+            "schemr_workload_shed_total",
+            "Replay queries shed by admission control")
+        self._m_errors = metrics.counter(
+            "schemr_workload_errors_total", "Replay queries that failed")
+        self._m_latency = metrics.histogram(
+            "schemr_workload_request_seconds", "Replay request latency")
+        self._m_lag = metrics.histogram(
+            "schemr_workload_lag_seconds",
+            "Open-loop dispatch lag behind the arrival schedule")
+
+    # -- closed loop ---------------------------------------------------
+
+    def run_closed_loop(self, users: int = 4) -> ReplayReport:
+        """``users`` concurrent simulated users, sessions in order.
+
+        The harvest contract: with a deterministic target, the history
+        file written through the sink is byte-identical across runs —
+        outcomes are sorted by (session, query), stamped with virtual
+        arrival times, and carry no wall-clock measurement.
+        """
+        if users < 1:
+            raise SchemrError(f"users must be >= 1, got {users}")
+        generator = SessionGenerator(self._catalog, self._spec)
+        source = generator.sessions()
+        source_lock = threading.Lock()
+
+        def next_session() -> Session | None:
+            with source_lock:
+                return next(source, None)
+
+        outcome_lists: list[list[QueryOutcome]] = [[] for _ in range(users)]
+        errors: list[BaseException] = []
+
+        def worker(slot: int) -> None:
+            try:
+                while True:
+                    session = next_session()
+                    if session is None:
+                        return
+                    self._m_sessions.inc()
+                    for outcome in self._replay_session(session):
+                        outcome_lists[slot].append(outcome)
+            except BaseException as exc:  # lint: fault-boundary (collected and re-raised after join)
+                errors.append(exc)
+
+        started = self._clock()
+        threads = [threading.Thread(target=worker, args=(slot,),
+                                    name=f"replay-user-{slot}")
+                   for slot in range(users)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = max(self._clock() - started, 1e-9)
+        if errors:
+            raise SchemrError(
+                f"replay worker failed: {errors[0]!r}") from errors[0]
+        outcomes = [outcome for worker_outcomes in outcome_lists
+                    for outcome in worker_outcomes]
+        outcomes.sort(key=lambda o: (o.session_id, o.query_index))
+        harvested = self._harvest(outcomes)
+        return self._report("closed", outcomes, elapsed, harvested,
+                            target_qps=None)
+
+    def _replay_session(self, session: Session) -> Iterator[QueryOutcome]:
+        for index, query in enumerate(session.queries):
+            yield self._issue(session.session_id, index,
+                              session.started_at + query.arrival_offset,
+                              query)
+
+    def _issue(self, session_id: int, query_index: int, arrival_at: float,
+               query: SessionQuery, lag_seconds: float = 0.0) -> QueryOutcome:
+        outcome = QueryOutcome(session_id=session_id,
+                               query_index=query_index,
+                               arrival_at=arrival_at,
+                               keywords=query.keywords,
+                               lag_seconds=lag_seconds)
+        self._m_queries.inc()
+        started = self._clock()
+        try:
+            results, degradation = self._target.search(
+                query.keywords, query.fragment, self._spec.top_n)
+        except AdmissionRejected:
+            outcome.shed = True
+            outcome.latency_seconds = self._clock() - started
+            self._m_shed.inc()
+            return outcome
+        except SchemrError as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.latency_seconds = self._clock() - started
+            self._m_errors.inc()
+            return outcome
+        outcome.latency_seconds = self._clock() - started
+        outcome.results = results
+        outcome.degradation = degradation
+        entry = self._catalog.entry(query.intent_id)
+        outcome.clicked = self._clicks.clicks(
+            entry.query, results, session_id, query_index)
+        self._m_latency.observe(outcome.latency_seconds)
+        self._m_clicks.inc(len(outcome.clicked))
+        return outcome
+
+    def _harvest(self, outcomes: list[QueryOutcome]) -> int:
+        """Write completed outcomes through the sink, virtual-stamped."""
+        if self._sink is None:
+            return 0
+        harvested = 0
+        for outcome in outcomes:
+            if outcome.results is None:
+                continue
+            self._sink.record(
+                outcome.keywords, outcome.results,
+                total_seconds=0.0,
+                clicked_ids=outcome.clicked,
+                recorded_at=VIRTUAL_EPOCH + outcome.arrival_at)
+            harvested += 1
+        self._sink.flush()
+        return harvested
+
+    # -- open loop -----------------------------------------------------
+
+    def run_open_loop(self, target_qps: float,
+                      max_workers: int = 16) -> ReplayReport:
+        """Issue the arrival schedule at a mean of ``target_qps``.
+
+        The virtual horizon is compressed so the spec's total query
+        count arrives at ``target_qps`` on average, with the diurnal
+        curve and bursts modulating the instantaneous rate around it.
+        Arrivals are dispatched on schedule regardless of completions —
+        queued work past ``max_workers`` shows up as dispatch lag, shed
+        requests as 429-equivalents, never as a silently thinner load.
+        """
+        if target_qps <= 0:
+            raise SchemrError(
+                f"target_qps must be positive, got {target_qps}")
+        if max_workers < 1:
+            raise SchemrError(
+                f"max_workers must be >= 1, got {max_workers}")
+        generator = SessionGenerator(self._catalog, self._spec)
+        events: list[tuple[float, int, int, SessionQuery]] = []
+        session_count = 0
+        for session in generator.sessions():
+            session_count += 1
+            self._m_sessions.inc()
+            for index, query in enumerate(session.queries):
+                events.append((session.started_at + query.arrival_offset,
+                               session.session_id, index, query))
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        if not events:
+            raise SchemrError("workload produced no query events")
+        scale = (len(events) / target_qps) / self._spec.duration_seconds
+
+        from concurrent.futures import ThreadPoolExecutor
+        outcomes: list[QueryOutcome] = []
+        outcomes_lock = threading.Lock()
+
+        def dispatch(arrival_virtual: float, session_id: int,
+                     query_index: int, query: SessionQuery,
+                     scheduled_real: float) -> None:
+            lag = max(0.0, self._clock() - scheduled_real)
+            self._m_lag.observe(lag)
+            outcome = self._issue(session_id, query_index, arrival_virtual,
+                                  query, lag_seconds=lag)
+            with outcomes_lock:
+                outcomes.append(outcome)
+
+        started = self._clock()
+        with ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="replay-open") as executor:
+            for arrival_virtual, session_id, query_index, query in events:
+                scheduled_real = started + arrival_virtual * scale
+                delay = scheduled_real - self._clock()
+                if delay > 0:
+                    self._sleep(delay)
+                executor.submit(dispatch, arrival_virtual, session_id,
+                                query_index, query, scheduled_real)
+        elapsed = max(self._clock() - started, 1e-9)
+        outcomes.sort(key=lambda o: (o.session_id, o.query_index))
+        harvested = self._harvest(outcomes)
+        return self._report("open", outcomes, elapsed, harvested,
+                            target_qps=target_qps)
+
+    # -- reporting -----------------------------------------------------
+
+    def _report(self, mode: str, outcomes: list[QueryOutcome],
+                elapsed: float, harvested: int,
+                target_qps: float | None) -> ReplayReport:
+        completed = [o for o in outcomes if o.results is not None]
+        latencies = [o.latency_seconds * 1000.0 for o in completed]
+        lags = [o.lag_seconds * 1000.0 for o in outcomes]
+        mix: dict[str, int] = {}
+        for outcome in completed:
+            mix[outcome.degradation] = mix.get(outcome.degradation, 0) + 1
+        sessions = len({o.session_id for o in outcomes})
+        return ReplayReport(
+            mode=mode,
+            sessions=sessions,
+            queries=len(outcomes),
+            completed=len(completed),
+            shed=sum(1 for o in outcomes if o.shed),
+            errors=sum(1 for o in outcomes if o.error is not None),
+            clicks=sum(len(o.clicked) for o in completed),
+            records_harvested=harvested,
+            elapsed_seconds=elapsed,
+            achieved_qps=len(outcomes) / elapsed,
+            target_qps=target_qps,
+            p50_ms=percentile(latencies, 0.50),
+            p90_ms=percentile(latencies, 0.90),
+            p99_ms=percentile(latencies, 0.99),
+            degradation_mix=mix,
+            lag_p99_ms=percentile(lags, 0.99),
+        )

@@ -1,0 +1,271 @@
+"""Deterministic synthetic user sessions over a query catalog.
+
+The session generator turns a :class:`~repro.workload.catalog.QueryCatalog`
+into a stream of user sessions shaped like real search traffic:
+
+* **heavy-tailed popularity** — each session's intent is a Zipf draw
+  from the catalog, so a few queries dominate the traffic;
+* **reformulation** — follow-up queries in a session re-render the same
+  intent through another noise channel (abbreviation, plural,
+  delimiter, typo), the phenomena the paper's name matcher targets;
+* **mixed modality** — a configurable fraction of queries attach the
+  intent's DDL fragment next to the keywords;
+* **diurnal load** — session start times follow a one-period sinusoid
+  over the virtual horizon, with burst episodes (flash crowds)
+  multiplying the arrival rate inside short windows.
+
+Everything is derived from ``WorkloadSpec.seed`` through stable
+per-session sub-seeds (string-seeded :class:`random.Random`, which
+hashes deterministically across processes and platforms), so the same
+spec always yields the same session stream — the property the
+byte-identical-harvest guarantee of :mod:`repro.workload.replay` rests
+on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.corpus.groundtruth import QUERY_CHANNELS
+from repro.corpus.noise import NameStyler, pluralize
+from repro.errors import SchemrError
+from repro.workload.catalog import QueryCatalog
+
+
+@dataclass(frozen=True, slots=True)
+class SessionQuery:
+    """One query event inside a session."""
+
+    intent_id: int
+    keywords: tuple[str, ...]
+    channel: str
+    fragment: str | None
+    arrival_offset: float
+    """Seconds after the session started (virtual time)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Session:
+    """One synthetic user visit: ordered query events."""
+
+    session_id: int
+    started_at: float
+    """Virtual seconds after the replay epoch."""
+    queries: tuple[SessionQuery, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class BurstEpisode:
+    """A flash-crowd window multiplying the arrival rate."""
+
+    start: float
+    duration: float
+    multiplier: float
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Shape of the synthetic traffic; every field feeds the seed."""
+
+    seed: int = 97
+    sessions: int = 1000
+    duration_seconds: float = 86400.0
+    zipf_exponent: float = 1.1
+    mean_queries_per_session: float = 3.0
+    mean_think_seconds: float = 30.0
+    fragment_fraction: float = 0.2
+    reformulation_probability: float = 0.35
+    channel_mix: tuple[tuple[str, float], ...] = (
+        ("clean", 0.55), ("abbreviated", 0.15), ("plural", 0.12),
+        ("delimiter", 0.10), ("typo", 0.08))
+    diurnal_amplitude: float = 0.6
+    diurnal_peak_fraction: float = 0.75
+    burst_count: int = 2
+    burst_duration_fraction: float = 0.02
+    burst_multiplier: float = 6.0
+    top_n: int = 10
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise SchemrError(f"sessions must be >= 1, got {self.sessions}")
+        if self.duration_seconds <= 0:
+            raise SchemrError("duration_seconds must be positive, got "
+                              f"{self.duration_seconds}")
+        if self.mean_queries_per_session < 1:
+            raise SchemrError("mean_queries_per_session must be >= 1, got "
+                              f"{self.mean_queries_per_session}")
+        if self.mean_think_seconds < 0:
+            raise SchemrError("mean_think_seconds must be >= 0, got "
+                              f"{self.mean_think_seconds}")
+        if not 0.0 <= self.fragment_fraction <= 1.0:
+            raise SchemrError("fragment_fraction must be in [0, 1], got "
+                              f"{self.fragment_fraction}")
+        if not 0.0 <= self.reformulation_probability <= 1.0:
+            raise SchemrError("reformulation_probability must be in "
+                              f"[0, 1], got {self.reformulation_probability}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise SchemrError("diurnal_amplitude must be in [0, 1), got "
+                              f"{self.diurnal_amplitude}")
+        if self.burst_count < 0:
+            raise SchemrError(
+                f"burst_count must be >= 0, got {self.burst_count}")
+        if self.burst_multiplier < 1.0:
+            raise SchemrError("burst_multiplier must be >= 1, got "
+                              f"{self.burst_multiplier}")
+        if self.top_n < 1:
+            raise SchemrError(f"top_n must be >= 1, got {self.top_n}")
+        for channel, share in self.channel_mix:
+            if channel not in QUERY_CHANNELS:
+                raise SchemrError(f"unknown channel {channel!r} in mix; "
+                                  f"one of {QUERY_CHANNELS}")
+            if share < 0:
+                raise SchemrError(
+                    f"channel share for {channel!r} must be >= 0")
+
+
+def render_keywords(canonical: list[str] | tuple[str, ...], channel: str,
+                    rng: random.Random) -> tuple[str, ...]:
+    """Render canonical keywords through one noise channel.
+
+    Mirrors the ground-truth sampler's channels so session queries look
+    like the E2 evaluation queries: abbreviation, pluralized head noun,
+    non-space delimiters, or a single interior typo on the longest
+    word.
+    """
+    if channel == "clean":
+        return tuple(canonical)
+    rendered = []
+    for keyword in canonical:
+        if channel == "abbreviated":
+            styler = NameStyler("abbreviated", rng, plural_probability=0.0,
+                                abbreviate_probability=1.0)
+            rendered.append(styler.render(keyword, allow_plural=False))
+        elif channel == "plural":
+            words = keyword.split()
+            words[-1] = pluralize(words[-1])
+            rendered.append(" ".join(words))
+        elif channel == "typo":
+            words = keyword.split()
+            target = max(range(len(words)), key=lambda i: len(words[i]))
+            words[target] = _typo(words[target], rng)
+            rendered.append(" ".join(words))
+        else:  # delimiter
+            delimiter = rng.choice(("-", ".", "_"))
+            rendered.append(delimiter.join(keyword.split()))
+    return tuple(rendered)
+
+
+def _typo(word: str, rng: random.Random) -> str:
+    """One interior character deletion or adjacent transposition."""
+    if len(word) < 4:
+        return word
+    i = rng.randrange(1, len(word) - 2)
+    if rng.random() < 0.5:
+        return word[:i] + word[i + 1:]
+    return word[:i] + word[i + 1] + word[i] + word[i + 2:]
+
+
+class SessionGenerator:
+    """Streams deterministic sessions from a catalog and a spec."""
+
+    #: Arrival-time resolution: the virtual horizon is split into this
+    #: many bins whose weights carry the diurnal curve and bursts.
+    ARRIVAL_BINS = 1440
+
+    def __init__(self, catalog: QueryCatalog, spec: WorkloadSpec) -> None:
+        self._catalog = catalog
+        self._spec = spec
+        self._bursts = self._sample_bursts()
+
+    @property
+    def bursts(self) -> tuple[BurstEpisode, ...]:
+        return self._bursts
+
+    def intensity(self, t: float) -> float:
+        """Relative arrival rate at virtual time ``t``.
+
+        A one-period sinusoid peaking at ``diurnal_peak_fraction`` of
+        the horizon, multiplied inside any burst window.
+        """
+        spec = self._spec
+        phase = 2.0 * math.pi * (t / spec.duration_seconds
+                                 - spec.diurnal_peak_fraction)
+        rate = 1.0 + spec.diurnal_amplitude * math.cos(phase)
+        for burst in self._bursts:
+            if burst.start <= t < burst.start + burst.duration:
+                rate *= burst.multiplier
+        return rate
+
+    def _sample_bursts(self) -> tuple[BurstEpisode, ...]:
+        spec = self._spec
+        rng = random.Random(f"{spec.seed}:bursts")
+        duration = spec.burst_duration_fraction * spec.duration_seconds
+        episodes = []
+        for _ in range(spec.burst_count):
+            start = rng.random() * (spec.duration_seconds - duration)
+            episodes.append(BurstEpisode(start=start, duration=duration,
+                                         multiplier=spec.burst_multiplier))
+        return tuple(sorted(episodes, key=lambda b: b.start))
+
+    def _start_times(self) -> list[float]:
+        """Session start times along the diurnal/burst intensity curve.
+
+        Inverse-CDF sampling over discretized bins: one
+        ``rng.choices`` call assigns every session a bin, a uniform
+        jitter places it inside, and the sorted result is the arrival
+        order.  O(sessions) memory — fine even at millions (floats).
+        """
+        spec = self._spec
+        rng = random.Random(f"{spec.seed}:arrivals")
+        width = spec.duration_seconds / self.ARRIVAL_BINS
+        weights = [self.intensity((i + 0.5) * width)
+                   for i in range(self.ARRIVAL_BINS)]
+        bins = rng.choices(range(self.ARRIVAL_BINS), weights=weights,
+                           k=spec.sessions)
+        times = [(b + rng.random()) * width for b in bins]
+        times.sort()
+        return times
+
+    def sessions(self) -> Iterator[Session]:
+        """Yield every session in arrival order, one at a time."""
+        for session_id, started_at in enumerate(self._start_times()):
+            yield self._build_session(session_id, started_at)
+
+    def _build_session(self, session_id: int, started_at: float) -> Session:
+        spec = self._spec
+        rng = random.Random(f"{spec.seed}:session:{session_id}")
+        count = 1 + self._geometric(rng, spec.mean_queries_per_session - 1.0)
+        channels = [c for c, _ in spec.channel_mix]
+        shares = [s for _, s in spec.channel_mix]
+        entry = self._catalog.sample_intent(rng)
+        queries = []
+        offset = 0.0
+        for index in range(count):
+            if index > 0:
+                if rng.random() >= spec.reformulation_probability:
+                    entry = self._catalog.sample_intent(rng)
+                if spec.mean_think_seconds > 0:
+                    offset += rng.expovariate(1.0 / spec.mean_think_seconds)
+            channel = rng.choices(channels, weights=shares, k=1)[0]
+            keywords = render_keywords(
+                entry.query.canonical_keywords, channel, rng)
+            fragment = (entry.fragment
+                        if rng.random() < spec.fragment_fraction else None)
+            queries.append(SessionQuery(
+                intent_id=entry.intent_id, keywords=keywords,
+                channel=channel, fragment=fragment,
+                arrival_offset=offset))
+        return Session(session_id=session_id, started_at=started_at,
+                       queries=tuple(queries))
+
+    @staticmethod
+    def _geometric(rng: random.Random, mean: float) -> int:
+        """Geometric(>=0) draw with the given mean (0 when mean <= 0)."""
+        if mean <= 0:
+            return 0
+        p = 1.0 / (mean + 1.0)
+        u = rng.random()
+        return int(math.log(1.0 - u) / math.log(1.0 - p))

@@ -1,0 +1,236 @@
+"""From harvested history to learned weights to an A/B verdict.
+
+This closes the loop the paper sketches: "As Schemr is utilized in
+practice, we can record search histories to create a training set of
+search-term to schema-fragment matches.  With such a training set, we
+may then determine an appropriate weighting scheme."  The pipeline:
+
+1. **examples** — every harvested :class:`HistoryRecord` with at least
+   one click becomes one :class:`TrainingExample` per result: the
+   per-matcher evidence (max combined-matrix cell) for the (query,
+   schema) pair, labelled by whether the user clicked it;
+2. **fit** — :class:`~repro.matching.learner.WeightLearner` runs its
+   logistic regression and emits a normalized weighting scheme;
+3. **A/B** — two engines over the same repository, one uniform and one
+   with the learned weights, score a *held-out* ground-truth query set
+   (sampled with a different seed than the replay catalog), compared
+   per-query with :func:`~repro.eval.significance.paired_bootstrap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.corpus.domains import DOMAINS
+from repro.corpus.generator import GeneratedSchema
+from repro.corpus.groundtruth import GroundTruthQuery, QuerySampler
+from repro.errors import SchemrError
+from repro.eval.metrics import precision_at_k, recall_at_k
+from repro.eval.significance import ComparisonResult, paired_bootstrap
+from repro.matching.ensemble import MatcherEnsemble
+from repro.matching.learner import TrainingExample, WeightLearner
+from repro.model.schema import Schema
+from repro.parsers.query_parser import parse_query
+from repro.telemetry.history import HistoryRecord
+
+
+def matcher_features(ensemble: MatcherEnsemble, query_graph,
+                     schema: Schema, profile=None) -> dict[str, float]:
+    """Per-matcher evidence for one (query, schema) pair.
+
+    The feature the meta-learner sees is each matcher's best cell after
+    the paper's max-per-schema-element collapse — a scalar summary of
+    "how strongly did this matcher believe in this schema".
+    """
+    result = ensemble.match(query_graph, schema, profile=profile)
+    return {
+        name: max(matrix.max_per_column().values(), default=0.0)
+        for name, matrix in result.per_matcher.items()
+    }
+
+
+def examples_from_history(records: Iterable[HistoryRecord], repository,
+                          ensemble: MatcherEnsemble | None = None
+                          ) -> list[TrainingExample]:
+    """Turn harvested search history into labelled training examples.
+
+    Only records carrying at least one click contribute — a page nobody
+    clicked says nothing about which result *was* the right one (the
+    classic implicit-feedback caveat), while a clicked page labels the
+    clicked results positive and the passed-over ones negative.
+    """
+    ensemble = ensemble or MatcherEnsemble.default()
+    profiles = repository.profile_store()
+    examples: list[TrainingExample] = []
+    for record in records:
+        clicked = record.clicked_ids
+        if not clicked:
+            continue
+        query_graph = parse_query(keywords=list(record.query_terms))
+        for result in record.results:
+            schema_id = int(result["schema_id"])
+            try:
+                schema = profiles.get_schema(schema_id)
+                profile = profiles.get_profile(schema_id)
+            except SchemrError:
+                continue  # schema deleted since the history was written
+            examples.append(TrainingExample(
+                features=matcher_features(ensemble, query_graph, schema,
+                                          profile=profile),
+                relevant=schema_id in clicked,
+            ))
+    return examples
+
+
+@dataclass(frozen=True, slots=True)
+class TrainingReport:
+    """What the fit produced, for the CLI and the bench."""
+
+    examples: int
+    positives: int
+    accuracy: float
+    weights: dict[str, float]
+
+    def to_dict(self) -> dict:
+        return {
+            "examples": self.examples,
+            "positives": self.positives,
+            "accuracy": self.accuracy,
+            "weights": dict(self.weights),
+        }
+
+    def summary(self) -> str:
+        weights = ", ".join(f"{name}={value:.3f}"
+                            for name, value in sorted(self.weights.items()))
+        return (f"trained on {self.examples} examples "
+                f"({self.positives} positive), "
+                f"training accuracy {self.accuracy:.3f}\n"
+                f"  learned weights: {weights}")
+
+
+def train_weights(records: Iterable[HistoryRecord], repository,
+                  ensemble: MatcherEnsemble | None = None
+                  ) -> tuple[WeightLearner, TrainingReport]:
+    """Fit the meta-learner on harvested history.
+
+    Raises :class:`~repro.errors.MatchError` (via the learner) when the
+    history carries too few clicks to present both classes.
+    """
+    ensemble = ensemble or MatcherEnsemble.default()
+    examples = examples_from_history(records, repository, ensemble)
+    learner = WeightLearner(list(ensemble.matcher_names))
+    learner.fit(examples)
+    report = TrainingReport(
+        examples=len(examples),
+        positives=sum(1 for e in examples if e.relevant),
+        accuracy=learner.accuracy(examples),
+        weights=learner.weights(),
+    )
+    return learner, report
+
+
+@dataclass(frozen=True, slots=True)
+class ABResult:
+    """Uniform-vs-trained comparison on held-out queries."""
+
+    queries: int
+    top_n: int
+    trained_weights: dict[str, float]
+    precision: ComparisonResult
+    """A = trained, B = uniform, metric = precision@top_n."""
+    recall: ComparisonResult
+    """A = trained, B = uniform, metric = recall@top_n."""
+
+    @property
+    def trained_no_worse(self) -> bool:
+        """Trained weights at least match uniform, or the gap is noise."""
+        return all(result.delta >= 0 or not result.significant
+                   for result in (self.precision, self.recall))
+
+    def to_dict(self) -> dict:
+        def unpack(result: ComparisonResult) -> dict:
+            return {"trained": result.mean_a, "uniform": result.mean_b,
+                    "delta": result.delta, "p_value": result.p_value,
+                    "significant": result.significant,
+                    "method": result.method}
+        return {
+            "queries": self.queries,
+            "top_n": self.top_n,
+            "trained_weights": dict(self.trained_weights),
+            "precision_at_k": unpack(self.precision),
+            "recall_at_k": unpack(self.recall),
+            "trained_no_worse": self.trained_no_worse,
+        }
+
+    def summary(self) -> str:
+        return (f"A/B on {self.queries} held-out queries (trained vs "
+                f"uniform, @{self.top_n}):\n"
+                f"  precision: {self.precision.summary()}\n"
+                f"  recall:    {self.recall.summary()}\n"
+                f"  trained no worse than uniform: {self.trained_no_worse}")
+
+
+def heldout_queries(corpus: list[GeneratedSchema], count: int,
+                    seed: int = 51, keywords_per_query: int = 4,
+                    exclude: Sequence[GroundTruthQuery] = ()
+                    ) -> list[GroundTruthQuery]:
+    """Held-out ground-truth queries for the A/B evaluation.
+
+    Sampled with its own seed so it never coincides with the replay
+    catalog; any query whose canonical keywords match an excluded
+    (catalog) query is dropped — the A/B must measure generalization,
+    not training-set recall.
+    """
+    seen = {tuple(query.canonical_keywords) for query in exclude}
+    sampler = QuerySampler(corpus, DOMAINS, seed=seed)
+    # Oversample, then drop collisions with the training catalog.
+    queries = sampler.sample(count + len(seen), channel="clean",
+                             keywords_per_query=keywords_per_query)
+    kept = [query for query in queries
+            if tuple(query.canonical_keywords) not in seen]
+    return kept[:count]
+
+
+def ab_compare(repository, weights: dict[str, float],
+               queries: list[GroundTruthQuery], top_n: int = 10,
+               bootstrap_iterations: int = 2000,
+               bootstrap_seed: int = 7) -> ABResult:
+    """Uniform vs trained weights, paired per held-out query.
+
+    Builds two engines over the same repository — identical except for
+    the ensemble weighting scheme — runs every query through both, and
+    bootstrap-tests the paired precision@k and recall@k differences.
+    """
+    if not queries:
+        raise SchemrError("A/B comparison needs at least one query")
+
+    def rankings(ensemble: MatcherEnsemble) -> list[list[int]]:
+        engine = repository.engine(ensemble=ensemble)
+        ranked = []
+        for query in queries:
+            results = engine.search(keywords=list(query.keywords),
+                                    top_n=top_n)
+            ranked.append([result.schema_id for result in results])
+        return ranked
+
+    uniform_ranked = rankings(MatcherEnsemble.default())
+    trained_ensemble = MatcherEnsemble.default()
+    trained_ensemble.set_weights(weights)
+    trained_ranked = rankings(trained_ensemble)
+
+    def scores(ranked: list[list[int]], metric) -> list[float]:
+        return [metric(ranking, query.relevant_ids, top_n)
+                for ranking, query in zip(ranked, queries)]
+
+    precision = paired_bootstrap(
+        scores(trained_ranked, precision_at_k),
+        scores(uniform_ranked, precision_at_k),
+        iterations=bootstrap_iterations, seed=bootstrap_seed)
+    recall = paired_bootstrap(
+        scores(trained_ranked, recall_at_k),
+        scores(uniform_ranked, recall_at_k),
+        iterations=bootstrap_iterations, seed=bootstrap_seed)
+    return ABResult(queries=len(queries), top_n=top_n,
+                    trained_weights=dict(weights),
+                    precision=precision, recall=recall)

@@ -7,7 +7,8 @@ import pytest
 
 from repro.core.results import SearchResult
 from repro.errors import RepositoryError
-from repro.telemetry.history import HistoryRecord, SearchHistorySink
+from repro.telemetry.history import (HISTORY_SCHEMA_VERSION, HistoryRecord,
+                                     SearchHistorySink)
 from repro.telemetry.profile import QueryProfile, QueryProfileLog
 
 
@@ -146,6 +147,162 @@ class TestSearchHistorySink:
         record = HistoryRecord.from_dict(
             {"recorded_at": 1.0, "query_terms": ["a"], "results": []})
         assert record.total_seconds == 0.0
+
+
+class TestHistorySchemaVersion:
+    def test_writer_stamps_current_version(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        with SearchHistorySink(path) as sink:
+            sink.record(["a"], [])
+        line = json.loads(path.read_text(encoding="utf-8"))
+        assert line["schema_version"] == HISTORY_SCHEMA_VERSION
+
+    def test_versionless_legacy_line_reads_as_version_1(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"recorded_at": 1.0, "query_terms": ["a"],'
+                        ' "results": []}\n', encoding="utf-8")
+        (record,) = SearchHistorySink.load(path)
+        assert record.schema_version == 1
+        assert record.query_terms == ("a",)
+
+    def test_future_version_raises_loudly(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"schema_version": 99, "recorded_at": 1.0,'
+                        ' "query_terms": [], "results": []}\n',
+                        encoding="utf-8")
+        with pytest.raises(RepositoryError, match="schema_version 99"):
+            SearchHistorySink.load(path)
+
+    def test_clicked_ids_round_trip(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        with SearchHistorySink(path) as sink:
+            sink.record(["a"], [_result(1, "x", 0.9), _result(2, "y", 0.5)],
+                        clicked_ids={2})
+        (record,) = SearchHistorySink.load(path)
+        assert record.clicked_ids == {2}
+        assert "clicked" not in record.results[0]
+        assert record.results[1]["clicked"] is True
+
+    def test_recorded_at_override_beats_wall_clock(self, tmp_path):
+        sink = SearchHistorySink(tmp_path / "h.jsonl",
+                                 wall_clock=lambda: 555.0)
+        with sink:
+            record = sink.record(["a"], [], recorded_at=7.5)
+        assert record.recorded_at == 7.5
+
+
+class TestHistoryRotation:
+    def test_rotates_past_max_bytes(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        with SearchHistorySink(path, max_bytes=200) as sink:
+            for i in range(8):
+                sink.record([f"term{i}"], [])
+            assert sink.rotations >= 1
+        rotated = sorted(p.name for p in tmp_path.iterdir())
+        assert "h.jsonl" in rotated
+        assert any(name.startswith("h.jsonl.") for name in rotated)
+
+    def test_read_streams_rotation_chain_oldest_first(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        with SearchHistorySink(path, max_bytes=120) as sink:
+            for i in range(10):
+                sink.record([f"t{i:02d}"], [])
+        terms = [r.query_terms[0] for r in SearchHistorySink.read(path)]
+        assert terms == [f"t{i:02d}" for i in range(10)]
+
+    def test_max_rotated_files_prunes_oldest(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        with SearchHistorySink(path, max_bytes=80,
+                               max_rotated_files=2) as sink:
+            for i in range(12):
+                sink.record([f"t{i}"], [])
+        generations = [p for p in tmp_path.iterdir()
+                       if p.name.startswith("h.jsonl.")]
+        assert 1 <= len(generations) <= 2
+
+    def test_torn_line_tolerated_per_rotated_file(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        with SearchHistorySink(path, max_bytes=80) as sink:
+            for i in range(4):
+                sink.record([f"t{i}"], [])
+        with open(f"{path}.1", "a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        records = SearchHistorySink.load(path)
+        assert len(records) == 4
+
+    def test_rotation_config_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            SearchHistorySink(tmp_path / "h.jsonl", max_bytes=0)
+        with pytest.raises(ValueError, match="max_rotated_files"):
+            SearchHistorySink(tmp_path / "h.jsonl", max_rotated_files=0)
+
+    def test_config_wires_max_bytes_through_telemetry(self, tmp_path):
+        from repro.core.config import SchemrConfig
+        from repro.telemetry import Telemetry
+        config = SchemrConfig(telemetry_enabled=True,
+                              history_path=str(tmp_path / "h.jsonl"),
+                              history_max_bytes=100)
+        telemetry = Telemetry.from_config(config)
+        for i in range(6):
+            telemetry.history.record([f"t{i}"], [])
+        telemetry.close()
+        assert telemetry.history.rotations >= 1
+
+    def test_history_max_bytes_config_validated(self):
+        from repro.core.config import SchemrConfig
+        from repro.errors import QueryError
+        with pytest.raises(QueryError, match="history_max_bytes"):
+            SchemrConfig(history_max_bytes=0)
+
+
+class TestHistoryConcurrentWrites:
+    def test_hammer_no_torn_or_interleaved_lines(self, tmp_path):
+        """16 threads x 50 records: every line must parse cleanly and
+        every record must arrive intact (the line-atomicity contract)."""
+        import threading
+        path = tmp_path / "h.jsonl"
+        threads_n, per_thread = 16, 50
+        with SearchHistorySink(path, flush_every=7) as sink:
+            def writer(worker: int) -> None:
+                for i in range(per_thread):
+                    sink.record([f"w{worker}", f"q{i}"],
+                                [_result(worker, f"s{worker}", 0.5)],
+                                clicked_ids={worker} if i % 2 else None)
+            pool = [threading.Thread(target=writer, args=(w,))
+                    for w in range(threads_n)]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+        # Parse raw lines first: interleaved writes would corrupt JSON.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == threads_n * per_thread
+        for line in lines:
+            json.loads(line)
+        records = SearchHistorySink.load(path)
+        per_worker: dict[str, int] = {}
+        for record in records:
+            per_worker[record.query_terms[0]] = \
+                per_worker.get(record.query_terms[0], 0) + 1
+        assert per_worker == {f"w{w}": per_thread for w in range(threads_n)}
+
+    def test_hammer_with_rotation_loses_nothing(self, tmp_path):
+        import threading
+        path = tmp_path / "h.jsonl"
+        threads_n, per_thread = 8, 40
+        with SearchHistorySink(path, max_bytes=2000) as sink:
+            def writer(worker: int) -> None:
+                for i in range(per_thread):
+                    sink.record([f"w{worker}", f"q{i}"], [])
+            pool = [threading.Thread(target=writer, args=(w,))
+                    for w in range(threads_n)]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+            assert sink.rotations >= 1
+        records = SearchHistorySink.load(path)
+        assert len(records) == threads_n * per_thread
 
 
 class TestHistoryInjectableWallClock:
