@@ -1,0 +1,400 @@
+"""Replicated-serving bench: catch-up, steady-state lag, failover.
+
+Builds a corpus (default 5k schemas) into a file-backed repository,
+indexes it into a flat segment directory, and measures the three
+numbers replication exists for:
+
+* ``catch_up`` — wall time for a cold replica to pull the primary's
+  full committed state over HTTP and verify it byte-identical;
+* ``steady_state`` — with the replica poll loop running, the primary
+  appends batches; per batch, how long until the replica's served
+  generation catches up (this is the lag ``/readyz`` gates on);
+* ``failover`` — the primary runs as a real ``schemr serve`` process
+  and is SIGKILLed mid-traffic; a multi-endpoint client must keep
+  answering from the replica with **zero empty responses**, and the
+  recorded failover time is the service gap around the kill;
+* ``crash_sweep`` — every ``segments.*`` / ``replication.*`` fault
+  site is armed in turn and recovery is re-checked: reopening after
+  the simulated crash must yield the last committed generation with a
+  clean ``verify_directory`` pass.
+
+Run (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py               # 5k
+    PYTHONPATH=src python benchmarks/bench_replication.py --count 500   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.core.config import SchemrConfig
+from repro.corpus.generator import CorpusGenerator
+from repro.errors import SchemrError
+from repro.index.segments import (SegmentedIndex, verify_directory)
+from repro.replication import DirectorySource, HttpSource, ReplicaSyncer
+from repro.repository.store import SchemaRepository
+from repro.resilience.faults import FAULTS
+from repro.service.client import SchemrClient
+from repro.service.server import SchemrServer
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_replication.json"
+
+
+class SimulatedCrash(Exception):
+    pass
+
+
+def build_corpus(db_path: str, count: int, seed: int = 7) -> int:
+    generator = CorpusGenerator(seed=seed)
+    repo = SchemaRepository(db_path)
+    for generated in generator.stream(count, include_junk=True):
+        repo.add_schema(generated.schema)
+    stored = repo.schema_count
+    repo.close()
+    return stored
+
+
+def dir_bytes(root: Path) -> int:
+    return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
+
+
+def committed_state(root: Path) -> dict[str, bytes]:
+    state = {}
+    for manifest_path in sorted(root.rglob("MANIFEST.json")):
+        rel = manifest_path.parent.relative_to(root)
+        state[str(rel / "MANIFEST.json")] = manifest_path.read_bytes()
+        for entry in json.loads(manifest_path.read_text())["segments"]:
+            seg = manifest_path.parent / entry["file"]
+            state[str(rel / entry["file"])] = seg.read_bytes()
+    return state
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_ready(base_url: str, timeout: float = 60.0) -> None:
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        try:
+            with urllib.request.urlopen(base_url + "/readyz",
+                                        timeout=2.0) as response:
+                if response.status == 200:
+                    return
+        except OSError:
+            pass
+        time.sleep(0.1)
+    raise RuntimeError(f"{base_url} never became ready")
+
+
+# -- phases ------------------------------------------------------------------
+
+def catch_up_phase(primary_url: str, replica_dir: Path,
+                   primary_dir: Path) -> dict:
+    source = HttpSource(primary_url)
+    syncer = ReplicaSyncer(source, replica_dir)
+    start = time.perf_counter()
+    report = syncer.sync_once()
+    elapsed = time.perf_counter() - start
+    identical = committed_state(replica_dir) == committed_state(primary_dir)
+    source.close()
+    return {
+        "seconds": elapsed,
+        "pulled_segments": report.pulled_segments,
+        "pulled_bytes": report.pulled_bytes,
+        "mbytes_per_second": (report.pulled_bytes / 1e6 / elapsed
+                              if elapsed else 0.0),
+        "generation": report.local_generation,
+        "byte_identical": identical,
+        "verify_ok": verify_directory(replica_dir).ok,
+    }
+
+
+def steady_state_phase(db_path: str, primary_dir: Path, replica_dir: Path,
+                       batches: int, batch_size: int,
+                       poll_seconds: float = 0.05, seed: int = 41) -> dict:
+    """Append batches on the primary; time the replica's convergence."""
+    writer = SchemaRepository(db_path)
+    indexer = writer.indexer(segment_dir=str(primary_dir))
+    syncer = ReplicaSyncer(DirectorySource(primary_dir), replica_dir,
+                           poll_seconds=poll_seconds)
+    syncer.sync_once()
+    syncer.start()
+    generator = CorpusGenerator(seed=seed)
+    lags = []
+    try:
+        for _ in range(batches):
+            for generated in generator.stream(batch_size):
+                writer.add_schema(generated.schema)
+            indexer.refresh()
+            target = indexer.index.last_change_id
+            start = time.perf_counter()
+            while syncer.generation < target:
+                if time.perf_counter() - start > 30.0:
+                    raise RuntimeError("replica never caught up")
+                time.sleep(0.005)
+            lags.append(time.perf_counter() - start)
+    finally:
+        syncer.stop()
+        writer.close()
+    return {
+        "batches": batches,
+        "batch_size": batch_size,
+        "poll_seconds": poll_seconds,
+        "max_catch_up_seconds": max(lags),
+        "mean_catch_up_seconds": sum(lags) / len(lags),
+        "final_generation": syncer.generation,
+        "byte_identical": committed_state(replica_dir)
+        == committed_state(primary_dir),
+    }
+
+
+def failover_phase(primary_proc: subprocess.Popen, primary_url: str,
+                   replica_url: str, duration: float,
+                   threads: int = 2) -> dict:
+    """SIGKILL the primary mid-traffic; count gaps and empty answers."""
+    keywords = "patient name address diagnosis"
+    lock = threading.Lock()
+    events: list[tuple[float, str, bool, bool]] = []
+    stop_at = time.perf_counter() + duration
+    kill_at = time.perf_counter() + duration / 3.0
+    killed = [0.0]
+
+    def client_loop(worker: int) -> None:
+        client = SchemrClient([primary_url, replica_url], timeout=10.0)
+        while time.perf_counter() < stop_at:
+            start = time.perf_counter()
+            try:
+                results = client.search(keywords=keywords, top_n=10)
+            except SchemrError:
+                with lock:
+                    events.append((start, "", False, False))
+                continue
+            with lock:
+                events.append((start, client.last_endpoint, True,
+                               not results))
+
+    def assassin() -> None:
+        while time.perf_counter() < kill_at:
+            time.sleep(0.01)
+        killed[0] = time.perf_counter()
+        primary_proc.send_signal(signal.SIGKILL)
+
+    pool = [threading.Thread(target=client_loop, args=(i,), daemon=True)
+            for i in range(threads)]
+    killer = threading.Thread(target=assassin, daemon=True)
+    for thread in pool:
+        thread.start()
+    killer.start()
+    for thread in pool:
+        thread.join()
+    killer.join()
+    primary_proc.wait(timeout=10.0)
+
+    failures = [t for t, _, ok, _ in events if not ok]
+    post_kill_ok = sorted(t for t, _, ok, _ in events
+                          if ok and t >= killed[0])
+    served_by_replica = sum(1 for _, endpoint, ok, _ in events
+                            if ok and endpoint == replica_url)
+    return {
+        "requests": len(events),
+        "succeeded": sum(1 for _, _, ok, _ in events if ok),
+        "failed": len(failures),
+        "empty_responses": sum(1 for _, _, ok, empty in events
+                               if ok and empty),
+        "served_by_replica": served_by_replica,
+        "failover_seconds": (post_kill_ok[0] - killed[0]
+                             if post_kill_ok else None),
+    }
+
+
+def crash_sweep_phase(primary_dir: Path, workdir: Path) -> dict:
+    """Arm each fault site; recovery must land on committed state."""
+    writer_sites = ["segments.write.torn", "segments.write.pre_rename",
+                    "segments.flush.pre_commit",
+                    "segments.manifest.pre_rename",
+                    "segments.manifest.post_rename"]
+    pull_sites = ["replication.pull.chunk", "replication.pull.pre_rename",
+                  "replication.pull.pre_commit"]
+    from repro.index.documents import Document
+    outcomes = {}
+    for site in writer_sites:
+        root = workdir / f"crash_{site.replace('.', '_')}"
+        shutil.copytree(primary_dir, root)
+        index = SegmentedIndex.open(root)
+        before = committed_state(root)
+        generation = index.last_change_id
+        FAULTS.inject(site, error=SimulatedCrash(site), times=1)
+        index.add(Document(10_000_000, "crash-doc", terms=["crash"]))
+        crashed = False
+        try:
+            index.flush(last_change_id=generation + 1)
+        except SimulatedCrash:
+            crashed = True
+        FAULTS.reset()
+        reopened = SegmentedIndex.open(root, sweep=True)
+        committed = site == "segments.manifest.post_rename"
+        recovered = verify_directory(root).ok and (
+            reopened.last_change_id == generation + 1 if committed
+            else committed_state(root) == before)
+        outcomes[site] = bool(crashed and recovered)
+        shutil.rmtree(root, ignore_errors=True)
+    for site in pull_sites:
+        root = workdir / f"crash_{site.replace('.', '_')}"
+        source_dir = workdir / f"crash_src_{site.replace('.', '_')}"
+        shutil.copytree(primary_dir, source_dir)
+        ReplicaSyncer(DirectorySource(source_dir), root).sync_once()
+        before = committed_state(root)
+        writer = SegmentedIndex.open(source_dir)
+        writer.add(Document(10_000_001, "crash-doc", terms=["crash"]))
+        writer.flush(last_change_id=writer.last_change_id + 1)
+        FAULTS.inject(site, error=SimulatedCrash(site), times=1)
+        crashed = False
+        try:
+            ReplicaSyncer(DirectorySource(source_dir), root).sync_once()
+        except SimulatedCrash:
+            crashed = True
+        FAULTS.reset()
+        stayed = committed_state(root) == before
+        ReplicaSyncer(DirectorySource(source_dir), root).sync_once()
+        converged = committed_state(root) == committed_state(source_dir)
+        outcomes[site] = bool(crashed and stayed and converged
+                              and verify_directory(root).ok)
+        shutil.rmtree(root, ignore_errors=True)
+        shutil.rmtree(source_dir, ignore_errors=True)
+    return {"sites": outcomes, "all_recovered": all(outcomes.values())}
+
+
+def run(count: int, duration: float, batches: int, batch_size: int,
+        out_path: Path) -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="schemr-bench-replication-"))
+    db_path = str(workdir / "repo.db")
+    primary_dir = workdir / "primary"
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    primary_proc = None
+    replica_server = None
+    replica_repo = None
+    try:
+        build_start = time.perf_counter()
+        corpus_size = build_corpus(db_path, count)
+        repo = SchemaRepository(db_path)
+        repo.indexer(segment_dir=str(primary_dir)).refresh()
+        repo.close()
+        build_seconds = time.perf_counter() - build_start
+
+        port = free_port()
+        primary_url = f"http://127.0.0.1:{port}"
+        primary_proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", db_path,
+             "--port", str(port), "--segment-dir", str(primary_dir)],
+            env=env, cwd=str(ROOT), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        wait_ready(primary_url)
+
+        catch_up = catch_up_phase(primary_url, workdir / "cold", primary_dir)
+
+        replica_repo = SchemaRepository(db_path)
+        replica_server = SchemrServer(replica_repo, port=0,
+                                      config=SchemrConfig(
+                                          telemetry_enabled=True,
+                                          segment_dir=str(workdir / "serving"),
+                                          replicate_from=primary_url,
+                                          replica_poll_seconds=0.1))
+        replica_server.start()
+        wait_ready(replica_server.base_url)
+        failover = failover_phase(primary_proc, primary_url,
+                                  replica_server.base_url, duration)
+        replica_server.stop()
+        replica_server = None
+        replica_repo.close()
+        replica_repo = None
+
+        steady = steady_state_phase(db_path, primary_dir,
+                                    workdir / "steady", batches, batch_size)
+        sweep = crash_sweep_phase(primary_dir, workdir)
+
+        result = {
+            "corpus_size": corpus_size,
+            "build_seconds": build_seconds,
+            "catch_up": catch_up,
+            "steady_state": steady,
+            "failover": failover,
+            "crash_sweep": sweep,
+            "zero_empty_responses": failover["empty_responses"] == 0,
+        }
+        out_path.write_text(json.dumps(result, indent=2) + "\n",
+                            encoding="utf-8")
+        return result
+    finally:
+        if replica_server is not None:
+            replica_server.stop()
+        if replica_repo is not None:
+            replica_repo.close()
+        if primary_proc is not None and primary_proc.poll() is None:
+            primary_proc.kill()
+            primary_proc.wait(timeout=10.0)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--count", type=int, default=5000,
+                        help="schemas streamed into the repository "
+                             "(default 5000)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="seconds of failover traffic (default 6)")
+    parser.add_argument("--batches", type=int, default=3,
+                        help="steady-state append batches (default 3)")
+    parser.add_argument("--batch-size", type=int, default=100,
+                        help="schemas per steady-state batch (default 100)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    result = run(args.count, args.duration, args.batches, args.batch_size,
+                 args.out)
+    catch_up = result["catch_up"]
+    steady = result["steady_state"]
+    failover = result["failover"]
+    print(f"corpus: {result['corpus_size']} schemas "
+          f"(built in {result['build_seconds']:.1f}s)")
+    print(f"  catch-up: {catch_up['pulled_bytes'] / 1e6:.1f} MB in "
+          f"{catch_up['seconds']:.2f}s "
+          f"({catch_up['mbytes_per_second']:.1f} MB/s), byte-identical: "
+          f"{catch_up['byte_identical']}")
+    print(f"  steady-state lag: mean "
+          f"{steady['mean_catch_up_seconds'] * 1e3:.0f}ms, max "
+          f"{steady['max_catch_up_seconds'] * 1e3:.0f}ms per "
+          f"{steady['batch_size']}-schema batch")
+    print(f"  failover: {failover['requests']} requests, "
+          f"{failover['empty_responses']} empty, "
+          f"{failover['served_by_replica']} served by the replica, "
+          f"gap {failover['failover_seconds']:.3f}s"
+          if failover["failover_seconds"] is not None else
+          "  failover: no post-kill success recorded")
+    print(f"  crash sweep: all recovered = "
+          f"{result['crash_sweep']['all_recovered']}")
+    print(f"wrote {args.out}")
+    return int(not (result["crash_sweep"]["all_recovered"]
+                    and result["zero_empty_responses"]
+                    and catch_up["byte_identical"]))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

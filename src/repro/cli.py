@@ -10,6 +10,8 @@ Subcommands cover the full lifecycle::
     schemr show repo.db 3 --layout tree --depth 3
     schemr export repo.db 3 --format graphml
     schemr serve repo.db --port 8080
+    schemr verify-index ./segments
+    schemr replicate http://primary:8080 ./replica-segments
 """
 
 from __future__ import annotations
@@ -56,6 +58,9 @@ SERVE_FLAG_FIELDS = {
     "--merge-policy": "merge_policy",
     "--shards": "shards",
     "--shard-timeout": "shard_timeout_seconds",
+    "--replicate-from": "replicate_from",
+    "--max-replica-lag": "max_replica_lag_seconds",
+    "--replica-poll": "replica_poll_seconds",
 }
 
 
@@ -463,6 +468,48 @@ def _cmd_train_weights(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_index(args: argparse.Namespace) -> int:
+    """Offline integrity check of a flat or sharded segment directory.
+
+    Re-reads every committed segment, re-computes CRCs against the
+    manifest, and cross-checks SHARDS.json/MANIFEST.json consistency.
+    Exit status 0 means every committed byte checked out; 1 means the
+    per-file report above it names what did not.
+    """
+    from repro.index.segments import verify_directory
+    report = verify_directory(args.directory)
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    """One-shot replica sync: pull the primary's committed state.
+
+    ``source`` is a running primary's base URL (``http://...``) or a
+    local segment-directory path; ``destination`` is the local segment
+    directory to catch up (created if missing).  Safe to re-run — pulls
+    only what is missing and commits atomically.
+    """
+    from repro.replication import DirectorySource, HttpSource, ReplicaSyncer
+    if "://" in args.source:
+        source = HttpSource(args.source, timeout=args.timeout)
+    else:
+        source = DirectorySource(args.source)
+    try:
+        syncer = ReplicaSyncer(source, args.destination)
+        report = syncer.sync_once()
+    finally:
+        source.close()
+    dirs = ", ".join(report.dirs_updated) or "none"
+    print(f"replicated {args.source} -> {args.destination}: "
+          f"{'changed' if report.changed else 'already current'} "
+          f"(generation {report.local_generation}); pulled "
+          f"{report.pulled_segments} segment(s), "
+          f"{report.pulled_bytes} bytes; dirs updated: {dirs}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.runner import main as lint_main
     argv: list[str] = list(args.paths)
@@ -673,6 +720,19 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="per-request budget for one shard worker before "
                         "the front repairs its slice locally")
+    p.add_argument("--replicate-from", default=None, metavar="URL",
+                   help="serve as a read replica of this primary "
+                        "(base URL of its `schemr serve`, or a local "
+                        "segment-directory path); pulls committed "
+                        "segments into --segment-dir and hot-swaps them")
+    p.add_argument("--max-replica-lag", type=float, default=None,
+                   metavar="SECONDS",
+                   help="replica staleness past which /readyz answers "
+                        "503 (with --replicate-from)")
+    p.add_argument("--replica-poll", type=float, default=None,
+                   metavar="SECONDS",
+                   help="how often the replica polls the primary for "
+                        "new committed segments")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("replay",
@@ -746,6 +806,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="PATH",
                    help="write the training + A/B report as JSON")
     p.set_defaults(func=_cmd_train_weights)
+
+    p = sub.add_parser("verify-index",
+                       help="integrity-check a segment directory "
+                            "(CRCs, manifests, shard routing)")
+    p.add_argument("directory",
+                   help="flat or sharded segment directory to verify")
+    p.set_defaults(func=_cmd_verify_index)
+
+    p = sub.add_parser("replicate",
+                       help="one-shot pull of a primary's committed "
+                            "segments into a local directory")
+    p.add_argument("source",
+                   help="primary base URL (http://host:port) or local "
+                        "segment-directory path")
+    p.add_argument("destination",
+                   help="local segment directory to sync (created if "
+                        "missing)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="per-request timeout against an HTTP source")
+    p.set_defaults(func=_cmd_replicate)
 
     p = sub.add_parser("lint",
                        help="run the project static-analysis rules "

@@ -87,6 +87,17 @@ class SchemrConfig:
     ``shard_timeout_seconds`` bounds how long the scatter-gather front
     waits on one worker round-trip before declaring the shard stalled
     and serving degraded from the survivors.
+
+    ``replicate_from`` turns the server into a read replica: instead of
+    indexing locally, it pulls committed segments from the named
+    primary (an ``http(s)://`` URL, or a local path for same-host
+    tests) into ``segment_dir`` and hot-swaps them in
+    (:mod:`repro.replication`).  ``replica_poll_seconds`` is the pull
+    cadence; ``max_replica_lag_seconds`` is the staleness past which
+    ``/readyz`` answers 503 so load balancers route around a replica
+    that has fallen behind.  Requires ``segment_dir`` and is mutually
+    exclusive with ``shards`` > 1 (a replica follows whatever layout —
+    flat or sharded — the primary publishes).
     """
 
     candidate_pool: int = 50
@@ -117,6 +128,9 @@ class SchemrConfig:
     merge_policy: str = "tiered"
     shards: int = 1
     shard_timeout_seconds: float = 10.0
+    replicate_from: str | None = None
+    max_replica_lag_seconds: float = 30.0
+    replica_poll_seconds: float = 1.0
     penalties: PenaltyPolicy = field(default_factory=PenaltyPolicy)  # lint: internal (structured policy object, no flat flag)
 
     def __post_init__(self) -> None:
@@ -205,3 +219,20 @@ class SchemrConfig:
             raise QueryError(
                 "shard_timeout_seconds must be positive, got "
                 f"{self.shard_timeout_seconds}")
+        if self.replicate_from is not None:
+            if self.segment_dir is None:
+                raise QueryError(
+                    "replicate_from requires segment_dir (the replica "
+                    "commits pulled segments there)")
+            if self.shards > 1:
+                raise QueryError(
+                    "replicate_from is mutually exclusive with shards > 1;"
+                    " a replica follows the primary's layout as-is")
+        if self.max_replica_lag_seconds <= 0:
+            raise QueryError(
+                "max_replica_lag_seconds must be positive, got "
+                f"{self.max_replica_lag_seconds}")
+        if self.replica_poll_seconds <= 0:
+            raise QueryError(
+                "replica_poll_seconds must be positive, got "
+                f"{self.replica_poll_seconds}")

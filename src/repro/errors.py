@@ -42,6 +42,27 @@ class IndexError_(SchemrError):
     """
 
 
+class SegmentDirectoryError(IndexError_):
+    """A segment directory's control files are unreadable or torn.
+
+    Raised instead of a raw ``json.JSONDecodeError`` when
+    ``MANIFEST.json`` or ``SHARDS.json`` is truncated or corrupt.
+    ``path`` names the offending file and ``hint`` tells the operator
+    how to recover (restore from a replica, or re-index from the
+    repository) — a half-written control file means the atomic-rename
+    commit discipline was violated by something outside the library
+    (disk fault, manual edit), so the directory cannot be trusted.
+    """
+
+    def __init__(self, message: str, *, path: str = "",
+                 hint: str = "") -> None:
+        self.path = path
+        self.hint = hint
+        if hint:
+            message = f"{message} ({hint})"
+        super().__init__(message)
+
+
 class QueryError(SchemrError):
     """A search query is empty or otherwise unusable."""
 
@@ -61,11 +82,16 @@ class ServiceError(SchemrError):
     ``status`` carries the HTTP status code when the failure came from
     a server response (429 lets a replay driver count load shedding
     distinctly from hard failures); ``None`` for transport errors.
+    ``retry_after`` is the server's ``Retry-After`` hint in seconds
+    (0.0 when the response carried none) — the client's backoff floors
+    its jittered delay on it.
     """
 
-    def __init__(self, message: str, *, status: int | None = None) -> None:
+    def __init__(self, message: str, *, status: int | None = None,
+                 retry_after: float = 0.0) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class ResilienceError(SchemrError):

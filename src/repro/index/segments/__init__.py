@@ -9,7 +9,9 @@ The package splits Lucene's segment model into four pieces:
 * :mod:`~repro.index.segments.merge` — multi-source postings merging
   and the tiered merge policy;
 * :mod:`~repro.index.segments.segmented` — :class:`SegmentedIndex`,
-  the ``InvertedIndex``-protocol facade over segments + delta.
+  the ``InvertedIndex``-protocol facade over segments + delta;
+* :mod:`~repro.index.segments.verify` — offline integrity checking
+  (``schemr verify-index``) for flat and sharded layouts.
 """
 
 from repro.index.segments.directory import SegmentDirectory
@@ -18,6 +20,7 @@ from repro.index.segments.format import (
     MAGIC,
     MmapSegment,
     SegmentPostings,
+    file_crc32,
     write_segment,
 )
 from repro.index.segments.merge import (
@@ -30,6 +33,11 @@ from repro.index.segments.merge import (
     merge_postings,
 )
 from repro.index.segments.segmented import SegmentedIndex
+from repro.index.segments.verify import (
+    VerifyReport,
+    verify_directory,
+    verify_segment_file,
+)
 from repro.index.segments.sharded import (
     SHARDS_NAME,
     ShardedSegmentIndex,
@@ -53,11 +61,15 @@ __all__ = [
     "SegmentedIndex",
     "ShardedSegmentIndex",
     "TieredMergePolicy",
+    "VerifyReport",
     "detect_shard_count",
+    "file_crc32",
     "make_merge_policy",
     "merge_postings",
     "open_segment_index",
     "shard_dir_name",
     "shard_of",
+    "verify_directory",
+    "verify_segment_file",
     "write_segment",
 ]

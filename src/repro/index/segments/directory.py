@@ -7,11 +7,19 @@ A segment directory is the durable form of a
     <dir>/seg_00000001.seg  immutable segment files (format.py layout)
 
 The manifest is the single commit point.  Every state change — a delta
-flush, a merge, a rebuild — first writes any new segment file, then
-writes ``MANIFEST.json.tmp`` and renames it over the manifest.  A crash
-at any point leaves either the old manifest (pointing at the old, still
-present segment files) or the new one; half-written segment files are
-never referenced and get swept on the next commit.
+flush, a merge, a rebuild, a replica pull — first writes any new
+segment file, then writes ``MANIFEST.json.tmp`` and renames it over the
+manifest.  A crash at any point leaves either the old manifest
+(pointing at the old, still present segment files) or the new one;
+half-written segment files are never referenced and get swept on the
+next commit or on a sweep-enabled open (the single-writer startup
+path).
+
+Manifest entries record each segment's ``bytes`` and ``crc32``
+alongside the tombstones, so replicas can verify pulled files and
+``schemr verify-index`` can re-check a directory end to end.  Older
+manifests without those fields still open; the checksums are
+recomputed lazily where needed.
 """
 
 from __future__ import annotations
@@ -20,11 +28,19 @@ import json
 import os
 from pathlib import Path
 
-from repro.errors import IndexError_
+from repro.errors import IndexError_, SegmentDirectoryError
+from repro.resilience.faults import FAULTS
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = 1
 _SEGMENT_GLOB = "seg_*.seg"
+
+#: The operator-facing recovery line for a torn control file.  The
+#: atomic tmp+fsync+rename commit discipline means the library never
+#: produces one; seeing it implies a disk fault or outside interference.
+RECOVERY_HINT = ("recover by restoring this directory from a replica "
+                 "(`schemr replicate`) or re-indexing from the "
+                 "repository (`schemr index --segment-dir`)")
 
 
 class SegmentDirectory:
@@ -38,11 +54,26 @@ class SegmentDirectory:
         return self.path / MANIFEST_NAME
 
     @classmethod
-    def open(cls, path: str | Path, create: bool = False
-             ) -> "SegmentDirectory":
-        """Open (or, with ``create``, initialize) a segment directory."""
+    def open(cls, path: str | Path, create: bool = False,
+             sweep: bool = False) -> "SegmentDirectory":
+        """Open (or, with ``create``, initialize) a segment directory.
+
+        ``sweep`` runs the startup orphan sweep: leftover ``*.tmp``
+        files and segment files the committed manifest does not
+        reference (debris of a crash mid-flush, mid-merge, or
+        mid-pull) are unlinked before anything else reads the
+        directory.  Only the single writer — the indexer, or a replica
+        syncer — may sweep; a read-only opener (a shard worker
+        mmapping the directory while the writer commits) must not,
+        because a freshly renamed segment is unreferenced for the
+        instant before its manifest lands.
+        """
         directory = cls(path)
         if directory.manifest_path.exists():
+            if sweep:
+                manifest = directory.read_manifest()
+                directory._sweep_orphans(
+                    {entry["file"] for entry in manifest["segments"]})
             return directory
         if not create:
             raise IndexError_(
@@ -66,26 +97,32 @@ class SegmentDirectory:
         try:
             manifest = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise IndexError_(
-                f"{self.manifest_path} is corrupt: {exc}") from exc
+            raise SegmentDirectoryError(
+                f"{self.manifest_path} is truncated or torn at "
+                f"line {exc.lineno}, column {exc.colno}: {exc.msg}",
+                path=str(self.manifest_path),
+                hint=RECOVERY_HINT) from exc
         if manifest.get("format") != MANIFEST_FORMAT:
             raise IndexError_(
                 f"{self.manifest_path} has unsupported format "
                 f"{manifest.get('format')!r}; expected {MANIFEST_FORMAT}")
         for key in ("next_id", "segments"):
             if key not in manifest:
-                raise IndexError_(
-                    f"{self.manifest_path} is corrupt: missing {key!r}")
+                raise SegmentDirectoryError(
+                    f"{self.manifest_path} is corrupt: missing {key!r}",
+                    path=str(self.manifest_path),
+                    hint=RECOVERY_HINT)
         return manifest
 
     def write_manifest(self, next_id: int, last_change_id: int,
                        segments: list[dict]) -> None:
         """Commit a new directory state atomically (tmp + rename).
 
-        ``segments`` entries are ``{"file": name, "deleted": [ids]}``.
-        After the rename, any ``seg_*.seg`` file the new manifest does
-        not reference is an orphan (from a merge, a rebuild, or a crash
-        mid-flush) and is unlinked best-effort.
+        ``segments`` entries are ``{"file": name, "deleted": [ids],
+        "bytes": n, "crc32": n}``.  After the rename, any ``seg_*.seg``
+        file the new manifest does not reference is an orphan (from a
+        merge, a rebuild, or a crash mid-flush) and is unlinked
+        best-effort.
         """
         manifest = {
             "format": MANIFEST_FORMAT,
@@ -99,7 +136,14 @@ class SegmentDirectory:
             handle.write("\n")
             handle.flush()
             os.fsync(handle.fileno())
+        # Crash-injection site: the new manifest is durable under its
+        # tmp name; the committed state is still the old manifest.
+        FAULTS.hit("segments.manifest.pre_rename")
         tmp.replace(self.manifest_path)
+        # Crash-injection site: the commit landed but the orphan sweep
+        # has not run — stale segment files linger until the next
+        # commit or sweep-enabled open.
+        FAULTS.hit("segments.manifest.post_rename")
         self._sweep_orphans({entry["file"] for entry in segments})
 
     def _sweep_orphans(self, referenced: set[str]) -> None:
@@ -109,7 +153,7 @@ class SegmentDirectory:
                     stray.unlink()
                 except OSError:  # pragma: no cover - unlink race
                     pass  # an open reader on another platform; harmless
-        for tmp in self.path.glob("*.seg.tmp"):
+        for tmp in self.path.glob("*.tmp"):
             try:
                 tmp.unlink()
             except OSError:  # pragma: no cover - unlink race

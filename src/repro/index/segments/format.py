@@ -51,6 +51,7 @@ from typing import Iterator
 from repro.errors import IndexError_
 from repro.index.documents import Document
 from repro.index.postings import Posting
+from repro.resilience.faults import FAULTS
 
 MAGIC = b"SCHMRSEG"
 FORMAT_VERSION = 1
@@ -73,6 +74,23 @@ _DOC_REC = struct.Struct("<III")  # title_len, summary_len, term_count
 
 def _align8(n: int) -> int:
     return (n + 7) & ~7
+
+
+def file_crc32(path: str | Path, chunk_bytes: int = 1 << 20) -> int:
+    """CRC32 of a whole file, streamed (replication/verify checksums).
+
+    The manifest records this per segment at commit time; replicas
+    verify pulled files against it and ``schemr verify-index`` re-checks
+    it on demand, so corruption anywhere in the pipeline — torn local
+    write, truncated download, bit rot — is named, never silent.
+    """
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                return crc
+            crc = zlib.crc32(block, crc)
 
 
 def _column_bytes(column) -> bytes:
@@ -187,6 +205,12 @@ def write_segment(path: str | Path, index) -> None:
         w.write(bytes(freqs_buf))
         w.begin()
         w.write(positions_buf.tobytes())
+        # Crash-injection site: a failure here leaves a torn ``.tmp``
+        # with real postings bytes but no norms, doc store, or header —
+        # the shape a power cut mid-write produces.  The tmp is never
+        # renamed, so no reader can find it; the recovery sweep unlinks
+        # it on the next commit or sweep-enabled open.
+        FAULTS.hit("segments.write.torn")
 
         # Norms + document store, doc-id order.
         documents = sorted(index.documents(), key=lambda d: d.doc_id)
@@ -225,6 +249,9 @@ def write_segment(path: str | Path, index) -> None:
         handle.write(header)
         handle.flush()
         os.fsync(handle.fileno())
+    # Crash-injection site: the segment is complete and durable under
+    # its tmp name but not yet visible at ``path``.
+    FAULTS.hit("segments.write.pre_rename")
     tmp.replace(path)
 
 

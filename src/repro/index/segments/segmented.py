@@ -39,12 +39,25 @@ from repro.errors import IndexError_
 from repro.index.documents import Document
 from repro.index.inverted import IndexSnapshot, InvertedIndex
 from repro.index.segments.directory import SegmentDirectory
-from repro.index.segments.format import MmapSegment, write_segment
+from repro.index.segments.format import MmapSegment, file_crc32, write_segment
 from repro.index.segments.merge import CompactionView, merge_postings
+from repro.resilience.faults import FAULTS
 
 #: Bound on the per-generation decoded-document memo (cleared
 #: wholesale when full, and on every mutation).
 _DOC_MEMO_MAX = 8192
+
+
+def _entry_meta(entry: dict) -> dict | None:
+    """Checksum metadata from a manifest entry, or None for legacy
+    manifests that predate per-segment checksums."""
+    if "bytes" in entry and "crc32" in entry:
+        return {"bytes": entry["bytes"], "crc32": entry["crc32"]}
+    return None
+
+
+def _file_meta(path: Path) -> dict:
+    return {"bytes": path.stat().st_size, "crc32": file_crc32(path)}
 
 
 class SegmentedIndex:
@@ -54,6 +67,10 @@ class SegmentedIndex:
         self._directory = directory
         self._segments: list[MmapSegment] = []
         self._deleted: list[set[int]] = []
+        # Parallel to _segments: {"bytes", "crc32"} per file, straight
+        # from the manifest; None for legacy entries, computed lazily at
+        # the next commit so cold open stays O(segment count).
+        self._seg_meta: list[dict | None] = []
         self._delta = InvertedIndex()
         self._live_seg_docs = 0
         self._generation = 0
@@ -68,16 +85,22 @@ class SegmentedIndex:
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def open(cls, path: str | Path, create: bool = False
-             ) -> "SegmentedIndex":
-        """Open a segment directory; O(segment count), not corpus size."""
-        directory = SegmentDirectory.open(path, create=create)
+    def open(cls, path: str | Path, create: bool = False,
+             sweep: bool = False) -> "SegmentedIndex":
+        """Open a segment directory; O(segment count), not corpus size.
+
+        ``sweep`` forwards to :meth:`SegmentDirectory.open` — writers
+        (the indexer, a replica syncer) pass True to clear crash debris
+        on startup; read-only openers (shard workers) must not.
+        """
+        directory = SegmentDirectory.open(path, create=create, sweep=sweep)
         manifest = directory.read_manifest()
         index = cls(directory=directory)
         for entry in manifest["segments"]:
             segment = MmapSegment(directory.path / entry["file"])
             index._segments.append(segment)
             index._deleted.append(set(entry.get("deleted", ())))
+            index._seg_meta.append(_entry_meta(entry))
         index._live_seg_docs = sum(
             segment.document_count - len(dead)
             for segment, dead in zip(index._segments, index._deleted))
@@ -96,6 +119,7 @@ class SegmentedIndex:
         segment = MmapSegment(path)
         index._segments.append(segment)
         index._deleted.append(set())
+        index._seg_meta.append(None)
         index._live_seg_docs = segment.document_count
         return index
 
@@ -163,6 +187,7 @@ class SegmentedIndex:
                 segment.close()
             self._segments = []
             self._deleted = []
+            self._seg_meta = []
             self._live_seg_docs = 0
             self._delta.clear()
             self._bump()
@@ -380,9 +405,13 @@ class SegmentedIndex:
                 segment = MmapSegment(seg_path)
                 self._segments.append(segment)
                 self._deleted.append(set())
+                self._seg_meta.append(_file_meta(seg_path))
                 self._live_seg_docs += segment.document_count
                 self._delta = InvertedIndex()
                 wrote = True
+            # Crash-injection site: the new segment file is durable but
+            # the manifest still points at the pre-flush state.
+            FAULTS.hit("segments.flush.pre_commit")
             self._commit()
             return wrote
 
@@ -408,41 +437,122 @@ class SegmentedIndex:
             dead = [set(self._deleted[i]) for i in picks]
             view = CompactionView(chosen, dead)
             merged_segment = None
+            merged_meta = None
             if view.document_count:
                 segment_id = self._next_id
                 self._next_id += 1
                 seg_path = self._directory.segment_path(segment_id)
                 write_segment(seg_path, view)
                 merged_segment = MmapSegment(seg_path)
+                merged_meta = _file_meta(seg_path)
             picked = set(picks)
             segments: list[MmapSegment] = []
             deleted: list[set[int]] = []
+            metas: list[dict | None] = []
             for i, (segment, tombs) in enumerate(
                     zip(self._segments, self._deleted)):
                 if i not in picked:
                     segments.append(segment)
                     deleted.append(tombs)
+                    metas.append(self._seg_meta[i])
             if merged_segment is not None:
                 segments.append(merged_segment)
                 deleted.append(set())
+                metas.append(merged_meta)
             self._segments = segments
             self._deleted = deleted
+            self._seg_meta = metas
             self._live_seg_docs = sum(
                 segment.document_count - len(tombs)
                 for segment, tombs in zip(segments, deleted))
+            # Crash-injection site: the merged segment is durable, its
+            # inputs still referenced by the committed manifest.
+            FAULTS.hit("segments.merge.pre_commit")
             self._commit()
             for segment in chosen:
                 segment.close()
             return len(chosen)
 
     def _commit(self) -> None:  # lint: unlocked (caller holds the lock)
-        """Rewrite the manifest from current state.  Lock held."""
-        entries = [{"file": segment.path.name, "deleted": sorted(dead)}
-                   for segment, dead in zip(self._segments, self._deleted)]
+        """Rewrite the manifest from current state.  Lock held.
+
+        Legacy segments opened from a pre-checksum manifest get their
+        ``bytes``/``crc32`` computed here, once, so every committed
+        manifest is replication- and verify-ready.
+        """
+        entries = []
+        for i, (segment, dead) in enumerate(
+                zip(self._segments, self._deleted)):
+            meta = self._seg_meta[i]
+            if meta is None:
+                meta = self._seg_meta[i] = _file_meta(segment.path)
+            entries.append({"file": segment.path.name,
+                            "deleted": sorted(dead),
+                            "bytes": meta["bytes"],
+                            "crc32": meta["crc32"]})
         self._directory.write_manifest(
             next_id=self._next_id,
             last_change_id=self._last_change_id,
             segments=entries)
+
+    def reopen_from_disk(self) -> bool:
+        """Re-read the committed manifest and swap in its segments.
+
+        The replica's hot-swap: after a pull commits a new manifest
+        locally, this adopts it in place.  Segments already open are
+        reused (their maps, and every memoized view over them, stay
+        warm); vanished segments are closed best-effort.  Requires an
+        empty delta — a follower never takes local writes, and a swap
+        under buffered mutations would silently drop them.
+
+        Returns True when logical content changed (the manifest's
+        ``last_change_id`` moved, so the generation bumps and
+        generation-keyed caches invalidate) and False for a physical-only
+        swap — the primary merged, rankings are identical by
+        construction, and warm caches survive per the PR 6 contract.
+        """
+        with self._lock:
+            if self._directory is None:
+                raise IndexError_(
+                    "index has no segment directory; cannot reopen")
+            if self._delta.document_count:
+                raise IndexError_(
+                    "reopen_from_disk requires an empty delta; this "
+                    "index holds local writes")
+            manifest = self._directory.read_manifest()
+            open_by_name = {segment.path.name: i
+                            for i, segment in enumerate(self._segments)}
+            segments: list[MmapSegment] = []
+            deleted: list[set[int]] = []
+            metas: list[dict | None] = []
+            reused: set[int] = set()
+            for entry in manifest["segments"]:
+                i = open_by_name.get(entry["file"])
+                if i is None:
+                    segments.append(MmapSegment(
+                        self._directory.path / entry["file"]))
+                else:
+                    segments.append(self._segments[i])
+                    reused.add(i)
+                deleted.append(set(entry.get("deleted", ())))
+                metas.append(_entry_meta(entry))
+            dropped = [segment for i, segment in enumerate(self._segments)
+                       if i not in reused]
+            changed = (manifest.get("last_change_id", 0)
+                       != self._last_change_id)
+            self._segments = segments
+            self._deleted = deleted
+            self._seg_meta = metas
+            self._live_seg_docs = sum(
+                segment.document_count - len(dead)
+                for segment, dead in zip(segments, deleted))
+            self._next_id = manifest["next_id"]
+            self._last_change_id = manifest.get("last_change_id", 0)
+            if changed:
+                self._bump()
+            for segment in dropped:
+                segment.close()
+            return changed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid  # lint: unlocked (debug repr; torn reads acceptable)
         return (f"SegmentedIndex(segments={len(self._segments)}, "

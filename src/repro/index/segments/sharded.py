@@ -42,10 +42,10 @@ import threading
 from pathlib import Path
 from typing import Iterator
 
-from repro.errors import IndexError_
+from repro.errors import IndexError_, SegmentDirectoryError
 from repro.index.documents import Document
 from repro.index.inverted import IndexSnapshot
-from repro.index.segments.directory import MANIFEST_NAME
+from repro.index.segments.directory import MANIFEST_NAME, RECOVERY_HINT
 from repro.index.segments.merge import merge_postings
 from repro.index.segments.segmented import SegmentedIndex
 
@@ -72,9 +72,16 @@ def detect_shard_count(path: str | Path) -> int | None:
 
 def _read_shards_marker(marker: Path) -> int:
     try:
-        data = json.loads(marker.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        raise IndexError_(f"{marker} is corrupt: {exc}") from exc
+        raw = marker.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise IndexError_(f"{marker} is unreadable: {exc}") from exc
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SegmentDirectoryError(
+            f"{marker} is truncated or torn at line {exc.lineno}, "
+            f"column {exc.colno}: {exc.msg}",
+            path=str(marker), hint=RECOVERY_HINT) from exc
     if data.get("format") != SHARDS_FORMAT:
         raise IndexError_(
             f"{marker} has unsupported format {data.get('format')!r}; "
@@ -97,7 +104,7 @@ def _write_shards_marker(marker: Path, shard_count: int) -> None:
 
 
 def open_segment_index(path: str | Path, shards: int | None = None,
-                       create: bool = False
+                       create: bool = False, sweep: bool = False
                        ) -> "SegmentedIndex | ShardedSegmentIndex":
     """Open a segment directory, sharded or flat, detecting the layout.
 
@@ -108,20 +115,24 @@ def open_segment_index(path: str | Path, shards: int | None = None,
     creates a sharded layout — including ``shards=1``, which is a
     worker-pool layout with one shard, not a flat directory — while
     ``shards=None`` creates flat.
+
+    ``sweep`` clears crash debris (orphan segments, ``*.tmp`` files)
+    on open; only the directory's single writer may pass it.
     """
     root = Path(path)
     if (root / SHARDS_NAME).exists():
-        return ShardedSegmentIndex.open(root, shards=shards)
+        return ShardedSegmentIndex.open(root, shards=shards, sweep=sweep)
     if (root / MANIFEST_NAME).exists():
         if shards is not None:
             raise IndexError_(
                 f"{root} is an existing single-segment directory; "
                 f"cannot open it with {shards} shard(s) (rebuild into "
                 "a fresh directory instead)")
-        return SegmentedIndex.open(root, create=create)
+        return SegmentedIndex.open(root, create=create, sweep=sweep)
     if shards is not None:
-        return ShardedSegmentIndex.open(root, shards=shards, create=create)
-    return SegmentedIndex.open(root, create=create)
+        return ShardedSegmentIndex.open(root, shards=shards, create=create,
+                                        sweep=sweep)
+    return SegmentedIndex.open(root, create=create, sweep=sweep)
 
 
 class ShardRoot:
@@ -156,7 +167,8 @@ class ShardedSegmentIndex:
 
     @classmethod
     def open(cls, path: str | Path, shards: int | None = None,
-             create: bool = False) -> "ShardedSegmentIndex":
+             create: bool = False, sweep: bool = False
+             ) -> "ShardedSegmentIndex":
         """Open (or, with ``create``, initialize) a sharded layout.
 
         ``shards`` is required to create and validated against the
@@ -187,7 +199,8 @@ class ShardedSegmentIndex:
             _write_shards_marker(marker, shards)
             count = shards
         handles = [
-            SegmentedIndex.open(root / shard_dir_name(i), create=True)
+            SegmentedIndex.open(root / shard_dir_name(i), create=True,
+                                sweep=sweep)
             for i in range(count)
         ]
         return cls(ShardRoot(root), handles)
@@ -417,6 +430,22 @@ class ShardedSegmentIndex:
         with self._lock:
             return sum(shard.maybe_merge(policy)
                        for shard in self._shards)
+
+    def reopen_from_disk(self) -> bool:
+        """Re-read every shard's committed manifest and swap in place.
+
+        The replica hot-swap for sharded layouts: each shard reopens
+        independently (reusing already-open maps), and the union's
+        generation-keyed memos invalidate automatically iff any shard's
+        logical content moved, because the union generation is the sum
+        of shard generations.  Returns True when any shard changed.
+        """
+        with self._lock:
+            changed = False
+            for shard in self._shards:
+                if shard.reopen_from_disk():
+                    changed = True
+            return changed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid  # lint: unlocked (debug repr; torn reads acceptable)
         return (f"ShardedSegmentIndex(shards={len(self._shards)}, "

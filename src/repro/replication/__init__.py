@@ -1,0 +1,53 @@
+"""Primary/replica segment shipping (replicated serving tier).
+
+Read traffic dominates writes in a schema repository, so the scale-out
+and survive-a-host step is classic segment-shipping replication:
+
+* :mod:`~repro.replication.manifest` — the wire description of a
+  primary's *committed* segment state (flat or sharded), with
+  per-segment ``bytes``/``crc32``;
+* :mod:`~repro.replication.source` — where a replica pulls from:
+  :class:`HttpSource` (a primary's ``/replication/*`` endpoints,
+  range-resumable) or :class:`DirectorySource` (a local path — powers
+  ``schemr replicate`` and the deterministic crash-injection sweep);
+* :mod:`~repro.replication.replica` — :class:`ReplicaSyncer`, the
+  pull → verify → atomic-commit → hot-swap loop, with
+  ``schemr_replica_lag_*`` metrics and the ``/readyz`` lag gate.
+
+The client half of the story — multi-endpoint failover preferring the
+primary, falling back to the freshest replica — lives in
+:class:`repro.service.client.SchemrClient`, which reads the served
+generation each response stamps so staleness is observable end to end.
+"""
+
+from repro.replication.manifest import (
+    REPLICATION_FORMAT,
+    build_replication_manifest,
+    valid_segment_ref,
+    validate_replication_manifest,
+)
+from repro.replication.replica import (
+    MANIFEST_RETRIES,
+    ReplicaSyncer,
+    SyncReport,
+)
+from repro.replication.source import (
+    CHUNK_BYTES,
+    DirectorySource,
+    HttpSource,
+    SegmentVanished,
+)
+
+__all__ = [
+    "CHUNK_BYTES",
+    "MANIFEST_RETRIES",
+    "REPLICATION_FORMAT",
+    "DirectorySource",
+    "HttpSource",
+    "ReplicaSyncer",
+    "SegmentVanished",
+    "SyncReport",
+    "build_replication_manifest",
+    "valid_segment_ref",
+    "validate_replication_manifest",
+]

@@ -1,0 +1,138 @@
+"""The replication manifest: one document describing committed state.
+
+A primary answers ``/replication/manifest`` with a single JSON document
+covering its whole segment layout — flat or sharded — built strictly
+from the *committed* control files on disk::
+
+    {"format": 1,
+     "layout": "flat" | "sharded",
+     "shards": null | N,
+     "generation": <change-log cursor the layout durably reflects>,
+     "dirs": [{"name": "",            # "" = the root itself (flat)
+               "manifest": {...}},    # the dir's MANIFEST.json, verbatim
+              {"name": "shard_0000", "manifest": {...}},
+              ...]}
+
+Shipping each directory's ``MANIFEST.json`` verbatim (with per-segment
+``bytes``/``crc32``, computed here when a legacy manifest predates
+them) means a replica can commit *exactly* the state the primary
+committed: same segment files, same tombstones, same cursors.  Because
+the primary's own commits are atomic renames, reading the control
+files from disk — never from the live index object — guarantees the
+manifest only ever describes a state that a crash-restarted primary
+would itself serve.
+
+``generation`` is the layout's ``last_change_id`` (the minimum across
+shards for sharded layouts, matching
+:attr:`~repro.index.segments.sharded.ShardedSegmentIndex.last_change_id`);
+clients observe it stamped on search responses, so replica staleness
+is visible, never silent.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import IndexError_
+from repro.index.segments.directory import MANIFEST_NAME, SegmentDirectory
+from repro.index.segments.format import file_crc32
+from repro.index.segments.sharded import (
+    SHARDS_NAME,
+    detect_shard_count,
+    shard_dir_name,
+)
+
+REPLICATION_FORMAT = 1
+
+#: The only file names a replica will ever write from network input —
+#: both sides validate against these, so a hostile or confused peer
+#: cannot traverse outside the segment directory.
+SEGMENT_NAME_RE = re.compile(r"^seg_\d{8}\.seg$")
+SHARD_DIR_RE = re.compile(r"^shard_\d{4}$")
+
+
+def valid_segment_ref(dirname: str, filename: str) -> bool:
+    """True when ``dirname``/``filename`` is a safe segment reference."""
+    if not SEGMENT_NAME_RE.match(filename):
+        return False
+    return dirname == "" or bool(SHARD_DIR_RE.match(dirname))
+
+
+def _dir_manifest(path: Path) -> dict:
+    """A directory's committed manifest with checksums guaranteed.
+
+    Entries from manifests written before per-segment checksums get
+    ``bytes``/``crc32`` computed here so the wire format is uniform.
+    """
+    manifest = SegmentDirectory(path).read_manifest()
+    for entry in manifest["segments"]:
+        if "bytes" not in entry or "crc32" not in entry:
+            seg_path = path / entry["file"]
+            entry["bytes"] = seg_path.stat().st_size
+            entry["crc32"] = file_crc32(seg_path)
+    return manifest
+
+
+def build_replication_manifest(root: str | Path) -> dict:
+    """Describe the committed state of ``root`` for replication."""
+    root = Path(root)
+    shards = detect_shard_count(root)
+    if shards is None:
+        if not (root / MANIFEST_NAME).exists():
+            raise IndexError_(
+                f"{root} is not a segment directory (no {MANIFEST_NAME} "
+                f"or {SHARDS_NAME})")
+        manifest = _dir_manifest(root)
+        return {
+            "format": REPLICATION_FORMAT,
+            "layout": "flat",
+            "shards": None,
+            "generation": manifest.get("last_change_id", 0),
+            "dirs": [{"name": "", "manifest": manifest}],
+        }
+    dirs = []
+    for shard_id in range(shards):
+        name = shard_dir_name(shard_id)
+        dirs.append({"name": name, "manifest": _dir_manifest(root / name)})
+    return {
+        "format": REPLICATION_FORMAT,
+        "layout": "sharded",
+        "shards": shards,
+        "generation": min((d["manifest"].get("last_change_id", 0)
+                           for d in dirs), default=0),
+        "dirs": dirs,
+    }
+
+
+def validate_replication_manifest(manifest: dict) -> None:
+    """Reject a malformed or unsafe manifest before acting on it."""
+    if manifest.get("format") != REPLICATION_FORMAT:
+        raise IndexError_(
+            f"unsupported replication manifest format "
+            f"{manifest.get('format')!r}; expected {REPLICATION_FORMAT}")
+    layout = manifest.get("layout")
+    if layout not in ("flat", "sharded"):
+        raise IndexError_(
+            f"replication manifest has invalid layout {layout!r}")
+    dirs = manifest.get("dirs")
+    if not isinstance(dirs, list) or not dirs:
+        raise IndexError_("replication manifest has no dirs")
+    for entry in dirs:
+        name = entry.get("name", "")
+        dir_manifest = entry.get("manifest")
+        if not isinstance(dir_manifest, dict) \
+                or "segments" not in dir_manifest \
+                or "next_id" not in dir_manifest:
+            raise IndexError_(
+                f"replication manifest dir {name!r} is malformed")
+        for segment in dir_manifest["segments"]:
+            filename = segment.get("file", "")
+            if not valid_segment_ref(name, filename):
+                raise IndexError_(
+                    f"replication manifest names unsafe segment "
+                    f"{name!r}/{filename!r}")
+            if "bytes" not in segment or "crc32" not in segment:
+                raise IndexError_(
+                    f"replication manifest segment {filename} lacks "
+                    f"bytes/crc32 checksums")

@@ -1,0 +1,155 @@
+"""Where a replica pulls from: HTTP primary or local directory.
+
+Both sources speak the same tiny protocol the
+:class:`~repro.replication.replica.ReplicaSyncer` consumes:
+
+* ``fetch_manifest()`` — the primary's replication manifest
+  (:mod:`repro.replication.manifest`), describing committed state only;
+* ``segment_chunks(dirname, filename, offset)`` — the bytes of one
+  immutable segment file from ``offset`` onward, streamed in chunks so
+  an interrupted pull resumes from its partial ``.tmp`` instead of
+  restarting.
+
+:class:`HttpSource` is production (``/replication/*`` endpoints with a
+``Range`` header); :class:`DirectorySource` serves the same protocol
+straight off a local segment directory — it powers ``schemr replicate``
+between paths, the crash-injection recovery sweep (no sockets, fully
+deterministic), and the server side of the manifest endpoint.
+
+Segment files are immutable and content-addressed by the manifest's
+``bytes``/``crc32``, so a source never needs conditional requests:
+whatever arrives is verified against the manifest before commit.
+
+:class:`SegmentVanished` is the one retriable protocol error: the
+primary merged between our manifest fetch and segment pull and the
+file is gone.  The syncer refetches the manifest and replans.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import SchemrError, ServiceError
+from repro.replication.manifest import (
+    build_replication_manifest,
+    valid_segment_ref,
+)
+
+#: Stream granularity for segment pulls; also the resume granularity —
+#: a torn pull wastes at most one chunk.
+CHUNK_BYTES = 1 << 20
+
+
+class SegmentVanished(SchemrError):
+    """The primary no longer has this segment (merged away mid-pull).
+
+    Not an error condition — the syncer refetches the manifest and
+    pulls the post-merge state instead.
+    """
+
+
+class DirectorySource:
+    """The replication protocol served from a local segment directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+
+    def fetch_manifest(self) -> dict:
+        return build_replication_manifest(self._root)
+
+    def segment_chunks(self, dirname: str, filename: str,
+                       offset: int = 0) -> Iterator[bytes]:
+        if not valid_segment_ref(dirname, filename):
+            raise ServiceError(
+                f"invalid segment reference {dirname!r}/{filename!r}")
+        path = self._root / dirname / filename if dirname \
+            else self._root / filename
+        try:
+            handle = open(path, "rb")
+        except FileNotFoundError as exc:
+            raise SegmentVanished(f"{path} is gone (merged away)") from exc
+        with handle:
+            handle.seek(offset)
+            while True:
+                block = handle.read(CHUNK_BYTES)
+                if not block:
+                    return
+                yield block
+
+    def close(self) -> None:
+        pass
+
+
+class HttpSource:
+    """The replication protocol over a primary's ``/replication/*``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+
+    def fetch_manifest(self) -> dict:
+        url = f"{self._base_url}/replication/manifest"
+        try:
+            with urllib.request.urlopen(
+                    url, timeout=self._timeout) as response:
+                payload = response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            raise ServiceError(
+                f"primary returned {exc.code} for /replication/manifest: "
+                f"{detail}", status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach primary at {url}: {exc.reason}") from exc
+        try:
+            return json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"primary sent malformed manifest JSON: {exc}") from exc
+
+    def segment_chunks(self, dirname: str, filename: str,
+                       offset: int = 0) -> Iterator[bytes]:
+        if not valid_segment_ref(dirname, filename):
+            raise ServiceError(
+                f"invalid segment reference {dirname!r}/{filename!r}")
+        name = f"{dirname}/{filename}" if dirname else filename
+        url = f"{self._base_url}/replication/segment/{name}"
+        request = urllib.request.Request(url)
+        if offset:
+            request.add_header("Range", f"bytes={offset}-")
+        try:
+            response = urllib.request.urlopen(request,
+                                              timeout=self._timeout)
+        except urllib.error.HTTPError as exc:
+            exc.read()
+            if exc.code == 404:
+                raise SegmentVanished(
+                    f"primary no longer has {name} (merged away)") from exc
+            raise ServiceError(
+                f"primary returned {exc.code} for segment {name}",
+                status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach primary at {url}: {exc.reason}") from exc
+        with response:
+            if offset and response.status != 206:
+                # The primary ignored the Range header; the caller asked
+                # for a suffix, so skip what it already has.
+                skip = offset
+                while skip > 0:
+                    block = response.read(min(CHUNK_BYTES, skip))
+                    if not block:
+                        return
+                    skip -= len(block)
+            while True:
+                block = response.read(CHUNK_BYTES)
+                if not block:
+                    return
+                yield block
+
+    def close(self) -> None:
+        pass

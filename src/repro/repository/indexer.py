@@ -67,7 +67,7 @@ class RepositoryIndexer:
             # routes per shard.
             self._index: InvertedIndex | SegmentedIndex | \
                 ShardedSegmentIndex = open_segment_index(
-                    segment_dir, shards=shards, create=True)
+                    segment_dir, shards=shards, create=True, sweep=True)
             self._last_change_id = self._index.last_change_id
         else:
             if shards is not None and shards > 1:

@@ -16,18 +16,33 @@ means "every hit"; an exhausted plan disarms itself.
 
 Known sites (grep for ``FAULTS.hit``):
 
-========================  ====================================================
-site                      guarded operation
-========================  ====================================================
-``store.get_schema``      sqlite payload fetch in ``SchemaRepository``
-``store.add_schema``      sqlite insert in ``SchemaRepository``
-``store.changes_since``   changelog read feeding the indexer refresh
-``profile_store.lookup``  ProfileStore read-through miss path
-``matcher.<name>``        one matcher's ``match`` inside GuardedEnsemble
-``engine.phase1``         candidate extraction call in the engine
-``engine.match_one``      per-candidate scoring step in the engine
-``indexer.refresh``       changelog application batch
-========================  ====================================================
+==============================  ==============================================
+site                            guarded operation
+==============================  ==============================================
+``store.get_schema``            sqlite payload fetch in ``SchemaRepository``
+``store.add_schema``            sqlite insert in ``SchemaRepository``
+``store.changes_since``         changelog read feeding the indexer refresh
+``profile_store.lookup``        ProfileStore read-through miss path
+``matcher.<name>``              one matcher's ``match`` inside GuardedEnsemble
+``engine.phase1``               candidate extraction call in the engine
+``engine.match_one``            per-candidate scoring step in the engine
+``indexer.refresh``             changelog application batch
+``segments.write.torn``         mid-write of a segment file body
+``segments.write.pre_rename``   segment durable under tmp name, not renamed
+``segments.manifest.pre_rename``  MANIFEST.json tmp written, not renamed
+``segments.manifest.post_rename`` MANIFEST.json renamed, caller not returned
+``segments.flush.pre_commit``   flushed segment on disk, manifest not committed
+``segments.merge.pre_commit``   merged segment on disk, manifest not committed
+``replication.pull.chunk``      after each pulled chunk lands in ``.tmp``
+``replication.pull.pre_rename`` pulled segment verified, not yet renamed
+``replication.pull.pre_commit`` all segments pulled, manifest not committed
+==============================  ==============================================
+
+The ``segments.*`` and ``replication.*`` sites exist for the
+crash-injection recovery harness: armed with a ``SimulatedCrash``-style
+error they model a process dying at exactly that point, and the
+recovery property is that reopening the directory (with the orphan
+sweep) always yields the last *committed* generation, byte-identical.
 """
 
 from __future__ import annotations

@@ -1,53 +1,236 @@
-"""Thin HTTP client for the Schemr service.
+"""HTTP client for the Schemr service: failover, backoff, staleness.
 
-Mirrors the GUI's two request types: asynchronous search requests and
-schema-visualization (GraphML) requests.
+Mirrors the GUI's two request types (asynchronous search requests and
+schema-visualization requests) and adds the client half of replicated
+serving:
+
+* **Multiple endpoints.**  Construct with one URL or a list; the first
+  is the primary, the rest are replicas in preference order.  Every
+  request walks the endpoints — primary first, then non-demoted
+  replicas by the freshest generation each has served, then demoted
+  ones as a last resort — so a dead or breaker-open target costs one
+  failed connect, not an outage.
+* **Demotion.**  A transport failure or 503 (breaker open, not ready)
+  demotes that endpoint for ``demote_seconds``; it keeps getting
+  skipped while healthier targets exist and is re-probed once the
+  window lapses or nothing better remains.
+* **Retry-After.**  A 429/503 backs off with capped exponential
+  backoff and full jitter (:class:`~repro.resilience.retry.RetryPolicy`),
+  sleeping at least the server's ``Retry-After`` hint (still capped),
+  instead of failing immediately.  ``retry_policy=None`` disables the
+  backoff rounds — one failover pass, every status surfaces — which is
+  what the workload replay driver uses so shed requests are *counted*,
+  not hidden.
+* **Staleness is visible.**  Servers stamp the index generation they
+  served on responses; :attr:`last_generation` and
+  :attr:`last_endpoint` report where the most recent answer came from
+  and how fresh it was, and per-endpoint generations steer failover
+  toward the freshest replica.
+
+``sleep``/``rng``/``clock`` are injectable so the backoff and demotion
+logic is unit-testable with a fake clock, matching the rest of the
+resilience layer.
 """
 
 from __future__ import annotations
 
+import http.client
+import random
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from typing import Callable, Sequence
 
 import networkx as nx
 
 from repro.core.results import SearchResult
 from repro.errors import ServiceError
+from repro.resilience.retry import RetryPolicy
 from repro.service.graphml import parse_graphml
 from repro.service.xmlresponse import parse_results_xml
 
+#: Response header carrying the index generation the server answered
+#: from (also stamped as an XML attribute on ``<searchResults>``).
+GENERATION_HEADER = "X-Schemr-Generation"
+
+#: Statuses that demote an endpoint: the service is up but cannot
+#: serve (breaker open, replica too stale, shutting down).
+_DEMOTE_STATUSES = frozenset((502, 503))
+
+#: Statuses worth a backoff round: the service asked us to come back.
+_BACKOFF_STATUSES = frozenset((429, 503))
+
+#: Default backoff for interactive clients: three rounds, capped at
+#: half a second of jittered sleep per round.
+DEFAULT_RETRY_POLICY = RetryPolicy(attempts=3, base_seconds=0.05,
+                                   multiplier=4.0, max_seconds=0.5)
+
+
+class _Endpoint:
+    """One server URL plus the client's local view of its health."""
+
+    __slots__ = ("url", "demoted_until", "last_generation")
+
+    def __init__(self, url: str) -> None:
+        self.url = url.rstrip("/")
+        self.demoted_until = 0.0
+        self.last_generation = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Endpoint({self.url!r})"
+
 
 class SchemrClient:
-    """Talks to a running :class:`~repro.service.server.SchemrServer`."""
+    """Talks to one or more :class:`~repro.service.server.SchemrServer`.
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
-        self._base_url = base_url.rstrip("/")
+    ``base_url`` may be a single URL (the common case) or a sequence of
+    URLs ordered by preference — primary first, replicas after.
+    """
+
+    def __init__(self, base_url: str | Sequence[str],
+                 timeout: float = 10.0, *,
+                 retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+                 demote_seconds: float = 5.0,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: random.Random | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        urls = [base_url] if isinstance(base_url, str) else list(base_url)
+        if not urls:
+            raise ValueError("at least one endpoint URL is required")
+        self._endpoints = [_Endpoint(url) for url in urls]
         self._timeout = timeout
+        self._retry_policy = retry_policy
+        self._demote_seconds = demote_seconds
+        self._sleep = sleep
+        self._rng = rng or random
+        self._clock = clock
+        self.last_endpoint: str | None = None
+        self.last_generation: int | None = None
 
-    def _request(self, path: str, body: bytes | None = None) -> str:
-        url = f"{self._base_url}{path}"
+    @property
+    def endpoints(self) -> list[str]:
+        """Configured endpoint URLs, primary first."""
+        return [endpoint.url for endpoint in self._endpoints]
+
+    # -- failover core -----------------------------------------------------
+
+    def _preference_order(self) -> list[_Endpoint]:
+        """Endpoints to try, best first; never excludes anything.
+
+        Primary (index 0) leads whenever it is not demoted.  Healthy
+        replicas follow, freshest served generation first.  Demoted
+        endpoints trail, soonest-to-recover first — when everything is
+        demoted the least-recently-failed target gets re-probed.
+        """
+        now = self._clock()
+        healthy = [endpoint for endpoint in self._endpoints
+                   if endpoint.demoted_until <= now]
+        demoted = [endpoint for endpoint in self._endpoints
+                   if endpoint.demoted_until > now]
+        primary = self._endpoints[0]
+        order = []
+        if primary in healthy:
+            order.append(primary)
+            healthy.remove(primary)
+        order.extend(sorted(healthy, key=lambda e: -e.last_generation))
+        order.extend(sorted(demoted, key=lambda e: e.demoted_until))
+        return order
+
+    def _demote(self, endpoint: _Endpoint) -> None:
+        endpoint.demoted_until = self._clock() + self._demote_seconds
+
+    def _fetch(self, endpoint: _Endpoint, path: str,
+               body: bytes | None) -> str:
+        """One HTTP exchange against one endpoint; updates freshness."""
+        url = f"{endpoint.url}{path}"
         request = urllib.request.Request(
             url, data=body, method="POST" if body is not None else "GET")
         try:
             with urllib.request.urlopen(request,
                                         timeout=self._timeout) as response:
-                return response.read().decode("utf-8")
+                text = response.read().decode("utf-8")
+                generation = response.headers.get(GENERATION_HEADER)
         except urllib.error.HTTPError as exc:
             detail = exc.read().decode("utf-8", errors="replace")
+            retry_after = _parse_retry_after(
+                exc.headers.get("Retry-After"))
             raise ServiceError(
                 f"server returned {exc.code} for {path}: {detail}",
-                status=exc.code) from exc
+                status=exc.code, retry_after=retry_after) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # A server killed mid-response surfaces as a raw socket or
+            # HTTP-protocol error, not a URLError; it demotes the
+            # endpoint exactly like a refused connection.
+            raise ServiceError(f"connection to {url} failed: {exc}") from exc
+        self.last_endpoint = endpoint.url
+        if generation is not None:
+            try:
+                endpoint.last_generation = int(generation)
+            except ValueError:
+                pass  # a proxy mangled the header; freshness unknown
+            else:
+                self.last_generation = endpoint.last_generation
+        return text
+
+    def _request(self, path: str, body: bytes | None = None) -> str:
+        """Fetch with failover and (when configured) backoff rounds.
+
+        Each round walks the preference order: transport failures and
+        502/503 demote the endpoint and move on immediately; a 429
+        means the cluster is shedding load, so the round ends and the
+        client backs off (honoring ``Retry-After``, capped by the
+        policy) before trying again.  Other statuses are the caller's
+        problem and raise at once.
+        """
+        attempts = (self._retry_policy.attempts
+                    if self._retry_policy is not None else 1)
+        last_error: ServiceError | None = None
+        for attempt in range(attempts):
+            retry_after = 0.0
+            for endpoint in self._preference_order():
+                try:
+                    return self._fetch(endpoint, path, body)
+                except ServiceError as exc:
+                    last_error = exc
+                    if exc.status is None \
+                            or exc.status in _DEMOTE_STATUSES:
+                        if exc.status is not None:
+                            retry_after = max(retry_after,
+                                              exc.retry_after)
+                        self._demote(endpoint)
+                        continue
+                    if exc.status in _BACKOFF_STATUSES:
+                        retry_after = max(retry_after, exc.retry_after)
+                        break
+                    raise
+            if self._retry_policy is None or attempt == attempts - 1:
+                break
+            delay = self._retry_policy.backoff_seconds(attempt, self._rng)
+            if retry_after > 0.0:
+                delay = min(self._retry_policy.max_seconds,
+                            max(delay, retry_after))
+            self._sleep(delay)
+        assert last_error is not None
+        raise last_error
+
+    # -- API ---------------------------------------------------------------
 
     def health(self) -> bool:
-        """True when the server answers its liveness probe."""
-        try:
-            self._request("/health")
-        except ServiceError:
-            return False
-        return True
+        """True when any endpoint answers its liveness probe.
+
+        Probes without backoff rounds — health checks should be fast
+        and honest, not resilient.
+        """
+        for endpoint in self._preference_order():
+            try:
+                self._fetch(endpoint, "/health", None)
+            except ServiceError:
+                continue
+            return True
+        return False
 
     def search(self, keywords: str = "", fragment: str | None = None,
                top_n: int = 10, offset: int = 0) -> list[SearchResult]:
@@ -104,3 +287,14 @@ class SchemrClient:
                             for element, score in match_scores.items())
             path += "?" + urllib.parse.urlencode({"scores": blob})
         return parse_graphml(self._request(path))
+
+
+def _parse_retry_after(header: str | None) -> float:
+    """Seconds from a ``Retry-After`` header (delta form only; this
+    service never emits HTTP-dates), 0.0 when absent or unparsable."""
+    if header is None:
+        return 0.0
+    try:
+        return max(0.0, float(header))
+    except ValueError:
+        return 0.0

@@ -13,7 +13,17 @@ Endpoints (mirroring the Figure 5 request flow):
   rates, slow queries, empty-result reasons);
 * ``GET /health`` / ``GET /healthz`` — liveness probes;
 * ``GET /readyz`` — readiness: 503 (with ``Retry-After``) while a
-  circuit breaker is open or the indexer is mid-refresh.
+  circuit breaker is open, the indexer is mid-refresh, or (on a
+  replica) the replication lag exceeds ``--max-replica-lag``;
+* ``GET /replication/manifest`` — the committed segment state
+  (generation + per-segment checksums) a replica syncs against;
+* ``GET /replication/segment/<name>`` — one immutable segment file,
+  range-resumable (``Range: bytes=N-``).
+
+Search responses carry the served index generation (the change-log
+cursor) both as a ``generation`` attribute on ``<searchResults>`` and
+as an ``X-Schemr-Generation`` header, so replica staleness is
+observable by every client, never silent.
 
 Resilience: search endpoints are admission-controlled (bounded queue +
 concurrency limiter; overload answers a structured 429 with
@@ -31,12 +41,14 @@ logged through the ``repro.service.access`` logger.
 
 from __future__ import annotations
 
+import json
 import logging
 import sqlite3
 import threading
 import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 
 from repro.core.config import SchemrConfig
 from repro.core.engine import SchemrEngine
@@ -69,6 +81,11 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
     telemetry: Telemetry
     admission: AdmissionController
     indexer: RepositoryIndexer | None = None
+    #: The segment directory served (enables ``/replication/*``).
+    segment_dir: Path | None = None
+    #: Set on replicas: gates ``/readyz`` on replication lag.
+    replica_syncer = None
+    max_replica_lag_seconds: float = 30.0
     access_log: bool = False
     #: Socket read timeout (StreamRequestHandler applies it in setup());
     #: a client that stalls mid-request costs this many seconds, not a
@@ -150,6 +167,10 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
                 self._handle_search(parsed.query, body)
             elif parsed.path == "/suggest":
                 self._handle_suggest(parsed.query)
+            elif parsed.path == "/replication/manifest":
+                self._handle_replication_manifest()
+            elif parsed.path.startswith("/replication/segment/"):
+                self._handle_replication_segment(parsed.path)
             elif (parsed.path.startswith("/schema/")
                     and parsed.path.endswith("/svg")):
                 self._handle_schema_svg(parsed.path, parsed.query)
@@ -225,6 +246,18 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
             self._send_error_xml(503, "index refresh in progress",
                                  retry_after=1.0)
             return
+        syncer = self.replica_syncer
+        if syncer is not None \
+                and not syncer.is_ready(self.max_replica_lag_seconds):
+            lag = syncer.lag_seconds()
+            detail = ("never synced" if lag == float("inf")
+                      else f"lag {lag:.1f}s")
+            self._send_error_xml(
+                503,
+                f"replica {detail} exceeds max "
+                f"{self.max_replica_lag_seconds:.1f}s",
+                retry_after=1.0)
+            return
         shard_status = getattr(self.engine, "shard_status", None)
         if shard_status is None:
             self._send(200, '<?xml version="1.0"?><ready/>')
@@ -248,6 +281,17 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
             for s in shard_status())
         self._send(200, f'<?xml version="1.0"?><ready>{shards}</ready>')
 
+    def _served_generation(self) -> int | None:
+        """The change-log cursor the serving index durably reflects.
+
+        Comparable across processes and hosts (unlike the in-memory
+        generation counter), which is what makes replica staleness
+        observable: a trailing replica stamps a smaller number than
+        the primary.  None for purely in-memory indexes.
+        """
+        index = getattr(self.engine.searcher, "index", None)
+        return getattr(index, "last_change_id", None)
+
     def _handle_search(self, query_string: str, body: str | None) -> None:
         params = urllib.parse.parse_qs(query_string)
         keywords = " ".join(params.get("keywords", []))
@@ -260,8 +304,81 @@ class _SchemrRequestHandler(BaseHTTPRequestHandler):
                                          offset=offset)
             profile = self.engine.thread_profile
         degradation = profile.degradation if profile is not None else "none"
+        generation = self._served_generation()
+        extra = ({"X-Schemr-Generation": str(generation)}
+                 if generation is not None else None)
         self._send(200, results_to_xml(results, query=keywords,
-                                       degradation=degradation))
+                                       degradation=degradation,
+                                       generation=generation),
+                   extra_headers=extra)
+
+    # -- replication (the primary side of segment shipping) --------------
+
+    def _handle_replication_manifest(self) -> None:
+        from repro.replication import build_replication_manifest
+        if self.segment_dir is None:
+            self._send_error_xml(
+                404, "this server serves an in-memory index; start it "
+                     "with --segment-dir to enable replication")
+            return
+        manifest = build_replication_manifest(self.segment_dir)
+        self._send(200, json.dumps(manifest),
+                   content_type="application/json")
+
+    def _handle_replication_segment(self, path: str) -> None:
+        from repro.replication import valid_segment_ref
+        if self.segment_dir is None:
+            self._send_error_xml(
+                404, "this server serves an in-memory index; start it "
+                     "with --segment-dir to enable replication")
+            return
+        name = path.removeprefix("/replication/segment/")
+        parts = name.split("/")
+        if len(parts) == 1:
+            dirname, filename = "", parts[0]
+        elif len(parts) == 2:
+            dirname, filename = parts
+        else:
+            self._send_error_xml(400, f"bad segment reference {name!r}")
+            return
+        if not valid_segment_ref(dirname, filename):
+            self._send_error_xml(400, f"bad segment reference {name!r}")
+            return
+        seg_path = (self.segment_dir / dirname / filename if dirname
+                    else self.segment_dir / filename)
+        try:
+            handle = open(seg_path, "rb")
+        except FileNotFoundError:
+            self._send_error_xml(
+                404, f"no segment {name} (merged away; refetch the "
+                     f"manifest)")
+            return
+        with handle:
+            size = seg_path.stat().st_size
+            offset = _parse_range(self.headers.get("Range"))
+            if offset is None:
+                status, start = 200, 0
+            elif offset >= size:
+                self._send_error_xml(416, f"range start {offset} beyond "
+                                          f"{size}-byte segment")
+                return
+            else:
+                status, start = 206, offset
+            self.send_response(status)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(size - start))
+            self.send_header("Accept-Ranges", "bytes")
+            if status == 206:
+                self.send_header("Content-Range",
+                                 f"bytes {start}-{size - 1}/{size}")
+            self.end_headers()
+            handle.seek(start)
+            while True:
+                block = handle.read(1 << 20)
+                if not block:
+                    break
+                self.wfile.write(block)
+        self._status = status
 
     def _handle_suggest(self, query_string: str) -> None:
         from repro.index.suggest import PrefixSuggester
@@ -354,9 +471,27 @@ def _xml_escape(text: str) -> str:
             .replace(">", "&gt;"))
 
 
+def _parse_range(header: str | None) -> int | None:
+    """The start offset of a ``bytes=N-`` range header, else None.
+
+    Only the open-ended suffix form the replica syncer sends is
+    honored; anything else falls back to a full-body 200, which is
+    always a correct (if larger) answer.
+    """
+    if header is None or not header.startswith("bytes="):
+        return None
+    spec = header.removeprefix("bytes=")
+    if not spec.endswith("-"):
+        return None
+    try:
+        return int(spec[:-1])
+    except ValueError:
+        return None
+
+
 _FIXED_ROUTES = frozenset(
     ("/", "/health", "/healthz", "/readyz", "/metrics", "/stats",
-     "/search", "/suggest"))
+     "/search", "/suggest", "/replication/manifest"))
 
 
 def _route_of(path: str) -> str:
@@ -370,6 +505,8 @@ def _route_of(path: str) -> str:
     if path.startswith("/schema/"):
         return ("/schema/<id>/svg" if path.endswith("/svg")
                 else "/schema/<id>")
+    if path.startswith("/replication/segment/"):
+        return "/replication/segment/<name>"
     return "<other>"
 
 
@@ -394,14 +531,25 @@ class SchemrServer:
         # is a few percent; see benchmarks/bench_telemetry_overhead.py).
         if config is None:
             config = SchemrConfig(telemetry_enabled=True)
-        if config.shards > 1:
+        self._replica_syncer = None
+        indexer: RepositoryIndexer | None
+        if config.replicate_from:
+            # Replica serving: the index is a follower of a primary's
+            # segment directory — never locally indexed, so there is no
+            # indexer in the loop and refreshes never run here.
+            self._engine, self._replica_syncer = _build_replica_engine(
+                repository, config)
+            indexer = None
+        elif config.shards > 1:
             # Worker-pool serving: phases 1+2 scatter to per-shard
             # processes; the front's pages stay byte-identical to the
             # in-process engine's.
             from repro.sharding import ShardedEngine
             self._engine = ShardedEngine(repository, config=config)
+            indexer = repository.indexer()
         else:
             self._engine = repository.engine(config=config)
+            indexer = repository.indexer()
         self._admission = AdmissionController(
             max_concurrent=config.max_concurrent_searches,
             queue_size=config.admission_queue_size,
@@ -412,7 +560,11 @@ class SchemrServer:
             "suggester": PrefixSuggester(self._engine.searcher.index),
             "telemetry": self._engine.telemetry,
             "admission": self._admission,
-            "indexer": repository.indexer(),
+            "indexer": indexer,
+            "segment_dir": (Path(config.segment_dir)
+                            if config.segment_dir else None),
+            "replica_syncer": self._replica_syncer,
+            "max_replica_lag_seconds": config.max_replica_lag_seconds,
             "access_log": access_log,
             "timeout": config.request_timeout_seconds,
         })
@@ -444,6 +596,11 @@ class SchemrServer:
         return self._engine
 
     @property
+    def replica_syncer(self):
+        """The replica's sync loop, or None on a primary."""
+        return self._replica_syncer
+
+    @property
     def admission(self) -> AdmissionController:
         return self._admission
 
@@ -464,6 +621,8 @@ class SchemrServer:
     def start(self) -> None:
         if self._thread is not None:
             return
+        if self._replica_syncer is not None:
+            self._replica_syncer.start()
         self._thread = threading.Thread(target=self._httpd.serve_forever,
                                         daemon=True)
         self._thread.start()
@@ -481,6 +640,8 @@ class SchemrServer:
         """
         if self._thread is None:
             return
+        if self._replica_syncer is not None:
+            self._replica_syncer.stop()
         thread = self._thread
         self._httpd.shutdown()
         thread.join(timeout=join_timeout_seconds)
@@ -503,6 +664,45 @@ class SchemrServer:
     def running(self) -> "_RunningServer":
         """Context manager that starts/stops the server."""
         return _RunningServer(self)
+
+
+def _build_replica_engine(repository: SchemaRepository,
+                          config: SchemrConfig):
+    """A serving engine that follows a primary instead of indexing.
+
+    Performs one blocking catch-up sync before opening the index, so a
+    fresh replica starts serving the primary's current generation
+    rather than an empty page.  If the primary is down but a previous
+    sync left committed local state, the replica serves that (stale,
+    and ``/readyz`` says so); with neither, startup fails loudly.
+    """
+    from repro.index.segments import open_segment_index
+    from repro.replication import (DirectorySource, HttpSource,
+                                   ReplicaSyncer)
+    telemetry = Telemetry.from_config(config)
+    target = config.replicate_from
+    source = (HttpSource(target) if "://" in target
+              else DirectorySource(target))
+    syncer = ReplicaSyncer(source, config.segment_dir,
+                           telemetry=telemetry,
+                           poll_seconds=config.replica_poll_seconds)
+    try:
+        syncer.sync_once()
+    except SchemrError as exc:
+        local = Path(config.segment_dir)
+        if not (local / "MANIFEST.json").exists() \
+                and not (local / "SHARDS.json").exists():
+            raise ServiceError(
+                f"replica has no local state and the initial sync from "
+                f"{target} failed: {exc}") from exc
+        logger.warning("initial replica sync from %s failed; serving "
+                       "the existing local state: %s", target, exc)
+    index = open_segment_index(config.segment_dir, sweep=True)
+    syncer.attach_index(index)
+    engine = SchemrEngine(index=index, source=repository.profile_store(),
+                          config=config, telemetry=telemetry)
+    engine._owns_telemetry = True
+    return engine, syncer
 
 
 class _RunningServer:

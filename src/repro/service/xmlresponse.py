@@ -13,13 +13,17 @@ from repro.errors import ServiceError
 
 
 def results_to_xml(results: list[SearchResult], query: str = "",
-                   degradation: str | None = None) -> str:
+                   degradation: str | None = None,
+                   generation: int | None = None) -> str:
     """Serialize a ranked result list to the service's XML format.
 
     ``degradation`` is the machine-readable graceful-degradation level
     the response was produced at ("none", "reduced_pool", "name_only",
     "phase1_only"); when given it is stamped on the root element so
     clients can tell a budget-degraded ranking from a full one.
+    ``generation`` is the index generation the ranking was served from
+    — with replicas in play it makes staleness observable, never
+    silent (a replica trailing the primary serves a lower number).
     """
     root = ET.Element("searchResults", attrib={
         "query": query,
@@ -27,6 +31,8 @@ def results_to_xml(results: list[SearchResult], query: str = "",
     })
     if degradation is not None:
         root.set("degradation", degradation)
+    if generation is not None:
+        root.set("generation", str(generation))
     for rank, result in enumerate(results, start=1):
         node = ET.SubElement(root, "result", attrib={
             "rank": str(rank),

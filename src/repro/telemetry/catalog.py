@@ -117,6 +117,19 @@ METRICS: dict[str, tuple[str, str]] = {
         "counter", "Queries merged without every shard"),
     "schemr_shard_hung_workers_total": (
         "counter", "Workers terminated because they stopped answering"),
+    # -- replication --------------------------------------------------
+    "schemr_replica_lag_seconds": (
+        "gauge", "Seconds since the replica last confirmed sync"),
+    "schemr_replica_lag_operations": (
+        "gauge", "Change-log operations the replica trails by"),
+    "schemr_replica_generation": (
+        "gauge", "Change-log cursor the replica serves"),
+    "schemr_replica_syncs_total": (
+        "counter", "Replica sync cycles by outcome"),
+    "schemr_replica_pulled_segments_total": (
+        "counter", "Segment files pulled from the primary"),
+    "schemr_replica_pulled_bytes_total": (
+        "counter", "Segment bytes pulled from the primary"),
     # -- HTTP service -------------------------------------------------
     "schemr_http_requests_total": (
         "counter", "HTTP requests by route and status"),

@@ -106,7 +106,10 @@ class HttpTarget:
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         from repro.service.client import SchemrClient
-        self._client = SchemrClient(base_url, timeout=timeout)
+        # retry_policy=None: the replay driver must see every 429 to
+        # account shedding; client-side backoff would hide them.
+        self._client = SchemrClient(base_url, timeout=timeout,
+                                    retry_policy=None)
 
     def search(self, keywords: tuple[str, ...], fragment: str | None,
                top_n: int) -> tuple[list[SearchResult], str]:
