@@ -1,0 +1,495 @@
+"""Pass 2 input: lock-acquisition contexts and the conservative call graph.
+
+Every method and top-level function of the scanned corpus is distilled
+into a :class:`MethodSummary` — the ordered list of *events* that
+matter to the concurrency rules:
+
+* ``acquire`` — a lock is taken (``with self._lock:`` or an explicit
+  ``.acquire()``), recorded with the locks already held at that point;
+* ``call`` — any other call, with the held-lock snapshot, the resolved
+  callee when the shallow type model can name it, and enough shape
+  (argument count, ``timeout=`` keyword) for the blocking rule.
+
+The walker is flow-aware where it matters: explicit ``.release()`` /
+``.acquire()`` inside a ``with`` region updates the held set (the
+``WorkerHandle.collect`` pump drops its condition around the blocking
+pipe read, and must not be reported as holding it), and each branch of
+``if``/``try`` walks a copy of the held set so a release on one path
+never leaks into its sibling.
+
+:func:`compute_lock_closure` then closes acquisitions over the call
+graph — ``locks_of(m)`` = every lock ``m`` may take, transitively —
+keeping the shortest witness chain per lock so a cross-method
+lock-order edge can be reported with the path that proves it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.model import ClassModel, ProjectModel
+from repro.analysis.source import SourceFile
+
+#: Fixpoint guard: witness chains longer than this stop propagating.
+MAX_CHAIN = 6
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class LockKey:
+    """One lock in the global order graph: ``ClassName.attr``."""
+
+    cls: str
+    attr: str
+    kind: str = field(compare=False, default="unknown")
+
+    @property
+    def label(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+
+@dataclass(frozen=True, slots=True)
+class HeldLock:
+    lock: LockKey
+    line: int
+
+
+@dataclass(slots=True)
+class Event:
+    """One acquire or call, with the held-lock context."""
+
+    kind: str  # "acquire" | "call"
+    line: int
+    held: tuple[HeldLock, ...]
+    #: acquire: the lock taken; also set for ``.acquire()``/``.wait()``
+    #: style calls where the receiver is a known lock.
+    lock: LockKey | None = None
+    #: acquire: the same lock is already held (reentrancy probe).
+    reentrant: bool = False
+    #: acquire: True for explicit ``.acquire()`` (vs ``with``).
+    explicit: bool = False
+    #: call: resolved callee qualname, when the type model can name it.
+    target: str | None = None
+    #: call: the called name (attribute or bare function name).
+    name: str = ""
+    n_args: int = 0
+    has_timeout: bool = False
+
+
+@dataclass(slots=True)
+class MethodSummary:
+    """Events of one method/function, keyed by its qualname."""
+
+    qualname: str
+    module: str
+    path: str
+    line: int
+    events: list[Event] = field(default_factory=list)
+
+
+def _timeoutish(call: ast.Call) -> bool:
+    """Whether the call bounds its blocking: positional args count
+    (``join(1.0)``, ``wait(timeout)``) or a ``timeout=`` keyword."""
+    if call.args:
+        return True
+    return any(kw.arg == "timeout" for kw in call.keywords)
+
+
+class _Env:
+    """Local variable -> resolved type, per method walk."""
+
+    def __init__(self) -> None:
+        self.vars: dict[str, tuple[str, object]] = {}
+
+    def get(self, name: str):
+        return self.vars.get(name)
+
+    def set(self, name: str, value) -> None:
+        if value is None:
+            self.vars.pop(name, None)
+        else:
+            self.vars[name] = value
+
+
+class _MethodWalker:
+    """Extract events from one method body."""
+
+    def __init__(self, project: ProjectModel, cls: ClassModel | None,
+                 module: str, summary: MethodSummary) -> None:
+        self.project = project
+        self.cls = cls
+        self.module = module
+        self.summary = summary
+        self.env = _Env()
+
+    # -- type resolution --------------------------------------------------
+
+    def _resolve_annotation(self, annotation: ast.expr | None):
+        if isinstance(annotation, ast.Name):
+            found = self.project.resolve_class(annotation.id, self.module)
+            if found is not None:
+                return ("instance", found)
+        if isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str):
+            found = self.project.resolve_class(annotation.value,
+                                               self.module)
+            if found is not None:
+                return ("instance", found)
+        return None
+
+    def seed_params(self, node: ast.FunctionDef) -> None:
+        args = list(node.args.posonlyargs) + list(node.args.args) \
+            + list(node.args.kwonlyargs)
+        for arg in args:
+            if arg.arg == "self":
+                if self.cls is not None:
+                    self.env.set("self", ("instance", self.cls))
+                continue
+            self.env.set(arg.arg, self._resolve_annotation(arg.annotation))
+
+    def _resolve_instance_attr(self, owner: ClassModel, attr: str,
+                               depth: int = 0):
+        """Type of ``<owner instance>.attr``, following property aliases."""
+        if depth > 3:
+            return None
+        lock_kind = owner.lock_attrs.get(attr)
+        if lock_kind is not None:
+            return ("lock", LockKey(owner.name, attr, lock_kind))
+        alias = owner.property_aliases.get(attr)
+        if alias is not None:
+            return self._resolve_instance_attr(owner, alias, depth + 1)
+        ref = owner.attr_types.get(attr)
+        if ref is None:
+            return None
+        if ref.kind == "lock":
+            return ("lock", LockKey(owner.name, attr, ref.name))
+        found = self.project.resolve_class(ref.name, owner.module)
+        if found is None:
+            return None
+        if ref.kind == "instance":
+            return ("instance", found)
+        if ref.kind == "list":
+            return ("list", found)
+        return None
+
+    def resolve_expr(self, expr: ast.expr | None):
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.cls is not None:
+                return ("instance", self.cls)
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.resolve_expr(expr.value)
+            if base is not None and base[0] == "instance":
+                return self._resolve_instance_attr(base[1], expr.attr)
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.resolve_expr(expr.value)
+            if base is not None and base[0] == "list":
+                return ("instance", base[1])
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif (isinstance(func, ast.Attribute)
+                  and isinstance(func.value, ast.Name)
+                  and func.value.id and func.value.id[0].isupper()):
+                name = func.value.id
+            if name and name[0].isupper():
+                found = self.project.resolve_class(name, self.module)
+                if found is not None:
+                    return ("instance", found)
+            return None
+        if isinstance(expr, ast.BoolOp):
+            for operand in expr.values:
+                resolved = self.resolve_expr(operand)
+                if resolved is not None:
+                    return resolved
+            return None
+        if isinstance(expr, (ast.IfExp,)):
+            return self.resolve_expr(expr.body) \
+                or self.resolve_expr(expr.orelse)
+        return None
+
+    def resolve_lock(self, expr: ast.expr) -> LockKey | None:
+        resolved = self.resolve_expr(expr)
+        if resolved is not None and resolved[0] == "lock":
+            return resolved[1]
+        # Fallback: ``self.X`` over a lockish name with no resolvable
+        # constructor still names a lock on the current class.
+        if (self.cls is not None and isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in self.cls.lock_attrs):
+            return LockKey(self.cls.name, expr.attr,
+                           self.cls.lock_attrs[expr.attr])
+        return None
+
+    def _resolve_call_target(self, func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            found = self.project.resolve_class(func.id, self.module)
+            if found is not None and "__init__" in found.methods:
+                return f"{found.qualname}.__init__"
+            module = self.project.modules.get(self.module)
+            if module is not None:
+                if func.id in module.functions:
+                    return f"{self.module}.{func.id}"
+                origin = module.imports.get(func.id)
+                if origin is not None and "." in origin:
+                    target_module, _, name = origin.rpartition(".")
+                    imported = self.project.modules.get(target_module)
+                    if imported is not None and name in imported.functions:
+                        return f"{target_module}.{name}"
+            return None
+        if isinstance(func, ast.Attribute):
+            base = self.resolve_expr(func.value)
+            if base is not None and base[0] == "instance":
+                resolved = self.project.resolve_method(base[1], func.attr)
+                if resolved is not None:
+                    owner, _ = resolved
+                    return f"{owner.qualname}.{func.attr}"
+        return None
+
+    # -- the walk ---------------------------------------------------------
+
+    def walk_body(self, stmts, held: list[HeldLock]) -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt, held)
+
+    def _branch(self, stmts, held: list[HeldLock]) -> None:
+        self.walk_body(stmts, list(held))
+
+    def walk_stmt(self, stmt: ast.stmt, held: list[HeldLock]) -> None:
+        if isinstance(stmt, ast.With):
+            pushed: list[LockKey] = []
+            for item in stmt.items:
+                lock = self.resolve_lock(item.context_expr)
+                if lock is not None:
+                    self._record_acquire(item.context_expr.lineno, lock,
+                                         held, explicit=False)
+                    held.append(HeldLock(lock, item.context_expr.lineno))
+                    pushed.append(lock)
+                else:
+                    self.scan_calls(item.context_expr, held)
+                    if isinstance(item.optional_vars, ast.Name):
+                        self.env.set(
+                            item.optional_vars.id,
+                            self.resolve_expr(item.context_expr))
+            self.walk_body(stmt.body, held)
+            for lock in pushed:
+                self._drop_held(held, lock)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.scan_calls(stmt.test, held)
+            self._branch(stmt.body, held)
+            self._branch(stmt.orelse, held)
+        elif isinstance(stmt, ast.For):
+            self.scan_calls(stmt.iter, held)
+            if isinstance(stmt.target, ast.Name):
+                iterated = self.resolve_expr(stmt.iter)
+                if iterated is not None and iterated[0] == "list":
+                    self.env.set(stmt.target.id, ("instance", iterated[1]))
+            self._branch(stmt.body, held)
+            self._branch(stmt.orelse, held)
+        elif isinstance(stmt, ast.Try):
+            # The try body walks the *live* held list: straight-line
+            # release/acquire sequences (the collect pump) span it.
+            self.walk_body(stmt.body, held)
+            for handler in stmt.handlers:
+                self._branch(handler.body, held)
+            self._branch(stmt.orelse, held)
+            self.walk_body(stmt.finalbody, held)
+        elif isinstance(stmt, ast.Assign):
+            self.scan_calls(stmt.value, held)
+            self._bind_assign(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.scan_calls(stmt.value, held)
+                if isinstance(stmt.target, ast.Name):
+                    self.env.set(stmt.target.id,
+                                 self.resolve_expr(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self.scan_calls(stmt.value, held)
+        elif isinstance(stmt, ast.Expr):
+            if not self._handle_lock_call(stmt.value, held):
+                self.scan_calls(stmt.value, held)
+        elif isinstance(stmt, (ast.Return, ast.Raise, ast.Assert,
+                               ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.scan_calls(child, held)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested defs run later, under their own context
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.scan_calls(child, held)
+                elif isinstance(child, ast.stmt):
+                    self.walk_stmt(child, held)
+
+    def _bind_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            self.env.set(target.id, self.resolve_expr(stmt.value))
+        elif (isinstance(target, ast.Tuple)
+              and isinstance(stmt.value, ast.Tuple)
+              and len(target.elts) == len(stmt.value.elts)):
+            for elt, value in zip(target.elts, stmt.value.elts):
+                if isinstance(elt, ast.Name):
+                    self.env.set(elt.id, self.resolve_expr(value))
+
+    def _drop_held(self, held: list[HeldLock], lock: LockKey) -> None:
+        for index in range(len(held) - 1, -1, -1):
+            if held[index].lock == lock:
+                del held[index]
+                return
+
+    def _record_acquire(self, line: int, lock: LockKey,
+                        held: list[HeldLock], *, explicit: bool,
+                        has_timeout: bool = False) -> None:
+        self.summary.events.append(Event(
+            kind="acquire", line=line, held=tuple(held), lock=lock,
+            reentrant=any(h.lock == lock for h in held),
+            explicit=explicit, has_timeout=has_timeout))
+
+    def _handle_lock_call(self, expr: ast.expr,
+                          held: list[HeldLock]) -> bool:
+        """Explicit ``<lock>.acquire()`` / ``.release()`` statements
+        mutate the held set; returns True when handled."""
+        if not (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)):
+            return False
+        lock = self.resolve_lock(expr.func.value)
+        if lock is None:
+            return False
+        if expr.func.attr == "acquire":
+            self._record_acquire(expr.lineno, lock, held, explicit=True,
+                                 has_timeout=_timeoutish(expr))
+            if not any(h.lock == lock for h in held):
+                held.append(HeldLock(lock, expr.lineno))
+            return True
+        if expr.func.attr == "release":
+            self._drop_held(held, lock)
+            return True
+        return False
+
+    def scan_calls(self, expr: ast.expr, held: list[HeldLock]) -> None:
+        """Record every call inside ``expr`` (lambdas excluded)."""
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Lambda,)):
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = ""
+            lock = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+                resolved = self.resolve_expr(func.value)
+                if resolved is not None and resolved[0] == "lock":
+                    lock = resolved[1]
+            elif isinstance(func, ast.Name):
+                name = func.id
+            self.summary.events.append(Event(
+                kind="call", line=node.lineno, held=tuple(held),
+                lock=lock, target=self._resolve_call_target(func),
+                name=name, n_args=len(node.args),
+                has_timeout=_timeoutish(node)))
+
+
+def _summarize(project: ProjectModel, module: str, path: str,
+               cls: ClassModel | None, qualname: str,
+               node: ast.FunctionDef) -> MethodSummary:
+    summary = MethodSummary(qualname=qualname, module=module, path=path,
+                            line=node.lineno)
+    walker = _MethodWalker(project, cls, module, summary)
+    walker.seed_params(node)
+    walker.walk_body(node.body, [])
+    return summary
+
+
+def build_summaries(project: ProjectModel) -> dict[str, MethodSummary]:
+    """One :class:`MethodSummary` per method/function, by qualname."""
+    summaries: dict[str, MethodSummary] = {}
+    for module_name in sorted(project.modules):
+        module = project.modules[module_name]
+        path = module.source.path
+        for func_name in sorted(module.functions):
+            qualname = f"{module_name}.{func_name}"
+            summaries[qualname] = _summarize(
+                project, module_name, path, None, qualname,
+                module.functions[func_name])
+        for class_name in sorted(module.classes):
+            cls = module.classes[class_name]
+            for method_name in sorted(cls.methods):
+                qualname = f"{cls.qualname}.{method_name}"
+                summaries[qualname] = _summarize(
+                    project, module_name, path, cls, qualname,
+                    cls.methods[method_name])
+    return summaries
+
+
+@dataclass(slots=True)
+class GraphContext:
+    """Everything the graph-level rules share, built once per run."""
+
+    project: ProjectModel
+    summaries: dict[str, MethodSummary]
+    closure: dict[str, dict[LockKey, tuple[str, ...]]]
+    sources: tuple[SourceFile, ...]
+
+    def source_for(self, module: str) -> SourceFile | None:
+        found = self.project.modules.get(module)
+        return found.source if found is not None else None
+
+
+def build_graph(sources) -> GraphContext:
+    """Run both passes: project model, summaries, lock closure."""
+    project = ProjectModel.build(sources)
+    summaries = build_summaries(project)
+    closure = compute_lock_closure(summaries)
+    return GraphContext(project=project, summaries=summaries,
+                        closure=closure, sources=tuple(sources))
+
+
+def compute_lock_closure(summaries: dict[str, MethodSummary]
+                         ) -> dict[str, dict[LockKey, tuple[str, ...]]]:
+    """``locks_of``: every lock a callable may acquire, transitively.
+
+    Values map each lock to its shortest witness chain — human-readable
+    hops ``qualname:line <verb> ...`` ending at the acquisition site.
+    """
+    closure: dict[str, dict[LockKey, tuple[str, ...]]] = {
+        qualname: {} for qualname in summaries}
+    order = sorted(summaries)
+    changed = True
+    while changed:
+        changed = False
+        for qualname in order:
+            summary = summaries[qualname]
+            mine = closure[qualname]
+            for event in summary.events:
+                if event.kind == "acquire" and event.lock is not None:
+                    chain = (f"{qualname}:{event.line} acquires "
+                             f"{event.lock.label}",)
+                    if (event.lock not in mine
+                            or len(chain) < len(mine[event.lock])):
+                        mine[event.lock] = chain
+                        changed = True
+                elif event.kind == "call" and event.target in closure \
+                        and event.target != qualname:
+                    hop = f"{qualname}:{event.line} calls {event.target}"
+                    for lock, chain in closure[event.target].items():
+                        candidate = (hop,) + chain
+                        if len(candidate) > MAX_CHAIN:
+                            continue
+                        if (lock not in mine
+                                or len(candidate) < len(mine[lock])):
+                            mine[lock] = candidate
+                            changed = True
+    return closure

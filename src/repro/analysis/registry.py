@@ -3,9 +3,12 @@
 A rule subclasses :class:`Rule` and registers via :func:`register`.
 Per-file rules implement :meth:`Rule.check_file`; whole-project rules
 (cross-file reconciliation, e.g. the metric catalog) implement
-:meth:`Rule.check_project`.  Every rule declares a pragma token that
-suppresses it inline; the token spelled exactly like the rule id always
-works too.
+:meth:`Rule.check_project`; graph rules (lock-order, resource
+lifecycle — anything needing the two-pass project model) implement
+:meth:`Rule.check_graph` and receive the shared
+:class:`~repro.analysis.callgraph.GraphContext` the runner builds once
+per run.  Every rule declares a pragma token that suppresses it
+inline; the token spelled exactly like the rule id always works too.
 """
 
 from __future__ import annotations
@@ -36,6 +39,14 @@ class Rule:
     def check_project(self,
                       sources: Sequence[SourceFile]) -> Iterable[Finding]:
         """Findings needing the whole scanned corpus at once."""
+        return ()
+
+    def check_graph(self, graph) -> Iterable[Finding]:
+        """Findings over the two-pass project graph.
+
+        ``graph`` is a :class:`repro.analysis.callgraph.GraphContext`
+        (untyped here to keep the registry import-cycle free).
+        """
         return ()
 
     def finding(self, source: SourceFile, line: int,
@@ -76,9 +87,13 @@ def get_rule(rule_id: str) -> Rule:
 def _load_builtin_rules() -> None:
     # Imported lazily so registry.py itself stays import-cycle free.
     from repro.analysis import (  # noqa: F401
+        rules_blocking,
         rules_clock,
         rules_config,
         rules_except,
+        rules_lifecycle,
+        rules_lockorder,
         rules_locks,
         rules_metrics,
+        rules_sites,
     )

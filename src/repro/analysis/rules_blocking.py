@@ -1,0 +1,88 @@
+"""Rule ``api-blocking``: no indefinite blocking while holding a lock.
+
+A thread that sleeps, reads a pipe, or waits unboundedly *while holding
+a lock* turns one slow peer into a convoy: every other thread needing
+that lock stalls behind it, and under the serving deadlines that reads
+as a shard timeout, not as the lock contention it is.  Flagged, with
+the lock and the blocking call named:
+
+* ``sleep(...)`` and ``conn.recv()`` under any held lock;
+* ``.join()`` with no timeout (``proc.join()``) — ``str.join`` always
+  takes an argument, so it never matches;
+* ``.wait()`` with no timeout, unless the receiver is the *only* held
+  lock and is itself a condition (``Condition.wait`` releases it);
+* explicit ``.acquire()`` with no timeout while a *different* lock is
+  held — the classic hold-and-wait half of a deadlock.
+
+The escape hatch is the usual pragma (``# lint: blocking (reason)``);
+the right fix is almost always to compute under the lock and block
+outside it, the way ``WorkerHandle.collect`` drops its condition
+around the pipe read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.callgraph import Event, GraphContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Call names that block indefinitely regardless of argument shape.
+_ALWAYS_BLOCKING = frozenset(("sleep", "recv"))
+
+
+def _held_labels(event: Event) -> str:
+    return ", ".join(sorted({h.lock.label for h in event.held}))
+
+
+@register
+class ApiBlockingRule(Rule):
+    id = "api-blocking"
+    pragma = "blocking"
+    description = ("no blocking call (sleep, recv, unbounded join/wait, "
+                   "acquire without timeout) while holding a lock")
+
+    def check_graph(self, graph: GraphContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for qualname in sorted(graph.summaries):
+            summary = graph.summaries[qualname]
+            source = graph.source_for(summary.module)
+            if source is None or not summary.module.startswith("repro"):
+                continue
+            for event in summary.events:
+                if not event.held:
+                    continue
+                message = self._violation(qualname, event)
+                if message is not None:
+                    findings.append(
+                        self.finding(source, event.line, message))
+        return findings
+
+    def _violation(self, qualname: str, event: Event) -> str | None:
+        held = _held_labels(event)
+        if event.kind == "acquire":
+            if (event.explicit and not event.has_timeout
+                    and event.lock is not None
+                    and any(h.lock != event.lock for h in event.held)):
+                return (f"{qualname} calls {event.lock.label}.acquire() "
+                        f"with no timeout while holding {held}; "
+                        f"hold-and-wait — bound it or reorder")
+            return None
+        if event.name in _ALWAYS_BLOCKING:
+            return (f"{qualname} calls {event.name}() while holding "
+                    f"{held}; blocking under a lock convoys every "
+                    f"waiter")
+        if event.name == "join" and event.n_args == 0 \
+                and not event.has_timeout:
+            return (f"{qualname} calls .join() with no timeout while "
+                    f"holding {held}; a hung thread wedges the lock "
+                    f"forever")
+        if event.name == "wait" and not event.has_timeout:
+            only_receiver = (event.lock is not None and all(
+                h.lock == event.lock for h in event.held))
+            if not only_receiver:
+                return (f"{qualname} calls .wait() with no timeout "
+                        f"while holding {held}; waiters on those locks "
+                        f"stall indefinitely")
+        return None

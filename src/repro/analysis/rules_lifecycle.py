@@ -1,0 +1,546 @@
+"""Rule ``resource-lifecycle``: every acquired handle reaches a close.
+
+Tracks OS-resource acquisitions — ``open``/``mmap``/``socket``/
+``connect``/``Popen``/``Process``/``Pipe``/``NamedTemporaryFile`` and
+friends — plus constructions of *resource classes* (project classes
+that store such handles in attributes, like ``WorkerHandle``), and
+checks three lifecycle disciplines:
+
+* **locals**: a resource bound to a local must be released
+  (``.close()``-family call), or ownership-transferred (returned,
+  passed as a call argument, stored on ``self``) — and on every
+  *early-error path*: a call that can raise between the acquisition
+  and the first release must sit in a ``try`` whose handler/finally
+  releases the resource (``with`` blocks are exempt by construction);
+* **class attributes**: a class storing a resource in ``self.attr``
+  (directly, via a tracked local, or typed as a resource class /
+  list thereof) must release it somewhere — directly, through a local
+  or tuple-unpack alias, or element-wise through a ``for``/
+  comprehension alias;
+* **construction**: a list comprehension of resource-class
+  constructors leaks the already-built instances when a later
+  constructor raises — build incrementally with cleanup instead;
+* **commit discipline**: a function calling ``os.replace``/
+  ``os.rename`` (the tmp-file commit idiom in segments/replication)
+  must ``os.fsync`` first, or the rename can publish an empty file.
+
+The escape hatch is ``# lint: owned-by(<attr>) (reason)`` on the
+acquisition (or its ``def`` line): ownership lives elsewhere by
+design.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.callgraph import GraphContext
+from repro.analysis.findings import Finding
+from repro.analysis.model import ClassModel
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+#: Call names that hand back an OS resource needing release.
+_ACQUIRERS = frozenset((
+    "open", "mmap", "socket", "create_connection", "connect", "Popen",
+    "Process", "Pipe", "NamedTemporaryFile", "TemporaryFile",
+    "SpooledTemporaryFile", "TemporaryDirectory",
+))
+
+#: Method names that count as releasing their receiver (or, called on
+#: anything, as cleanup code rather than a risky operation).
+_RELEASE_CALLS = frozenset((
+    "close", "shutdown", "stop", "terminate", "kill", "release",
+    "disconnect", "join", "cleanup", "unlink", "__exit__",
+))
+
+
+def _acquirer_of(call: ast.Call) -> str | None:
+    """The acquirer name when ``call`` yields an OS resource.
+
+    Capitalized receivers (``SegmentedIndex.open(...)``) are
+    classmethod constructors, not file opens — handled by the
+    resource-class machinery instead.
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id if func.id in _ACQUIRERS else None
+    if isinstance(func, ast.Attribute):
+        if (isinstance(func.value, ast.Name) and func.value.id
+                and func.value.id[0].isupper()):
+            return None
+        return func.attr if func.attr in _ACQUIRERS else None
+    return None
+
+
+@dataclass(slots=True)
+class _Acquisition:
+    name: str
+    line: int
+    what: str  # acquirer or resource-class name, for messages
+
+
+@dataclass(slots=True)
+class _AttrRecord:
+    attr: str
+    line: int
+    what: str
+    elementwise: bool = False  # list of resources vs one resource
+
+
+@dataclass(slots=True)
+class _FunctionFacts:
+    """Everything one function walk yields for the lifecycle checks."""
+
+    acquisitions: list[_Acquisition] = field(default_factory=list)
+    #: name -> lines where it is released or ownership-transferred.
+    settled: dict[str, list[int]] = field(default_factory=dict)
+    #: (line, description) of calls that can raise.
+    risky: list[tuple[int, str]] = field(default_factory=list)
+    #: try regions: (body_start, body_end, cleanup_start, cleanup_end).
+    protections: list[tuple[int, int, int, int]] = field(
+        default_factory=list)
+    #: handler/finally line ranges: error paths, never "risky".
+    cleanup_ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: self-attr stores of resources.
+    attr_stores: list[_AttrRecord] = field(default_factory=list)
+    #: attrs released via self.attr.<release>() / alias / loop alias /
+    #: call-arg transfer of self.attr.
+    attr_released: set[str] = field(default_factory=set)
+    #: (line, ctor name) of resource-class ctors inside comprehensions.
+    comp_ctors: list[tuple[int, str]] = field(default_factory=list)
+    #: lines of os.replace / os.rename calls.
+    rename_lines: list[int] = field(default_factory=list)
+    has_fsync: bool = False
+
+
+def _span(stmts: list[ast.stmt]) -> tuple[int, int]:
+    start = min(s.lineno for s in stmts)
+    end = max(getattr(s, "end_lineno", s.lineno) or s.lineno
+              for s in stmts)
+    return start, end
+
+
+class _FunctionWalk:
+    """Collect :class:`_FunctionFacts` for one function body.
+
+    Multiple passes because ``ast.walk`` order is breadth-first, not
+    source order: acquisitions must all be known before attr stores
+    and call classification interpret local names.
+    """
+
+    def __init__(self, func: ast.FunctionDef,
+                 resource_ctors: dict[str, str]) -> None:
+        self.facts = _FunctionFacts()
+        self.resource_ctors = resource_ctors
+        #: local alias -> self attr it mirrors (for release detection).
+        self.attr_alias: dict[str, str] = {}
+        self._managed: set[int] = set()
+        self._collect_managed(func)
+        self._collect_protections(func)
+        self._collect_acquisitions(func)
+        self._tracked: dict[str, _Acquisition] = {
+            a.name: a for a in self.facts.acquisitions}
+        for node in ast.walk(func):
+            self._visit(node)
+        for node in ast.walk(func):
+            self._classify_call(node)
+
+    # -- pre-passes -------------------------------------------------------
+
+    def _collect_managed(self, func: ast.FunctionDef) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        self._managed.add(id(item.context_expr))
+
+    def _collect_protections(self, func: ast.FunctionDef) -> None:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            cleanup: list[ast.stmt] = list(node.finalbody)
+            for handler in node.handlers:
+                cleanup.extend(handler.body)
+            if not cleanup or not node.body:
+                continue
+            body_start, body_end = _span(node.body)
+            clean_start, clean_end = _span(cleanup)
+            self.facts.protections.append(
+                (body_start, body_end, clean_start, clean_end))
+            self.facts.cleanup_ranges.append((clean_start, clean_end))
+
+    def _collect_acquisitions(self, func: ast.FunctionDef) -> None:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign) \
+                    or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            value = node.value
+            if isinstance(target, ast.Name):
+                acquired = self._acquired_value(value)
+                if acquired is not None:
+                    self.facts.acquisitions.append(
+                        _Acquisition(target.id, node.lineno, acquired))
+            elif isinstance(target, ast.Tuple):
+                if isinstance(value, ast.Tuple) \
+                        and len(target.elts) == len(value.elts):
+                    for elt, rhs in zip(target.elts, value.elts):
+                        acquired = self._acquired_value(rhs)
+                        if acquired is not None \
+                                and isinstance(elt, ast.Name):
+                            self.facts.acquisitions.append(_Acquisition(
+                                elt.id, node.lineno, acquired))
+                else:
+                    acquired = self._acquired_value(value)
+                    if acquired is not None:  # e.g. a, b = Pipe()
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                self.facts.acquisitions.append(
+                                    _Acquisition(elt.id, node.lineno,
+                                                 acquired))
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _resource_ctor(self, value: ast.expr) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id and func.value.id[0].isupper()
+                and (func.attr.startswith(("open", "from_"))
+                     or func.attr in ("create", "connect", "spawn"))):
+            # Only constructor-shaped classmethods; Cls.load() and
+            # friends return plain data, not a fresh resource.
+            name = func.value.id
+        if name is not None and name in self.resource_ctors:
+            return name
+        return None
+
+    def _acquired_value(self, value: ast.expr) -> str | None:
+        if isinstance(value, ast.Call) and id(value) not in self._managed:
+            acquirer = _acquirer_of(value)
+            if acquirer is not None:
+                return acquirer
+            return self._resource_ctor(value)
+        return None
+
+    def _settle(self, name: str, line: int) -> None:
+        if name in self._tracked:
+            self.facts.settled.setdefault(name, []).append(line)
+
+    def _self_attr(self, node: ast.expr) -> str | None:
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr
+        return None
+
+    # -- main harvesting pass ---------------------------------------------
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            self._visit_assign(node)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            # Ownership flows through returned values, containers, and
+            # call arguments — not through method receivers:
+            # ``return handle.size()`` reads the resource, it does not
+            # hand it to the caller.
+            receivers: set[int] = set()
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Call):
+                    for part in ast.walk(sub.func):
+                        receivers.add(id(part))
+            for name_node in ast.walk(node.value):
+                if isinstance(name_node, ast.Name) \
+                        and id(name_node) not in receivers:
+                    self._settle(name_node.id, node.lineno)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            attr = self._self_attr(node.iter)
+            if attr is not None and isinstance(node.target, ast.Name):
+                self.attr_alias[node.target.id] = attr
+        elif isinstance(node, ast.With):
+            # ``handle = open(...)`` ... ``with handle:`` — the with
+            # block owns the close from here on.
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Name):
+                    self._settle(item.context_expr.id, node.lineno)
+
+    def _visit_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        value = node.value
+        if isinstance(target, ast.Tuple):
+            if isinstance(value, ast.Tuple) \
+                    and len(target.elts) == len(value.elts):
+                for elt, rhs in zip(target.elts, value.elts):
+                    if isinstance(elt, ast.Name):
+                        self._bind_name(elt.id, rhs, node.lineno)
+        elif isinstance(target, ast.Name):
+            self._bind_name(target.id, value, node.lineno)
+        else:
+            attr = self._self_attr(target)
+            if attr is not None:
+                self._bind_attr(attr, value, node.lineno)
+            else:
+                # Store into any container/attribute transfers
+                # ownership of a tracked local on the right-hand side.
+                for name_node in ast.walk(value):
+                    if isinstance(name_node, ast.Name):
+                        self._settle(name_node.id, node.lineno)
+
+    def _bind_name(self, name: str, value: ast.expr, line: int) -> None:
+        if self._acquired_value(value) is not None:
+            return  # recorded by the acquisition pass
+        attr = self._self_attr(value)
+        if attr is not None:
+            self.attr_alias[name] = attr
+            return
+        if isinstance(value, ast.Name):
+            # Rebinding hands the resource to the new name; treat the
+            # old one as settled rather than guessing at aliasing.
+            self._settle(value.id, line)
+
+    def _bind_attr(self, attr: str, value: ast.expr, line: int) -> None:
+        acquired = self._acquired_value(value)
+        if acquired is not None:
+            self.facts.attr_stores.append(
+                _AttrRecord(attr, line, acquired))
+            return
+        if isinstance(value, ast.Name):
+            acq = self._tracked.get(value.id)
+            self._settle(value.id, line)
+            if acq is not None:
+                self.facts.attr_stores.append(
+                    _AttrRecord(attr, line, acq.what))
+            return
+        if isinstance(value, (ast.ListComp, ast.SetComp)):
+            ctor = self._resource_ctor(value.elt)
+            if ctor is not None:
+                self.facts.comp_ctors.append((value.lineno, ctor))
+                self.facts.attr_stores.append(
+                    _AttrRecord(attr, line, ctor, elementwise=True))
+
+    # -- call classification pass -----------------------------------------
+
+    def _classify_call(self, node: ast.AST) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "fsync":
+                self.facts.has_fsync = True
+            if (func.attr in ("replace", "rename")
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"):
+                self.facts.rename_lines.append(node.lineno)
+            receiver = func.value
+            if func.attr in _RELEASE_CALLS:
+                if isinstance(receiver, ast.Name):
+                    self._settle(receiver.id, node.lineno)
+                    alias = self.attr_alias.get(receiver.id)
+                    if alias is not None:
+                        self.facts.attr_released.add(alias)
+                else:
+                    attr = self._self_attr(receiver)
+                    if attr is not None:
+                        self.facts.attr_released.add(attr)
+                return  # cleanup calls are not risky
+            if isinstance(receiver, ast.Name) \
+                    and receiver.id in self._tracked:
+                # A method on the tracked resource itself failing
+                # leaves nothing extra to release for that resource.
+                pass
+            else:
+                self.facts.risky.append(
+                    (node.lineno, f".{func.attr}()"))
+        elif isinstance(func, ast.Name):
+            self.facts.risky.append((node.lineno, f"{func.id}()"))
+        # Passing a tracked local to any call transfers ownership.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for name_node in ast.walk(arg):
+                if isinstance(name_node, ast.Name):
+                    self._settle(name_node.id, node.lineno)
+            attr = self._self_attr(arg)
+            if attr is not None:
+                self.facts.attr_released.add(attr)
+
+
+@register
+class ResourceLifecycleRule(Rule):
+    id = "resource-lifecycle"
+    pragma = "owned-by"
+    description = ("every acquired OS resource (open/mmap/socket/Pipe/"
+                   "Popen/tempfile) reaches a close or an ownership "
+                   "transfer on all paths, including early-error paths")
+
+    def check_graph(self, graph: GraphContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        resource_ctors = self._resource_classes(graph)
+        class_attrs: dict[tuple[str, str],
+                          dict[str, _AttrRecord]] = {}
+        class_released: dict[tuple[str, str], set[str]] = {}
+        class_anchor: dict[tuple[str, str],
+                           tuple[SourceFile, ClassModel]] = {}
+
+        for module_name in sorted(graph.project.modules):
+            if not module_name.startswith("repro"):
+                continue
+            module = graph.project.modules[module_name]
+            source = module.source
+            for func_name in sorted(module.functions):
+                facts = _FunctionWalk(module.functions[func_name],
+                                      resource_ctors).facts
+                findings.extend(self._check_function(
+                    source, f"{module_name}.{func_name}", facts))
+            for class_name in sorted(module.classes):
+                cls = module.classes[class_name]
+                key = (module_name, class_name)
+                class_anchor[key] = (source, cls)
+                for method_name in sorted(cls.methods):
+                    facts = _FunctionWalk(cls.methods[method_name],
+                                          resource_ctors).facts
+                    findings.extend(self._check_function(
+                        source, f"{cls.qualname}.{method_name}", facts))
+                    attrs = class_attrs.setdefault(key, {})
+                    for record in facts.attr_stores:
+                        attrs.setdefault(record.attr, record)
+                    class_released.setdefault(key, set()).update(
+                        facts.attr_released)
+                self._add_typed_attrs(
+                    cls, resource_ctors, class_attrs.setdefault(key, {}))
+
+        for key in sorted(class_attrs):
+            source, cls = class_anchor[key]
+            released = class_released.get(key, set())
+            for attr in sorted(class_attrs[key]):
+                record = class_attrs[key][attr]
+                if attr in released:
+                    continue
+                findings.append(self.finding(
+                    source, record.line,
+                    f"{cls.name} stores a resource ({record.what}) in "
+                    f"self.{attr} but never releases it; add a close/"
+                    f"shutdown path or mark the store "
+                    f"# lint: owned-by({attr}) (reason)"))
+        return findings
+
+    # -- resource classes -------------------------------------------------
+
+    def _resource_classes(self, graph: GraphContext) -> dict[str, str]:
+        """Class name -> evidence, for classes directly holding an OS
+        resource in an attribute (and able to release it)."""
+        ctors: dict[str, str] = {}
+        for cls in graph.project.iter_classes():
+            if not cls.module.startswith("repro"):
+                continue
+            if not cls.has_release_method():
+                continue
+            evidence = self._direct_resource_evidence(cls)
+            if evidence is not None:
+                ctors[cls.name] = evidence
+        return ctors
+
+    def _direct_resource_evidence(self, cls: ClassModel) -> str | None:
+        for method in cls.methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign) \
+                        or not isinstance(node.value, ast.Call):
+                    continue
+                acquirer = _acquirer_of(node.value)
+                if acquirer is None:
+                    continue
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        return acquirer
+                    # Locals from Pipe()/open() that a later
+                    # ``self.attr = local`` adopts also qualify.
+                    if isinstance(target, (ast.Name, ast.Tuple)):
+                        return acquirer
+        return None
+
+    def _add_typed_attrs(self, cls: ClassModel,
+                         resource_ctors: dict[str, str],
+                         attrs: dict[str, _AttrRecord]) -> None:
+        """Attrs typed (by the project model) as resource-class
+        instances or lists thereof join the audit."""
+        for attr, ref in cls.attr_types.items():
+            if ref.kind not in ("instance", "list"):
+                continue
+            if ref.name not in resource_ctors:
+                continue
+            attrs.setdefault(attr, _AttrRecord(
+                attr, cls.lineno,
+                ref.name + (" list" if ref.kind == "list" else ""),
+                elementwise=ref.kind == "list"))
+
+    # -- per-function checks ----------------------------------------------
+
+    def _check_function(self, source: SourceFile, qualname: str,
+                        facts: _FunctionFacts) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for line, ctor in facts.comp_ctors:
+            findings.append(self.finding(
+                source, line,
+                f"{qualname} builds a comprehension of {ctor} "
+                f"constructions; a failing constructor leaks the "
+                f"already-built instances — build incrementally and "
+                f"clean up on error"))
+        if not facts.has_fsync:
+            for line in facts.rename_lines:
+                findings.append(self.finding(
+                    source, line,
+                    f"{qualname} commits via os.replace/os.rename "
+                    f"without an fsync; flush+fsync the tmp file first "
+                    f"or the rename can publish an empty file"))
+        for acq in facts.acquisitions:
+            findings.extend(self._check_acquisition(
+                source, qualname, facts, acq))
+        return findings
+
+    def _check_acquisition(self, source: SourceFile, qualname: str,
+                           facts: _FunctionFacts,
+                           acq: _Acquisition) -> Iterable[Finding]:
+        settled = sorted(line for line in facts.settled.get(acq.name, ())
+                         if line >= acq.line)
+        if not settled:
+            return [self.finding(
+                source, acq.line,
+                f"{qualname} acquires {acq.name} via {acq.what} but "
+                f"never closes or hands it off; release it, or mark "
+                f"ownership with # lint: owned-by(...) (reason)")]
+        first = settled[0]
+        for line, desc in sorted(facts.risky):
+            if not (acq.line < line < first):
+                continue
+            if any(start <= line <= end
+                   for start, end in facts.cleanup_ranges):
+                continue  # handler/finally code is the error path
+            if self._protected(facts, acq.name, line):
+                continue
+            return [self.finding(
+                source, acq.line,
+                f"{qualname}: {desc} at line {line} can raise before "
+                f"{acq.name} ({acq.what}, acquired here) is settled at "
+                f"line {first}; close it in a try/except or finally "
+                f"on that path")]
+        return []
+
+    def _protected(self, facts: _FunctionFacts, name: str,
+                   risky_line: int) -> bool:
+        settled = facts.settled.get(name, ())
+        for body_start, body_end, clean_start, clean_end \
+                in facts.protections:
+            if not body_start <= risky_line <= body_end:
+                continue
+            if any(clean_start <= line <= clean_end for line in settled):
+                return True
+        return False

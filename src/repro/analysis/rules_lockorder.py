@@ -1,0 +1,205 @@
+"""Rule ``lock-order``: the global lock-acquisition order is acyclic.
+
+Every acquisition context the call-graph pass extracted contributes
+directed edges ``A -> B``: lock ``A`` was held while ``B`` was taken —
+lexically (``with self._a: with self._b:``), via an explicit
+``.acquire()``, or interprocedurally (``with self._a:`` around a call
+whose closure acquires ``B``, possibly on another object entirely:
+the scatter path holds a ``WorkerHandle`` condition while a
+``CircuitBreaker`` method takes its own lock).
+
+Two threads taking the same two locks in opposite orders can deadlock;
+statically, that is a cycle in the edge graph.  Each strongly-connected
+component yields one finding whose message carries the witness path
+for every edge of a shortest cycle — enough to see both call chains
+without re-running the analysis.
+
+Reentrancy is respected: re-acquiring a held ``RLock``/``Condition``
+is legal and ignored; re-acquiring a held plain ``Lock`` is a
+guaranteed self-deadlock and reported directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.callgraph import GraphContext, LockKey
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+
+@dataclass(slots=True)
+class _Edge:
+    """First witness for one ``src -> dst`` ordering observation."""
+
+    src: LockKey
+    dst: LockKey
+    witness: str
+    path: str
+    line: int
+
+
+def _strongly_connected(nodes: list[LockKey],
+                        adjacency: dict[LockKey, list[LockKey]]
+                        ) -> list[list[LockKey]]:
+    """Tarjan's SCC, iterative (lint corpora can nest arbitrarily)."""
+    index: dict[LockKey, int] = {}
+    lowlink: dict[LockKey, int] = {}
+    on_stack: set[LockKey] = set()
+    stack: list[LockKey] = []
+    components: list[list[LockKey]] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(adjacency.get(root, ())))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _shortest_cycle(start: LockKey, members: set[LockKey],
+                    adjacency: dict[LockKey, list[LockKey]]
+                    ) -> list[LockKey]:
+    """BFS a shortest ``start -> ... -> start`` path inside one SCC."""
+    queue: list[tuple[LockKey, list[LockKey]]] = [(start, [start])]
+    seen: set[LockKey] = set()
+    while queue:
+        node, trail = queue.pop(0)
+        for succ in adjacency.get(node, ()):
+            if succ not in members:
+                continue
+            if succ == start:
+                return trail + [start]
+            if succ not in seen:
+                seen.add(succ)
+                queue.append((succ, trail + [succ]))
+    return [start, start]  # pragma: no cover - SCC guarantees a cycle
+
+
+@register
+class LockOrderRule(Rule):
+    id = "lock-order"
+    pragma = "lock-order"
+    description = ("the global lock-acquisition-order graph is acyclic; "
+                   "a cycle is a potential deadlock, reported with the "
+                   "witnessing paths")
+
+    def check_graph(self, graph: GraphContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        edges: dict[tuple[LockKey, LockKey], _Edge] = {}
+
+        def add_edge(src: LockKey, dst: LockKey, witness: str,
+                     path: str, line: int) -> None:
+            key = (src, dst)
+            if key not in edges:
+                edges[key] = _Edge(src, dst, witness, path, line)
+
+        for qualname in sorted(graph.summaries):
+            summary = graph.summaries[qualname]
+            source = graph.source_for(summary.module)
+            if source is None or not summary.module.startswith("repro"):
+                continue
+            for event in summary.events:
+                if self.suppressed(source, event.line):
+                    continue
+                if event.kind == "acquire" and event.lock is not None:
+                    if event.reentrant and event.lock.kind == "lock":
+                        findings.append(self.finding(
+                            source, event.line,
+                            f"non-reentrant lock {event.lock.label} "
+                            f"re-acquired while already held in "
+                            f"{qualname}; threading.Lock self-deadlocks "
+                            f"here"))
+                        continue
+                    for held in event.held:
+                        if held.lock == event.lock:
+                            continue
+                        add_edge(
+                            held.lock, event.lock,
+                            f"{qualname}:{event.line} acquires "
+                            f"{event.lock.label} while holding "
+                            f"{held.lock.label} (since line {held.line})",
+                            source.path, event.line)
+                elif (event.kind == "call" and event.held
+                        and event.target in graph.closure):
+                    reached = graph.closure[event.target]
+                    for lock in sorted(reached):
+                        chain = " ; ".join(reached[lock])
+                        for held in event.held:
+                            if held.lock == lock:
+                                if lock.kind == "lock":
+                                    findings.append(self.finding(
+                                        source, event.line,
+                                        f"{qualname}:{event.line} holds "
+                                        f"{lock.label} and calls "
+                                        f"{event.target}, which "
+                                        f"re-acquires non-reentrant "
+                                        f"{lock.label} [{chain}]; "
+                                        f"threading.Lock self-deadlocks "
+                                        f"here"))
+                                continue
+                            add_edge(
+                                held.lock, lock,
+                                f"{qualname}:{event.line} holds "
+                                f"{held.lock.label} and calls "
+                                f"{event.target} [{chain}]",
+                                source.path, event.line)
+
+        adjacency: dict[LockKey, list[LockKey]] = {}
+        for src, dst in sorted(edges):
+            adjacency.setdefault(src, []).append(dst)
+        nodes = sorted(adjacency)
+
+        for component in _strongly_connected(nodes, adjacency):
+            if len(component) < 2:
+                continue
+            members = set(component)
+            start = min(component)
+            cycle = _shortest_cycle(start, members, adjacency)
+            labels = " -> ".join(lock.label for lock in cycle)
+            parts = [f"potential deadlock: lock-order cycle {labels}"]
+            anchor: _Edge | None = None
+            for src, dst in zip(cycle, cycle[1:]):
+                edge = edges[(src, dst)]
+                if anchor is None:
+                    anchor = edge
+                parts.append(
+                    f"{src.label} -> {dst.label}: {edge.witness}")
+            assert anchor is not None
+            findings.append(Finding(
+                rule=self.id, path=anchor.path, line=anchor.line,
+                message="; ".join(parts), severity=self.severity))
+        return findings

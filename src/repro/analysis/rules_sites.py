@@ -1,0 +1,341 @@
+"""Rule ``site-catalog``: fault sites and protocol tags round-trip.
+
+Two catalogs anchor the chaos and sharding subsystems:
+
+* :data:`repro.resilience.faults.KNOWN_SITES` — every named fault
+  site, plus :data:`SITE_FAMILIES` for parameterized names and
+  :data:`CRASH_SITES` for the crash-injection subset;
+* :data:`repro.sharding.protocol.TAGS` — the pipe-protocol message
+  tags (``TAG_PHASE1`` ...).
+
+This rule reconciles both against the scanned ``repro.*`` corpus, the
+same round-trip discipline ``metric-catalog`` established:
+
+* every ``FAULTS.hit``/``.inject``/... site literal must name a
+  catalogued site or extend a declared family prefix; f-string sites
+  are legal only when their literal head matches a family;
+* every catalogued site must be hit somewhere, ``CRASH_SITES`` must be
+  a subset of ``KNOWN_SITES``, and no site may be catalogued twice;
+* protocol positions — first argument of ``.send(...)``/
+  ``.collect(...)``, the tag slot of ``conn.send((tag, qid, ...))``
+  tuples, and ``kind == ...`` comparisons — must use the ``TAG_*``
+  constants, never string literals; and every declared tag must be
+  referenced outside the catalog module.
+
+Inert when neither catalog module is in the scan, so synthetic lint
+corpora opt in by including one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceFile
+
+#: FaultInjector methods whose first argument is a site name.
+_SITE_METHODS = frozenset(
+    ("hit", "inject", "disarm", "record", "hits", "triggered"))
+
+#: Call receivers treated as *the* injector.
+_INJECTOR_NAMES = frozenset(("FAULTS",))
+
+#: Names compared against protocol tags in demux/dispatch code.
+_TAG_COMPARANDS = frozenset(("kind", "tag", "r_kind"))
+
+#: Module prefixes that speak the pipe protocol; tag-position checks
+#: stay inside them so e.g. a telemetry ``kind == "counter"`` compare
+#: elsewhere is never mistaken for a protocol tag.
+_TAG_SCOPES = ("repro.sharding", "repro.replication",
+               "repro.resilience")
+
+
+def _assigned_names(node: ast.stmt) -> list[str]:
+    if isinstance(node, ast.Assign):
+        return [t.id for t in node.targets if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                     ast.Name):
+        return [node.target.id]
+    return []
+
+
+def _str_const(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class _FaultCatalog:
+    """KNOWN_SITES / SITE_FAMILIES / CRASH_SITES parsed from one module."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.sites: dict[str, int] = {}
+        self.duplicates: list[tuple[str, int]] = []
+        self.families: dict[str, int] = {}
+        self.crash_sites: dict[str, int] = {}
+        for stmt in source.tree.body:
+            names = _assigned_names(stmt)
+            value = getattr(stmt, "value", None)
+            if "KNOWN_SITES" in names and isinstance(value, ast.Dict):
+                for key in value.keys:
+                    site = _str_const(key)
+                    if site is None:
+                        continue
+                    if site in self.sites:
+                        self.duplicates.append((site, key.lineno))
+                    else:
+                        self.sites[site] = key.lineno
+            elif "SITE_FAMILIES" in names and isinstance(value, ast.Dict):
+                for key in value.keys:
+                    prefix = _str_const(key)
+                    if prefix is not None:
+                        self.families[prefix] = key.lineno
+            elif "CRASH_SITES" in names and value is not None:
+                elements: Sequence[ast.expr] = ()
+                if (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id == "frozenset" and value.args
+                        and isinstance(value.args[0],
+                                       (ast.Tuple, ast.List, ast.Set))):
+                    elements = value.args[0].elts
+                elif isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    elements = value.elts
+                for element in elements:
+                    site = _str_const(element)
+                    if site is not None:
+                        self.crash_sites[site] = element.lineno
+
+    @property
+    def declared(self) -> bool:
+        return bool(self.sites)
+
+    def family_of(self, site: str) -> str | None:
+        for prefix in self.families:
+            if site.startswith(prefix):
+                return prefix
+        return None
+
+
+class _TagCatalog:
+    """``TAG_* = "..."`` constants and the TAGS dict from one module."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.constants: dict[str, tuple[str, int]] = {}
+        self.tag_keys: set[str] = set()
+        for stmt in source.tree.body:
+            value = getattr(stmt, "value", None)
+            for name in _assigned_names(stmt):
+                if name.startswith("TAG_"):
+                    tag = _str_const(value)
+                    if tag is not None:
+                        self.constants[name] = (tag, stmt.lineno)
+                elif name == "TAGS" and isinstance(value, ast.Dict):
+                    for key in value.keys:
+                        if isinstance(key, ast.Name):
+                            self.tag_keys.add(key.id)
+
+    @property
+    def declared(self) -> bool:
+        return bool(self.constants)
+
+    @property
+    def values(self) -> dict[str, str]:
+        return {tag: name for name, (tag, _line)
+                in self.constants.items()}
+
+
+def _is_injector(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id in _INJECTOR_NAMES
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _INJECTOR_NAMES
+    return False
+
+
+@register
+class SiteCatalogRule(Rule):
+    id = "site-catalog"
+    pragma = "site-catalog"
+    description = ("fault-injection sites and pipe-protocol tags "
+                   "round-trip against their declared catalogs "
+                   "(KNOWN_SITES / SITE_FAMILIES / CRASH_SITES / TAGS)")
+
+    def check_project(self,
+                      sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        faults = None
+        tags = None
+        for source in sources:
+            if faults is None:
+                candidate = _FaultCatalog(source)
+                if candidate.declared:
+                    faults = candidate
+            if tags is None:
+                candidate_tags = _TagCatalog(source)
+                if candidate_tags.declared and candidate_tags.tag_keys:
+                    tags = candidate_tags
+        findings: list[Finding] = []
+        used_sites: set[str] = set()
+        used_families: set[str] = set()
+        used_tags: set[str] = set()
+        for source in sources:
+            if not source.module.startswith("repro"):
+                continue
+            if faults is not None and source is not faults.source:
+                findings.extend(self._check_fault_sites(
+                    source, faults, used_sites, used_families))
+            if tags is not None and source is not tags.source:
+                findings.extend(self._check_tags(
+                    source, tags, used_tags,
+                    in_scope=source.module.startswith(_TAG_SCOPES)))
+        if faults is not None:
+            findings.extend(self._catalog_findings(
+                faults, used_sites, used_families))
+        if tags is not None:
+            findings.extend(self._tag_catalog_findings(tags, used_tags))
+        return findings
+
+    # -- fault sites ------------------------------------------------------
+
+    def _check_fault_sites(self, source: SourceFile,
+                           faults: _FaultCatalog, used_sites: set[str],
+                           used_families: set[str]) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SITE_METHODS
+                    and _is_injector(node.func.value)
+                    and node.args):
+                continue
+            first = node.args[0]
+            site = _str_const(first)
+            if site is not None:
+                if site in faults.sites:
+                    used_sites.add(site)
+                    continue
+                family = faults.family_of(site)
+                if family is not None:
+                    used_families.add(family)
+                    continue
+                findings.append(self.finding(
+                    source, node.lineno,
+                    f"fault site {site!r} is not in KNOWN_SITES; "
+                    f"declare it in the catalog or fix the typo"))
+            elif isinstance(first, ast.JoinedStr):
+                head = ""
+                if first.values:
+                    head_const = _str_const(first.values[0]) \
+                        if isinstance(first.values[0], ast.Constant) \
+                        else None
+                    head = head_const or ""
+                family = faults.family_of(head) if head else None
+                if family is not None and head.startswith(family):
+                    used_families.add(family)
+                    continue
+                findings.append(self.finding(
+                    source, node.lineno,
+                    "dynamically built fault site name; only declared "
+                    "SITE_FAMILIES prefixes may be parameterized"))
+        return findings
+
+    def _catalog_findings(self, faults: _FaultCatalog,
+                          used_sites: set[str],
+                          used_families: set[str]) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for site, line in faults.duplicates:
+            findings.append(self.finding(
+                faults.source, line,
+                f"fault site {site!r} catalogued more than once"))
+        for site in sorted(faults.sites):
+            if site not in used_sites:
+                findings.append(self.finding(
+                    faults.source, faults.sites[site],
+                    f"catalogued fault site {site!r} is never hit; "
+                    f"delete the entry or instrument the code"))
+        for prefix in sorted(faults.families):
+            if prefix not in used_families:
+                findings.append(self.finding(
+                    faults.source, faults.families[prefix],
+                    f"site family {prefix!r} has no users; delete it "
+                    f"or wire the parameterized site up"))
+        for site in sorted(faults.crash_sites):
+            if site not in faults.sites:
+                findings.append(self.finding(
+                    faults.source, faults.crash_sites[site],
+                    f"CRASH_SITES entry {site!r} is not in KNOWN_SITES; "
+                    f"crash sites must be declared sites"))
+        return findings
+
+    # -- protocol tags ----------------------------------------------------
+
+    def _tag_literal_finding(self, source: SourceFile, line: int,
+                             literal: str,
+                             tags: _TagCatalog) -> Finding:
+        constant = tags.values.get(literal)
+        if constant is not None:
+            return self.finding(
+                source, line,
+                f"protocol tag literal {literal!r} duplicates "
+                f"{constant}; use the declared constant")
+        return self.finding(
+            source, line,
+            f"undeclared protocol tag {literal!r}; declare a TAG_* "
+            f"constant in the protocol catalog")
+
+    def _check_tags(self, source: SourceFile, tags: _TagCatalog,
+                    used_tags: set[str], *,
+                    in_scope: bool) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Name) and node.id in tags.constants:
+                used_tags.add(node.id)
+            elif not in_scope:
+                continue
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("send", "collect")
+                    and node.args):
+                first = node.args[0]
+                if isinstance(first, ast.Tuple) and first.elts:
+                    first = first.elts[0]
+                literal = _str_const(first)
+                if literal is not None:
+                    findings.append(self._tag_literal_finding(
+                        source, node.lineno, literal, tags))
+            elif isinstance(node, ast.Compare):
+                if not (isinstance(node.left, ast.Name)
+                        and node.left.id in _TAG_COMPARANDS
+                        and len(node.comparators) == 1
+                        and isinstance(node.ops[0],
+                                       (ast.Eq, ast.NotEq))):
+                    continue
+                # Only literals that *are* declared tag values: other
+                # strings compared to a ``kind`` variable (failure
+                # kinds, state names) are not protocol traffic.
+                literal = _str_const(node.comparators[0])
+                if literal is not None and literal in tags.values:
+                    findings.append(self._tag_literal_finding(
+                        source, node.lineno, literal, tags))
+        return findings
+
+    def _tag_catalog_findings(self, tags: _TagCatalog,
+                              used_tags: set[str]) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for name in sorted(tags.constants):
+            tag, line = tags.constants[name]
+            if name not in tags.tag_keys:
+                findings.append(self.finding(
+                    tags.source, line,
+                    f"protocol tag {name} ({tag!r}) is missing from "
+                    f"the TAGS registry dict"))
+            if name not in used_tags:
+                findings.append(self.finding(
+                    tags.source, line,
+                    f"declared protocol tag {name} ({tag!r}) is never "
+                    f"used outside the catalog; delete it or wire it "
+                    f"up"))
+        return findings

@@ -25,12 +25,19 @@ from repro.analysis.baseline import (
     split_baselined,
     write_baseline,
 )
+from repro.analysis.callgraph import build_graph
 from repro.analysis.findings import SEVERITY_ERROR, Finding
 from repro.analysis.registry import all_rules
 from repro.analysis.report import LintResult, render
 from repro.analysis.source import SourceFile
 
 SYNTAX_RULE = "syntax-error"
+
+#: Checks documented in the DESIGN.md catalog that are not static
+#: rules: they run as opt-in test instrumentation, not in the lint
+#: pass.  The self-check requires them in the table but not in the
+#: registry.
+RUNTIME_CHECKS = frozenset(("lock-order-sanitizer",))
 
 _CATALOG_ROW = re.compile(r"^\|\s*`([a-z0-9-]+)`")
 
@@ -57,8 +64,14 @@ def collect_files(paths: Sequence[str | Path]) -> list[Path]:
     return unique
 
 
-def run_lint(paths: Sequence[str | Path]) -> LintResult:
-    """Parse, run every rule, and apply pragma suppressions."""
+def run_lint(paths: Sequence[str | Path],
+             rules: Sequence[str] | None = None) -> LintResult:
+    """Parse, run every rule, and apply pragma suppressions.
+
+    ``rules`` restricts the run to the named rule ids (the whole
+    corpus is still parsed — graph rules need it); unknown ids raise
+    ``ValueError``.
+    """
     result = LintResult()
     sources: list[SourceFile] = []
     for file_path in collect_files(paths):
@@ -73,12 +86,25 @@ def run_lint(paths: Sequence[str | Path]) -> LintResult:
     result.files_scanned = len(sources) + sum(
         1 for f in result.findings if f.rule == SYNTAX_RULE)
 
+    selected = all_rules()
+    if rules is not None:
+        known = {rule.id for rule in selected}
+        unknown = sorted(set(rules) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"see --list-rules")
+        wanted = set(rules)
+        selected = tuple(r for r in selected if r.id in wanted)
+
     by_path = {source.path: source for source in sources}
+    graph = build_graph(sources)
     raw: list[Finding] = []
-    for rule in all_rules():
+    for rule in selected:
         for source in sources:
             raw.extend(rule.check_file(source))
         raw.extend(rule.check_project(sources))
+        raw.extend(rule.check_graph(graph))
 
     rules_by_id = {rule.id: rule for rule in all_rules()}
     for finding in raw:
@@ -130,11 +156,42 @@ def self_check(design: str | None = None) -> list[str]:
         problems.append(
             f"rule {rule_id!r} is registered but missing from the "
             f"DESIGN.md rule catalog")
-    for rule_id in sorted(documented - registered):
+    for rule_id in sorted(documented - registered - RUNTIME_CHECKS):
         problems.append(
             f"DESIGN.md documents rule {rule_id!r} but no such rule is "
             f"registered")
+    for check_id in sorted(RUNTIME_CHECKS - documented):
+        problems.append(
+            f"runtime check {check_id!r} is missing from the DESIGN.md "
+            f"rule catalog")
     return problems
+
+
+def changed_files(root: Path | None = None) -> set[Path] | None:
+    """Files changed vs HEAD plus untracked files, resolved.
+
+    Returns None when git is unavailable or this is not a work tree —
+    ``--changed-only`` then degrades to a full report rather than
+    silently hiding findings.
+    """
+    import subprocess
+    base = root or Path.cwd()
+    changed: set[Path] = set()
+    for args in (("git", "diff", "--name-only", "HEAD"),
+                 ("git", "ls-files", "--others", "--exclude-standard")):
+        try:
+            proc = subprocess.run(
+                args, cwd=base, capture_output=True, text=True,
+                timeout=30, check=False)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        for line in proc.stdout.splitlines():
+            name = line.strip()
+            if name:
+                changed.add((base / name).resolve())
+    return changed
 
 
 def _default_paths() -> list[str]:
@@ -151,6 +208,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: src tests)")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", help="report format")
+    parser.add_argument("--rule", action="append", metavar="ID",
+                        dest="rules",
+                        help="run only this rule id (repeatable); the "
+                             "whole corpus is still scanned so graph "
+                             "rules see the full program")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="report only findings in files changed vs "
+                             "git HEAD (plus untracked files); the "
+                             "whole corpus is still analyzed")
     parser.add_argument("--baseline", metavar="PATH",
                         help="baseline JSON of grandfathered findings")
     parser.add_argument("--update-baseline", action="store_true",
@@ -185,10 +251,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 1 if problems else 0
 
     try:
-        result = run_lint(args.paths or _default_paths())
-    except FileNotFoundError as exc:
+        result = run_lint(args.paths or _default_paths(),
+                          rules=args.rules)
+    except (FileNotFoundError, ValueError) as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.changed_only:
+        changed = changed_files()
+        if changed is None:
+            print("lint: --changed-only needs a git work tree; "
+                  "reporting everything", file=sys.stderr)
+        else:
+            result.findings = [
+                f for f in result.findings
+                if Path(f.path).resolve() in changed]
 
     if args.update_baseline:
         if not args.baseline:

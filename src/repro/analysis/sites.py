@@ -1,0 +1,81 @@
+"""Aggregated runtime view of the declared site and tag catalogs.
+
+The ``site-catalog`` lint rule reconciles the *source text* of the
+catalogs against usage; this module is the runtime mirror — it imports
+the live catalogs (:mod:`repro.resilience.faults` sites and
+:mod:`repro.sharding.protocol` tags) into one frozen value so tests,
+the sanitizer smoke job, and tooling can assert catalog invariants
+without re-parsing the AST.
+
+``validate()`` re-checks the invariants the static rule enforces that
+are also expressible at runtime (crash sites declared, no tag value
+collisions), so a smoke run catches drift even when the linter was
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SiteCatalog:
+    """Every declared fault site, site family, crash site, and tag.
+
+    ``sites``/``families`` map name/prefix to the catalog's help text;
+    ``tags`` maps the wire tag value (``"phase1"``) to its description.
+    """
+
+    sites: dict[str, str] = field(default_factory=dict)
+    families: dict[str, str] = field(default_factory=dict)
+    crash_sites: frozenset[str] = frozenset()
+    tags: dict[str, str] = field(default_factory=dict)
+    request_tags: frozenset[str] = frozenset()
+    response_tags: frozenset[str] = frozenset()
+
+    def is_known_site(self, site: str) -> bool:
+        """Whether ``site`` is catalogued, directly or via a family."""
+        if site in self.sites:
+            return True
+        return any(site.startswith(prefix) for prefix in self.families)
+
+
+def load_catalog() -> SiteCatalog:
+    """The live catalogs, aggregated.  Import is deferred so merely
+    importing :mod:`repro.analysis` never pulls the serving stack in."""
+    from repro.resilience.faults import (CRASH_SITES, KNOWN_SITES,
+                                         SITE_FAMILIES)
+    from repro.sharding.protocol import (REQUEST_TAGS, RESPONSE_TAGS,
+                                         TAGS)
+    return SiteCatalog(
+        sites=dict(KNOWN_SITES),
+        families=dict(SITE_FAMILIES),
+        crash_sites=frozenset(CRASH_SITES),
+        tags=dict(TAGS),
+        request_tags=frozenset(REQUEST_TAGS),
+        response_tags=frozenset(RESPONSE_TAGS),
+    )
+
+
+def validate(catalog: SiteCatalog | None = None) -> list[str]:
+    """Runtime catalog invariants; returns problems (empty == healthy)."""
+    cat = catalog if catalog is not None else load_catalog()
+    problems: list[str] = []
+    if not cat.sites:
+        problems.append("KNOWN_SITES is empty")
+    if not cat.tags:
+        problems.append("the TAGS registry is empty")
+    for site in sorted(cat.crash_sites - set(cat.sites)):
+        problems.append(
+            f"CRASH_SITES entry {site!r} is not in KNOWN_SITES")
+    for tag in sorted((cat.request_tags | cat.response_tags)
+                      - set(cat.tags)):
+        problems.append(
+            f"tag {tag!r} in REQUEST_TAGS/RESPONSE_TAGS is not in "
+            f"the TAGS registry")
+    for tag in sorted(set(cat.tags) - (cat.request_tags
+                                       | cat.response_tags)):
+        problems.append(
+            f"tag {tag!r} is registered but flows in no direction "
+            f"(not in REQUEST_TAGS or RESPONSE_TAGS)")
+    return problems

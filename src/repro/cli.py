@@ -518,6 +518,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--baseline", args.baseline]
     if args.update_baseline:
         argv.append("--update-baseline")
+    for rule in args.rules or ():
+        argv += ["--rule", rule]
+    if args.changed_only:
+        argv.append("--changed-only")
     if args.list_rules:
         argv.append("--list-rules")
     if args.self_check:
@@ -838,6 +842,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline JSON of grandfathered findings")
     p.add_argument("--update-baseline", action="store_true",
                    help="rewrite --baseline with current findings")
+    p.add_argument("--rule", action="append", dest="rules",
+                   metavar="RULE",
+                   help="run only this rule (repeatable); unknown "
+                        "rule ids exit 2")
+    p.add_argument("--changed-only", action="store_true",
+                   help="report only findings in files changed vs git "
+                        "HEAD (the full corpus is still analyzed)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.add_argument("--self-check", action="store_true",

@@ -444,7 +444,11 @@ class SegmentedIndex:
                 seg_path = self._directory.segment_path(segment_id)
                 write_segment(seg_path, view)
                 merged_segment = MmapSegment(seg_path)
-                merged_meta = _file_meta(seg_path)
+                try:
+                    merged_meta = _file_meta(seg_path)
+                except BaseException:
+                    merged_segment.close()
+                    raise
             picked = set(picks)
             segments: list[MmapSegment] = []
             deleted: list[set[int]] = []

@@ -14,29 +14,11 @@ pairs the injector with a fake clock advances time without real
 sleeping — the suite stays deterministic and fast.  ``times=None``
 means "every hit"; an exhausted plan disarms itself.
 
-Known sites (grep for ``FAULTS.hit``):
-
-==============================  ==============================================
-site                            guarded operation
-==============================  ==============================================
-``store.get_schema``            sqlite payload fetch in ``SchemaRepository``
-``store.add_schema``            sqlite insert in ``SchemaRepository``
-``store.changes_since``         changelog read feeding the indexer refresh
-``profile_store.lookup``        ProfileStore read-through miss path
-``matcher.<name>``              one matcher's ``match`` inside GuardedEnsemble
-``engine.phase1``               candidate extraction call in the engine
-``engine.match_one``            per-candidate scoring step in the engine
-``indexer.refresh``             changelog application batch
-``segments.write.torn``         mid-write of a segment file body
-``segments.write.pre_rename``   segment durable under tmp name, not renamed
-``segments.manifest.pre_rename``  MANIFEST.json tmp written, not renamed
-``segments.manifest.post_rename`` MANIFEST.json renamed, caller not returned
-``segments.flush.pre_commit``   flushed segment on disk, manifest not committed
-``segments.merge.pre_commit``   merged segment on disk, manifest not committed
-``replication.pull.chunk``      after each pulled chunk lands in ``.tmp``
-``replication.pull.pre_rename`` pulled segment verified, not yet renamed
-``replication.pull.pre_commit`` all segments pulled, manifest not committed
-==============================  ==============================================
+The declared site catalog lives in :data:`KNOWN_SITES` below (plus the
+parameterized :data:`SITE_FAMILIES` like ``matcher.<name>``); the
+``site-catalog`` lint rule reconciles every ``FAULTS.hit`` /
+``FAULTS.inject`` literal against it in both directions, so the
+catalog can never drift from the instrumented code.
 
 The ``segments.*`` and ``replication.*`` sites exist for the
 crash-injection recovery harness: armed with a ``SimulatedCrash``-style
@@ -51,6 +33,64 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
+
+#: The declared catalog of every named fault site: site -> the guarded
+#: operation.  ``FAULTS.hit`` literals anywhere in ``src/`` and
+#: ``FAULTS.inject`` literals in the chaos suites must name an entry
+#: here (or extend a family from :data:`SITE_FAMILIES`), and every
+#: entry must be hit somewhere — the ``site-catalog`` lint rule of
+#: :mod:`repro.analysis` enforces both directions in CI, the same
+#: round-trip discipline the metric catalog established.
+KNOWN_SITES: dict[str, str] = {
+    "store.get_schema": "sqlite payload fetch in SchemaRepository",
+    "store.add_schema": "sqlite insert in SchemaRepository",
+    "store.iter_schemas": "bulk schema iteration feeding rebuilds",
+    "store.changes_since": "changelog read feeding the indexer refresh",
+    "profile_store.lookup": "ProfileStore read-through miss path",
+    "engine.phase1": "candidate extraction call in the engine",
+    "engine.match_one": "per-candidate scoring step in the engine",
+    "indexer.refresh": "changelog application batch",
+    "segments.write.torn": "mid-write of a segment file body",
+    "segments.write.pre_rename":
+        "segment durable under tmp name, not renamed",
+    "segments.manifest.pre_rename":
+        "MANIFEST.json tmp written, not renamed",
+    "segments.manifest.post_rename":
+        "MANIFEST.json renamed, caller not returned",
+    "segments.flush.pre_commit":
+        "flushed segment on disk, manifest not committed",
+    "segments.merge.pre_commit":
+        "merged segment on disk, manifest not committed",
+    "replication.pull.chunk":
+        "after each pulled chunk lands in .tmp",
+    "replication.pull.pre_rename":
+        "pulled segment verified, not yet renamed",
+    "replication.pull.pre_commit":
+        "all segments pulled, manifest not committed",
+}
+
+#: Parameterized site families: a dynamically built site name is legal
+#: exactly when its literal head matches one of these prefixes (the
+#: per-matcher wrapping in GuardedEnsemble is the one user).
+SITE_FAMILIES: dict[str, str] = {
+    "matcher.": "one matcher's match() inside GuardedEnsemble",
+}
+
+#: The crash-injection subset: sites armed with a process-death error
+#: by the recovery harness.  The invariant each one witnesses is that
+#: reopening after a crash there yields the last *committed*
+#: generation, byte-identically.  Must be a subset of KNOWN_SITES.
+CRASH_SITES: frozenset[str] = frozenset((
+    "segments.write.torn",
+    "segments.write.pre_rename",
+    "segments.manifest.pre_rename",
+    "segments.manifest.post_rename",
+    "segments.flush.pre_commit",
+    "segments.merge.pre_commit",
+    "replication.pull.chunk",
+    "replication.pull.pre_rename",
+    "replication.pull.pre_commit",
+))
 
 
 @dataclass

@@ -79,6 +79,7 @@ from repro.sharding.pool import (
     ShardTimeout,
     WorkerPool,
 )
+from repro.sharding.protocol import TAG_PHASE1, TAG_PHASE2, TAG_REOPEN
 from repro.sharding.worker import WorkerSpec
 from repro.telemetry import (
     DEFAULT_COUNT_BUCKETS,
@@ -517,7 +518,7 @@ class ShardedEngine:
                 continue  # dead/stopped: a respawn opens fresh anyway
             qid = self._qid()
             try:
-                handle.send("reopen", qid, None)
+                handle.send(TAG_REOPEN, qid, None)
             except ShardDied:
                 self._count_failure(sid, "send")
                 handle.respawn()
@@ -526,7 +527,7 @@ class ShardedEngine:
         for sid, qid in pending:
             handle = self._pool.workers[sid]
             try:
-                handle.collect("reopen", qid, timeout)
+                handle.collect(TAG_REOPEN, qid, timeout)
             except ShardDied:
                 self._count_failure(sid, "died")
                 handle.respawn()
@@ -669,7 +670,7 @@ class ShardedEngine:
             qid = self._qid()
             try:
                 self._pool.workers[sid].send(
-                    "phase1", qid,
+                    TAG_PHASE1, qid,
                     {"prepared": prepared, "top_n": pool_n})
             except ShardDied:
                 self._handle_failure(sid, "send", state)
@@ -680,7 +681,7 @@ class ShardedEngine:
             handle = self._pool.workers[sid]
             started = self._clock()
             try:
-                payload = handle.collect("phase1", qid,
+                payload = handle.collect(TAG_PHASE1, qid,
                                          self._wait_budget(deadline))
             except ShardTimeout:
                 self._handle_failure(sid, "timeout", state)
@@ -726,7 +727,7 @@ class ShardedEngine:
             qid = self._qid()
             try:
                 self._pool.workers[sid].send(
-                    "phase2", qid,
+                    TAG_PHASE2, qid,
                     {"query": query, "hits": chunk, "budget": budget,
                      "cheap_only": cheap_only})
             except ShardDied:
@@ -740,7 +741,7 @@ class ShardedEngine:
             handle = self._pool.workers[sid]
             started = self._clock()
             try:
-                payload = handle.collect("phase2", qid,
+                payload = handle.collect(TAG_PHASE2, qid,
                                          self._wait_budget(deadline))
             except ShardTimeout:
                 self._handle_failure(sid, "timeout", state)

@@ -31,6 +31,7 @@ from typing import Callable
 
 from repro.errors import ServiceError
 from repro.resilience.breaker import CircuitBreaker
+from repro.sharding.protocol import TAG_ERROR, TAG_READY, TAG_SHUTDOWN
 from repro.sharding.worker import WorkerSpec, worker_main
 
 #: Pipe-poll slice while pumping: short enough that a waiter whose
@@ -109,11 +110,17 @@ class WorkerHandle:
 
     def _start(self) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
-        proc = self._ctx.Process(
-            target=worker_main, args=(self._spec, child_conn),
-            daemon=True,
-            name=f"schemr-shard-{self._spec.shard_id}")
-        proc.start()
+        try:
+            proc = self._ctx.Process(
+                target=worker_main, args=(self._spec, child_conn),
+                daemon=True,
+                name=f"schemr-shard-{self._spec.shard_id}")
+            proc.start()
+        except BaseException:
+            # A failed fork/spawn must not strand the pipe ends.
+            parent_conn.close()
+            child_conn.close()
+            raise
         child_conn.close()
         with self._cond:
             self._proc = proc
@@ -153,7 +160,7 @@ class WorkerHandle:
             if self._state in (STATE_DEAD, STATE_STOPPED):
                 return False
         try:
-            self.collect("ready", 0, timeout)
+            self.collect(TAG_READY, 0, timeout)
         except ShardError:
             return False
         with self._cond:
@@ -191,7 +198,7 @@ class WorkerHandle:
                 key = (kind, qid)
                 if key in self._responses:
                     return self._responses.pop(key)
-                err_key = ("error", qid)
+                err_key = (TAG_ERROR, qid)
                 if err_key in self._responses:
                     raise ShardError(
                         f"shard {self.shard_id} worker: "
@@ -252,7 +259,7 @@ class WorkerHandle:
         if state not in (STATE_DEAD,) and conn is not None:
             try:
                 with self._send_lock:
-                    conn.send(("shutdown", 0, None))
+                    conn.send((TAG_SHUTDOWN, 0, None))
             except (OSError, ValueError, BrokenPipeError):
                 pass
         proc.join(timeout)
@@ -281,8 +288,17 @@ class WorkerPool:
                  breaker_reset_seconds: float = 30.0,
                  clock: Callable[[], float] = time.monotonic) -> None:
         ctx = _mp_context()
-        self.workers = [WorkerHandle(spec, ctx=ctx, clock=clock)
-                        for spec in specs]
+        self.workers: list[WorkerHandle] = []
+        try:
+            for spec in specs:
+                self.workers.append(
+                    WorkerHandle(spec, ctx=ctx, clock=clock))
+        except BaseException:
+            # A failed spawn mid-list must not leak the shards that
+            # did start.
+            for handle in self.workers:
+                handle.shutdown(1.0)
+            raise
         self.breakers = [
             CircuitBreaker(f"shard.{spec.shard_id}",
                            failure_threshold=breaker_failure_threshold,

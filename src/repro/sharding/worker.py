@@ -34,6 +34,16 @@ from repro.core.engine import SchemrEngine
 from repro.errors import CircuitOpenError, DeadlineExceeded
 from repro.index.segments import SegmentedIndex
 from repro.resilience.deadline import Deadline
+from repro.sharding.protocol import (
+    TAG_BYE,
+    TAG_ERROR,
+    TAG_PHASE1,
+    TAG_PHASE2,
+    TAG_PING,
+    TAG_READY,
+    TAG_REOPEN,
+    TAG_SHUTDOWN,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -112,7 +122,7 @@ def worker_main(spec: WorkerSpec, conn) -> None:
     try:
         repository = SchemaRepository(spec.db_path)
         engine = _build_engine(spec, repository)
-        conn.send(("ready", 0, {
+        conn.send((TAG_READY, 0, {
             "pid": os.getpid(),
             "documents": engine.searcher.index.document_count,
         }))
@@ -121,15 +131,15 @@ def worker_main(spec: WorkerSpec, conn) -> None:
                 kind, qid, payload = conn.recv()
             except (EOFError, OSError):
                 break
-            if kind == "shutdown":
-                conn.send(("bye", qid, None))
+            if kind == TAG_SHUTDOWN:
+                conn.send((TAG_BYE, qid, None))
                 break
             try:
-                if kind == "phase1":
+                if kind == TAG_PHASE1:
                     out = _handle_phase1(engine, payload)
-                elif kind == "phase2":
+                elif kind == TAG_PHASE2:
                     out = _handle_phase2(engine, payload)
-                elif kind == "reopen":
+                elif kind == TAG_REOPEN:
                     # The front flushed new segments; swap in a fresh
                     # view of the shard directory (O(segment count)).
                     engine.close()
@@ -138,7 +148,7 @@ def worker_main(spec: WorkerSpec, conn) -> None:
                         "documents":
                             engine.searcher.index.document_count,
                     }
-                elif kind == "ping":
+                elif kind == TAG_PING:
                     out = {
                         "pid": os.getpid(),
                         "documents":
@@ -150,7 +160,7 @@ def worker_main(spec: WorkerSpec, conn) -> None:
                 logger.warning("shard %d worker request %r failed: %s",
                                spec.shard_id, kind, exc)
                 try:
-                    conn.send(("error", qid,
+                    conn.send((TAG_ERROR, qid,
                                f"{type(exc).__name__}: {exc}"))
                 except (OSError, ValueError):
                     break

@@ -160,6 +160,13 @@ METRICS: dict[str, tuple[str, str]] = {
         "histogram", "Replay request latency"),
     "schemr_workload_lag_seconds": (
         "histogram", "Open-loop dispatch lag behind the arrival schedule"),
+    # -- lock-order sanitizer (test-only instrumentation) -------------
+    "schemr_sanitizer_locks_wrapped": (
+        "gauge", "Project locks wrapped by the lock-order sanitizer"),
+    "schemr_sanitizer_order_edges": (
+        "gauge", "Distinct lock-acquisition-order edges observed"),
+    "schemr_sanitizer_inversions_total": (
+        "counter", "Lock-order inversions detected at runtime"),
 }
 
 

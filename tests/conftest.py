@@ -114,3 +114,34 @@ PAPER_KEYWORDS = ["patient", "height", "gender", "diagnosis"]
 @pytest.fixture
 def paper_keywords() -> list[str]:
     return list(PAPER_KEYWORDS)
+
+
+# -- lock-order sanitizer (opt-in) -------------------------------------------
+#
+# ``SCHEMR_LOCK_SANITIZER=1 pytest ...`` runs the whole session with the
+# runtime lock-order sanitizer instrumenting the lock-owning project
+# classes (repro.analysis.sanitizer).  An observed inversion raises
+# LockOrderInversion at the acquisition site, and the session fixture
+# re-asserts at teardown so inversions swallowed by worker threads still
+# fail the run.  The CI ``sanitizer-smoke`` job runs the chaos and
+# sharding suites this way.
+
+import os
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_order_sanitizer():
+    if os.environ.get("SCHEMR_LOCK_SANITIZER") != "1":
+        yield None
+        return
+    from repro.analysis.sanitizer import (LockOrderSanitizer,
+                                          instrument_project)
+    from repro.telemetry.metrics import MetricsRegistry
+
+    sanitizer = LockOrderSanitizer(metrics=MetricsRegistry())
+    instrument_project(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstrument()
+        assert not sanitizer.inversions, sanitizer.report()

@@ -38,10 +38,11 @@ def _lint_snippet(tmp_path: Path, code: str, rule_id: str,
 # -- registry ----------------------------------------------------------
 
 
-def test_registry_has_all_five_rules():
+def test_registry_has_all_nine_rules():
     ids = {rule.id for rule in all_rules()}
     assert {"lock-discipline", "clock-hygiene", "exception-safety",
-            "metric-catalog", "config-cli-drift"} <= ids
+            "metric-catalog", "config-cli-drift", "lock-order",
+            "api-blocking", "resource-lifecycle", "site-catalog"} <= ids
 
 
 def test_rules_declare_pragma_and_description():

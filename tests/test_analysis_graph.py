@@ -1,0 +1,296 @@
+"""The graph-level lint rules: seeded lock-order cycles, leaked
+resources, catalog drift, and blocking-under-lock each yield exactly
+one finding with a witness; pragmas, baselines, and the new runner
+flags (`--rule`, `--changed-only`) behave."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.runner import changed_files, main as lint_main
+
+
+def _write_corpus(tmp_path: Path, files: dict[str, str]) -> Path:
+    """A synthetic ``repro`` package so modules resolve as ``repro.*``."""
+    root = tmp_path / "repro"
+    root.mkdir(exist_ok=True)
+    for name, code in files.items():
+        (root / name).write_text(textwrap.dedent(code), encoding="utf-8")
+    return root
+
+
+def _findings(result, rule_id: str) -> list:
+    return [f for f in result.findings if f.rule == rule_id]
+
+
+# -- lock-order --------------------------------------------------------
+
+CYCLE = """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                self._step()
+
+        def _step(self):
+            with self._b:
+                pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+"""
+
+
+def test_lock_order_cycle_is_one_finding_with_witnesses(tmp_path):
+    root = _write_corpus(tmp_path, {"pair.py": CYCLE})
+    found = _findings(run_lint([root]), "lock-order")
+    assert len(found) == 1
+    message = found[0].message
+    assert "potential deadlock" in message
+    # Both edges of the cycle carry their witness path, including the
+    # interprocedural one through _step.
+    assert "Pair._a -> Pair._b" in message
+    assert "Pair._b -> Pair._a" in message
+    assert "_step" in message
+
+
+def test_lock_order_cycle_exits_one(tmp_path):
+    root = _write_corpus(tmp_path, {"pair.py": CYCLE})
+    assert lint_main([str(root), "--rule", "lock-order"]) == 1
+
+
+def test_lock_order_quiet_on_consistent_order(tmp_path):
+    clean = CYCLE.replace(
+        "with self._b:\n                with self._a:",
+        "with self._a:\n                with self._b:")
+    root = _write_corpus(tmp_path, {"pair.py": clean})
+    assert _findings(run_lint([root]), "lock-order") == []
+
+
+def test_lock_order_flags_nonreentrant_self_acquire(tmp_path):
+    code = """
+        import threading
+
+        class Once:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+    """
+    root = _write_corpus(tmp_path, {"once.py": code})
+    found = _findings(run_lint([root]), "lock-order")
+    assert len(found) == 1
+    assert "re-acquir" in found[0].message or "reentrant" in \
+        found[0].message.lower()
+
+
+# -- resource-lifecycle ------------------------------------------------
+
+LEAKED_MMAP = """
+    import mmap
+
+    def sizes(fileno):
+        handle = mmap.mmap(fileno, 0)
+        return handle.size()
+"""
+
+
+def test_leaked_mmap_is_one_finding(tmp_path):
+    root = _write_corpus(tmp_path, {"leak.py": LEAKED_MMAP})
+    found = _findings(run_lint([root]), "resource-lifecycle")
+    assert len(found) == 1
+    assert "mmap" in found[0].message
+    assert lint_main([str(root), "--rule", "resource-lifecycle"]) == 1
+
+
+def test_managed_mmap_is_quiet(tmp_path):
+    code = """
+        import mmap
+
+        def sizes(fileno):
+            with mmap.mmap(fileno, 0) as handle:
+                return handle.size()
+    """
+    root = _write_corpus(tmp_path, {"ok.py": code})
+    assert _findings(run_lint([root]), "resource-lifecycle") == []
+
+
+def test_def_line_owned_by_pragma_covers_whole_method(tmp_path):
+    code = """
+        import mmap
+
+        class Holder:
+            def adopt(self, fileno):  # lint: owned-by(handle) (registry takes ownership)
+                handle = mmap.mmap(fileno, 0)
+                return handle.size()
+    """
+    root = _write_corpus(tmp_path, {"holder.py": code})
+    result = run_lint([root])
+    assert _findings(result, "resource-lifecycle") == []
+    assert result.suppressed >= 1
+
+
+def test_owned_by_in_string_literal_never_suppresses(tmp_path):
+    code = '''
+        import mmap
+
+        def sizes(fileno):
+            note = "# lint: owned-by(handle) (just prose)"
+            handle = mmap.mmap(fileno, 0)
+            return handle.size()
+    '''
+    root = _write_corpus(tmp_path, {"leaky.py": code})
+    assert len(_findings(run_lint([root]), "resource-lifecycle")) == 1
+
+
+# -- site-catalog ------------------------------------------------------
+
+SITE_CATALOG = """
+    KNOWN_SITES = {
+        "store.read": "reading a schema row",
+    }
+"""
+
+SITE_USER = """
+    FAULTS = None
+
+    def work():
+        FAULTS.hit("store.read")
+        FAULTS.hit("store.unregistered")
+"""
+
+
+def test_unregistered_fault_site_is_one_finding(tmp_path):
+    root = _write_corpus(tmp_path, {"faultcat.py": SITE_CATALOG,
+                                    "use.py": SITE_USER})
+    found = _findings(run_lint([root]), "site-catalog")
+    assert len(found) == 1
+    assert "store.unregistered" in found[0].message
+    assert found[0].path.endswith("use.py")
+    assert lint_main([str(root), "--rule", "site-catalog"]) == 1
+
+
+def test_fault_sites_round_trip_clean(tmp_path):
+    clean_user = SITE_USER.replace(
+        '        FAULTS.hit("store.unregistered")\n', "")
+    root = _write_corpus(tmp_path, {"faultcat.py": SITE_CATALOG,
+                                    "use.py": clean_user})
+    assert _findings(run_lint([root]), "site-catalog") == []
+
+
+# -- api-blocking ------------------------------------------------------
+
+def test_sleep_under_lock_is_flagged(tmp_path):
+    code = """
+        import threading
+        import time
+
+        class Poller:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def bad(self):
+                with self._lock:
+                    time.sleep(0.1)
+
+            def fine(self):
+                time.sleep(0.1)
+                with self._lock:
+                    pass
+    """
+    root = _write_corpus(tmp_path, {"poller.py": code})
+    found = _findings(run_lint([root]), "api-blocking")
+    assert len(found) == 1
+    assert "sleep" in found[0].message
+
+
+# -- baselines over graph findings -------------------------------------
+
+def test_graph_findings_baseline_round_trip(tmp_path, capsys):
+    root = _write_corpus(tmp_path, {"pair.py": CYCLE})
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(root), "--rule", "lock-order",
+                      "--baseline", str(baseline),
+                      "--update-baseline"]) == 0
+    capsys.readouterr()
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    rendered = json.dumps(payload)
+    # The grandfathered message keeps its witness path.
+    assert "potential deadlock" in rendered
+    assert "Pair._a -> Pair._b" in rendered
+    assert lint_main([str(root), "--rule", "lock-order",
+                      "--baseline", str(baseline)]) == 0
+
+
+# -- --rule and --changed-only -----------------------------------------
+
+def test_rule_flag_restricts_rules(tmp_path, capsys):
+    root = _write_corpus(tmp_path, {"pair.py": CYCLE,
+                                    "leak.py": LEAKED_MMAP})
+    assert lint_main([str(root), "--rule", "resource-lifecycle",
+                      "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = {f["rule"] for f in payload["findings"]}
+    assert rules == {"resource-lifecycle"}
+
+
+def test_unknown_rule_id_exits_two(tmp_path, capsys):
+    root = _write_corpus(tmp_path, {"pair.py": CYCLE})
+    assert lint_main([str(root), "--rule", "no-such-rule"]) == 2
+    assert "no-such-rule" in capsys.readouterr().err
+
+
+def _git(root: Path, *args: str) -> None:
+    subprocess.run(
+        ("git", "-c", "user.email=lint@test", "-c", "user.name=lint")
+        + args,
+        cwd=root, check=True, capture_output=True)
+
+
+def test_changed_only_filters_to_changed_files(tmp_path, capsys,
+                                               monkeypatch):
+    root = _write_corpus(tmp_path, {"pair.py": CYCLE})
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    # A new (untracked) leak rides on top of the committed cycle.
+    (root / "leak.py").write_text(textwrap.dedent(LEAKED_MMAP),
+                                  encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    changed = changed_files()
+    assert changed is not None
+    assert (root / "leak.py").resolve() in changed
+
+    assert lint_main([str(root), "--changed-only",
+                      "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    paths = {f["path"] for f in payload["findings"]}
+    assert all(path.endswith("leak.py") for path in paths), paths
+
+
+def test_changed_only_degrades_without_git(tmp_path, capsys,
+                                           monkeypatch):
+    root = _write_corpus(tmp_path, {"pair.py": CYCLE})
+    monkeypatch.chdir(tmp_path)
+    assert lint_main([str(root), "--rule", "lock-order",
+                      "--changed-only"]) == 1
+    captured = capsys.readouterr()
+    assert "git work tree" in captured.err
+    assert "potential deadlock" in captured.out

@@ -1,0 +1,214 @@
+"""The runtime lock-order sanitizer: inversion detection on a seeded
+two-lock fixture, condition-wait bookkeeping, class instrumentation,
+telemetry, and the runtime site-catalog aggregator."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    LockOrderInversion,
+    LockOrderSanitizer,
+    SanitizedCondition,
+    SanitizedLock,
+    _seed_inversion,
+    instrument_project,
+)
+from repro.analysis.sites import load_catalog, validate
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _two_locks(sanitizer: LockOrderSanitizer):
+    first = sanitizer.wrap(threading.Lock(), "Fixture.first")
+    second = sanitizer.wrap(threading.Lock(), "Fixture.second")
+    return first, second
+
+
+def test_consistent_order_is_quiet():
+    sanitizer = LockOrderSanitizer()
+    first, second = _two_locks(sanitizer)
+    for _ in range(3):
+        with first:
+            with second:
+                pass
+    assert sanitizer.inversions == []
+    assert set(sanitizer.edges()) == {
+        ("Fixture.first", "Fixture.second")}
+
+
+def test_seeded_inversion_raises_with_both_witnesses():
+    sanitizer = LockOrderSanitizer()
+    first, second = _two_locks(sanitizer)
+    with first:
+        with second:
+            pass
+    with pytest.raises(LockOrderInversion) as excinfo:
+        with second:
+            with first:
+                pass
+    message = str(excinfo.value)
+    assert "Fixture.second -> Fixture.first" in message
+    assert "Fixture.first -> Fixture.second" in message
+    assert "thread" in message
+    assert len(sanitizer.inversions) == 1
+
+
+def test_inversion_across_threads_is_detected():
+    sanitizer = LockOrderSanitizer(raise_on_inversion=False)
+    first, second = _two_locks(sanitizer)
+    with first:
+        with second:
+            pass
+
+    def reversed_order():
+        with second:
+            with first:
+                pass
+
+    worker = threading.Thread(target=reversed_order)
+    worker.start()
+    worker.join(5.0)
+    assert len(sanitizer.inversions) == 1
+    assert "conflicts with" in sanitizer.report()
+
+
+def test_nonreentrant_self_reacquire_is_flagged_before_blocking():
+    sanitizer = LockOrderSanitizer()
+    lock = sanitizer.wrap(threading.Lock(), "Fixture.lock")
+    with pytest.raises(LockOrderInversion, match="re-acquired"):
+        with lock:
+            with lock:
+                pass
+    # The wrapper flagged it *before* calling the real acquire, so the
+    # test did not deadlock; release from the outer with succeeded.
+    assert not lock.inner.locked()
+
+
+def test_rlock_reentry_is_legal():
+    sanitizer = LockOrderSanitizer()
+    rlock = sanitizer.wrap(threading.RLock(), "Fixture.rlock")
+    with rlock:
+        with rlock:
+            pass
+    assert sanitizer.inversions == []
+    assert sanitizer.edges() == {}
+
+
+def test_condition_wait_releases_held_tracking():
+    sanitizer = LockOrderSanitizer()
+    cond = sanitizer.wrap(threading.Condition(), "Fixture.cond")
+    lock = sanitizer.wrap(threading.Lock(), "Fixture.lock")
+    assert isinstance(cond, SanitizedCondition)
+    with lock:
+        with cond:
+            # wait() drops and re-takes the condition; the held stack
+            # must stay balanced and re-record the lock->cond edge
+            # without a spurious inversion.
+            cond.wait(timeout=0.01)
+    assert sanitizer.inversions == []
+    assert set(sanitizer.edges()) == {("Fixture.lock", "Fixture.cond")}
+    # The stack unwound completely: a fresh consistent pass is quiet.
+    with lock:
+        with cond:
+            pass
+    assert sanitizer.inversions == []
+
+
+def test_explicit_acquire_release_tracked():
+    sanitizer = LockOrderSanitizer()
+    first, second = _two_locks(sanitizer)
+    assert first.acquire(timeout=1.0)
+    assert second.acquire(timeout=1.0)
+    second.release()
+    first.release()
+    assert set(sanitizer.edges()) == {
+        ("Fixture.first", "Fixture.second")}
+
+
+def test_wrap_object_and_instrument_class():
+    sanitizer = LockOrderSanitizer()
+
+    class Widget:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._cond = threading.Condition()
+            self._plain = 7
+
+    sanitizer.instrument_class(Widget)
+    try:
+        widget = Widget()
+        assert isinstance(widget._lock, SanitizedLock)
+        assert isinstance(widget._cond, SanitizedCondition)
+        assert widget._lock.name == "Widget._lock"
+        assert widget._plain == 7
+        assert sanitizer.locks_wrapped == 2
+    finally:
+        sanitizer.uninstrument()
+    pristine = Widget()
+    assert not isinstance(pristine._lock, SanitizedLock)
+
+
+def test_instrument_project_wraps_real_classes():
+    sanitizer = LockOrderSanitizer()
+    try:
+        classes = instrument_project(sanitizer)
+        assert classes, "no project classes instrumented"
+        from repro.resilience.breaker import CircuitBreaker
+        breaker = CircuitBreaker("t")
+        assert isinstance(breaker._lock, SanitizedLock)
+        assert breaker.allow() in (True, False)
+    finally:
+        sanitizer.uninstrument()
+
+
+def test_sanitizer_metrics_exported():
+    registry = MetricsRegistry()
+    sanitizer = LockOrderSanitizer(metrics=registry,
+                                   raise_on_inversion=False)
+    first, second = _two_locks(sanitizer)
+    with first:
+        with second:
+            pass
+    with second:
+        with first:
+            pass
+    snap = registry.snapshot()
+    assert snap.value("schemr_sanitizer_locks_wrapped") == 2
+    assert snap.value("schemr_sanitizer_order_edges") == 2
+    assert snap.value("schemr_sanitizer_inversions_total") == 1
+
+
+def test_seed_inversion_entry_point_exits_nonzero():
+    assert _seed_inversion() == 1
+
+
+# -- runtime site-catalog aggregator -----------------------------------
+
+def test_live_catalogs_validate_clean():
+    assert validate() == []
+
+
+def test_catalog_contents_round_trip():
+    catalog = load_catalog()
+    assert catalog.crash_sites <= set(catalog.sites)
+    assert catalog.is_known_site("engine.phase1")
+    assert not catalog.is_known_site("no.such.site")
+    assert "phase1" in catalog.tags
+    assert catalog.request_tags <= set(catalog.tags)
+    assert catalog.response_tags <= set(catalog.tags)
+
+
+def test_validate_reports_drift():
+    from repro.analysis.sites import SiteCatalog
+    drifted = SiteCatalog(
+        sites={"a.site": "help"},
+        crash_sites=frozenset(("a.site", "ghost.site")),
+        tags={"ping": "probe"},
+        request_tags=frozenset(("ping", "phantom")),
+        response_tags=frozenset(("ping",)),
+    )
+    problems = validate(drifted)
+    assert any("ghost.site" in p for p in problems)
+    assert any("phantom" in p for p in problems)
